@@ -1,0 +1,50 @@
+// Command llstar-bench regenerates the evaluation tables of the paper
+// (Section 6) over the six benchmark grammars and their synthetic
+// workloads:
+//
+//	llstar-bench                  # all tables
+//	llstar-bench -table 3         # just Table 3
+//	llstar-bench -lines 5000      # bigger inputs for Tables 3/4
+//	llstar-bench -seed 7          # different synthetic input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llstar/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (1-4); 0 prints all")
+	lines := flag.Int("lines", 2000, "approximate input size in lines for tables 3 and 4")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	memo := flag.Bool("memo", false, "also print memoization cache statistics")
+	flag.Parse()
+
+	run := func(n int, f func() error, title string) {
+		if *table != 0 && *table != n {
+			return
+		}
+		fmt.Printf("== Table %d: %s ==\n", n, title)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "table %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	out := os.Stdout
+	run(1, func() error { return bench.Table1(out) }, "grammar decision characteristics")
+	run(2, func() error { return bench.Table2(out) }, "fixed lookahead decision characteristics")
+	run(3, func() error { return bench.Table3(out, *seed, *lines) }, "parser decision lookahead depth")
+	run(4, func() error { return bench.Table4(out, *seed, *lines) }, "parser decision backtracking behavior")
+	if *memo {
+		fmt.Println("== Memoization cache ==")
+		if err := bench.MemoStats(out, *seed, *lines); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command llstar-parse parses an input file with a grammar using the
+// LL(*) interpreter and prints the parse tree and, optionally, runtime
+// decision statistics:
+//
+//	llstar-parse grammar.g input.txt
+//	llstar-parse -rule expr -stats grammar.g input.txt
+//	echo '1+2*3' | llstar-parse grammar.g -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"llstar"
+)
+
+func main() {
+	rule := flag.String("rule", "", "start rule (default: the grammar's first rule)")
+	stats := flag.Bool("stats", false, "print runtime decision statistics after the parse")
+	noTree := flag.Bool("no-tree", false, "suppress the parse tree")
+	leftrec := flag.Bool("leftrec", false, "rewrite immediate left recursion before analysis")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	gsrc, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var input []byte
+	if flag.Arg(1) == "-" {
+		input, err = io.ReadAll(os.Stdin)
+	} else {
+		input, err = os.ReadFile(flag.Arg(1))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	g, err := llstar.LoadWith(flag.Arg(0), string(gsrc), llstar.LoadOptions{RewriteLeftRecursion: *leftrec})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range g.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	opts := []llstar.ParserOption{llstar.WithTree()}
+	if *stats {
+		opts = append(opts, llstar.WithStats())
+	}
+	p := g.NewParser(opts...)
+	tree, err := p.Parse(*rule, string(input))
+	if err != nil {
+		fatal(err)
+	}
+	if !*noTree {
+		fmt.Println(tree.String())
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, p.Stats().String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llstar-parse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command llstar analyzes a grammar and reports its LL(*) parsing
+// decisions, exports lookahead DFA / ATN diagrams, and generates Go
+// parsers:
+//
+//	llstar grammar.g                 # analysis report (Table 1-style)
+//	llstar -decisions grammar.g      # per-decision detail
+//	llstar -dot 3 grammar.g          # decision 3's DFA in Graphviz format
+//	llstar -atn rule grammar.g       # a rule's ATN in Graphviz format
+//	llstar -generate pkg grammar.g   # emit a Go parser to stdout
+//	llstar -leftrec grammar.g        # rewrite immediate left recursion
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llstar"
+)
+
+func main() {
+	decisions := flag.Bool("decisions", false, "print per-decision analysis detail")
+	dot := flag.Int("dot", -1, "print the given decision's lookahead DFA as Graphviz dot")
+	atnRule := flag.String("atn", "", "print the given rule's ATN as Graphviz dot")
+	generate := flag.String("generate", "", "generate a Go parser with the given package name")
+	leftrec := flag.Bool("leftrec", false, "rewrite immediately left-recursive rules to predicated precedence loops")
+	m := flag.Int("m", 0, "recursion governor m (0 = grammar option / default 1)")
+	k := flag.Int("k", 0, "fixed lookahead cap k (0 = unbounded LL(*))")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llstar [flags] grammar.g")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := llstar.LoadWith(path, string(data), llstar.LoadOptions{
+		RewriteLeftRecursion: *leftrec,
+		AnalysisM:            *m,
+		MaxK:                 *k,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *dot >= 0:
+		s, err := g.DotDFA(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+	case *atnRule != "":
+		fmt.Print(g.DotATN(*atnRule))
+	case *generate != "":
+		src, err := g.GenerateGo(*generate)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(src)
+	default:
+		fmt.Println(g.Summary())
+		for _, w := range g.Warnings() {
+			fmt.Println("  " + w)
+		}
+		if *decisions {
+			fmt.Println()
+			for _, d := range g.Decisions() {
+				extra := ""
+				if d.Class == llstar.Fixed {
+					extra = fmt.Sprintf(" k=%d", d.FixedK)
+				}
+				if d.Fallback != "" {
+					extra += " fallback: " + d.Fallback
+				}
+				fmt.Printf("  d%-3d %-9s %2d states  %s%s\n", d.ID, d.Class, d.DFAStates, d.Desc, extra)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llstar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package llstar_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The CLI tools must run against the shipped sample grammars.
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go run %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	if out := run("./cmd/llstar", "-decisions", "grammars/figure1.g"); !strings.Contains(out, "cyclic") {
+		t.Errorf("llstar -decisions: %s", out)
+	}
+	if out := run("./cmd/llstar", "-dot", "0", "grammars/figure1.g"); !strings.Contains(out, "digraph") {
+		t.Errorf("llstar -dot: %s", out)
+	}
+	if out := run("./cmd/llstar", "-generate", "jsonparser", "grammars/json.g"); !strings.Contains(out, "package jsonparser") {
+		t.Errorf("llstar -generate: missing package clause")
+	}
+	if out := run("./cmd/llstar", "-leftrec", "grammars/calc.g"); !strings.Contains(out, "decisions") {
+		t.Errorf("llstar -leftrec: %s", out)
+	}
+
+	// llstar-parse over stdin.
+	cmd := exec.Command("go", "run", "./cmd/llstar-parse", "-leftrec", "-stats", "grammars/calc.g", "-")
+	cmd.Stdin = strings.NewReader("1 + 2 * 3")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("llstar-parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "(e ") {
+		t.Errorf("llstar-parse output: %s", out)
+	}
+}
+
+// Every example must run to completion.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	for _, ex := range []string{"quickstart", "calculator", "ctypes", "json", "genparser"} {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", ex)
+			}
+		})
+	}
+}

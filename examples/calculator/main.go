@@ -1,0 +1,97 @@
+// Calculator: write the natural left-recursive expression grammar, let
+// llstar rewrite it into the predicated precedence loop of Section 1.1,
+// and evaluate parse trees — precedence and associativity come from the
+// rewrite's precedence predicates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"llstar"
+)
+
+const grammarSrc = `
+grammar Calc;
+
+// Immediate left recursion, as a human would write it. Alternative order
+// gives precedence: '*'/'/' bind tighter than '+'/'-'.
+e : e '*' e
+  | e '/' e
+  | e '+' e
+  | e '-' e
+  | '(' e ')'
+  | INT
+  ;
+
+INT : ('0'..'9')+ ;
+WS : (' '|'\t')+ { skip(); } ;
+`
+
+func main() {
+	g, err := llstar.LoadWith("calc.g", grammarSrc, llstar.LoadOptions{
+		RewriteLeftRecursion: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Analysis after rewrite:", g.Summary())
+
+	for _, input := range []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"8 - 4 - 2", // left associative: (8-4)-2 = 2
+		"2 * 3 + 4 / 2",
+		"10 / 2 / 5",
+	} {
+		p := g.NewParser(llstar.WithTree())
+		tree, err := p.Parse("e", input)
+		if err != nil {
+			log.Fatalf("parse %q: %v", input, err)
+		}
+		fmt.Printf("%-16s = %-4d  %s\n", input, eval(tree), tree)
+	}
+}
+
+// eval computes a value from the rewritten grammar's parse tree. The
+// loop rule e_ has shape: primary (op e_)* with ops left-associative.
+func eval(n *llstar.Tree) int {
+	if n.Token != nil {
+		v, _ := strconv.Atoi(n.Token.Text)
+		return v
+	}
+	// Children: first the primary (possibly '(' e ')' or INT), then
+	// repeated [op, e_] pairs.
+	var acc int
+	i := 0
+	switch first := n.Children[0]; {
+	case first.Token != nil && first.Token.Text == "(":
+		acc = eval(n.Children[1]) // ( e )
+		i = 3
+	default:
+		acc = eval(first)
+		i = 1
+	}
+	for i+1 < len(n.Children)+1 && i < len(n.Children) {
+		op := n.Children[i]
+		if op.Token == nil {
+			acc = eval(op)
+			i++
+			continue
+		}
+		rhs := eval(n.Children[i+1])
+		switch op.Token.Text {
+		case "*":
+			acc *= rhs
+		case "/":
+			acc /= rhs
+		case "+":
+			acc += rhs
+		case "-":
+			acc -= rhs
+		}
+		i += 2
+	}
+	return acc
+}

@@ -1,0 +1,80 @@
+// Context-sensitive parsing with semantic predicates (Sections 4.2/4.3):
+// the classic C ambiguity `T * x ;` — pointer declaration if T names a
+// type, multiplication expression otherwise. A semantic predicate
+// consults a symbol table built by a {{...}} action that runs even
+// during speculation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llstar"
+)
+
+const grammarSrc = `
+grammar CTypes;
+
+prog : (stmt)* ;
+
+stmt : 'typedef' ID ID {{defineType()}} ';'
+     | {isTypeName()}? ID ('*')? ID ';'
+     | expr ';'
+     ;
+
+expr : ID ('*' ID)? ;
+
+ID : ('a'..'z'|'A'..'Z'|'_')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+`
+
+func main() {
+	g, err := llstar.Load("ctypes.g", grammarSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Analysis:", g.Summary())
+
+	types := map[string]bool{"int": true}
+	hooks := llstar.Hooks{
+		Preds: map[string]func(*llstar.Context) bool{
+			// The paper's one-predicate C grammar example:
+			// {isTypeName(next input symbol)}?
+			"isTypeName()": func(ctx *llstar.Context) bool {
+				return types[ctx.Stream.LT(1).Text]
+			},
+		},
+		Actions: map[string]func(*llstar.Context){
+			// typedef <base> <name> — LastToken is <name> here. Runs
+			// even while speculating ({{...}}), as symbol-table updates
+			// must (Section 4.3).
+			"defineType()": func(ctx *llstar.Context) {
+				types[ctx.LastToken.Text] = true
+			},
+		},
+	}
+
+	input := `
+typedef int size_t ;
+size_t * count ;
+count * factor ;
+int total ;
+`
+	p := g.NewParser(llstar.WithTree(), llstar.WithHooks(hooks))
+	tree, err := p.Parse("prog", input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, stmt := range tree.Children {
+		kind := "expression"
+		first := stmt.Children[0]
+		switch {
+		case first.Token != nil && first.Token.Text == "typedef":
+			kind = "typedef"
+		case first.Token != nil && types[first.Token.Text]:
+			kind = "declaration"
+		}
+		fmt.Printf("stmt %d: %-12s %s\n", i+1, kind, stmt)
+	}
+	fmt.Println("known types:", types)
+}

@@ -1,0 +1,62 @@
+// Parser generation: emit a self-contained Go parser (lexer tables,
+// lookahead DFA tables, one method per rule) for a small statement
+// grammar, the way ANTLR generates target-language parsers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"llstar"
+)
+
+const grammarSrc = `
+grammar Stmt;
+options { backtrack=true; memoize=true; }
+
+prog : (stmt)+ ;
+
+stmt : (ID '=')=> ID '=' sum ';'
+     | sum ';'
+     ;
+
+sum : prod (('+' | '-') prod)* ;
+
+prod : atom (('*' | '/') atom)* ;
+
+atom : INT | ID | '(' sum ')' ;
+
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+`
+
+func main() {
+	g, err := llstar.Load("stmt.g", grammarSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := g.GenerateGo("stmtparser")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lines := strings.Split(string(src), "\n")
+	var funcs, tables int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "func ") {
+			funcs++
+		}
+		if strings.HasPrefix(l, "var dfa") {
+			tables++
+		}
+	}
+	fmt.Printf("generated %d lines of Go (%d functions, %d DFA tables)\n", len(lines), funcs, tables)
+	fmt.Println("---- first 40 lines ----")
+	for _, l := range lines[:40] {
+		fmt.Println(l)
+	}
+	fmt.Println("…")
+	fmt.Println("(write the output of `llstar -generate mypkg grammar.g` to a file to use it)")
+}

@@ -1,0 +1,71 @@
+// JSON: a grammar the analysis proves fully deterministic — every
+// decision is fixed LL(1), so the parser never looks past one token and
+// never speculates, no matter the input.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llstar"
+)
+
+const grammarSrc = `
+grammar JSON;
+
+value
+    : obj
+    | arr
+    | STRING
+    | NUMBER
+    | 'true'
+    | 'false'
+    | 'null'
+    ;
+
+obj : '{' (pair (',' pair)*)? '}' ;
+
+pair : STRING ':' value ;
+
+arr : '[' (value (',' value)*)? ']' ;
+
+STRING : '"' (~('"'|'\\') | '\\' .)* '"' ;
+
+NUMBER : ('-')? ('0'..'9')+ ('.' ('0'..'9')+)? (('e'|'E') ('+'|'-')? ('0'..'9')+)? ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+`
+
+const input = `{
+  "name": "llstar",
+  "paper": {"venue": "PLDI", "year": 2011},
+  "decisions": [1, 2.5, -3e2, true, null],
+  "nested": [[1, 2], [3, [4, {"deep": "yes"}]]]
+}`
+
+func main() {
+	g, err := llstar.Load("json.g", grammarSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Analysis:", g.Summary())
+	allLL1 := true
+	for _, d := range g.Decisions() {
+		if d.Class != llstar.Fixed || d.FixedK > 1 {
+			allLL1 = false
+			fmt.Printf("  decision %d is %s k=%d (%s)\n", d.ID, d.Class, d.FixedK, d.Desc)
+		}
+	}
+	if allLL1 {
+		fmt.Println("every decision is fixed LL(1): no lookahead beyond one token, ever")
+	}
+
+	p := g.NewParser(llstar.WithTree(), llstar.WithStats())
+	tree, err := p.Parse("value", input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := p.Stats()
+	fmt.Printf("parsed %d tree nodes; %d decision events, avg lookahead %.2f, max %d, backtracks %d\n",
+		tree.Count(), st.TotalEvents(), st.AvgK(), st.MaxK(), st.BacktrackEvents())
+}

@@ -1,0 +1,64 @@
+// Quickstart: load the paper's Figure 1 grammar, inspect its analysis
+// (one cyclic lookahead DFA, everything else fixed), and parse inputs
+// that need anywhere from one token to arbitrary lookahead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llstar"
+)
+
+const grammarSrc = `
+grammar Quickstart;
+
+// Rule s needs arbitrary lookahead to tell alternatives 3 and 4 apart:
+// both match any number of 'unsigned' before revealing themselves.
+s : ID
+  | ID '=' expr
+  | ('unsigned')* 'int' ID
+  | ('unsigned')* ID ID
+  ;
+
+expr : INT ;
+
+ID : ('a'..'z'|'A'..'Z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+`
+
+func main() {
+	g, err := llstar.Load("quickstart.g", grammarSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Analysis:", g.Summary())
+	for _, d := range g.Decisions() {
+		fmt.Printf("  decision %d (%s): %s, %d DFA states\n", d.ID, d.Desc, d.Class, d.DFAStates)
+	}
+
+	inputs := []string{
+		"x",
+		"x = 42",
+		"int x",
+		"unsigned unsigned int x",
+		"unsigned unsigned T x",
+	}
+	for _, input := range inputs {
+		p := g.NewParser(llstar.WithTree(), llstar.WithStats())
+		tree, err := p.Parse("s", input)
+		if err != nil {
+			log.Fatalf("parse %q: %v", input, err)
+		}
+		fmt.Printf("%-26q -> %s   (max lookahead %d)\n", input, tree, p.Stats().MaxK())
+	}
+
+	// A syntax error is reported at the offending token, not where the
+	// decision started (Section 4.4 of the paper).
+	p := g.NewParser()
+	if _, err := p.Parse("s", "unsigned unsigned ="); err != nil {
+		fmt.Println("error example:", err)
+	}
+}

@@ -1,0 +1,3 @@
+module llstar
+
+go 1.22

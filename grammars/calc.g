@@ -1,0 +1,16 @@
+// Left-recursive expression grammar; load with the left-recursion
+// rewrite (Section 1.1):
+//   llstar -leftrec grammars/calc.g
+//   llstar-parse -leftrec grammars/calc.g -   (then type: 1+2*3)
+grammar Calc;
+
+e : e '*' e
+  | e '/' e
+  | e '+' e
+  | e '-' e
+  | '(' e ')'
+  | INT
+  ;
+
+INT : ('0'..'9')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;

@@ -1,0 +1,17 @@
+// The paper's Figure 1 grammar: rule s needs arbitrary lookahead to
+// separate alternatives 3 and 4. Try:
+//   llstar -decisions grammars/figure1.g
+//   llstar -dot 0 grammars/figure1.g | dot -Tsvg > s.svg
+grammar Figure1;
+
+s : ID
+  | ID '=' expr
+  | ('unsigned')* 'int' ID
+  | ('unsigned')* ID ID
+  ;
+
+expr : INT ;
+
+ID : ('a'..'z'|'A'..'Z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;

@@ -1,0 +1,15 @@
+// The paper's Figure 2 grammar: recursion in alternative 2 forces
+// mixed fixed-lookahead + backtracking decisions (PEG mode, m=1).
+grammar Figure2;
+
+options { backtrack=true; memoize=true; }
+
+t : ('-')* ID
+  | expr
+  ;
+
+expr : INT | '-' expr ;
+
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;

@@ -1,0 +1,11 @@
+// JSON: every decision analyzes to fixed LL(1).
+grammar JSON;
+
+value : obj | arr | STRING | NUMBER | 'true' | 'false' | 'null' ;
+obj : '{' (pair (',' pair)*)? '}' ;
+pair : STRING ':' value ;
+arr : '[' (value (',' value)*)? ']' ;
+
+STRING : '"' (~('"'|'\\') | '\\' .)* '"' ;
+NUMBER : ('-')? ('0'..'9')+ ('.' ('0'..'9')+)? (('e'|'E') ('+'|'-')? ('0'..'9')+)? ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;

@@ -1,0 +1,338 @@
+// Package atn implements augmented transition networks (Section 5.1 of the
+// paper): one submachine per grammar rule, with epsilon, terminal,
+// nonterminal (call), predicate, and action edges. The grammar→ATN
+// transformation follows Figure 7, with cycles added for EBNF operators
+// (Section 5.5). Lexer rules compile to a character-level ATN with
+// fragments inlined.
+package atn
+
+import (
+	"fmt"
+	"strings"
+
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// TransKind identifies the label of an ATN transition.
+type TransKind int
+
+const (
+	// TEpsilon consumes nothing.
+	TEpsilon TransKind = iota
+	// TAtom consumes one token of type Sym.
+	TAtom
+	// TSet consumes one token in Set (or outside it when Negated).
+	TSet
+	// TRule invokes another rule's submachine, pushing Follow.
+	TRule
+	// TPred is a semantic-predicate edge (possibly an erased syntactic
+	// predicate, per Section 4.1).
+	TPred
+	// TAction is a mutator edge.
+	TAction
+	// TWildcard consumes any one token (or rune in lexer ATNs).
+	TWildcard
+	// TChar consumes one rune in [Lo,Hi] (lexer ATNs).
+	TChar
+	// TCharSet consumes one rune in CharRanges, negated if Negated.
+	TCharSet
+)
+
+// Trans is an ATN transition. Exactly the fields relevant to Kind are set.
+type Trans struct {
+	Kind TransKind
+	To   *State
+
+	Sym     token.Type // TAtom
+	Set     *token.Set // TSet
+	Negated bool       // TSet, TCharSet
+
+	RuleIndex int    // TRule: callee parser-rule index
+	RuleName  string // TRule
+	Start     *State // TRule: callee entry state
+	Follow    *State // TRule: return state pushed on the stack
+	ArgText   string // TRule: actual-argument text (parameterized rules)
+
+	Pred      *grammar.SemPred // TPred (nil for erased synpreds)
+	SynPredID int              // TPred: compiled synpred id, or -1
+	Act       *grammar.Action  // TAction
+
+	Lo, Hi     rune                // TChar
+	CharRanges []grammar.RuneRange // TCharSet
+}
+
+// Epsilonish reports whether the transition consumes no input symbols
+// (epsilon, predicate, or action edges).
+func (t *Trans) Epsilonish() bool {
+	switch t.Kind {
+	case TEpsilon, TPred, TAction:
+		return true
+	}
+	return false
+}
+
+// Matches reports whether a parser transition matches token type tt.
+func (t *Trans) Matches(tt token.Type) bool {
+	switch t.Kind {
+	case TAtom:
+		return t.Sym == tt
+	case TSet:
+		in := t.Set.Contains(tt)
+		if t.Negated {
+			return !in && tt != token.EOF
+		}
+		return in
+	case TWildcard:
+		return tt != token.EOF
+	default:
+		return false
+	}
+}
+
+// MatchesRune reports whether a lexer transition matches rune r.
+func (t *Trans) MatchesRune(r rune) bool {
+	switch t.Kind {
+	case TChar:
+		return r >= t.Lo && r <= t.Hi
+	case TCharSet:
+		in := false
+		for _, rr := range t.CharRanges {
+			if r >= rr.Lo && r <= rr.Hi {
+				in = true
+				break
+			}
+		}
+		if t.Negated {
+			return !in && r != -1
+		}
+		return in
+	case TWildcard:
+		return r != -1
+	default:
+		return false
+	}
+}
+
+// State is an ATN state.
+type State struct {
+	ID        int
+	RuleIndex int // enclosing parser/lexer rule index; -1 for synthetic
+	RuleName  string
+	Stop      bool // rule stop state p'_A
+	RuleStart bool // rule start state p_A
+	Trans     []*Trans
+
+	// DecisionID is the parsing decision rooted at this state, or -1.
+	DecisionID int
+}
+
+func (s *State) String() string {
+	return fmt.Sprintf("p%d(%s)", s.ID, s.RuleName)
+}
+
+// AddTrans appends a transition from s.
+func (s *State) AddTrans(t *Trans) { s.Trans = append(s.Trans, t) }
+
+// DecisionKind classifies a parsing decision.
+type DecisionKind int
+
+const (
+	// RuleDecision chooses among a rule's top-level alternatives.
+	RuleDecision DecisionKind = iota
+	// BlockDecision chooses among a plain subrule's alternatives.
+	BlockDecision
+	// OptionalDecision chooses enter-vs-skip for (α)?; exit is the last
+	// alternative.
+	OptionalDecision
+	// LoopDecision chooses iterate-vs-exit for (α)*; exit is the last
+	// alternative.
+	LoopDecision
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case RuleDecision:
+		return "rule"
+	case BlockDecision:
+		return "block"
+	case OptionalDecision:
+		return "optional"
+	case LoopDecision:
+		return "loop"
+	default:
+		return "?"
+	}
+}
+
+// Decision is one parsing decision: a state with multiple alternative
+// epsilon paths. Alternatives are numbered 1..NAlts in grammar order; for
+// optional and loop decisions the exit branch is alternative NAlts.
+type Decision struct {
+	ID    int
+	Kind  DecisionKind
+	Rule  *grammar.Rule
+	State *State
+	NAlts int
+
+	// AltStart[i-1] is the left-edge state p_{A,i} for alternative i.
+	AltStart []*State
+	// End is where an alternative's body is complete: the rule stop
+	// state for rule decisions, the block end for subrules, and the
+	// decision state itself for loops (the loop-back point). The runtime
+	// speculatively matches an alternative by walking AltStart[i] → End.
+	End *State
+	// SemPreds[i-1] is the left-edge semantic predicate gating
+	// alternative i, or nil.
+	SemPreds []*grammar.SemPred
+	// SynPreds[i-1] is the compiled syntactic predicate id gating
+	// alternative i, or -1.
+	SynPreds []int
+
+	// Backtrack marks decisions whose alternatives may be tried by
+	// ordered speculation (PEG mode, or explicit synpreds present).
+	Backtrack bool
+
+	Desc string
+}
+
+// HasExitAlt reports whether the last alternative is a loop/optional exit
+// branch rather than grammar text.
+func (d *Decision) HasExitAlt() bool {
+	return d.Kind == OptionalDecision || d.Kind == LoopDecision
+}
+
+// SynPredDef is a compiled explicit syntactic predicate (α)=>: a private
+// ATN fragment the runtime can speculatively match. Block retains the
+// grammar IR for the code generator.
+type SynPredDef struct {
+	ID    int
+	Name  string
+	Rule  *grammar.Rule // enclosing rule
+	Start *State
+	Stop  *State
+	Block *grammar.Block
+	Auto  bool
+}
+
+// Machine is the ATN for a whole grammar.
+type Machine struct {
+	Grammar *grammar.Grammar
+	States  []*State
+
+	// RuleStart/RuleStop are indexed by parser-rule index.
+	RuleStart []*State
+	RuleStop  []*State
+
+	Decisions []*Decision
+	SynPreds  []*SynPredDef
+
+	// RuleDecisionID maps a multi-alternative rule name to its rule
+	// decision; BlockDecisionIDs maps an IR block to the decisions built
+	// from it in creation order ((α)+ desugars into two). The code
+	// generator uses these to wire emitted dispatch code to DFA tables.
+	RuleDecisionID   map[string]int
+	BlockDecisionIDs map[*grammar.Block][]int
+
+	// FollowRefs[r] lists the follow states of every call site of parser
+	// rule r, used by closure when popping an empty stack at a rule stop
+	// state.
+	FollowRefs [][]*State
+
+	// EOFTarget is a synthetic state reached by matching EOF after the
+	// start rule completes with no callers.
+	eofState *State
+	eofSink  *State
+
+	// Lexer ATN (nil if the grammar has no lexer rules).
+	Lex *LexMachine
+}
+
+// NewState allocates a state owned by the machine.
+func (m *Machine) NewState(ruleIndex int, ruleName string) *State {
+	s := &State{ID: len(m.States), RuleIndex: ruleIndex, RuleName: ruleName, DecisionID: -1}
+	m.States = append(m.States, s)
+	return s
+}
+
+// EOFState returns the synthetic state whose single transition matches
+// EOF; closure uses it when a stop state pops an empty stack and the rule
+// has no callers.
+func (m *Machine) EOFState() *State {
+	return m.eofState
+}
+
+// Decision returns the decision with the given id.
+func (m *Machine) Decision(id int) *Decision { return m.Decisions[id] }
+
+// RuleIndexByName returns the parser-rule index for name, or -1.
+func (m *Machine) RuleIndexByName(name string) int {
+	r := m.Grammar.Rule(name)
+	if r == nil || r.IsLexer {
+		return -1
+	}
+	return r.Index
+}
+
+// Dot renders the parser ATN (or one rule's submachine if ruleName is
+// non-empty) in Graphviz format, for debugging and documentation.
+func (m *Machine) Dot(ruleName string) string {
+	var b strings.Builder
+	b.WriteString("digraph ATN {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n")
+	vocab := m.Grammar.Vocab
+	for _, s := range m.States {
+		if ruleName != "" && s.RuleName != ruleName {
+			continue
+		}
+		shape := "circle"
+		if s.Stop {
+			shape = "doublecircle"
+		}
+		label := fmt.Sprintf("p%d", s.ID)
+		if s.DecisionID >= 0 {
+			label += fmt.Sprintf("\\nd%d", s.DecisionID)
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\" shape=%s];\n", s.ID, label, shape)
+		for _, t := range s.Trans {
+			var lbl string
+			switch t.Kind {
+			case TEpsilon:
+				lbl = "ε"
+			case TAtom:
+				lbl = vocab.Name(t.Sym)
+			case TSet:
+				lbl = t.Set.Format(vocab)
+				if t.Negated {
+					lbl = "~" + lbl
+				}
+			case TRule:
+				lbl = t.RuleName
+			case TPred:
+				if t.Pred != nil {
+					lbl = "{" + t.Pred.Text + "}?"
+				} else {
+					lbl = fmt.Sprintf("synpred%d", t.SynPredID)
+				}
+			case TAction:
+				lbl = "{…}"
+			case TWildcard:
+				lbl = "."
+			case TChar:
+				if t.Lo == t.Hi {
+					lbl = fmt.Sprintf("%q", t.Lo)
+				} else {
+					lbl = fmt.Sprintf("%q..%q", t.Lo, t.Hi)
+				}
+			case TCharSet:
+				lbl = "[set]"
+			}
+			to := t.To
+			if t.Kind == TRule {
+				to = t.Follow
+			}
+			fmt.Fprintf(&b, "  %d -> %d [label=%q fontsize=9];\n", s.ID, to.ID, lbl)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

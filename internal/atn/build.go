@@ -1,0 +1,342 @@
+package atn
+
+import (
+	"fmt"
+
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// Build converts a validated grammar into its ATN, creating one submachine
+// per parser rule (Figure 7), a decision record for every rule or subrule
+// with more than one way forward, compiled syntactic-predicate fragments,
+// and (if the grammar has lexer rules) the character-level lexer ATN.
+func Build(g *grammar.Grammar) (*Machine, error) {
+	m := &Machine{
+		Grammar:          g,
+		RuleDecisionID:   make(map[string]int),
+		BlockDecisionIDs: make(map[*grammar.Block][]int),
+	}
+	b := &builder{m: m, g: g}
+
+	n := len(g.Rules)
+	m.RuleStart = make([]*State, n)
+	m.RuleStop = make([]*State, n)
+	m.FollowRefs = make([][]*State, n)
+	for _, r := range g.Rules {
+		start := m.NewState(r.Index, r.Name)
+		start.RuleStart = true
+		stop := m.NewState(r.Index, r.Name)
+		stop.Stop = true
+		m.RuleStart[r.Index] = start
+		m.RuleStop[r.Index] = stop
+	}
+
+	// Synthetic EOF edge used when a stop state pops an empty stack with
+	// no callers: the continuation language is {EOF}.
+	m.eofState = m.NewState(-1, "<eof>")
+	m.eofSink = m.NewState(-1, "<eof-sink>")
+	m.eofState.AddTrans(&Trans{Kind: TAtom, Sym: token.EOF, To: m.eofSink})
+
+	for _, r := range g.Rules {
+		if err := b.buildRule(r); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(g.LexRules) > 0 {
+		lex, err := buildLexMachine(g)
+		if err != nil {
+			return nil, err
+		}
+		m.Lex = lex
+	}
+	return m, nil
+}
+
+type builder struct {
+	m        *Machine
+	g        *grammar.Grammar
+	rule     *grammar.Rule
+	synpreds map[*grammar.SynPred]int
+}
+
+func (b *builder) backtrackEnabled(r *grammar.Rule) bool {
+	return r.OptionBool("backtrack", b.g.Options.Backtrack)
+}
+
+func (b *builder) buildRule(r *grammar.Rule) error {
+	b.rule = r
+	start := b.m.RuleStart[r.Index]
+	stop := b.m.RuleStop[r.Index]
+
+	if len(r.Alts) == 1 {
+		end, err := b.chain(r.Alts[0].Elems, start)
+		if err != nil {
+			return err
+		}
+		end.AddTrans(&Trans{Kind: TEpsilon, To: stop})
+		return nil
+	}
+
+	d := b.newDecision(RuleDecision, start, len(r.Alts),
+		fmt.Sprintf("rule %s", r.Name))
+	d.End = stop
+	b.m.RuleDecisionID[r.Name] = d.ID
+	for i, alt := range r.Alts {
+		altStart := b.m.NewState(r.Index, r.Name)
+		start.AddTrans(&Trans{Kind: TEpsilon, To: altStart})
+		d.AltStart[i] = altStart
+		d.SemPreds[i] = alt.LeadingSemPred()
+		if sp := alt.LeadingSynPred(); sp != nil {
+			id, err := b.compileSynPred(sp)
+			if err != nil {
+				return err
+			}
+			d.SynPreds[i] = id
+			d.Backtrack = true
+		}
+		end, err := b.chain(alt.Elems, altStart)
+		if err != nil {
+			return err
+		}
+		end.AddTrans(&Trans{Kind: TEpsilon, To: stop})
+	}
+	return nil
+}
+
+// newDecision allocates a decision rooted at state.
+func (b *builder) newDecision(kind DecisionKind, state *State, nalts int, desc string) *Decision {
+	d := &Decision{
+		ID:       len(b.m.Decisions),
+		Kind:     kind,
+		Rule:     b.rule,
+		State:    state,
+		NAlts:    nalts,
+		AltStart: make([]*State, nalts),
+		SemPreds: make([]*grammar.SemPred, nalts),
+		SynPreds: make([]int, nalts),
+		Desc:     desc,
+	}
+	for i := range d.SynPreds {
+		d.SynPreds[i] = -1
+	}
+	d.Backtrack = b.backtrackEnabled(b.rule)
+	state.DecisionID = d.ID
+	b.m.Decisions = append(b.m.Decisions, d)
+	return d
+}
+
+// chain threads a sequence of elements from state `from`, returning the
+// final state.
+func (b *builder) chain(elems []grammar.Element, from *State) (*State, error) {
+	cur := from
+	for _, e := range elems {
+		next, err := b.element(e, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (b *builder) newState() *State {
+	return b.m.NewState(b.rule.Index, b.rule.Name)
+}
+
+func (b *builder) element(e grammar.Element, from *State) (*State, error) {
+	switch e := e.(type) {
+	case *grammar.TokenRef:
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TAtom, Sym: e.Type, To: to})
+		return to, nil
+
+	case *grammar.NotToken:
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TSet, Set: token.NewSet(e.Types...), Negated: true, To: to})
+		return to, nil
+
+	case *grammar.Wildcard:
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TWildcard, To: to})
+		return to, nil
+
+	case *grammar.RuleRef:
+		idx := b.m.RuleIndexByName(e.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("atn: rule %s references unknown rule %s", b.rule.Name, e.Name)
+		}
+		follow := b.newState()
+		from.AddTrans(&Trans{
+			Kind: TRule, RuleIndex: idx, RuleName: e.Name,
+			Start: b.m.RuleStart[idx], Follow: follow, ArgText: e.ArgText,
+			To: b.m.RuleStart[idx],
+		})
+		b.m.FollowRefs[idx] = append(b.m.FollowRefs[idx], follow)
+		return follow, nil
+
+	case *grammar.SemPred:
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TPred, Pred: e, SynPredID: -1, To: to})
+		return to, nil
+
+	case *grammar.Action:
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TAction, Act: e, To: to})
+		return to, nil
+
+	case *grammar.SynPred:
+		id, err := b.compileSynPred(e)
+		if err != nil {
+			return nil, err
+		}
+		to := b.newState()
+		from.AddTrans(&Trans{Kind: TPred, SynPredID: id, To: to})
+		return to, nil
+
+	case *grammar.Block:
+		return b.block(e, from)
+	}
+	return nil, fmt.Errorf("atn: rule %s: unsupported element %T", b.rule.Name, e)
+}
+
+func (b *builder) block(blk *grammar.Block, from *State) (*State, error) {
+	switch blk.Op {
+	case grammar.OpPlus:
+		// Desugar (α)+ to α (α)*: the body runs once, then a star loop.
+		once := &grammar.Block{Alts: blk.Alts, Op: grammar.OpNone, Pos: blk.Pos}
+		star := &grammar.Block{Alts: blk.Alts, Op: grammar.OpStar, Pos: blk.Pos}
+		mid, err := b.block(once, from)
+		if err != nil {
+			return nil, err
+		}
+		end, err := b.block(star, mid)
+		if err != nil {
+			return nil, err
+		}
+		// Re-key the desugared decisions under the source block: the
+		// optional once-decision (multi-alt bodies only) then the loop.
+		b.m.BlockDecisionIDs[blk] = append(
+			append([]int(nil), b.m.BlockDecisionIDs[once]...),
+			b.m.BlockDecisionIDs[star]...)
+		return end, nil
+
+	case grammar.OpNone:
+		if len(blk.Alts) == 1 {
+			return b.chain(blk.Alts[0].Elems, from)
+		}
+		d := b.newBlockDecision(BlockDecision, from, len(blk.Alts), blk)
+		end := b.newState()
+		d.End = end
+		if err := b.buildAlts(d, blk.Alts, end, nil); err != nil {
+			return nil, err
+		}
+		return end, nil
+
+	case grammar.OpOptional:
+		d := b.newBlockDecision(OptionalDecision, from, len(blk.Alts)+1, blk)
+		end := b.newState()
+		d.End = end
+		if err := b.buildAlts(d, blk.Alts, end, nil); err != nil {
+			return nil, err
+		}
+		// Exit branch: last alternative.
+		d.State.AddTrans(&Trans{Kind: TEpsilon, To: end})
+		d.AltStart[d.NAlts-1] = end
+		return end, nil
+
+	case grammar.OpStar:
+		d := b.newBlockDecision(LoopDecision, from, len(blk.Alts)+1, blk)
+		end := b.newState()
+		d.End = d.State // body alternatives loop back to the decision
+		if err := b.buildAlts(d, blk.Alts, nil, d.State); err != nil {
+			return nil, err
+		}
+		// Exit branch: last alternative.
+		d.State.AddTrans(&Trans{Kind: TEpsilon, To: end})
+		d.AltStart[d.NAlts-1] = end
+		return end, nil
+	}
+	return nil, fmt.Errorf("atn: rule %s: unknown block op", b.rule.Name)
+}
+
+// newBlockDecision allocates a decision state for a subrule and links it
+// from the predecessor.
+func (b *builder) newBlockDecision(kind DecisionKind, from *State, nalts int, blk *grammar.Block) *Decision {
+	dstate := b.newState()
+	from.AddTrans(&Trans{Kind: TEpsilon, To: dstate})
+	desc := fmt.Sprintf("%s subrule at %s in rule %s", kind, blk.Pos, b.rule.Name)
+	d := b.newDecision(kind, dstate, nalts, desc)
+	b.m.BlockDecisionIDs[blk] = append(b.m.BlockDecisionIDs[blk], d.ID)
+	return d
+}
+
+// buildAlts threads each alternative from the decision state. Alternatives
+// end with an epsilon edge to endState, or back to loopBack for star loops.
+func (b *builder) buildAlts(d *Decision, alts []*grammar.Alt, endState, loopBack *State) error {
+	for i, alt := range alts {
+		altStart := b.newState()
+		d.State.AddTrans(&Trans{Kind: TEpsilon, To: altStart})
+		d.AltStart[i] = altStart
+		d.SemPreds[i] = alt.LeadingSemPred()
+		if sp := alt.LeadingSynPred(); sp != nil {
+			id, err := b.compileSynPred(sp)
+			if err != nil {
+				return err
+			}
+			d.SynPreds[i] = id
+			d.Backtrack = true
+		}
+		end, err := b.chain(alt.Elems, altStart)
+		if err != nil {
+			return err
+		}
+		if loopBack != nil {
+			end.AddTrans(&Trans{Kind: TEpsilon, To: loopBack})
+		} else {
+			end.AddTrans(&Trans{Kind: TEpsilon, To: endState})
+		}
+	}
+	return nil
+}
+
+// compileSynPred builds the private ATN fragment for an explicit
+// syntactic predicate (α)=>. The fragment has its own start/stop states;
+// inner decisions are real decisions analyzed like any other.
+func (b *builder) compileSynPred(sp *grammar.SynPred) (int, error) {
+	if b.synpreds == nil {
+		b.synpreds = make(map[*grammar.SynPred]int)
+	}
+	if id, ok := b.synpreds[sp]; ok {
+		return id, nil
+	}
+	id := len(b.m.SynPreds)
+	b.synpreds[sp] = id
+	def := &SynPredDef{
+		ID:    id,
+		Name:  fmt.Sprintf("synpred%d_%s", id+1, b.rule.Name),
+		Rule:  b.rule,
+		Block: sp.Block,
+		Auto:  sp.Auto,
+	}
+	// Synthetic rule index: negative, never collides with parser rules.
+	synIdx := -2 - id
+	start := b.m.NewState(synIdx, def.Name)
+	start.RuleStart = true
+	stop := b.m.NewState(synIdx, def.Name)
+	stop.Stop = true
+	def.Start, def.Stop = start, stop
+	b.m.SynPreds = append(b.m.SynPreds, def)
+
+	// Build the block body with the enclosing rule's context for rule
+	// numbering of inner states, but keep start/stop synthetic. The
+	// source block is used directly so decision bookkeeping stays keyed
+	// to the IR the code generator walks.
+	end, err := b.block(sp.Block, start)
+	if err != nil {
+		return 0, err
+	}
+	end.AddTrans(&Trans{Kind: TEpsilon, To: stop})
+	return id, nil
+}

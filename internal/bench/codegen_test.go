@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+// Every benchmark grammar must survive the Go code generator: the
+// emitted source must format (Generate gofmts it, which is also a syntax
+// check). Actions in these grammars are lexer-only (skip()), so the
+// generated parsers are self-contained valid Go.
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, w := range Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g, err := w.Load()
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			src, err := g.GenerateGo("bench_" + strings.ToLower(strings.TrimSuffix(w.File, ".g")))
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if len(src) < 1000 {
+				t.Errorf("suspiciously small output: %d bytes", len(src))
+			}
+		})
+	}
+}
+
+// TestGeneratedTSQLMatchesInterp compiles the generated TSQL parser with
+// the Go toolchain and checks it produces the same tree as the
+// interpreter on a synthetic workload — end-to-end equivalence of the
+// two execution modes on a grammar with manual synpreds, subqueries, and
+// dense DFA tables.
+func TestGeneratedTSQLMatchesInterp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a Go module")
+	}
+	w, err := ByName("TSQL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := g.GenerateGo("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := w.Input(3, 60)
+
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module gentsql\n\ngo 1.22\n")
+	write("parser.go", string(src))
+	write("input.sql", input)
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	data, err := os.ReadFile("input.sql")
+	if err != nil {
+		fmt.Println("ERR read")
+		return
+	}
+	toks, err := Tokenize(string(data))
+	if err != nil {
+		fmt.Println("ERR lex:", err)
+		return
+	}
+	p := NewParser(toks)
+	tree, err := p.ParseRule("script")
+	if err != nil {
+		fmt.Println("ERR parse:", err)
+		return
+	}
+	fmt.Println(tree.String())
+}
+`)
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	got := strings.TrimSpace(string(out))
+
+	p := g.NewParser(llstar.WithTree())
+	tree, err := p.Parse(w.Start, input)
+	if err != nil {
+		t.Fatalf("interp parse: %v", err)
+	}
+	if got != tree.String() {
+		a, b := got, tree.String()
+		if len(a) > 300 {
+			a = a[:300]
+		}
+		if len(b) > 300 {
+			b = b[:300]
+		}
+		t.Errorf("generated parser tree differs:\n  gen:    %s\n  interp: %s", a, b)
+	}
+}

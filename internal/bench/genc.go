@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var cTypes = []string{"int", "long", "double", "char", "unsigned int", "float"}
+
+// genCReal produces a C-subset translation unit: prototypes (forcing the
+// function-definition speculation to fail late), function definitions
+// (forcing it to succeed after scanning the whole body), globals,
+// structs, and statement-rich bodies with assignment expressions — the
+// mix behind RatsC's paper profile of frequent, deep backtracking.
+func genCReal(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "struct point { int x ; int y ; } ;")
+	g.linef(0, "enum color { RED = 1 , GREEN , BLUE } ;")
+	for g.lines < lines {
+		switch g.r.Intn(5) {
+		case 0:
+			// Prototype: functionDef speculation fails at ';'.
+			g.linef(0, "%s %s(%s a, %s b);", g.pick(cTypes...), g.ident("fn"),
+				g.pick(cTypes...), g.pick(cTypes...))
+		case 1:
+			g.linef(0, "static %s %s = %s;", g.pick(cTypes...), g.ident("g"), g.cExpr(1))
+		default:
+			g.cFunction(lines)
+		}
+	}
+	return g.b.String()
+}
+
+func (g *gen) cFunction(budget int) {
+	g.linef(0, "%s %s(%s a, %s *b) {", g.pick(cTypes...), g.ident("fn"),
+		g.pick(cTypes...), g.pick(cTypes...))
+	n := 2 + g.r.Intn(8)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.cStatement(1, 2)
+	}
+	g.linef(1, "return %s;", g.cExpr(2))
+	g.linef(0, "}")
+}
+
+func (g *gen) cStatement(depth, nest int) {
+	if depth > 4 || nest <= 0 {
+		g.linef(depth, "%s = %s;", g.ident("v"), g.cExpr(1))
+		return
+	}
+	switch g.r.Intn(10) {
+	case 0:
+		g.linef(depth, "%s %s = %s;", g.pick(cTypes...), g.ident("loc"), g.cExpr(2))
+	case 1:
+		g.linef(depth, "if (%s) {", g.cExpr(1))
+		g.cStatement(depth+1, nest-1)
+		g.linef(depth, "} else {")
+		g.cStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 2:
+		g.linef(depth, "for (i = 0; i < %d; i = i + 1) {", g.r.Intn(64))
+		g.cStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 3:
+		g.linef(depth, "while (%s) {", g.cExpr(1))
+		g.cStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 4:
+		g.linef(depth, "%s(%s, %s);", g.ident("fn"), g.cExpr(1), g.cExpr(0))
+	case 5:
+		g.linef(depth, "*%s = (%s) %s;", g.ident("p"), g.pick("int", "long", "char"), g.cExpr(1))
+	case 6:
+		g.linef(depth, "%s->%s = %s[%s];", g.ident("s"), g.ident("fld"), g.ident("arr"), g.cExpr(0))
+	case 7:
+		g.linef(depth, "%s += sizeof(%s);", g.ident("n"), g.pick("int", "long", "double"))
+	default:
+		g.linef(depth, "%s = %s;", g.ident("v"), g.cExpr(2))
+	}
+}
+
+// cExpr avoids Java-only forms (true/false, o.m()).
+func (g *gen) cExpr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return g.ident("v")
+		case 1:
+			return fmt.Sprintf("%d", g.r.Intn(10000))
+		default:
+			return "\"" + g.ident("s") + "\""
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.cExpr(0)
+	case 1:
+		return g.cExpr(depth-1) + " " + g.pick("+", "-", "*", "/", "%") + " " + g.cExpr(depth-1)
+	case 2:
+		return "(" + g.cExpr(depth-1) + " " + g.pick("<", ">", "==", "!=", "&&", "||") + " " + g.cExpr(depth-1) + ")"
+	case 3:
+		return g.ident("fn") + "(" + g.cExpr(depth-1) + ")"
+	case 4:
+		return "*" + g.ident("p") + " + " + g.cExpr(depth-1)
+	default:
+		return "!" + g.cExpr(depth-1)
+	}
+}

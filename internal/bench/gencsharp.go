@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var csTypes = []string{"int", "long", "double", "bool", "string", "object", "Widget"}
+
+// genCSharpReal produces C#-subset sources: namespaces, classes with
+// fields/properties/methods (the cyclic member decision), interfaces,
+// enums, and statement bodies with casts and local declarations (the
+// synpred decisions).
+func genCSharpReal(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "using System;")
+	g.linef(0, "using System.Collections;")
+	g.linef(0, "namespace Bench.Generated {")
+	for g.lines < lines {
+		switch g.r.Intn(6) {
+		case 0:
+			g.linef(1, "public enum Kind%d { A = 1, B, C }", g.r.Intn(100))
+		case 1:
+			g.csInterface(lines)
+		default:
+			g.csClass(lines)
+		}
+	}
+	g.linef(0, "}")
+	return g.b.String()
+}
+
+func (g *gen) csInterface(budget int) {
+	g.linef(1, "public interface %s {", g.ident("IApi"))
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n && g.lines < budget; i++ {
+		if g.r.Intn(2) == 0 {
+			g.linef(2, "%s %s(%s a);", g.pick(csTypes...), g.ident("Op"), g.pick(csTypes...))
+		} else {
+			g.linef(2, "%s %s { get; set; }", g.pick(csTypes...), g.ident("Prop"))
+		}
+	}
+	g.linef(1, "}")
+}
+
+func (g *gen) csClass(budget int) {
+	name := g.ident("Svc")
+	g.linef(1, "[Serializable] public sealed class %s {", name)
+	g.linef(2, "private int %s = %d;", g.ident("count"), g.r.Intn(100))
+	for g.lines < budget && g.r.Intn(8) != 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			g.linef(2, "private %s %s;", g.pick(csTypes...), g.ident("fld"))
+		case 1:
+			// Property: type ID '{' — only separable after the type.
+			g.linef(2, "public %s %s { get { return %s; } set { %s = value; } }",
+				g.pick(csTypes...), g.ident("Prop"), g.ident("fld"), g.ident("fld"))
+		case 2:
+			g.linef(2, "public %s() { %s = %d; }", name, g.ident("fld"), g.r.Intn(10))
+		default:
+			g.csMethod(budget)
+		}
+	}
+	g.linef(1, "}")
+}
+
+func (g *gen) csMethod(budget int) {
+	g.linef(2, "public %s %s(%s a, ref %s b) {",
+		g.pick("void", "int", "string", "bool"), g.ident("Run"),
+		g.pick(csTypes...), g.pick(csTypes...))
+	n := 2 + g.r.Intn(6)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.csStmt(3, 2)
+	}
+	g.linef(2, "}")
+}
+
+func (g *gen) csStmt(depth, nest int) {
+	if depth > 5 || nest <= 0 {
+		g.linef(depth, "%s = %s;", g.ident("v"), g.csExpr(1))
+		return
+	}
+	switch g.r.Intn(11) {
+	case 0:
+		// Local declaration — the (localVarDecl ';')=> synpred path.
+		g.linef(depth, "%s %s = %s;", g.pick(csTypes...), g.ident("loc"), g.csExpr(2))
+	case 1:
+		g.linef(depth, "if (%s) {", g.csExpr(1))
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "} else {")
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 2:
+		g.linef(depth, "foreach (object item in %s) {", g.ident("coll"))
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 3:
+		g.linef(depth, "for (int i = 0; i < %d; i++) {", g.r.Intn(50))
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 4:
+		g.linef(depth, "try {")
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "} catch (Exception e) {")
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 5:
+		g.linef(depth, "return %s;", g.csExpr(2))
+	case 6:
+		// Cast — the ('(' type ')' unary)=> synpred path.
+		g.linef(depth, "%s = (%s) %s;", g.ident("v"), g.pick("int", "long", "string", "Widget"), g.csExpr(1))
+	case 7:
+		g.linef(depth, "%s.%s(%s);", g.ident("svc"), g.ident("Call"), g.csExpr(1))
+	case 8:
+		g.linef(depth, "%s = %s ?? %s;", g.ident("v"), g.csExpr(0), g.csExpr(0))
+	case 9:
+		g.linef(depth, "lock (%s) {", g.ident("gate"))
+		g.csStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	default:
+		g.linef(depth, "object o = new %s(%s);", g.pick("Widget", "object"), g.csExpr(1))
+	}
+}
+
+func (g *gen) csExpr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return g.ident("v")
+		case 1:
+			return fmt.Sprintf("%d", g.r.Intn(1000))
+		case 2:
+			return g.pick("true", "false", "null", "this")
+		default:
+			return fmt.Sprintf("%q", g.ident("s"))
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.csExpr(0)
+	case 1:
+		return g.csExpr(depth-1) + " " + g.pick("+", "-", "*", "%") + " " + g.csExpr(depth-1)
+	case 2:
+		return "(" + g.csExpr(depth-1) + " " + g.pick("<", ">", "==", "!=", "&&", "||") + " " + g.csExpr(depth-1) + ")"
+	case 3:
+		return g.ident("svc") + "." + g.ident("M") + "(" + g.csExpr(depth-1) + ")"
+	case 4:
+		return g.ident("arr") + "[" + g.csExpr(0) + "]"
+	default:
+		return "!" + g.csExpr(depth-1)
+	}
+}

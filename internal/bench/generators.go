@@ -1,0 +1,16 @@
+package bench
+
+// Exported generator entry points, one per workload (see the gen*.go
+// files for the implementations).
+var (
+	// GenC produces C-subset sources (genc.go).
+	GenC = genCReal
+	// GenRatsJava produces sources for the RatsJava grammar (genratsjava.go).
+	GenRatsJava = genRatsJavaReal
+	// GenVB produces VB-flavored module sources (genvb.go).
+	GenVB = genVBReal
+	// GenSQL produces T-SQL scripts (gensql.go).
+	GenSQL = genSQLReal
+	// GenCSharp produces C#-subset sources (gencsharp.go).
+	GenCSharp = genCSharpReal
+)

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// gen is a tiny helper for the source generators: a builder with line
+// accounting and an RNG.
+type gen struct {
+	b     strings.Builder
+	r     *rand.Rand
+	lines int
+}
+
+func (g *gen) linef(depth int, format string, args ...any) {
+	g.b.WriteString(strings.Repeat("    ", depth))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+	g.lines++
+}
+
+func (g *gen) pick(choices ...string) string {
+	return choices[g.r.Intn(len(choices))]
+}
+
+func (g *gen) ident(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, g.r.Intn(1000))
+}
+
+// expr generates a Java/C-style expression of bounded depth using the
+// operator set shared by the C-family benchmark grammars.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(1000))
+		case 1:
+			return g.ident("v")
+		case 2:
+			return g.pick("true", "false")
+		default:
+			return fmt.Sprintf("%q", g.ident("s"))
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.expr(0)
+	case 1:
+		return fmt.Sprintf("%s %s %s", g.expr(depth-1), g.pick("+", "-", "*", "/", "%"), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.pick("<", ">", "<=", ">=", "==", "!="), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("%s(%s)", g.ident("f"), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("%s.%s(%s)", g.ident("o"), g.ident("m"), g.expr(depth-1))
+	default:
+		return fmt.Sprintf("-%s", g.expr(depth-1))
+	}
+}
+
+var javaTypes = []string{"int", "long", "double", "boolean", "String", "Object", "List"}
+
+// GenJava produces a Java-subset compilation unit of roughly the given
+// line count, exercising the constructs that drive the Java1.5 grammar's
+// decision profile: field/method members, local declarations vs
+// expression statements, control flow, and nested expressions.
+func GenJava(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "package com.example.bench%d;", r.Intn(100))
+	g.linef(0, "import java.util.List;")
+	g.linef(0, "import static java.lang.Math.*;")
+	for g.lines < lines {
+		g.javaClass(lines)
+	}
+	return g.b.String()
+}
+
+func (g *gen) javaClass(budget int) {
+	name := g.ident("Cls")
+	g.linef(0, "public class %s {", name)
+	for g.lines < budget && g.r.Intn(10) != 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			g.linef(1, "private %s %s = %s;", g.pick(javaTypes...), g.ident("fld"), g.expr(1))
+		case 1:
+			g.linef(1, "static final int %s = %d;", g.ident("K"), g.r.Intn(9999))
+		default:
+			g.javaMethod(budget)
+		}
+	}
+	g.linef(0, "}")
+}
+
+func (g *gen) javaMethod(budget int) {
+	g.linef(1, "public %s %s(%s a, %s b) {",
+		g.pick("void", "int", "String", "boolean"), g.ident("m"),
+		g.pick(javaTypes...), g.pick(javaTypes...))
+	n := 2 + g.r.Intn(6)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.javaStatement(2, 2)
+	}
+	g.linef(1, "}")
+}
+
+func (g *gen) javaStatement(depth, nest int) {
+	if depth > 4 || nest <= 0 {
+		g.linef(depth, "%s = %s;", g.ident("v"), g.expr(1))
+		return
+	}
+	switch g.r.Intn(10) {
+	case 0:
+		// Local declaration: "Type id = expr;" — the left-edge ambiguity
+		// with expression statements that drives backtracking.
+		g.linef(depth, "%s %s = %s;", g.pick(javaTypes...), g.ident("loc"), g.expr(2))
+	case 1:
+		g.linef(depth, "if (%s) {", g.expr(1))
+		g.javaStatement(depth+1, nest-1)
+		g.linef(depth, "} else {")
+		g.javaStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 2:
+		g.linef(depth, "for (int i = 0; i < %d; i = i + 1) {", g.r.Intn(100))
+		g.javaStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 3:
+		g.linef(depth, "while (%s) {", g.expr(1))
+		g.javaStatement(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 4:
+		g.linef(depth, "return %s;", g.expr(2))
+	case 5:
+		g.linef(depth, "%s.%s(%s);", g.ident("o"), g.ident("m"), g.expr(1))
+	case 6:
+		g.linef(depth, "%s[%s] = (%s) %s;", g.ident("arr"), g.expr(0), g.pick("int", "String"), g.expr(1))
+	case 7:
+		g.linef(depth, "%s obj = new %s(%s);", g.pick("Object", "String", "List"), g.pick("Object", "String"), g.expr(1))
+	default:
+		g.linef(depth, "%s = %s;", g.ident("v"), g.expr(2))
+	}
+}

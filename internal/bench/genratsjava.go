@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var rjTypes = []string{"int", "boolean", "long", "double", "String", "Object", "Map"}
+
+// genRatsJavaReal produces sources for the RatsJava grammar: annotated
+// classes, interfaces, enums, and statement-rich method bodies with the
+// declaration-vs-expression ambiguity and cast expressions.
+func genRatsJavaReal(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "package rats.bench;")
+	g.linef(0, "import java.util.*;")
+	for g.lines < lines {
+		switch g.r.Intn(5) {
+		case 0:
+			g.linef(0, "public enum Kind%d { A, B, C }", g.r.Intn(100))
+		case 1:
+			g.rjInterface(lines)
+		default:
+			g.rjClass(lines)
+		}
+	}
+	return g.b.String()
+}
+
+func (g *gen) rjInterface(budget int) {
+	g.linef(0, "@Service public interface %s {", g.ident("Api"))
+	n := 1 + g.r.Intn(4)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.linef(1, "%s %s(%s a, %s b);", g.pick(rjTypes...), g.ident("op"),
+			g.pick(rjTypes...), g.pick(rjTypes...))
+	}
+	g.linef(0, "}")
+}
+
+func (g *gen) rjClass(budget int) {
+	g.linef(0, "@Component(name = %q) public class %s {", g.ident("c"), g.ident("Impl"))
+	for g.lines < budget && g.r.Intn(8) != 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			g.linef(1, "private %s %s = %s;", g.pick(rjTypes...), g.ident("fld"), g.rjExpr(1))
+		default:
+			g.rjMethod(budget)
+		}
+	}
+	g.linef(0, "}")
+}
+
+func (g *gen) rjMethod(budget int) {
+	g.linef(1, "public %s %s(%s x) {", g.pick("void", "int", "String"), g.ident("run"), g.pick(rjTypes...))
+	n := 2 + g.r.Intn(7)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.rjStmt(2, 2)
+	}
+	g.linef(1, "}")
+}
+
+func (g *gen) rjStmt(depth, nest int) {
+	if depth > 4 || nest <= 0 {
+		g.linef(depth, "%s = %s;", g.ident("v"), g.rjExpr(1))
+		return
+	}
+	switch g.r.Intn(11) {
+	case 0:
+		g.linef(depth, "%s %s = %s;", g.pick(rjTypes...), g.ident("loc"), g.rjExpr(2))
+	case 1:
+		g.linef(depth, "if (%s) {", g.rjExpr(1))
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 2:
+		g.linef(depth, "do {")
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "} while (%s);", g.rjExpr(1))
+	case 3:
+		g.linef(depth, "switch (%s) {", g.rjExpr(0))
+		g.linef(depth, "case %d:", g.r.Intn(10))
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "default:")
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 4:
+		g.linef(depth, "try {")
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "} catch (Exception e) {")
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "} finally {")
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 5:
+		g.linef(depth, "return %s;", g.rjExpr(2))
+	case 6:
+		g.linef(depth, "%s.%s(%s);", g.ident("svc"), g.ident("call"), g.rjExpr(1))
+	case 7:
+		g.linef(depth, "%s = %s ? %s : %s;", g.ident("v"), g.rjExpr(0), g.rjExpr(1), g.rjExpr(1))
+	case 8:
+		g.linef(depth, "for (int i = 0; i < %d; ++i) {", g.r.Intn(50))
+		g.rjStmt(depth+1, nest-1)
+		g.linef(depth, "}")
+	case 9:
+		g.linef(depth, "Object o = new %s(%s);", g.pick("Object", "String"), g.rjExpr(1))
+	default:
+		g.linef(depth, "%s[%s] = (int) %s;", g.ident("arr"), g.rjExpr(0), g.rjExpr(1))
+	}
+}
+
+func (g *gen) rjExpr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return g.ident("v")
+		case 1:
+			return fmt.Sprintf("%d", g.r.Intn(1000))
+		case 2:
+			return g.pick("true", "false", "null", "this")
+		default:
+			return fmt.Sprintf("%q", g.ident("s"))
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.rjExpr(0)
+	case 1:
+		return g.rjExpr(depth-1) + " " + g.pick("+", "-", "*", "%") + " " + g.rjExpr(depth-1)
+	case 2:
+		return "(" + g.rjExpr(depth-1) + " " + g.pick("<", ">", "==", "!=", "&&", "||") + " " + g.rjExpr(depth-1) + ")"
+	case 3:
+		return g.ident("f") + "(" + g.rjExpr(depth-1) + ")"
+	case 4:
+		return g.ident("o") + "." + g.ident("m") + "(" + g.rjExpr(depth-1) + ")"
+	default:
+		return "!" + g.rjExpr(depth-1)
+	}
+}

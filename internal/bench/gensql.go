@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var sqlTypes = []string{"INT", "BIGINT", "FLOAT", "DATETIME", "BIT", "VARCHAR (64)", "DECIMAL (10, 2)"}
+
+// genSQLReal produces T-SQL scripts: DDL (tables, indexes), DML (selects
+// with joins/subqueries/CASE, inserts, updates, deletes), and control
+// flow (DECLARE/SET/IF/WHILE), exercising the predicate synpreds.
+func genSQLReal(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "CREATE TABLE dbo.users (")
+	g.linef(1, "id INT NOT NULL PRIMARY KEY,")
+	g.linef(1, "name VARCHAR (64) NOT NULL,")
+	g.linef(1, "age INT NULL,")
+	g.linef(1, "CONSTRAINT uq_name UNIQUE (name)")
+	g.linef(0, ") ;")
+	for g.lines < lines {
+		switch g.r.Intn(12) {
+		case 0:
+			g.sqlCreateTable()
+		case 1:
+			g.linef(0, "CREATE INDEX %s ON dbo.%s (%s, %s) ;",
+				g.ident("ix"), g.ident("tbl"), g.ident("col"), g.ident("col"))
+		case 2:
+			g.linef(0, "DECLARE @%s INT = %d ;", g.ident("var"), g.r.Intn(100))
+			g.linef(0, "SET @%s = @%s + %d ;", g.ident("var"), g.ident("var"), g.r.Intn(10))
+		case 3:
+			g.sqlInsert()
+		case 4:
+			g.sqlUpdate()
+		case 5:
+			g.linef(0, "DELETE FROM dbo.%s WHERE %s ;", g.ident("tbl"), g.sqlCond(1))
+		case 6:
+			g.sqlIf()
+		case 7:
+			g.linef(0, "DROP TABLE dbo.%s ;", g.ident("tbl"))
+		default:
+			g.sqlSelect(0)
+		}
+	}
+	return g.b.String()
+}
+
+func (g *gen) sqlCreateTable() {
+	g.linef(0, "CREATE TABLE dbo.%s (", g.ident("tbl"))
+	n := 2 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		g.linef(1, "%s %s %s,", g.ident("col"), g.pick(sqlTypes...), g.pick("NOT NULL", "NULL", "NOT NULL IDENTITY"))
+	}
+	g.linef(1, "%s INT DEFAULT 0", g.ident("col"))
+	g.linef(0, ") ;")
+}
+
+func (g *gen) sqlSelect(depth int) {
+	g.linef(depth, "SELECT %s", g.pick("*", "a.id, a.name", "count(*) AS n, max(a.age) AS oldest"))
+	g.linef(depth, "FROM dbo.%s AS a", g.ident("tbl"))
+	if g.r.Intn(2) == 0 {
+		g.linef(depth, "%s JOIN dbo.%s AS b ON a.id = b.%s",
+			g.pick("INNER", "LEFT", "LEFT OUTER", "RIGHT"), g.ident("tbl"), g.ident("col"))
+	}
+	g.linef(depth, "WHERE %s", g.sqlCond(2))
+	if g.r.Intn(2) == 0 {
+		g.linef(depth, "GROUP BY a.%s", g.ident("col"))
+		g.linef(depth, "HAVING count(*) > %d", g.r.Intn(10))
+	}
+	if g.r.Intn(2) == 0 {
+		g.linef(depth, "ORDER BY a.%s DESC, a.%s ASC", g.ident("col"), g.ident("col"))
+	}
+	g.linef(depth, ";")
+}
+
+func (g *gen) sqlInsert() {
+	if g.r.Intn(2) == 0 {
+		g.linef(0, "INSERT INTO dbo.%s (id, name, age) VALUES (%d, '%s', %d) ;",
+			g.ident("tbl"), g.r.Intn(1000), g.ident("nm"), g.r.Intn(90))
+	} else {
+		g.linef(0, "INSERT INTO dbo.%s (id, name)", g.ident("tbl"))
+		g.linef(1, "SELECT b.id, b.name FROM dbo.%s AS b WHERE %s ;", g.ident("tbl"), g.sqlCond(1))
+	}
+}
+
+func (g *gen) sqlUpdate() {
+	g.linef(0, "UPDATE dbo.%s SET %s = %s, %s = %s", g.ident("tbl"),
+		g.ident("col"), g.sqlExpr(1), g.ident("col"), g.sqlExpr(0))
+	g.linef(0, "WHERE %s ;", g.sqlCond(1))
+}
+
+func (g *gen) sqlIf() {
+	g.linef(0, "IF @%s > %d", g.ident("var"), g.r.Intn(50))
+	g.linef(0, "BEGIN")
+	g.linef(1, "PRINT '%s' ;", g.ident("msg"))
+	g.linef(1, "SET @%s = 0 ;", g.ident("var"))
+	g.linef(0, "END ;")
+	g.linef(0, "ELSE")
+	g.linef(1, "SET @%s = @%s - 1 ;", g.ident("var"), g.ident("var"))
+}
+
+// sqlCond generates search conditions hitting the predicate synpreds:
+// comparisons, IS NULL, LIKE, IN (list | subquery), BETWEEN, EXISTS.
+func (g *gen) sqlCond(depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("a.%s %s %s", g.ident("col"), g.pick("=", "<>", "<", ">", "<=", ">="), g.sqlExpr(0))
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return g.sqlCond(0) + " AND " + g.sqlCond(depth-1)
+	case 1:
+		return "(" + g.sqlCond(depth-1) + " OR " + g.sqlCond(0) + ")"
+	case 2:
+		return fmt.Sprintf("a.%s IS NOT NULL", g.ident("col"))
+	case 3:
+		return fmt.Sprintf("a.%s LIKE '%s%%'", g.ident("col"), g.ident("pre"))
+	case 4:
+		return fmt.Sprintf("a.%s IN (%d, %d, %d)", g.ident("col"), g.r.Intn(10), g.r.Intn(10), g.r.Intn(10))
+	case 5:
+		return fmt.Sprintf("a.%s IN (SELECT b.id FROM dbo.%s AS b WHERE b.%s = %s)",
+			g.ident("col"), g.ident("tbl"), g.ident("col"), g.sqlExpr(0))
+	case 6:
+		return fmt.Sprintf("a.%s BETWEEN %d AND %d", g.ident("col"), g.r.Intn(10), 10+g.r.Intn(90))
+	default:
+		return fmt.Sprintf("NOT EXISTS (SELECT * FROM dbo.%s AS c WHERE c.id = a.id)", g.ident("tbl"))
+	}
+}
+
+func (g *gen) sqlExpr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(1000))
+		case 1:
+			return "a." + g.ident("col")
+		case 2:
+			return "@" + g.ident("var")
+		default:
+			return "'" + g.ident("s") + "'"
+		}
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return g.sqlExpr(0) + " " + g.pick("+", "-", "*") + " " + g.sqlExpr(depth-1)
+	case 1:
+		return fmt.Sprintf("CASE WHEN %s THEN %s ELSE %s END", g.sqlCond(0), g.sqlExpr(0), g.sqlExpr(0))
+	case 2:
+		return fmt.Sprintf("%s(a.%s)", g.pick("count", "max", "min", "sum", "avg"), g.ident("col"))
+	default:
+		return g.sqlExpr(0)
+	}
+}

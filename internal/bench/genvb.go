@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+var vbTypes = []string{"Integer", "Long", "Double", "String", "Boolean", "Object"}
+
+// genVBReal produces VB-flavored module sources: Subs, Functions, Dims,
+// block and single-line Ifs (exercising the manual synpred), For/While/Do
+// loops, Select Case, and dotted-target assignments vs calls (the
+// cyclic-lookahead decision).
+func genVBReal(r *rand.Rand, lines int) string {
+	g := &gen{r: r}
+	g.linef(0, "Imports System.Text")
+	g.linef(0, "Module Bench%d", r.Intn(100))
+	g.linef(0, "Dim total As Integer = 0")
+	for g.lines < lines {
+		if g.r.Intn(3) == 0 {
+			g.vbFunction(lines)
+		} else {
+			g.vbSub(lines)
+		}
+	}
+	g.linef(0, "End Module")
+	return g.b.String()
+}
+
+func (g *gen) vbSub(budget int) {
+	g.linef(0, "Public Sub %s(ByVal a As Integer, ByRef b As String)", g.ident("Proc"))
+	n := 2 + g.r.Intn(7)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.vbStmt(1, 2)
+	}
+	g.linef(0, "End Sub")
+}
+
+func (g *gen) vbFunction(budget int) {
+	g.linef(0, "Private Function %s(ByVal x As Double) As %s", g.ident("Fn"), g.pick(vbTypes...))
+	n := 1 + g.r.Intn(5)
+	for i := 0; i < n && g.lines < budget; i++ {
+		g.vbStmt(1, 2)
+	}
+	g.linef(1, "Return %s", g.vbExpr(1))
+	g.linef(0, "End Function")
+}
+
+func (g *gen) vbStmt(depth, nest int) {
+	if depth > 3 || nest <= 0 {
+		g.linef(depth, "%s = %s", g.ident("v"), g.vbExpr(1))
+		return
+	}
+	switch g.r.Intn(11) {
+	case 0:
+		g.linef(depth, "Dim %s As %s = %s", g.ident("loc"), g.pick(vbTypes...), g.vbExpr(1))
+	case 1:
+		// Block If — the synpred's expensive path.
+		g.linef(depth, "If %s Then", g.vbExpr(1))
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "Else")
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "End If")
+	case 2:
+		// Single-line If — the synpred fails after scanning the expression.
+		g.linef(depth, "If %s Then %s = %s", g.vbExpr(0), g.ident("v"), g.vbExpr(0))
+	case 3:
+		g.linef(depth, "For i = 1 To %d", 1+g.r.Intn(100))
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "Next i")
+	case 4:
+		g.linef(depth, "While %s", g.vbExpr(1))
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "End While")
+	case 5:
+		g.linef(depth, "Do While %s", g.vbExpr(0))
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "Loop")
+	case 6:
+		g.linef(depth, "Select Case %s", g.ident("v"))
+		g.linef(depth, "Case %d", g.r.Intn(10))
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "Case Else")
+		g.vbStmt(depth+1, nest-1)
+		g.linef(depth, "End Select")
+	case 7:
+		// Dotted assignment: target '=' — cyclic lookahead then assign.
+		g.linef(depth, "%s.%s.%s = %s", g.ident("obj"), g.ident("sub"), g.ident("fld"), g.vbExpr(1))
+	case 8:
+		// Procedure call on a dotted target.
+		g.linef(depth, "%s.%s(%s)", g.ident("obj"), g.ident("Method"), g.vbExpr(1))
+	case 9:
+		g.linef(depth, "Call %s(%s, %s)", g.ident("Proc"), g.vbExpr(0), g.vbExpr(0))
+	default:
+		g.linef(depth, "%s = %s & %s", g.ident("s"), g.vbExpr(0), g.vbExpr(0))
+	}
+}
+
+func (g *gen) vbExpr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return g.ident("v")
+		case 1:
+			return fmt.Sprintf("%d", g.r.Intn(1000))
+		case 2:
+			return g.pick("True", "False", "Nothing")
+		default:
+			return "\"" + g.ident("s") + "\""
+		}
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return g.vbExpr(0)
+	case 1:
+		return g.vbExpr(depth-1) + " " + g.pick("+", "-", "*", "Mod") + " " + g.vbExpr(depth-1)
+	case 2:
+		return "(" + g.vbExpr(depth-1) + " " + g.pick("<", ">", "=", "<>", "And", "Or") + " " + g.vbExpr(depth-1) + ")"
+	case 3:
+		return "Not " + g.vbExpr(depth-1)
+	default:
+		return g.ident("Fn") + "(" + g.vbExpr(depth-1) + ")"
+	}
+}

@@ -1,0 +1,234 @@
+// C#-subset grammar with hand-placed syntactic predicates, standing in
+// for the paper's commercial C# grammar. Members (field vs property vs
+// method) share the `type ID` left edge — an LL(*) cyclic-DFA showcase —
+// while cast-vs-parenthesized expressions and local-declaration-vs-
+// expression statements carry manual synpreds as in the commercial
+// grammar.
+grammar CSharp;
+
+options { memoize=true; }
+
+compilationUnit
+    : (usingDirective)* (namespaceDecl | typeDeclaration)*
+    ;
+
+usingDirective : 'using' qualifiedName ';' ;
+
+namespaceDecl : 'namespace' qualifiedName '{' (typeDeclaration)* '}' ;
+
+qualifiedName : ID ('.' ID)* ;
+
+typeDeclaration
+    : (attribute)* (modifier)*
+      ( 'class' ID (baseList)? classBody
+      | 'struct' ID (baseList)? classBody
+      | 'interface' ID (baseList)? interfaceBody
+      | 'enum' ID '{' (ID ('=' expression)? (',' ID ('=' expression)?)*)? '}'
+      )
+    ;
+
+attribute : '[' ID ('(' (argumentList)? ')')? ']' ;
+
+modifier
+    : 'public' | 'private' | 'protected' | 'internal' | 'static'
+    | 'sealed' | 'abstract' | 'virtual' | 'override' | 'readonly' | 'partial'
+    ;
+
+baseList : ':' type (',' type)* ;
+
+classBody : '{' (member)* '}' ;
+
+interfaceBody : '{' (interfaceMember)* '}' ;
+
+interfaceMember
+    : type ID '(' (formalParams)? ')' ';'
+    | type ID '{' accessorStubs '}'
+    ;
+
+accessorStubs : ('get' ';')? ('set' ';')? ;
+
+member
+    : (attribute)* (modifier)* memberCore
+    ;
+
+// The three `type ID ...` member shapes are distinguished only after
+// scanning an arbitrarily long type — the cyclic-lookahead decision.
+memberCore
+    : constructorDecl
+    | methodDecl
+    | propertyDecl
+    | fieldDecl
+    | typeDeclaration
+    ;
+
+constructorDecl : ID '(' (formalParams)? ')' block ;
+
+methodDecl
+    : ('void' | type) ID '(' (formalParams)? ')' (block | ';')
+    ;
+
+propertyDecl
+    : type ID '{' accessor (accessor)? '}'
+    ;
+
+accessor : ('get' | 'set') (block | ';') ;
+
+fieldDecl : type varDeclarator (',' varDeclarator)* ';' ;
+
+varDeclarator : ID ('=' variableInit)? ;
+
+variableInit
+    : arrayInit
+    | expression
+    ;
+
+arrayInit : '{' (variableInit (',' variableInit)*)? '}' ;
+
+formalParams : formalParam (',' formalParam)* ;
+
+formalParam : ('ref' | 'out' | 'params')? type ID ;
+
+type
+    : primitiveType ('[' ']')* ('?')?
+    | qualifiedName ('[' ']')* ('?')?
+    ;
+
+primitiveType
+    : 'bool' | 'byte' | 'char' | 'decimal' | 'double' | 'float'
+    | 'int' | 'long' | 'object' | 'sbyte' | 'short' | 'string'
+    | 'uint' | 'ulong' | 'ushort'
+    ;
+
+block : '{' (statement)* '}' ;
+
+statement
+    : block
+    | 'if' '(' expression ')' statement ('else' statement)?
+    | 'while' '(' expression ')' statement
+    | 'do' statement 'while' '(' expression ')' ';'
+    | 'for' '(' (forInit)? ';' (expression)? ';' (expressionList)? ')' statement
+    | 'foreach' '(' type ID 'in' expression ')' statement
+    | 'switch' '(' expression ')' '{' (switchSection)* '}'
+    | 'return' (expression)? ';'
+    | 'throw' (expression)? ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | 'try' block (catchClause)* ('finally' block)?
+    | 'using' '(' localVarDecl ')' statement
+    | 'lock' '(' expression ')' statement
+    | (localVarDecl ';')=> localVarDecl ';'
+    | expression ';'
+    | ';'
+    ;
+
+forInit
+    : (localVarDecl)=> localVarDecl
+    | expressionList
+    ;
+
+localVarDecl : type varDeclarator (',' varDeclarator)* ;
+
+switchSection : switchLabel (switchLabel)* (statement)+ ;
+
+switchLabel
+    : 'case' expression ':'
+    | 'default' ':'
+    ;
+
+catchClause : 'catch' ('(' type (ID)? ')')? block ;
+
+expressionList : expression (',' expression)* ;
+
+expression : assignment ;
+
+assignment
+    : (unaryExpression assignmentOperator)=> unaryExpression assignmentOperator assignment
+    | conditionalExpression
+    ;
+
+assignmentOperator
+    : '=' | '+=' | '-=' | '*=' | '/=' | '%=' | '&=' | '|=' | '^=' | '<<=' | '>>='
+    ;
+
+conditionalExpression : nullCoalescing ('?' expression ':' expression)? ;
+
+nullCoalescing : conditionalOr ('??' conditionalOr)* ;
+
+conditionalOr : conditionalAnd ('||' conditionalAnd)* ;
+
+conditionalAnd : inclusiveOr ('&&' inclusiveOr)* ;
+
+inclusiveOr : exclusiveOr ('|' exclusiveOr)* ;
+
+exclusiveOr : andExpr ('^' andExpr)* ;
+
+andExpr : equality ('&' equality)* ;
+
+equality : relational (('==' | '!=') relational)* ;
+
+relational
+    : shift (('<=' | '>=' | '<' | '>') shift | ('is' | 'as') type)*
+    ;
+
+shift : additive (('<<' | '>>') additive)* ;
+
+additive : multiplicative (('+' | '-') multiplicative)* ;
+
+multiplicative : unaryExpression (('*' | '/' | '%') unaryExpression)* ;
+
+unaryExpression
+    : ('(' type ')' unaryExpression)=> '(' type ')' unaryExpression
+    | '+' unaryExpression
+    | '-' unaryExpression
+    | '!' unaryExpression
+    | '~' unaryExpression
+    | '++' unaryExpression
+    | '--' unaryExpression
+    | postfixExpression
+    ;
+
+postfixExpression : primary (postfixPart)* ;
+
+postfixPart
+    : '.' ID ('(' (argumentList)? ')')?
+    | '[' expressionList ']'
+    | '(' (argumentList)? ')'
+    | '++'
+    | '--'
+    ;
+
+argumentList : argument (',' argument)* ;
+
+argument : ('ref' | 'out')? expression ;
+
+primary
+    : '(' expression ')'
+    | 'new' type ('(' (argumentList)? ')' | '[' expression ']' (arrayInit)?)
+    | 'typeof' '(' type ')'
+    | 'this'
+    | 'base' '.' ID
+    | 'null'
+    | 'true'
+    | 'false'
+    | ID
+    | INTLIT
+    | REALLIT
+    | STRINGLIT
+    | CHARLIT
+    ;
+
+ID : ('a'..'z'|'A'..'Z'|'_'|'@') ('a'..'z'|'A'..'Z'|'0'..'9'|'_')* ;
+
+INTLIT : ('0'..'9')+ ('u'|'U'|'l'|'L')? ;
+
+REALLIT : ('0'..'9')+ '.' ('0'..'9')+ ('f'|'F'|'d'|'D'|'m'|'M')? ;
+
+STRINGLIT : '"' (~('"'|'\\'|'\n') | '\\' .)* '"' ;
+
+CHARLIT : '\'' (~('\''|'\\'|'\n') | '\\' .) '\'' ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+
+LINE_COMMENT : '//' (~('\n'))* { skip(); } ;
+
+COMMENT : '/*' (~('*') | ('*')+ ~('/'|'*'))* ('*')+ '/' { skip(); } ;

@@ -1,0 +1,254 @@
+// Java-subset grammar in PEG mode (auto-inserted syntactic predicates),
+// standing in for the paper's Java1.5 benchmark grammar. The decision
+// structure mirrors the constructs that drive that grammar's profile:
+// field-vs-method member declarations, local-declaration-vs-expression
+// statements, cast-vs-parenthesized expressions, and labeled statements.
+grammar Java15;
+
+options { backtrack=true; memoize=true; }
+
+compilationUnit
+    : (packageDecl)? (importDecl)* (typeDecl)*
+    ;
+
+packageDecl : 'package' qualifiedName ';' ;
+
+importDecl : 'import' ('static')? qualifiedName ('.' '*')? ';' ;
+
+qualifiedName : ID ('.' ID)* ;
+
+typeDecl
+    : classDecl
+    | interfaceDecl
+    | ';'
+    ;
+
+classDecl
+    : modifiers 'class' ID (typeParams)? ('extends' type)? ('implements' typeList)? classBody
+    ;
+
+interfaceDecl
+    : modifiers 'interface' ID (typeParams)? ('extends' typeList)? classBody
+    ;
+
+modifiers : (modifier)* ;
+
+modifier
+    : 'public' | 'protected' | 'private' | 'static' | 'final'
+    | 'abstract' | 'native' | 'synchronized' | 'transient' | 'volatile'
+    ;
+
+typeParams : '<' typeParam (',' typeParam)* '>' ;
+
+typeParam : ID ('extends' type)? ;
+
+typeList : type (',' type)* ;
+
+classBody : '{' (memberDecl)* '}' ;
+
+memberDecl
+    : fieldDecl
+    | methodDecl
+    | ctorDecl
+    | classDecl
+    | ';'
+    ;
+
+fieldDecl
+    : modifiers type varDeclarator (',' varDeclarator)* ';'
+    ;
+
+varDeclarator : ID ('[' ']')* ('=' varInit)? ;
+
+varInit
+    : arrayInit
+    | expression
+    ;
+
+arrayInit : '{' (varInit (',' varInit)* (',')? )? '}' ;
+
+methodDecl
+    : modifiers (typeParams)? ('void' | type) ID formalParams ('[' ']')*
+      ('throws' typeList)? (block | ';')
+    ;
+
+ctorDecl : modifiers ID formalParams ('throws' typeList)? block ;
+
+formalParams : '(' (formalParam (',' formalParam)*)? ')' ;
+
+formalParam : ('final')? type ID ('[' ']')* ;
+
+type
+    : primitiveType ('[' ']')*
+    | qualifiedName (typeArgs)? ('[' ']')*
+    ;
+
+typeArgs : '<' typeArg (',' typeArg)* '>' ;
+
+typeArg
+    : type
+    | '?' (('extends' | 'super') type)?
+    ;
+
+primitiveType
+    : 'boolean' | 'byte' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+    ;
+
+block : '{' (blockStatement)* '}' ;
+
+blockStatement
+    : localVarDecl ';'
+    | classDecl
+    | statement
+    ;
+
+localVarDecl : ('final')? type varDeclarator (',' varDeclarator)* ;
+
+statement
+    : block
+    | 'if' parExpression statement ('else' statement)?
+    | 'for' '(' forControl ')' statement
+    | 'while' parExpression statement
+    | 'do' statement 'while' parExpression ';'
+    | 'try' block (catchClause)* ('finally' block)?
+    | 'switch' parExpression '{' (switchGroup)* '}'
+    | 'return' (expression)? ';'
+    | 'throw' expression ';'
+    | 'break' (ID)? ';'
+    | 'continue' (ID)? ';'
+    | 'assert' expression (':' expression)? ';'
+    | ID ':' statement
+    | statementExpression ';'
+    | ';'
+    ;
+
+parExpression : '(' expression ')' ;
+
+forControl
+    : (forInit)? ';' (expression)? ';' (expressionList)?
+    ;
+
+forInit
+    : localVarDecl
+    | expressionList
+    ;
+
+expressionList : expression (',' expression)* ;
+
+catchClause : 'catch' '(' formalParam ')' block ;
+
+switchGroup : switchLabel (blockStatement)* ;
+
+switchLabel
+    : 'case' expression ':'
+    | 'default' ':'
+    ;
+
+statementExpression : expression ;
+
+expression : conditionalExpression (assignmentOperator expression)? ;
+
+assignmentOperator
+    : '=' | '+=' | '-=' | '*=' | '/=' | '&=' | '|=' | '^=' | '%='
+    | '<<=' | '>>=' | '>>>='
+    ;
+
+conditionalExpression
+    : conditionalOrExpression ('?' expression ':' conditionalExpression)?
+    ;
+
+conditionalOrExpression
+    : conditionalAndExpression ('||' conditionalAndExpression)*
+    ;
+
+conditionalAndExpression
+    : inclusiveOrExpression ('&&' inclusiveOrExpression)*
+    ;
+
+inclusiveOrExpression : exclusiveOrExpression ('|' exclusiveOrExpression)* ;
+
+exclusiveOrExpression : andExpression ('^' andExpression)* ;
+
+andExpression : equalityExpression ('&' equalityExpression)* ;
+
+equalityExpression : instanceOfExpression (('==' | '!=') instanceOfExpression)* ;
+
+instanceOfExpression : relationalExpression ('instanceof' type)? ;
+
+relationalExpression
+    : shiftExpression (('<=' | '>=' | '<' | '>') shiftExpression)*
+    ;
+
+shiftExpression : additiveExpression (('<<' | '>>>' | '>>') additiveExpression)* ;
+
+additiveExpression : multiplicativeExpression (('+' | '-') multiplicativeExpression)* ;
+
+multiplicativeExpression : unaryExpression (('*' | '/' | '%') unaryExpression)* ;
+
+unaryExpression
+    : '+' unaryExpression
+    | '-' unaryExpression
+    | '++' unaryExpression
+    | '--' unaryExpression
+    | unaryExpressionNotPlusMinus
+    ;
+
+unaryExpressionNotPlusMinus
+    : '~' unaryExpression
+    | '!' unaryExpression
+    | castExpression
+    | primary (selector)* (('++' | '--'))?
+    ;
+
+castExpression
+    : '(' primitiveType ('[' ']')* ')' unaryExpression
+    | '(' type ')' unaryExpressionNotPlusMinus
+    ;
+
+primary
+    : parExpression
+    | 'this' (arguments)?
+    | 'super' '.' ID (arguments)?
+    | literal
+    | 'new' creator
+    | ID (arguments)?
+    | primitiveType ('[' ']')* '.' 'class'
+    | 'void' '.' 'class'
+    ;
+
+creator
+    : qualifiedName (typeArgs)? (arrayCreatorRest | arguments (classBody)?)
+    | primitiveType arrayCreatorRest
+    ;
+
+arrayCreatorRest
+    : '[' (']' ('[' ']')* arrayInit | expression ']' ('[' expression ']')* ('[' ']')*)
+    ;
+
+arguments : '(' (expressionList)? ')' ;
+
+selector
+    : '.' ID (arguments)?
+    | '.' 'this'
+    | '[' expression ']'
+    ;
+
+literal
+    : INTLIT | FLOATLIT | STRINGLIT | CHARLIT | 'true' | 'false' | 'null'
+    ;
+
+ID : ('a'..'z'|'A'..'Z'|'_'|'$') ('a'..'z'|'A'..'Z'|'0'..'9'|'_'|'$')* ;
+
+INTLIT : ('0'..'9')+ ('l'|'L')? ;
+
+FLOATLIT : ('0'..'9')+ '.' ('0'..'9')+ ('f'|'F'|'d'|'D')? ;
+
+STRINGLIT : '"' (~('"'|'\\'|'\n') | '\\' .)* '"' ;
+
+CHARLIT : '\'' (~('\''|'\\'|'\n') | '\\' .) '\'' ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+
+LINE_COMMENT : '//' (~('\n'))* { skip(); } ;
+
+COMMENT : '/*' (~('*') | ('*')+ ~('/'|'*'))* ('*')+ '/' { skip(); } ;

@@ -1,0 +1,197 @@
+// C-subset grammar in PEG mode, standing in for the paper's RatsC
+// grammar (a Rats! C grammar converted to ANTLR syntax). It keeps the
+// structural property the paper highlights: declarations and function
+// definitions look the same from the left edge, so the external-
+// declaration decision must speculate across entire declarators — and
+// function definitions are only confirmed at the body's '{', making this
+// the most backtracking-heavy grammar in the suite.
+grammar RatsC;
+
+options { backtrack=true; memoize=true; }
+
+translationUnit : (externalDecl)+ ;
+
+externalDecl
+    : functionDef
+    | declaration
+    ;
+
+functionDef : declSpecifiers declarator compoundStatement ;
+
+declaration : declSpecifiers (initDeclarator (',' initDeclarator)*)? ';' ;
+
+declSpecifiers : (declSpecifier)+ ;
+
+declSpecifier
+    : storageClass
+    | typeQualifier
+    | typeSpecifier
+    ;
+
+storageClass : 'typedef' | 'extern' | 'static' | 'auto' | 'register' ;
+
+typeQualifier : 'const' | 'volatile' ;
+
+typeSpecifier
+    : 'void' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+    | 'signed' | 'unsigned'
+    | structSpec
+    | enumSpec
+    ;
+
+structSpec
+    : ('struct' | 'union') ID ('{' (structDecl)+ '}')?
+    | ('struct' | 'union') '{' (structDecl)+ '}'
+    ;
+
+structDecl : declSpecifiers structDeclarator (',' structDeclarator)* ';' ;
+
+structDeclarator
+    : declarator (':' constantExpression)?
+    | ':' constantExpression
+    ;
+
+enumSpec
+    : 'enum' ID ('{' enumerator (',' enumerator)* '}')?
+    | 'enum' '{' enumerator (',' enumerator)* '}'
+    ;
+
+enumerator : ID ('=' constantExpression)? ;
+
+initDeclarator : declarator ('=' initializer)? ;
+
+initializer
+    : assignmentExpression
+    | '{' initializer (',' initializer)* (',')? '}'
+    ;
+
+declarator : (pointer)? directDeclarator ;
+
+pointer : ('*' (typeQualifier)*)+ ;
+
+directDeclarator
+    : (ID | '(' declarator ')') (declaratorSuffix)*
+    ;
+
+declaratorSuffix
+    : '[' (constantExpression)? ']'
+    | '(' (parameterList)? ')'
+    ;
+
+parameterList : parameterDecl (',' parameterDecl)* (',' '...')? ;
+
+parameterDecl : declSpecifiers (declarator)? ;
+
+compoundStatement : '{' (blockItem)* '}' ;
+
+blockItem
+    : declaration
+    | statement
+    ;
+
+statement
+    : compoundStatement
+    | 'if' '(' expression ')' statement ('else' statement)?
+    | 'switch' '(' expression ')' statement
+    | 'while' '(' expression ')' statement
+    | 'do' statement 'while' '(' expression ')' ';'
+    | 'for' '(' (expression)? ';' (expression)? ';' (expression)? ')' statement
+    | 'goto' ID ';'
+    | 'continue' ';'
+    | 'break' ';'
+    | 'return' (expression)? ';'
+    | 'case' constantExpression ':' statement
+    | 'default' ':' statement
+    | ID ':' statement
+    | (expression)? ';'
+    ;
+
+expression : assignmentExpression (',' assignmentExpression)* ;
+
+constantExpression : conditionalExpression ;
+
+assignmentExpression
+    : unaryExpression assignmentOperator assignmentExpression
+    | conditionalExpression
+    ;
+
+assignmentOperator
+    : '=' | '*=' | '/=' | '%=' | '+=' | '-=' | '<<=' | '>>=' | '&=' | '^=' | '|='
+    ;
+
+conditionalExpression
+    : logicalOrExpression ('?' expression ':' conditionalExpression)?
+    ;
+
+logicalOrExpression : logicalAndExpression ('||' logicalAndExpression)* ;
+
+logicalAndExpression : inclusiveOrExpression ('&&' inclusiveOrExpression)* ;
+
+inclusiveOrExpression : exclusiveOrExpression ('|' exclusiveOrExpression)* ;
+
+exclusiveOrExpression : andExpression ('^' andExpression)* ;
+
+andExpression : equalityExpression ('&' equalityExpression)* ;
+
+equalityExpression : relationalExpression (('==' | '!=') relationalExpression)* ;
+
+relationalExpression : shiftExpression (('<=' | '>=' | '<' | '>') shiftExpression)* ;
+
+shiftExpression : additiveExpression (('<<' | '>>') additiveExpression)* ;
+
+additiveExpression : multiplicativeExpression (('+' | '-') multiplicativeExpression)* ;
+
+multiplicativeExpression : castExpression (('*' | '/' | '%') castExpression)* ;
+
+castExpression
+    : '(' typeName ')' castExpression
+    | unaryExpression
+    ;
+
+typeName : declSpecifiers (pointer)? ;
+
+unaryExpression
+    : postfixExpression
+    | '++' unaryExpression
+    | '--' unaryExpression
+    | ('&' | '*' | '+' | '-' | '~' | '!') castExpression
+    | 'sizeof' (unaryExpression | '(' typeName ')')
+    ;
+
+postfixExpression : primaryExpression (postfixSuffix)* ;
+
+postfixSuffix
+    : '[' expression ']'
+    | '(' (argumentList)? ')'
+    | '.' ID
+    | '->' ID
+    | '++'
+    | '--'
+    ;
+
+argumentList : assignmentExpression (',' assignmentExpression)* ;
+
+primaryExpression
+    : ID
+    | INTLIT
+    | FLOATLIT
+    | CHARLIT
+    | STRINGLIT
+    | '(' expression ')'
+    ;
+
+ID : ('a'..'z'|'A'..'Z'|'_') ('a'..'z'|'A'..'Z'|'0'..'9'|'_')* ;
+
+INTLIT : ('0'..'9')+ ('u'|'U'|'l'|'L')* ;
+
+FLOATLIT : ('0'..'9')+ '.' ('0'..'9')+ ('f'|'F'|'l'|'L')? ;
+
+STRINGLIT : '"' (~('"'|'\\'|'\n') | '\\' .)* '"' ;
+
+CHARLIT : '\'' (~('\''|'\\'|'\n') | '\\' .) '\'' ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+
+LINE_COMMENT : '//' (~('\n'))* { skip(); } ;
+
+COMMENT : '/*' (~('*') | ('*')+ ~('/'|'*'))* ('*')+ '/' { skip(); } ;

@@ -1,0 +1,153 @@
+// A second Java-flavored grammar in PEG mode, standing in for the
+// paper's RatsJava (a Rats! Java grammar converted to ANTLR syntax). It
+// deliberately layers the language differently from java15.g: interface
+// and enum declarations, annotation-lite modifiers, do/while, switch,
+// try/catch/finally, and a flatter expression hierarchy with explicit
+// ternary chains — so its decision profile is its own, not a copy.
+grammar RatsJava;
+
+options { backtrack=true; memoize=true; }
+
+unit : (packageStmt)? (importStmt)* (typeDeclaration)+ ;
+
+packageStmt : 'package' dottedName ';' ;
+
+importStmt : 'import' dottedName ('.' '*')? ';' ;
+
+dottedName : ID ('.' ID)* ;
+
+typeDeclaration
+    : (annotation)* (modifierWord)* coreType
+    ;
+
+annotation : '@' ID ( '(' (elementValue (',' elementValue)*)? ')' )? ;
+
+elementValue : ID '=' expr | expr ;
+
+modifierWord : 'public' | 'private' | 'protected' | 'static' | 'final' | 'abstract' ;
+
+coreType
+    : 'class' ID ('extends' typeRef)? ('implements' typeRef (',' typeRef)*)? body
+    | 'interface' ID ('extends' typeRef (',' typeRef)*)? body
+    | 'enum' ID '{' enumBody '}'
+    ;
+
+enumBody : ID (',' ID)* (';' (member)*)? ;
+
+body : '{' (member)* '}' ;
+
+member
+    : (annotation)* (modifierWord)* memberCore
+    | ';'
+    ;
+
+memberCore
+    : typeRef ID '(' (param (',' param)*)? ')' (methodBody | ';')
+    | 'void' ID '(' (param (',' param)*)? ')' (methodBody | ';')
+    | typeRef ID ('=' expr)? (',' ID ('=' expr)?)* ';'
+    | coreType
+    ;
+
+param : ('final')? typeRef ID ;
+
+typeRef : (basicType | dottedName) ('[' ']')* ;
+
+basicType : 'int' | 'boolean' | 'char' | 'long' | 'double' | 'float' | 'byte' | 'short' ;
+
+methodBody : '{' (stmt)* '}' ;
+
+stmt
+    : '{' (stmt)* '}'
+    | 'if' '(' expr ')' stmt ('else' stmt)?
+    | 'do' stmt 'while' '(' expr ')' ';'
+    | 'while' '(' expr ')' stmt
+    | 'for' '(' (forInit)? ';' (expr)? ';' (exprList)? ')' stmt
+    | 'switch' '(' expr ')' '{' (caseGroup)* '}'
+    | 'try' '{' (stmt)* '}' (catchArm)* ('finally' '{' (stmt)* '}')?
+    | 'return' (expr)? ';'
+    | 'throw' expr ';'
+    | 'break' ';'
+    | 'continue' ';'
+    | 'synchronized' '(' expr ')' stmt
+    | declStmt
+    | exprList ';'
+    | ';'
+    ;
+
+declStmt : ('final')? typeRef ID ('=' expr)? (',' ID ('=' expr)?)* ';' ;
+
+forInit
+    : declStmtNoSemi
+    | exprList
+    ;
+
+declStmtNoSemi : ('final')? typeRef ID ('=' expr)? (',' ID ('=' expr)?)* ;
+
+caseGroup
+    : 'case' expr ':' (stmt)*
+    | 'default' ':' (stmt)*
+    ;
+
+catchArm : 'catch' '(' typeRef ID ')' '{' (stmt)* '}' ;
+
+exprList : expr (',' expr)* ;
+
+expr : ternary (assignOp expr)? ;
+
+assignOp : '=' | '+=' | '-=' | '*=' | '/=' | '%=' | '&=' | '|=' | '^=' ;
+
+ternary : orChain ('?' expr ':' ternary)? ;
+
+orChain : andChain ('||' andChain)* ;
+
+andChain : bitChain ('&&' bitChain)* ;
+
+bitChain : compare (('|' | '&' | '^') compare)* ;
+
+compare : shift (('==' | '!=' | '<=' | '>=' | '<' | '>' | 'instanceof') shift)* ;
+
+shift : sum (('<<' | '>>') sum)* ;
+
+sum : product (('+' | '-') product)* ;
+
+product : prefix (('*' | '/' | '%') prefix)* ;
+
+prefix
+    : ('!' | '~' | '-' | '+' | '++' | '--') prefix
+    | '(' typeRef ')' prefix
+    | postfix
+    ;
+
+postfix : atom (trailer)* (('++' | '--'))? ;
+
+trailer
+    : '.' ID ('(' (exprList)? ')')?
+    | '[' expr ']'
+    ;
+
+atom
+    : '(' expr ')'
+    | 'new' typeRef ('(' (exprList)? ')' | '[' expr ']')
+    | 'this'
+    | 'null'
+    | 'true'
+    | 'false'
+    | ID ('(' (exprList)? ')')?
+    | NUM
+    | STR
+    | CHR
+    ;
+
+ID : ('a'..'z'|'A'..'Z'|'_'|'$') ('a'..'z'|'A'..'Z'|'0'..'9'|'_'|'$')* ;
+
+NUM : ('0'..'9')+ ('.' ('0'..'9')+)? ('f'|'F'|'d'|'D'|'l'|'L')? ;
+
+STR : '"' (~('"'|'\\'|'\n') | '\\' .)* '"' ;
+
+CHR : '\'' (~('\''|'\\'|'\n') | '\\' .) '\'' ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+
+LINE_COMMENT : '//' (~('\n'))* { skip(); } ;
+
+COMMENT : '/*' (~('*') | ('*')+ ~('/'|'*'))* ('*')+ '/' { skip(); } ;

@@ -1,0 +1,223 @@
+// T-SQL-subset grammar with hand-placed syntactic predicates, standing in
+// for the paper's commercial TSQL grammar (the suite's biggest decision
+// count). DDL/DML/control statements multiply decisions; the predicate
+// rule carries manual synpreds because every comparison form starts with
+// an expression — the same left-edge problem the commercial grammar
+// authors solved with synpreds.
+grammar TSQL;
+
+options { memoize=true; }
+
+script : (batchStatement)+ ;
+
+batchStatement
+    : ddlStatement
+    | dmlStatement
+    | controlStatement
+    ;
+
+ddlStatement
+    : createTable
+    | createIndex
+    | dropStatement
+    ;
+
+dmlStatement
+    : selectStatement ';'
+    | insertStatement
+    | updateStatement
+    | deleteStatement
+    ;
+
+controlStatement
+    : declareStatement
+    | setStatement
+    | ifStatement
+    | whileStatement
+    | beginEnd
+    | 'PRINT' expression ';'
+    | 'RETURN' (expression)? ';'
+    ;
+
+createTable
+    : 'CREATE' 'TABLE' qualifiedName '(' tableElement (',' tableElement)* ')' ';'
+    ;
+
+tableElement
+    : columnDef
+    | tableConstraint
+    ;
+
+columnDef : ID dataType (columnOption)* ;
+
+dataType
+    : 'INT' | 'BIGINT' | 'SMALLINT' | 'BIT' | 'FLOAT' | 'REAL'
+    | 'DATETIME' | 'TEXT' | 'MONEY'
+    | 'VARCHAR' '(' INTLIT ')'
+    | 'NVARCHAR' '(' INTLIT ')'
+    | 'CHAR' '(' INTLIT ')'
+    | 'DECIMAL' '(' INTLIT ',' INTLIT ')'
+    ;
+
+columnOption
+    : 'NOT' 'NULL'
+    | 'NULL'
+    | 'PRIMARY' 'KEY'
+    | 'IDENTITY'
+    | 'UNIQUE'
+    | 'DEFAULT' literal
+    ;
+
+tableConstraint
+    : 'CONSTRAINT' ID
+      ( 'PRIMARY' 'KEY' '(' idList ')'
+      | 'FOREIGN' 'KEY' '(' idList ')' 'REFERENCES' qualifiedName '(' idList ')'
+      | 'UNIQUE' '(' idList ')'
+      )
+    ;
+
+createIndex
+    : 'CREATE' ('UNIQUE')? 'INDEX' ID 'ON' qualifiedName '(' idList ')' ';'
+    ;
+
+dropStatement : 'DROP' ('TABLE' | 'INDEX') qualifiedName ';' ;
+
+selectStatement
+    : 'SELECT' ('DISTINCT' | 'ALL')? ('TOP' INTLIT)? selectList
+      'FROM' tableSources
+      ('WHERE' searchCondition)?
+      ('GROUP' 'BY' expression (',' expression)*)?
+      ('HAVING' searchCondition)?
+      ('ORDER' 'BY' orderItem (',' orderItem)*)?
+    ;
+
+selectList
+    : '*'
+    | selectItem (',' selectItem)*
+    ;
+
+selectItem : expression (('AS')? ID)? ;
+
+orderItem : expression ('ASC' | 'DESC')? ;
+
+tableSources : tableSource (',' tableSource)* ;
+
+tableSource : tablePrimary (joinPart)* ;
+
+tablePrimary
+    : qualifiedName (('AS')? ID)?
+    | '(' selectStatement ')' ('AS')? ID
+    ;
+
+joinPart
+    : ('INNER' | ('LEFT' | 'RIGHT' | 'FULL') ('OUTER')? | 'CROSS')? 'JOIN'
+      tablePrimary 'ON' searchCondition
+    ;
+
+insertStatement
+    : 'INSERT' ('INTO')? qualifiedName ('(' idList ')')?
+      ('VALUES' '(' exprList ')' | selectStatement) ';'
+    ;
+
+updateStatement
+    : 'UPDATE' qualifiedName 'SET' assignment (',' assignment)*
+      ('WHERE' searchCondition)? ';'
+    ;
+
+assignment : qualifiedName '=' expression ;
+
+deleteStatement : 'DELETE' 'FROM' qualifiedName ('WHERE' searchCondition)? ';' ;
+
+declareStatement : 'DECLARE' ATID dataType ('=' expression)? ';' ;
+
+setStatement : 'SET' ATID '=' expression ';' ;
+
+ifStatement
+    : 'IF' searchCondition batchStatement ('ELSE' batchStatement)?
+    ;
+
+whileStatement : 'WHILE' searchCondition batchStatement ;
+
+beginEnd : 'BEGIN' (batchStatement)+ 'END' (';')? ;
+
+searchCondition : andCondition ('OR' andCondition)* ;
+
+andCondition : notCondition ('AND' notCondition)* ;
+
+notCondition
+    : 'NOT' notCondition
+    | predicate
+    ;
+
+// Every comparison form starts with an expression, so the alternatives
+// conflict from the left edge; the synpreds decide, with the
+// parenthesized condition as the unpredicated default.
+predicate
+    : 'EXISTS' '(' selectStatement ')'
+    | (expression compareOp)=> expression compareOp expression
+    | (expression 'IS')=> expression 'IS' ('NOT')? 'NULL'
+    | (expression ('NOT')? 'LIKE')=> expression ('NOT')? 'LIKE' expression
+    | (expression ('NOT')? 'IN')=> expression ('NOT')? 'IN' '(' inList ')'
+    | (expression 'BETWEEN')=> expression 'BETWEEN' expression 'AND' expression
+    | '(' searchCondition ')'
+    ;
+
+compareOp : '=' | '<>' | '!=' | '<=' | '>=' | '<' | '>' ;
+
+inList
+    : selectStatement
+    | exprList
+    ;
+
+expression : term (('+' | '-' | '*' | '/' | '%') term)* ;
+
+term
+    : caseExpression
+    | literal
+    | ATID
+    | qualifiedName ('(' (('DISTINCT')? exprList | '*')? ')')?
+    | '(' subqueryOrExpr ')'
+    ;
+
+subqueryOrExpr
+    : selectStatement
+    | expression
+    ;
+
+caseExpression
+    : 'CASE' (whenClause)+ ('ELSE' expression)? 'END'
+    | 'CASE' expression (simpleWhen)+ ('ELSE' expression)? 'END'
+    ;
+
+whenClause : 'WHEN' searchCondition 'THEN' expression ;
+
+simpleWhen : 'WHEN' expression 'THEN' expression ;
+
+literal
+    : INTLIT
+    | FLOATLIT
+    | STRINGLIT
+    | 'NULL'
+    ;
+
+qualifiedName : ID ('.' ID)* ;
+
+idList : ID (',' ID)* ;
+
+exprList : expression (',' expression)* ;
+
+ID : ('a'..'z'|'_') ('a'..'z'|'A'..'Z'|'0'..'9'|'_')* ;
+
+ATID : '@' ('a'..'z'|'A'..'Z'|'_') ('a'..'z'|'A'..'Z'|'0'..'9'|'_')* ;
+
+INTLIT : ('0'..'9')+ ;
+
+FLOATLIT : ('0'..'9')+ '.' ('0'..'9')+ ;
+
+STRINGLIT : '\'' (~('\''|'\n'))* '\'' ;
+
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+
+LINE_COMMENT : '--' (~('\n'))* { skip(); } ;
+
+COMMENT : '/*' (~('*') | ('*')+ ~('/'|'*'))* ('*')+ '/' { skip(); } ;

@@ -1,0 +1,151 @@
+// VB-flavored grammar with hand-placed syntactic predicates, standing in
+// for the paper's commercial VB.NET grammar. Statements are line
+// oriented (NL is a real token), keywords carry most decisions — so the
+// profile is dominated by fixed LL(1)/LL(2) decisions, with a few manual
+// synpreds (block-If vs line-If) the way the commercial grammar author
+// reduced lookahead requirements.
+grammar VBNet;
+
+options { memoize=true; }
+
+moduleDecl : (NL)* (importsStmt)* 'Module' ID NL (moduleMember)* 'End' 'Module' (NL)* ;
+
+importsStmt : 'Imports' dottedName NL ;
+
+dottedName : ID ('.' ID)* ;
+
+moduleMember
+    : dimStmt
+    | constStmt
+    | subDecl
+    | functionDecl
+    | NL
+    ;
+
+accessMod : 'Public' | 'Private' | 'Friend' ;
+
+subDecl
+    : (accessMod)? 'Sub' ID '(' (paramList)? ')' NL
+      (statement)*
+      'End' 'Sub' NL
+    ;
+
+functionDecl
+    : (accessMod)? 'Function' ID '(' (paramList)? ')' 'As' typeName NL
+      (statement)*
+      'End' 'Function' NL
+    ;
+
+paramList : param (',' param)* ;
+
+param : ('ByVal' | 'ByRef')? ID 'As' typeName ;
+
+typeName
+    : 'Integer' | 'Long' | 'Double' | 'String' | 'Boolean' | 'Object'
+    | dottedName
+    ;
+
+dimStmt : 'Dim' ID 'As' typeName ('=' expression)? NL ;
+
+constStmt : 'Const' ID 'As' typeName '=' expression NL ;
+
+statement
+    : dimStmt
+    | constStmt
+    | ifStmt
+    | forStmt
+    | whileStmt
+    | doStmt
+    | selectStmt
+    | 'Return' (expression)? NL
+    | 'Exit' ('Sub' | 'Function' | 'For' | 'While' | 'Do') NL
+    | 'Throw' expression NL
+    | callOrAssign NL
+    | NL
+    ;
+
+// Block If vs single-line If: both start 'If' expression 'Then'; only a
+// newline after Then reveals the block form. The commercial grammars
+// resolve exactly this kind of decision with a manual synpred.
+ifStmt
+    : ('If' expression 'Then' NL)=>
+      'If' expression 'Then' NL (statement)* (elseIfClause)*
+      ('Else' NL (statement)*)? 'End' 'If' NL
+    | 'If' expression 'Then' callOrAssign ('Else' callOrAssign)? NL
+    ;
+
+elseIfClause : 'ElseIf' expression 'Then' NL (statement)* ;
+
+forStmt
+    : 'For' ID '=' expression 'To' expression ('Step' expression)? NL
+      (statement)*
+      'Next' (ID)? NL
+    ;
+
+whileStmt : 'While' expression NL (statement)* 'End' 'While' NL ;
+
+doStmt : 'Do' ('While' | 'Until') expression NL (statement)* 'Loop' NL ;
+
+selectStmt
+    : 'Select' 'Case' expression NL
+      (caseClause)*
+      ('Case' 'Else' NL (statement)*)?
+      'End' 'Select' NL
+    ;
+
+caseClause : 'Case' expression (',' expression)* NL (statement)* ;
+
+// Assignment vs procedure call: a dotted reference of arbitrary length
+// followed by '=' is an assignment — a cyclic-lookahead decision.
+callOrAssign
+    : (target '=')=> target '=' expression
+    | 'Call' target ('(' (argList)? ')')?
+    | target ('(' (argList)? ')')?
+    ;
+
+target : ID ('.' ID)* ;
+
+argList : expression (',' expression)* ;
+
+expression : orExpr ;
+
+orExpr : andExpr (('Or' | 'OrElse' | 'Xor') andExpr)* ;
+
+andExpr : notExpr (('And' | 'AndAlso') notExpr)* ;
+
+notExpr : 'Not' notExpr | comparison ;
+
+comparison : concatExpr (('=' | '<>' | '<=' | '>=' | '<' | '>') concatExpr)* ;
+
+concatExpr : addExpr ('&' addExpr)* ;
+
+addExpr : mulExpr (('+' | '-') mulExpr)* ;
+
+mulExpr : unaryExpr (('*' | '/' | '\\' | 'Mod') unaryExpr)* ;
+
+unaryExpr : '-' unaryExpr | powExpr ;
+
+powExpr : atomExpr ('^' atomExpr)* ;
+
+atomExpr
+    : '(' expression ')'
+    | 'New' typeName ('(' (argList)? ')')?
+    | 'True'
+    | 'False'
+    | 'Nothing'
+    | ID ('.' ID)* ('(' (argList)? ')')?
+    | NUMBER
+    | STRINGLIT
+    ;
+
+ID : ('a'..'z'|'A'..'Z'|'_') ('a'..'z'|'A'..'Z'|'0'..'9'|'_')* ;
+
+NUMBER : ('0'..'9')+ ('.' ('0'..'9')+)? ;
+
+STRINGLIT : '"' (~('"'|'\n'))* '"' ;
+
+NL : ('\r')? '\n' ;
+
+WS : (' '|'\t')+ { skip(); } ;
+
+COMMENT : '\'' (~('\n'))* { skip(); } ;

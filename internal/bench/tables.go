@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"llstar"
+)
+
+// Profile is one profiled parse run: the raw material of Tables 3 and 4.
+type Profile struct {
+	Workload   string
+	InputLines int
+	ParseTime  time.Duration
+	Stats      *llstar.Stats
+}
+
+// RunProfile generates an input and parses it with profiling enabled.
+func RunProfile(w Workload, seed int64, lines int) (*Profile, error) {
+	g, err := w.Load()
+	if err != nil {
+		return nil, err
+	}
+	input := w.Input(seed, lines)
+	p := g.NewParser(llstar.WithStats())
+	start := time.Now()
+	if _, err := p.Parse(w.Start, input); err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return &Profile{
+		Workload:   w.Name,
+		InputLines: countLines(input),
+		ParseTime:  time.Since(start),
+		Stats:      p.Stats(),
+	}, nil
+}
+
+// Table1 prints grammar decision characteristics: for each grammar its
+// size, number of decisions, and the fixed/cyclic/backtrack split, plus
+// analysis time (paper Table 1).
+func Table1(out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Grammar\tLines\tn\tFixed\tCyclic\tBacktrack\tRuntime")
+	for _, w := range Workloads {
+		g, err := w.LoadFresh()
+		if err != nil {
+			return err
+		}
+		var fixed, cyclic, back int
+		for _, d := range g.Decisions() {
+			switch d.Class {
+			case llstar.Fixed:
+				fixed++
+			case llstar.Cyclic:
+				cyclic++
+			default:
+				back++
+			}
+		}
+		n := fixed + cyclic + back
+		res := g.AnalysisResult()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d (%.1f%%)\t%v\n",
+			w.Name, w.GrammarLines(), n, fixed, cyclic, back,
+			100*float64(back)/float64(n), res.Elapsed.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}
+
+// Table2 prints fixed-lookahead decision characteristics: %LL(k), %LL(1),
+// and per-depth decision counts (paper Table 2).
+func Table2(out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Grammar\tLL(k)%\tLL(1)%\tk=1\tk=2\tk=3\tk=4\tk=5\tk=6+")
+	for _, w := range Workloads {
+		g, err := w.Load()
+		if err != nil {
+			return err
+		}
+		res := g.AnalysisResult()
+		hist := res.FixedKHistogram()
+		n := res.NumDecisions()
+		var fixed int
+		counts := make([]int, 7) // index 1..5, 6 = 6+
+		for k := 1; k < len(hist); k++ {
+			fixed += hist[k]
+			if k <= 5 {
+				counts[k] += hist[k]
+			} else {
+				counts[6] += hist[k]
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.2f%%\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			w.Name, 100*float64(fixed)/float64(n), 100*float64(counts[1])/float64(n),
+			counts[1], counts[2], counts[3], counts[4], counts[5], counts[6])
+	}
+	return tw.Flush()
+}
+
+// Table3 prints runtime lookahead behavior: parse time, decisions
+// covered, average lookahead depth over all decision events, average
+// speculation depth over backtracking events, and the deepest lookahead
+// (paper Table 3).
+func Table3(out io.Writer, seed int64, lines int) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Grammar\tInput lines\tparse time\tn\tavg k\tback k\tmax k\tlines/sec")
+	for _, w := range Workloads {
+		p, err := RunProfile(w, seed, lines)
+		if err != nil {
+			return err
+		}
+		st := p.Stats
+		perSec := float64(p.InputLines) / p.ParseTime.Seconds()
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t%.2f\t%.2f\t%d\t%.0f\n",
+			w.Name, p.InputLines, p.ParseTime.Round(time.Microsecond),
+			st.DecisionsCovered(), st.AvgK(), st.AvgBacktrackK(), st.MaxK(), perSec)
+	}
+	return tw.Flush()
+}
+
+// Table4 prints backtracking behavior: decisions that can backtrack, that
+// did backtrack, total decision events, the share of events that
+// backtracked, and the trigger rate at potentially-backtracking decisions
+// (paper Table 4).
+func Table4(out io.Writer, seed int64, lines int) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Grammar\tCan back.\tDid back.\tdecision events\tBacktrack\tBack. rate")
+	for _, w := range Workloads {
+		p, err := RunProfile(w, seed, lines)
+		if err != nil {
+			return err
+		}
+		st := p.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f%%\t%.2f%%\n",
+			w.Name, st.CanBacktrackCount(), st.DidBacktrackCount(),
+			st.TotalEvents(), 100*st.BacktrackRatio(), 100*st.BacktrackTriggerRate())
+	}
+	return tw.Flush()
+}
+
+// MemoStats prints memoization cache statistics per workload (the
+// Section 6.2 cache-size discussion: less backtracking, smaller cache).
+func MemoStats(out io.Writer, seed int64, lines int) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Grammar\tmemo entries\thits\tmisses")
+	for _, w := range Workloads {
+		p, err := RunProfile(w, seed, lines)
+		if err != nil {
+			return err
+		}
+		st := p.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", w.Name, st.MemoEntries, st.MemoHits, st.MemoMisses)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The table printers must run clean and produce one row per workload.
+func TestTablesSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatalf("table 1: %v", err)
+	}
+	if err := Table2(&b); err != nil {
+		t.Fatalf("table 2: %v", err)
+	}
+	if err := Table3(&b, 1, 150); err != nil {
+		t.Fatalf("table 3: %v", err)
+	}
+	if err := Table4(&b, 1, 150); err != nil {
+		t.Fatalf("table 4: %v", err)
+	}
+	if err := MemoStats(&b, 1, 150); err != nil {
+		t.Fatalf("memo stats: %v", err)
+	}
+	out := b.String()
+	for _, w := range Workloads {
+		if got := strings.Count(out, w.Name); got != 5 {
+			t.Errorf("workload %s appears %d times, want 5", w.Name, got)
+		}
+	}
+	// Sanity: headers present.
+	for _, h := range []string{"Cyclic", "LL(1)%", "avg k", "Back. rate", "memo entries"} {
+		if !strings.Contains(out, h) {
+			t.Errorf("missing header %q", h)
+		}
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	if _, err := ByName("NoSuch"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	w, _ := ByName("Java1.5")
+	p, err := RunProfile(w, 2, 100)
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if p.Stats.TotalEvents() == 0 || p.InputLines == 0 || p.ParseTime <= 0 {
+		t.Errorf("profile fields empty: %+v", p)
+	}
+}

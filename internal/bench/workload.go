@@ -1,0 +1,116 @@
+// Package bench is the evaluation substrate: the six benchmark grammars
+// standing in for the paper's Java1.5 / RatsC / RatsJava / VB.NET / TSQL /
+// C# grammars (see DESIGN.md for the substitution rationale), seeded
+// synthetic source generators producing inputs of controllable size, and
+// the harness that regenerates every table in Section 6.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"llstar"
+)
+
+//go:embed grammars/*.g
+var grammarFS embed.FS
+
+// Workload pairs a benchmark grammar with its input generator.
+type Workload struct {
+	// Name matches the paper's grammar name.
+	Name string
+	// File is the grammar file under grammars/.
+	File string
+	// Mode documents how speculation enters: "PEG" (backtrack=true) or
+	// "synpred" (hand-placed syntactic predicates).
+	Mode string
+	// Start is the start rule.
+	Start string
+	// Gen produces a valid source text of roughly the given line count.
+	Gen func(r *rand.Rand, lines int) string
+}
+
+// Workloads lists the six benchmark grammars in the paper's order.
+var Workloads = []Workload{
+	{Name: "Java1.5", File: "java15.g", Mode: "PEG", Start: "compilationUnit", Gen: GenJava},
+	{Name: "RatsC", File: "ratsc.g", Mode: "PEG", Start: "translationUnit", Gen: GenC},
+	{Name: "RatsJava", File: "ratsjava.g", Mode: "PEG", Start: "unit", Gen: GenRatsJava},
+	{Name: "VB.NET", File: "vbnet.g", Mode: "synpred", Start: "moduleDecl", Gen: GenVB},
+	{Name: "TSQL", File: "tsql.g", Mode: "synpred", Start: "script", Gen: GenSQL},
+	{Name: "C#", File: "csharp.g", Mode: "synpred", Start: "compilationUnit", Gen: GenCSharp},
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("bench: no workload %q", name)
+}
+
+// GrammarText returns the raw grammar source for a workload.
+func (w Workload) GrammarText() (string, error) {
+	data, err := grammarFS.ReadFile("grammars/" + w.File)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// GrammarLines counts source lines of the grammar (Table 1 "Lines").
+func (w Workload) GrammarLines() int {
+	text, err := w.GrammarText()
+	if err != nil {
+		return 0
+	}
+	return strings.Count(text, "\n")
+}
+
+var (
+	loadMu sync.Mutex
+	loaded = map[string]*llstar.Grammar{}
+)
+
+// Load parses and analyzes the workload's grammar (cached per process —
+// analysis is deterministic).
+func (w Workload) Load() (*llstar.Grammar, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if g, ok := loaded[w.Name]; ok {
+		return g, nil
+	}
+	text, err := w.GrammarText()
+	if err != nil {
+		return nil, err
+	}
+	g, err := llstar.Load(w.File, text)
+	if err != nil {
+		return nil, err
+	}
+	loaded[w.Name] = g
+	return g, nil
+}
+
+// LoadFresh parses and analyzes without the cache (for timing analysis).
+func (w Workload) LoadFresh() (*llstar.Grammar, error) {
+	text, err := w.GrammarText()
+	if err != nil {
+		return nil, err
+	}
+	return llstar.Load(w.File, text)
+}
+
+// Input generates a deterministic input of roughly `lines` lines for the
+// given seed.
+func (w Workload) Input(seed int64, lines int) string {
+	r := rand.New(rand.NewSource(seed))
+	return w.Gen(r, lines)
+}
+
+// countLines counts newline-terminated lines.
+func countLines(s string) int { return strings.Count(s, "\n") }

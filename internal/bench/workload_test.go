@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+// Every benchmark grammar must load (validate + analyze) without fatal
+// errors, and its generator must produce input its parser accepts, at
+// several sizes and seeds. This is the substrate the tables stand on.
+func TestWorkloadsRoundTrip(t *testing.T) {
+	for _, w := range Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g, err := w.Load()
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, seed := range []int64{1, 2, 3} {
+				input := w.Input(seed, 120)
+				p := g.NewParser(llstar.WithStats())
+				if _, err := p.Parse(w.Start, input); err != nil {
+					lines := strings.Split(input, "\n")
+					ctx := ""
+					if se, ok := err.(*llstar.SyntaxError); ok && se.Offending.Pos.Line-1 < len(lines) {
+						ctx = lines[se.Offending.Pos.Line-1]
+					}
+					t.Fatalf("seed %d: parse failed: %v\nline: %s", seed, err, ctx)
+				}
+			}
+		})
+	}
+}
+
+// Generators must be deterministic per seed (the tables must reproduce).
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, w := range Workloads {
+		a := w.Input(42, 60)
+		b := w.Input(42, 60)
+		if a != b {
+			t.Errorf("%s: generator not deterministic", w.Name)
+		}
+		if countLines(a) < 30 {
+			t.Errorf("%s: generated only %d lines for target 60", w.Name, countLines(a))
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"llstar/internal/grammar"
+)
+
+// altFuncJob queues a decision's alternative bodies for emission.
+type altFuncJob struct {
+	decision int
+	alts     []*grammar.Alt
+	argName  string
+	desc     string
+}
+
+// emitRule renders a parser rule: a wrapper handling tree nodes and
+// memoization, a body method, and (transitively) one method per decision
+// alternative.
+func (g *generator) emitRule(r *grammar.Rule) error {
+	argName := ruleArgName(r)
+
+	// Wrapper.
+	g.pf("\n// r_%s parses rule: %s\n", r.Name, strings.ReplaceAll(r.RuleText(), "\n", " "))
+	if argName == "" {
+		g.pf("func (this *Parser) r_%s() error {\n", r.Name)
+		g.pf("\tif handled, err := this.memoGet(%d); handled {\n\t\treturn err\n\t}\n", r.Index)
+		g.pf("\tprev := this.enterRule(%q)\n", r.Name)
+		g.pf("\tstart := this.pos\n")
+		g.pf("\terr := this.body_%s()\n", r.Name)
+		g.pf("\tthis.exitRule(prev)\n")
+		g.pf("\tthis.memoPut(%d, start, err)\n", r.Index)
+		g.pf("\treturn err\n}\n")
+		g.pf("\nfunc (this *Parser) body_%s() error {\n", r.Name)
+	} else {
+		g.pf("func (this *Parser) r_%s(%s int) error {\n", r.Name, argName)
+		g.pf("\tprev := this.enterRule(%q)\n", r.Name)
+		g.pf("\terr := this.body_%s(%s)\n", r.Name, argName)
+		g.pf("\tthis.exitRule(prev)\n")
+		g.pf("\treturn err\n}\n")
+		g.pf("\nfunc (this *Parser) body_%s(%s int) error {\n", r.Name, argName)
+	}
+
+	if len(r.Alts) == 1 {
+		if err := g.emitSeq(r.Alts[0].Elems, argName, 1); err != nil {
+			return err
+		}
+	} else {
+		dID, ok := g.m.RuleDecisionID[r.Name]
+		if !ok {
+			return fmt.Errorf("codegen: no decision recorded for rule %s", r.Name)
+		}
+		g.emitDispatch(dID, len(r.Alts), argName, 1)
+		g.queueAltFuncs(dID, r.Alts, argName, "rule "+r.Name)
+	}
+	g.pf("\treturn nil\n}\n")
+
+	return g.drainAltFuncs()
+}
+
+// emitDispatch renders predict + switch over alternative methods.
+func (g *generator) emitDispatch(dID, nAlts int, argName string, depth int) {
+	ind := strings.Repeat("\t", depth)
+	g.pf("%s{\n", ind)
+	g.pf("%s\talt, err := this.predict(%d, %s)\n", ind, dID, argExpr(argName))
+	g.pf("%s\tif err != nil {\n%s\t\treturn err\n%s\t}\n", ind, ind, ind)
+	g.pf("%s\tswitch alt {\n", ind)
+	for i := 1; i <= nAlts; i++ {
+		g.pf("%s\tcase %d:\n", ind, i)
+		g.pf("%s\t\tif err := this.a%d_%d(%s); err != nil {\n%s\t\t\treturn err\n%s\t\t}\n",
+			ind, dID, i, argExpr(argName), ind, ind)
+	}
+	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d)\n", ind, ind, dID)
+	g.pf("%s\t}\n%s}\n", ind, ind)
+}
+
+func argExpr(argName string) string {
+	if argName == "" {
+		return "0"
+	}
+	return argName
+}
+
+func (g *generator) queueAltFuncs(dID int, alts []*grammar.Alt, argName, desc string) {
+	if g.emittedAlt == nil {
+		g.emittedAlt = map[int]bool{}
+	}
+	if g.emittedAlt[dID] {
+		return
+	}
+	g.emittedAlt[dID] = true
+	g.altJobs = append(g.altJobs, altFuncJob{decision: dID, alts: alts, argName: argName, desc: desc})
+}
+
+func (g *generator) drainAltFuncs() error {
+	for len(g.altJobs) > 0 {
+		job := g.altJobs[0]
+		g.altJobs = g.altJobs[1:]
+		for i, alt := range job.alts {
+			g.pf("\n// a%d_%d matches alternative %d of %s.\n", job.decision, i+1, i+1, job.desc)
+			g.pf("func (this *Parser) a%d_%d(%s int) error {\n", job.decision, i+1, argOrBlank(job.argName))
+			if err := g.emitSeq(alt.Elems, job.argName, 1); err != nil {
+				return err
+			}
+			g.pf("\treturn nil\n}\n")
+		}
+	}
+	return nil
+}
+
+// emitSeq renders a sequence of elements.
+func (g *generator) emitSeq(elems []grammar.Element, argName string, depth int) error {
+	for _, e := range elems {
+		if err := g.emitElement(e, argName, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) emitElement(e grammar.Element, argName string, depth int) error {
+	ind := strings.Repeat("\t", depth)
+	switch e := e.(type) {
+	case *grammar.TokenRef:
+		g.pf("%sif err := this.match(%s); err != nil {\n%s\treturn err\n%s}\n",
+			ind, g.tokenConst[e.Type], ind, ind)
+
+	case *grammar.NotToken:
+		parts := make([]string, len(e.Types))
+		for i, t := range e.Types {
+			parts[i] = g.tokenConst[t]
+		}
+		g.pf("%sif err := this.matchNot(%s); err != nil {\n%s\treturn err\n%s}\n",
+			ind, strings.Join(parts, ", "), ind, ind)
+
+	case *grammar.Wildcard:
+		g.pf("%sif err := this.matchAny(); err != nil {\n%s\treturn err\n%s}\n", ind, ind, ind)
+
+	case *grammar.RuleRef:
+		target := g.gram.Rule(e.Name)
+		if target == nil || target.IsLexer {
+			return fmt.Errorf("codegen: unresolved rule reference %s", e.Name)
+		}
+		if target.Args != "" {
+			arg := strings.TrimSpace(e.ArgText)
+			if arg == "" {
+				arg = "0"
+			}
+			g.pf("%sif err := this.r_%s(%s); err != nil {\n%s\treturn err\n%s}\n", ind, e.Name, arg, ind, ind)
+		} else {
+			g.pf("%sif err := this.r_%s(); err != nil {\n%s\treturn err\n%s}\n", ind, e.Name, ind, ind)
+		}
+
+	case *grammar.SemPred:
+		id, ok := g.semPredIDs[e]
+		if !ok {
+			return fmt.Errorf("codegen: unregistered semantic predicate {%s}?", e.Text)
+		}
+		g.pf("%sif !this.sempred(%d, %s) {\n%s\treturn this.failedPred(%q)\n%s}\n",
+			ind, id, argExpr(argName), ind, e.Text, ind)
+
+	case *grammar.Action:
+		// Action text is spliced verbatim as Go; mutators are gated off
+		// during speculation, {{...}} actions always run (Section 4.3).
+		if e.AlwaysExec {
+			g.pf("%s{\n%s\t%s\n%s}\n", ind, ind, e.Text, ind)
+		} else {
+			g.pf("%sif this.spec == 0 {\n%s\t%s\n%s}\n", ind, ind, e.Text, ind)
+		}
+
+	case *grammar.SynPred:
+		g.pf("%s// syntactic predicate %s resolved during prediction\n", ind, "(α)=>")
+
+	case *grammar.Block:
+		return g.emitBlockBody(e, argName, depth)
+
+	default:
+		return fmt.Errorf("codegen: unsupported element %T in parser rule", e)
+	}
+	return nil
+}
+
+func (g *generator) emitBlockBody(blk *grammar.Block, argName string, depth int) error {
+	ind := strings.Repeat("\t", depth)
+	ids := g.m.BlockDecisionIDs[blk]
+	switch blk.Op {
+	case grammar.OpNone:
+		if len(blk.Alts) == 1 {
+			return g.emitSeq(blk.Alts[0].Elems, argName, depth)
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("codegen: no decision for block at %s", blk.Pos)
+		}
+		g.emitDispatch(ids[0], len(blk.Alts), argName, depth)
+		g.queueAltFuncs(ids[0], blk.Alts, argName, fmt.Sprintf("subrule at %s", blk.Pos))
+
+	case grammar.OpOptional:
+		if len(ids) == 0 {
+			return fmt.Errorf("codegen: no decision for block at %s", blk.Pos)
+		}
+		dID := ids[0]
+		g.pf("%s{\n", ind)
+		g.pf("%s\talt, err := this.predict(%d, %s)\n", ind, dID, argExpr(argName))
+		g.pf("%s\tif err != nil {\n%s\t\treturn err\n%s\t}\n", ind, ind, ind)
+		g.pf("%s\tswitch alt {\n", ind)
+		for i := 1; i <= len(blk.Alts); i++ {
+			g.pf("%s\tcase %d:\n", ind, i)
+			g.pf("%s\t\tif err := this.a%d_%d(%s); err != nil {\n%s\t\t\treturn err\n%s\t\t}\n",
+				ind, dID, i, argExpr(argName), ind, ind)
+		}
+		g.pf("%s\t}\n%s}\n", ind, ind) // exit alternative: fall through
+		g.queueAltFuncs(dID, blk.Alts, argName, fmt.Sprintf("optional subrule at %s", blk.Pos))
+
+	case grammar.OpStar:
+		if len(ids) == 0 {
+			return fmt.Errorf("codegen: no decision for block at %s", blk.Pos)
+		}
+		g.emitLoop(ids[0], blk, argName, depth)
+
+	case grammar.OpPlus:
+		// Desugared as body-once + star loop, mirroring the ATN.
+		if len(ids) == 0 {
+			return fmt.Errorf("codegen: no decision for block at %s", blk.Pos)
+		}
+		loopID := ids[len(ids)-1]
+		if len(ids) == 2 {
+			g.emitDispatch(ids[0], len(blk.Alts), argName, depth)
+			g.queueAltFuncs(ids[0], blk.Alts, argName, fmt.Sprintf("plus subrule at %s", blk.Pos))
+		} else {
+			if err := g.emitSeq(blk.Alts[0].Elems, argName, depth); err != nil {
+				return err
+			}
+		}
+		g.emitLoop(loopID, blk, argName, depth)
+	}
+	return nil
+}
+
+func (g *generator) emitLoop(dID int, blk *grammar.Block, argName string, depth int) {
+	ind := strings.Repeat("\t", depth)
+	exit := len(blk.Alts) + 1
+	g.pf("%sfor {\n", ind)
+	g.pf("%s\talt, err := this.predict(%d, %s)\n", ind, dID, argExpr(argName))
+	g.pf("%s\tif err != nil {\n%s\t\treturn err\n%s\t}\n", ind, ind, ind)
+	g.pf("%s\tif alt == %d {\n%s\t\tbreak\n%s\t}\n", ind, exit, ind, ind)
+	g.pf("%s\tswitch alt {\n", ind)
+	for i := 1; i <= len(blk.Alts); i++ {
+		g.pf("%s\tcase %d:\n", ind, i)
+		g.pf("%s\t\tif err := this.a%d_%d(%s); err != nil {\n%s\t\t\treturn err\n%s\t\t}\n",
+			ind, dID, i, argExpr(argName), ind, ind)
+	}
+	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d)\n", ind, ind, dID)
+	g.pf("%s\t}\n%s}\n", ind, ind)
+	g.queueAltFuncs(dID, blk.Alts, argName, fmt.Sprintf("loop subrule at %s", blk.Pos))
+}

@@ -1,0 +1,383 @@
+package codegen
+
+// runtimeTemplate is the fixed portion of every generated parser: token
+// and tree types, the table-driven lexer simulator, and the table-driven
+// LL(*) prediction engine (DFA simulation, speculation, memoization).
+// The generator appends grammar-specific tables and rule methods.
+const runtimeTemplate = `
+// ===================== generated runtime =====================
+
+// Token is a lexed token.
+type Token struct {
+	Type int
+	Text string
+	Line int
+	Col  int
+}
+
+// EOF is the end-of-input token type.
+const EOF = -1
+
+// Node is a parse-tree node: a rule node or a token leaf.
+type Node struct {
+	Rule     string
+	Tok      *Token
+	Children []*Node
+}
+
+// String renders the tree as an s-expression.
+func (n *Node) String() string {
+	if n == nil {
+		return "nil"
+	}
+	if n.Tok != nil {
+		return n.Tok.Text
+	}
+	s := "(" + n.Rule
+	for _, c := range n.Children {
+		s += " " + c.String()
+	}
+	return s + ")"
+}
+
+// SyntaxError reports a parse or lex failure.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+	Text      string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s at %q", e.Line, e.Col, e.Msg, e.Text)
+}
+
+// ---- lexer simulation ----
+
+type lexTrans struct {
+	kind   byte // 0=eps 1=char 2=set 3=wild
+	lo, hi rune
+	setOff int
+	setLen int
+	neg    bool
+	to     int
+}
+
+func lexMatches(t lexTrans, r rune) bool {
+	switch t.kind {
+	case 1:
+		return r >= t.lo && r <= t.hi
+	case 2:
+		in := false
+		for i := t.setOff; i < t.setOff+t.setLen; i++ {
+			if r >= lexRanges[i][0] && r <= lexRanges[i][1] {
+				in = true
+				break
+			}
+		}
+		if t.neg {
+			return !in
+		}
+		return in
+	case 3:
+		return true
+	}
+	return false
+}
+
+func lexClosure(out []int, s int, seen map[int]bool) []int {
+	if seen[s] {
+		return out
+	}
+	seen[s] = true
+	out = append(out, s)
+	for _, t := range lexStates[s] {
+		if t.kind == 0 {
+			out = lexClosure(out, t.to, seen)
+		}
+	}
+	return out
+}
+
+// Tokenize converts input into tokens using the generated lexer tables
+// (maximal munch; earliest-declared rule wins ties; skip rules dropped).
+func Tokenize(input string) ([]Token, error) {
+	runes := []rune(input)
+	var toks []Token
+	pos, line, col := 0, 1, 1
+	for pos < len(runes) {
+		cur := lexClosure(nil, lexStart, map[int]bool{})
+		bestEnd, bestRule := -1, -1
+		record := func(end int) {
+			rule := -1
+			for _, s := range cur {
+				if r, ok := lexAccepts[s]; ok && (rule < 0 || r < rule) {
+					rule = r
+				}
+			}
+			if rule >= 0 {
+				bestEnd, bestRule = end, rule
+			}
+		}
+		record(pos)
+		for i := pos; i < len(runes); i++ {
+			var next []int
+			seen := map[int]bool{}
+			for _, s := range cur {
+				for _, t := range lexStates[s] {
+					if t.kind != 0 && lexMatches(t, runes[i]) {
+						next = lexClosure(next, t.to, seen)
+					}
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			cur = next
+			record(i + 1)
+		}
+		if bestRule < 0 {
+			return toks, &SyntaxError{Line: line, Col: col, Msg: "cannot match character", Text: string(runes[pos])}
+		}
+		text := string(runes[pos:bestEnd])
+		startLine, startCol := line, col
+		for _, r := range text {
+			if r == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		pos = bestEnd
+		info := lexRules[bestRule]
+		if info.skip {
+			continue
+		}
+		toks = append(toks, Token{Type: info.tokenType, Text: text, Line: startLine, Col: startCol})
+	}
+	toks = append(toks, Token{Type: EOF, Line: line, Col: col})
+	return toks, nil
+}
+
+// ---- parser engine ----
+
+type dfaEdge struct{ sym, to int }
+
+type predEdge struct {
+	kind byte // 0=sem 1=syn 2=auto 3=true
+	id   int
+	alt  int
+}
+
+type dfaState struct {
+	accept int // predicted alternative, 0 if none
+	def    int // default edge target, -1 if none
+	edges  []dfaEdge
+	preds  []predEdge
+}
+
+// Parser is the generated LL(*) parser.
+type Parser struct {
+	toks []Token
+	pos  int
+	spec int
+
+	// BuildTree enables parse-tree construction.
+	BuildTree bool
+	// Memoize enables the packrat cache for speculative parses.
+	Memoize bool
+	// State is arbitrary user state for predicates/actions.
+	State any
+
+	memo []map[int]int
+	node *Node
+}
+
+// NewParser returns a parser over a token slice (use Tokenize to produce
+// one from text). Tree building and memoization default on.
+func NewParser(toks []Token) *Parser {
+	return &Parser{toks: toks, BuildTree: true, Memoize: true, memo: make([]map[int]int, numRules)}
+}
+
+func (this *Parser) la(i int) int { return this.lt(i).Type }
+
+func (this *Parser) lt(i int) Token {
+	idx := this.pos + i - 1
+	if idx >= len(this.toks) {
+		idx = len(this.toks) - 1
+	}
+	return this.toks[idx]
+}
+
+func (this *Parser) consume() Token {
+	t := this.lt(1)
+	if t.Type != EOF {
+		this.pos++
+	}
+	if this.spec == 0 && this.node != nil {
+		tok := t
+		this.node.Children = append(this.node.Children, &Node{Tok: &tok})
+	}
+	return t
+}
+
+func (this *Parser) match(t int) error {
+	if this.la(1) != t {
+		return this.errf("expecting %s", tokenNames[t])
+	}
+	this.consume()
+	return nil
+}
+
+func (this *Parser) matchAny() error {
+	if this.la(1) == EOF {
+		return this.errf("unexpected end of input")
+	}
+	this.consume()
+	return nil
+}
+
+func (this *Parser) matchNot(types ...int) error {
+	cur := this.la(1)
+	if cur == EOF {
+		return this.errf("unexpected end of input")
+	}
+	for _, t := range types {
+		if cur == t {
+			return this.errf("unexpected %s", tokenNames[t])
+		}
+	}
+	this.consume()
+	return nil
+}
+
+func (this *Parser) errf(format string, args ...any) error {
+	t := this.lt(1)
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...), Text: t.Text}
+}
+
+func (this *Parser) noViable(d int) error {
+	return this.errf("no viable alternative (decision %d)", d)
+}
+
+func (this *Parser) failedPred(text string) error {
+	return this.errf("failed predicate {%s}?", text)
+}
+
+// enterRule pushes a tree node; exitRule restores the previous one.
+func (this *Parser) enterRule(name string) *Node {
+	if this.spec > 0 || !this.BuildTree {
+		return nil
+	}
+	n := &Node{Rule: name}
+	if this.node != nil {
+		this.node.Children = append(this.node.Children, n)
+	}
+	prev := this.node
+	this.node = n
+	return prev
+}
+
+func (this *Parser) exitRule(prev *Node) {
+	if this.spec > 0 || !this.BuildTree {
+		return
+	}
+	this.node = prev
+}
+
+const memoFailed = -2
+
+func (this *Parser) memoGet(rule int) (bool, error) {
+	if this.spec == 0 || !this.Memoize || this.memo[rule] == nil {
+		return false, nil
+	}
+	stop, ok := this.memo[rule][this.pos]
+	if !ok {
+		return false, nil
+	}
+	if stop == memoFailed {
+		return true, this.errf("memoized failure")
+	}
+	this.pos = stop
+	return true, nil
+}
+
+func (this *Parser) memoPut(rule, start int, err error) {
+	if this.spec == 0 || !this.Memoize {
+		return
+	}
+	if this.memo[rule] == nil {
+		this.memo[rule] = make(map[int]int)
+	}
+	if err != nil {
+		this.memo[rule][start] = memoFailed
+	} else {
+		this.memo[rule][start] = this.pos
+	}
+}
+
+// trying speculatively runs fn with mutators off, then rewinds.
+func (this *Parser) trying(fn func() error) bool {
+	start := this.pos
+	this.spec++
+	err := fn()
+	this.spec--
+	this.pos = start
+	return err == nil
+}
+
+// predict runs decision d's lookahead DFA against the token stream,
+// falling over to predicate/speculation edges where the analysis placed
+// them. arg is the enclosing rule's parameter for precedence predicates.
+func (this *Parser) predict(d, arg int) (int, error) {
+	states := dfaTables[d]
+	s := 0
+	i := 0
+	for {
+		st := &states[s]
+		if st.accept > 0 {
+			return st.accept, nil
+		}
+		if len(st.edges) > 0 || st.def >= 0 {
+			sym := this.la(i + 1)
+			next := -1
+			for _, e := range st.edges {
+				if e.sym == sym {
+					next = e.to
+					break
+				}
+			}
+			if next < 0 && st.def >= 0 && sym != EOF {
+				next = st.def
+			}
+			if next >= 0 {
+				i++
+				s = next
+				continue
+			}
+		}
+		if len(st.preds) > 0 {
+			for _, e := range st.preds {
+				switch e.kind {
+				case 0:
+					if this.sempred(e.id, arg) {
+						return e.alt, nil
+					}
+				case 1:
+					if this.synpred(e.id) {
+						return e.alt, nil
+					}
+				case 2:
+					if this.tryAlt(d, e.alt, arg) {
+						return e.alt, nil
+					}
+				case 3:
+					return e.alt, nil
+				}
+			}
+			return 0, this.noViable(d)
+		}
+		return 0, this.noViable(d)
+	}
+}
+`

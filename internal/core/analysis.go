@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"llstar/internal/atn"
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// M is the recursion-depth governor m (Section 5.3). 0 uses the
+	// grammar's option, which itself defaults to grammar.DefaultM.
+	M int
+	// MaxDFAStates caps DFA states per decision (the paper's "land-mine"
+	// escape hatch); exceeding it falls back to LL(1)+backtracking.
+	// 0 means DefaultMaxDFAStates.
+	MaxDFAStates int
+	// MaxK, when > 0, caps lookahead depth at a fixed k (classic LL(k)
+	// mode). 0 uses the grammar option (0 = unbounded LL(*)).
+	MaxK int
+}
+
+// DefaultMaxDFAStates bounds DFA construction per decision.
+const DefaultMaxDFAStates = 4000
+
+// WarningKind classifies analysis diagnostics.
+type WarningKind int
+
+const (
+	// WarnAmbiguity: the decision can match the same input with multiple
+	// productions; resolved in favor of the lowest-numbered one.
+	WarnAmbiguity WarningKind = iota
+	// WarnRecursionOverflow: closure hit the recursion governor m and the
+	// state may predict multiple alternatives.
+	WarnRecursionOverflow
+	// WarnNonLLRegular: recursion in more than one alternative; DFA
+	// construction was aborted (Section 5.4).
+	WarnNonLLRegular
+	// WarnResourceLimit: DFA construction exceeded MaxDFAStates.
+	WarnResourceLimit
+	// WarnDeadProduction: an alternative can never be predicted.
+	WarnDeadProduction
+)
+
+func (k WarningKind) String() string {
+	switch k {
+	case WarnAmbiguity:
+		return "ambiguity"
+	case WarnRecursionOverflow:
+		return "recursion-overflow"
+	case WarnNonLLRegular:
+		return "non-LL-regular"
+	case WarnResourceLimit:
+		return "resource-limit"
+	case WarnDeadProduction:
+		return "dead-production"
+	default:
+		return "warning"
+	}
+}
+
+// Warning is one analysis diagnostic.
+type Warning struct {
+	Decision int
+	Kind     WarningKind
+	Alts     []int
+	Msg      string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("decision %d: %s: %s", w.Decision, w.Kind, w.Msg)
+}
+
+// Class classifies a decision's lookahead machinery (Table 1 columns).
+type Class int
+
+const (
+	// ClassFixed: acyclic DFA, fixed LL(k).
+	ClassFixed Class = iota
+	// ClassCyclic: cyclic DFA, arbitrary regular lookahead.
+	ClassCyclic
+	// ClassBacktrack: some state fails over to speculation.
+	ClassBacktrack
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFixed:
+		return "fixed"
+	case ClassCyclic:
+		return "cyclic"
+	default:
+		return "backtrack"
+	}
+}
+
+// DecisionInfo summarizes one analyzed decision.
+type DecisionInfo struct {
+	Decision *atn.Decision
+	DFA      *dfa.DFA
+	Class    Class
+	// FixedK is the lookahead depth for ClassFixed decisions.
+	FixedK int
+}
+
+// Result is the full analysis output for a grammar.
+type Result struct {
+	Grammar   *grammar.Grammar
+	Machine   *atn.Machine
+	DFAs      []*dfa.DFA // indexed by decision ID
+	Decisions []DecisionInfo
+	Warnings  []Warning
+	Elapsed   time.Duration
+}
+
+// NumDecisions returns the number of parsing decisions analyzed.
+func (r *Result) NumDecisions() int { return len(r.Decisions) }
+
+// CountClass returns how many decisions have the given class.
+func (r *Result) CountClass(c Class) int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// FixedKHistogram returns counts of fixed decisions per lookahead depth k
+// (index 0 unused), as in Table 2. Decisions that consult no tokens at
+// all (pure predicate dispatch) count as k=1.
+func (r *Result) FixedKHistogram() []int {
+	maxK := 1
+	for _, d := range r.Decisions {
+		if d.Class == ClassFixed && d.FixedK > maxK {
+			maxK = d.FixedK
+		}
+	}
+	hist := make([]int, maxK+1)
+	for _, d := range r.Decisions {
+		if d.Class != ClassFixed {
+			continue
+		}
+		k := d.FixedK
+		if k < 1 {
+			k = 1
+		}
+		hist[k]++
+	}
+	return hist
+}
+
+// Analyze builds the ATN for g and constructs a lookahead DFA for every
+// parsing decision. The grammar must already validate cleanly.
+func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
+	start := time.Now()
+	m, err := atn.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Grammar: g, Machine: m}
+	if opts.M == 0 {
+		opts.M = g.Options.Governor()
+	}
+	if opts.MaxDFAStates == 0 {
+		opts.MaxDFAStates = DefaultMaxDFAStates
+	}
+	if opts.MaxK == 0 {
+		opts.MaxK = g.Options.K
+	}
+
+	shared := computeFirstSets(m)
+	res.DFAs = make([]*dfa.DFA, len(m.Decisions))
+	for _, dec := range m.Decisions {
+		decOpts := opts
+		// Per-rule lookahead caps (rule options override grammar-level).
+		if k := dec.Rule.OptionInt("k", 0); k > 0 {
+			decOpts.MaxK = k
+		}
+		if m := dec.Rule.OptionInt("m", 0); m > 0 {
+			decOpts.M = m
+		}
+		da := newDecAnalysis(m, dec, decOpts, shared)
+		d := da.construct()
+		d.Minimize()
+		d.Compile(g.Vocab.MaxType())
+		res.DFAs[dec.ID] = d
+		res.Warnings = append(res.Warnings, da.warnings...)
+
+		info := DecisionInfo{Decision: dec, DFA: d}
+		switch {
+		case d.HasBacktrack():
+			info.Class = ClassBacktrack
+		case d.Cyclic():
+			info.Class = ClassCyclic
+		default:
+			info.Class = ClassFixed
+			info.FixedK = d.MaxLookahead()
+		}
+		res.Decisions = append(res.Decisions, info)
+
+		res.Warnings = append(res.Warnings, deadProductions(dec, d)...)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// deadProductions reports alternatives never predicted by the DFA —
+// the static analogue of the PEG A → a | ab hazard from Section 1.
+func deadProductions(dec *atn.Decision, d *dfa.DFA) []Warning {
+	reachable := map[int]bool{}
+	for _, s := range d.States {
+		if s.AcceptAlt > 0 {
+			reachable[s.AcceptAlt] = true
+		}
+		for _, e := range s.PredEdges {
+			reachable[e.Alt] = true
+		}
+	}
+	var ws []Warning
+	for alt := 1; alt <= dec.NAlts; alt++ {
+		if !reachable[alt] {
+			label := fmt.Sprintf("alternative %d", alt)
+			if dec.HasExitAlt() && alt == dec.NAlts {
+				// An unreachable exit branch means an infinite loop
+				// grammar; still worth reporting, with a clearer label.
+				label = "loop exit branch"
+			}
+			ws = append(ws, Warning{
+				Decision: dec.ID,
+				Kind:     WarnDeadProduction,
+				Alts:     []int{alt},
+				Msg:      fmt.Sprintf("%s of %s can never be matched", label, dec.Desc),
+			})
+		}
+	}
+	return ws
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+	"llstar/internal/meta"
+	"llstar/internal/token"
+)
+
+// analyze parses, validates, and analyzes grammar text.
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	g, err := meta.Parse("test.g", src)
+	if err != nil {
+		t.Fatalf("parse grammar: %v", err)
+	}
+	if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := Analyze(g, Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+// types converts names/literals to token types via the vocabulary.
+func types(t *testing.T, g *grammar.Grammar, names ...string) []token.Type {
+	t.Helper()
+	out := make([]token.Type, len(names))
+	for i, n := range names {
+		var tt token.Type
+		if strings.HasPrefix(n, "'") {
+			tt = g.Vocab.Literal(strings.Trim(n, "'"))
+		} else if n == "EOF" {
+			tt = token.EOF
+		} else {
+			tt = g.Vocab.Lookup(n)
+		}
+		if tt == token.Invalid {
+			t.Fatalf("unknown token %q", n)
+		}
+		out[i] = tt
+	}
+	return out
+}
+
+// predict runs the decision's DFA over the named tokens.
+func predict(t *testing.T, res *Result, decision int, names ...string) (alt, used int) {
+	t.Helper()
+	alt, used, err := res.DFAs[decision].PredictTypes(types(t, res.Grammar, names...))
+	if err != nil {
+		t.Fatalf("predict %v: %v", names, err)
+	}
+	return alt, used
+}
+
+// decisionFor finds the rule-level decision for a rule name.
+func decisionFor(t *testing.T, res *Result, rule string) int {
+	t.Helper()
+	for _, di := range res.Decisions {
+		if di.Decision.Rule.Name == rule && di.Decision.Kind == 0 /* RuleDecision */ {
+			return di.Decision.ID
+		}
+	}
+	t.Fatalf("no rule decision for %s", rule)
+	return -1
+}
+
+// Figure 1: the lookahead DFA for rule s needs arbitrary lookahead to
+// separate alternatives 3 and 4 but uses minimal lookahead per input.
+const figure1Grammar = `
+grammar Fig1;
+s : ID
+  | ID '=' expr
+  | ('unsigned')* 'int' ID
+  | ('unsigned')* ID ID
+  ;
+expr : INT ;
+ID : ('a'..'z'|'A'..'Z')+ ;
+INT : ('0'..'9')+ ;
+`
+
+func TestFigure1DFA(t *testing.T) {
+	res := analyze(t, figure1Grammar)
+	dec := decisionFor(t, res, "s")
+	d := res.DFAs[dec]
+	if d.Fallback != "" {
+		t.Fatalf("rule s should get an exact DFA, got fallback: %s", d.Fallback)
+	}
+	if !d.Cyclic() {
+		t.Errorf("rule s DFA should be cyclic (arbitrary lookahead)")
+	}
+	info := res.Decisions[dec]
+	if info.Class != ClassCyclic {
+		t.Errorf("rule s should classify cyclic, got %v", info.Class)
+	}
+
+	// Upon int from "int x": immediately alternative 3 with k=1.
+	if alt, used := predict(t, res, dec, "'int'", "ID"); alt != 3 || used != 1 {
+		t.Errorf("int x: got alt %d with k=%d, want alt 3 with k=1", alt, used)
+	}
+	// Upon T from "Tx": k=2 to separate 1, 2, 4.
+	if alt, used := predict(t, res, dec, "ID", "EOF"); alt != 1 || used != 2 {
+		t.Errorf("T<EOF>: got alt %d k=%d, want alt 1 k=2", alt, used)
+	}
+	if alt, used := predict(t, res, dec, "ID", "'='", "INT"); alt != 2 || used != 2 {
+		t.Errorf("T=expr: got alt %d k=%d, want alt 2 k=2", alt, used)
+	}
+	if alt, used := predict(t, res, dec, "ID", "ID"); alt != 4 || used != 2 {
+		t.Errorf("T x: got alt %d k=%d, want alt 4 k=2", alt, used)
+	}
+	// Upon unsigned: scan arbitrarily far for int vs ID ID.
+	if alt, _ := predict(t, res, dec, "'unsigned'", "'unsigned'", "'unsigned'", "'int'", "ID"); alt != 3 {
+		t.Errorf("unsigned* int: got alt %d, want 3", alt)
+	}
+	if alt, _ := predict(t, res, dec, "'unsigned'", "'unsigned'", "'unsigned'", "ID", "ID"); alt != 4 {
+		t.Errorf("unsigned* ID ID: got alt %d, want 4", alt)
+	}
+
+	if len(res.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", res.Warnings)
+	}
+}
+
+// Figure 2: recursion in one alternative; with m=1 the DFA matches a
+// bounded number of '-' and then fails over to backtracking.
+const figure2Grammar = `
+grammar Fig2;
+options { backtrack=true; }
+t : ('-')* ID
+  | expr
+  ;
+expr : INT | '-' expr ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+`
+
+func TestFigure2DFA(t *testing.T) {
+	res := analyze(t, figure2Grammar)
+	dec := decisionFor(t, res, "t")
+	d := res.DFAs[dec]
+	info := res.Decisions[dec]
+	if info.Class != ClassBacktrack {
+		t.Fatalf("rule t should classify backtrack, got %v (fallback=%q)", info.Class, d.Fallback)
+	}
+	// Immediate choice on first symbol x or 1.
+	if alt, used := predict(t, res, dec, "ID"); alt != 1 || used != 1 {
+		t.Errorf("x: got alt %d k=%d, want alt 1 k=1", alt, used)
+	}
+	if alt, used := predict(t, res, dec, "INT"); alt != 2 || used != 1 {
+		t.Errorf("1: got alt %d k=%d, want alt 2 k=1", alt, used)
+	}
+	// '-' leads toward speculation: walking '-' symbols must reach a
+	// state with predicate (backtracking) edges.
+	tt := types(t, res.Grammar, "'-'")[0]
+	s := d.Start
+	sawPreds := false
+	for i := 0; i < 10 && s != nil; i++ {
+		if len(s.PredEdges) > 0 {
+			sawPreds = true
+			break
+		}
+		s = s.Target(tt)
+	}
+	if !sawPreds {
+		t.Errorf("expected a backtracking state along '-' path")
+	}
+}
+
+// Section 2 / LPG comparison: LL(*) but not LR(k) for any k; ANTLR builds
+// a small cyclic DFA quickly.
+const lpgGrammar = `
+grammar LPG;
+a : b A X
+  | c A Y
+  ;
+b : ;
+c : ;
+A : 'a' ;
+X : 'x' ;
+Y : 'y' ;
+`
+
+// Note: the paper's grammar uses A+; EBNF on token A exercises the same
+// cyclic-DFA machinery.
+const lpgPlusGrammar = `
+grammar LPG;
+a : b (A)+ X
+  | c (A)+ Y
+  ;
+b : ;
+c : ;
+A : 'a' ;
+X : 'x' ;
+Y : 'y' ;
+`
+
+func TestLPGGrammarCyclic(t *testing.T) {
+	res := analyze(t, lpgPlusGrammar)
+	dec := decisionFor(t, res, "a")
+	d := res.DFAs[dec]
+	if d.Fallback != "" {
+		t.Fatalf("expected exact DFA, got fallback %q", d.Fallback)
+	}
+	if !d.Cyclic() {
+		t.Errorf("expected cyclic DFA for LPG grammar")
+	}
+	if alt, _ := predict(t, res, dec, "A", "A", "A", "A", "X"); alt != 1 {
+		t.Errorf("A+X: got alt %d, want 1", alt)
+	}
+	if alt, _ := predict(t, res, dec, "A", "A", "A", "A", "A", "A", "Y"); alt != 2 {
+		t.Errorf("A+Y: got alt %d, want 2", alt)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", res.Warnings)
+	}
+}
+
+func TestLPGFixedLookahead(t *testing.T) {
+	res := analyze(t, lpgGrammar)
+	dec := decisionFor(t, res, "a")
+	if alt, used := predict(t, res, dec, "A", "X"); alt != 1 || used != 2 {
+		t.Errorf("AX: got alt %d k=%d, want alt 1 k=2", alt, used)
+	}
+	if alt, _ := predict(t, res, dec, "A", "Y"); alt != 2 {
+		t.Errorf("AY: got alt %d, want 2", alt)
+	}
+}
+
+// Figure 6 / Section 5.4: S → Ac | Ad with recursive A has recursion in
+// both alternatives; analysis must abort and fall back (the paper:
+// "we terminate DFA construction for nonterminal A upon discovering
+// recursion in more than one alternative").
+const figure6Grammar = `
+grammar Fig6;
+s : a C
+  | a D
+  ;
+a : A a | B ;
+A : 'a' ;
+B : 'b' ;
+C : 'c' ;
+D : 'd' ;
+`
+
+func TestFigure6NonLLRegular(t *testing.T) {
+	res := analyze(t, figure6Grammar)
+	dec := decisionFor(t, res, "s")
+	d := res.DFAs[dec]
+	if d.Fallback == "" {
+		t.Fatalf("expected fallback DFA for non-LL-regular decision")
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if w.Decision == dec && w.Kind == WarnNonLLRegular {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected non-LL-regular warning, got %v", res.Warnings)
+	}
+}
+
+// Ambiguity: identical alternatives resolve to the lowest number and the
+// higher one is reported dead (the PEG A → a | ab hazard analogue the
+// paper says ANTLR can detect statically).
+func TestAmbiguityAndDeadProduction(t *testing.T) {
+	res := analyze(t, `
+grammar Amb;
+a : X | X ;
+X : 'x' ;
+`)
+	dec := decisionFor(t, res, "a")
+	if alt, _ := predict(t, res, dec, "X"); alt != 1 {
+		t.Errorf("ambiguous input predicted alt %d, want 1", alt)
+	}
+	var sawAmb, sawDead bool
+	for _, w := range res.Warnings {
+		if w.Kind == WarnAmbiguity {
+			sawAmb = true
+		}
+		if w.Kind == WarnDeadProduction {
+			sawDead = true
+		}
+	}
+	if !sawAmb || !sawDead {
+		t.Errorf("want ambiguity+dead warnings, got %v", res.Warnings)
+	}
+}
+
+// PEG hazard A → a | a b is NOT a hazard for LL(*): unlike PEGs, both
+// productions remain live.
+func TestPEGHazardHandled(t *testing.T) {
+	res := analyze(t, `
+grammar Haz;
+a : X | X Y ;
+X : 'x' ;
+Y : 'y' ;
+`)
+	dec := decisionFor(t, res, "a")
+	if alt, _ := predict(t, res, dec, "X", "EOF"); alt != 1 {
+		t.Errorf("x$: want alt 1")
+	}
+	if alt, _ := predict(t, res, dec, "X", "Y"); alt != 2 {
+		t.Errorf("xy: want alt 2 (dead under PEG, live under LL(*))")
+	}
+	for _, w := range res.Warnings {
+		if w.Kind == WarnDeadProduction {
+			t.Errorf("no production should be dead: %v", w)
+		}
+	}
+}
+
+// Semantic predicates resolve an otherwise ambiguous decision
+// (Section 4.2/5.2 predicated example).
+func TestPredicateResolution(t *testing.T) {
+	res := analyze(t, `
+grammar Preds;
+a : {isType()}? X | {isVar()}? X ;
+X : 'x' ;
+`)
+	dec := decisionFor(t, res, "a")
+	d := res.DFAs[dec]
+	if !d.HasSemPreds() {
+		t.Fatalf("expected semantic predicate edges")
+	}
+	for _, w := range res.Warnings {
+		if w.Kind == WarnAmbiguity {
+			t.Errorf("predicates should suppress ambiguity warning: %v", w)
+		}
+	}
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed {
+		t.Errorf("sem-pred decision should still classify fixed, got %v", info.Class)
+	}
+}
+
+// A plain LL(1) decision: one token of lookahead, acyclic.
+func TestLL1Decision(t *testing.T) {
+	res := analyze(t, `
+grammar LL1;
+a : X b | Y b ;
+b : Z ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`)
+	dec := decisionFor(t, res, "a")
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed || info.FixedK != 1 {
+		t.Errorf("want fixed LL(1), got %v k=%d", info.Class, info.FixedK)
+	}
+	if alt, used := predict(t, res, dec, "X"); alt != 1 || used != 1 {
+		t.Errorf("X: alt %d k=%d", alt, used)
+	}
+}
+
+// The bracketed-identifier example from Section 5: A → [ A ] | id has a
+// context-free continuation language but an LL(1)-separable lookahead.
+func TestBracketLL1(t *testing.T) {
+	res := analyze(t, `
+grammar Brack;
+a : LB a RB | ID ;
+LB : '[' ;
+RB : ']' ;
+ID : ('a'..'z')+ ;
+`)
+	dec := decisionFor(t, res, "a")
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed || info.FixedK != 1 {
+		t.Errorf("want fixed LL(1), got %v k=%d (fallback=%q)", info.Class, info.FixedK, res.DFAs[dec].Fallback)
+	}
+	if alt, _ := predict(t, res, dec, "LB"); alt != 1 {
+		t.Errorf("[: want alt 1")
+	}
+	if alt, _ := predict(t, res, dec, "ID"); alt != 2 {
+		t.Errorf("id: want alt 2")
+	}
+}
+
+// EBNF loop decisions get exit alternatives; greedy loops predict
+// iteration on body tokens and exit otherwise.
+func TestLoopDecision(t *testing.T) {
+	res := analyze(t, `
+grammar Loop;
+a : (X)* Y ;
+X : 'x' ;
+Y : 'y' ;
+`)
+	// The only decision is the loop.
+	if len(res.Decisions) != 1 {
+		t.Fatalf("want 1 decision, got %d", len(res.Decisions))
+	}
+	dec := res.Decisions[0].Decision.ID
+	if alt, _ := predict(t, res, dec, "X"); alt != 1 {
+		t.Errorf("x: want iterate (alt 1)")
+	}
+	if alt, _ := predict(t, res, dec, "Y"); alt != 2 {
+		t.Errorf("y: want exit (alt 2)")
+	}
+}
+
+// Fixed-k cap: with k=1 a decision that needs k=2 must be resolved at
+// depth 1 (by order, with a warning) instead of building deeper DFA.
+func TestFixedKCap(t *testing.T) {
+	res := analyze(t, `
+grammar K1;
+options { k=1; }
+a : X Y | X Z ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`)
+	dec := decisionFor(t, res, "a")
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed || info.FixedK > 1 {
+		t.Errorf("k=1 cap violated: %v k=%d", info.Class, info.FixedK)
+	}
+	sawWarn := false
+	for _, w := range res.Warnings {
+		if w.Decision == dec {
+			sawWarn = true
+		}
+	}
+	if !sawWarn {
+		t.Errorf("expected a warning about the k=1 resolution")
+	}
+}
+
+func TestFixedKHistogram(t *testing.T) {
+	res := analyze(t, `
+grammar H;
+a : X | Y ;
+b : X Y | X Z ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`)
+	hist := res.FixedKHistogram()
+	if hist[1] != 1 || hist[2] != 1 {
+		t.Errorf("histogram = %v, want one k=1 and one k=2", hist)
+	}
+}
+
+// PEG-mode (backtrack=true) decisions that the analysis can make
+// deterministic must not be counted as backtracking — the paper's
+// "ANTLR strips away syntactic predicates" behavior.
+func TestPEGModeStripsBacktracking(t *testing.T) {
+	res := analyze(t, `
+grammar Strip;
+options { backtrack=true; }
+a : X b | Y b ;
+b : Z ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`)
+	dec := decisionFor(t, res, "a")
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed {
+		t.Errorf("PEG-mode LL(1) decision should be fixed, got %v", info.Class)
+	}
+	if res.DFAs[dec].HasBacktrack() {
+		t.Errorf("no backtracking edges expected")
+	}
+}
+
+// Explicit syntactic predicate forces speculation on the gated
+// alternative when lookahead conflicts.
+func TestExplicitSynPred(t *testing.T) {
+	res := analyze(t, `
+grammar Syn;
+a : (X Y)=> X Y | X Z ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`)
+	dec := decisionFor(t, res, "a")
+	// LL(2) separates these, so the synpred gets stripped; the decision
+	// stays fixed. (ANTLR would also strip it.)
+	info := res.Decisions[dec]
+	if info.Class != ClassFixed {
+		t.Errorf("strippable synpred should leave a fixed decision, got %v", info.Class)
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	res := analyze(t, figure1Grammar)
+	if res.NumDecisions() == 0 {
+		t.Fatal("expected decisions")
+	}
+	total := res.CountClass(ClassFixed) + res.CountClass(ClassCyclic) + res.CountClass(ClassBacktrack)
+	if total != res.NumDecisions() {
+		t.Errorf("class counts %d != decisions %d", total, res.NumDecisions())
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed not recorded")
+	}
+}
+
+var _ = dfa.PredEdge{} // keep import if assertions above change

@@ -1,0 +1,218 @@
+// Package core implements the LL(*) grammar analysis algorithm (Section 5
+// of the paper): for every parsing decision it runs a modified subset
+// construction over the ATN (Algorithms 8–11) to build a lookahead DFA,
+// resolving ambiguities with predicates or production order, guarding
+// recursion with the depth governor m (Section 5.3), and falling back to
+// approximate LL(1)-plus-backtracking when the decision is likely not
+// LL-regular (Section 5.4).
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"llstar/internal/atn"
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+)
+
+// stack is an immutable ATN call stack (γ in the paper). The top of the
+// stack is the most recent return state. nil is the empty stack, which
+// Definition 6 treats as a wildcard.
+type stack struct {
+	state  *atn.State
+	parent *stack
+	size   int
+	key    string
+}
+
+func push(st *stack, s *atn.State) *stack {
+	n := &stack{state: s, parent: st, size: 1}
+	if st != nil {
+		n.size += st.size
+		n.key = strconv.Itoa(s.ID) + "." + st.key
+	} else {
+		n.key = strconv.Itoa(s.ID)
+	}
+	return n
+}
+
+func (st *stack) count(s *atn.State) int {
+	n := 0
+	for p := st; p != nil; p = p.parent {
+		if p.state == s {
+			n++
+		}
+	}
+	return n
+}
+
+// equivStacks implements Definition 6 stack equivalence: equal, at least
+// one empty, or the shorter equal to the top portion of the longer (the
+// paper's "suffix" in leftmost-top string notation).
+func equivStacks(a, b *stack) bool {
+	for a != nil && b != nil {
+		if a.state != b.state {
+			return false
+		}
+		a, b = a.parent, b.parent
+	}
+	return true // one (or both) ran out: empty or top-aligned prefix
+}
+
+// predRef is the hoisted predicate attached to an alternative's
+// configurations (π in the paper). Kind reuses the DFA predicate kinds:
+// semantic, compiled syntactic predicate, or PEG-mode auto speculation.
+type predRef struct {
+	kind  dfa.PredKind
+	sem   *grammar.SemPred
+	synID int
+	alt   int
+}
+
+func (p *predRef) key() string {
+	if p == nil {
+		return "-"
+	}
+	switch p.kind {
+	case dfa.PredSem:
+		return "s:" + p.sem.Text
+	case dfa.PredSyn:
+		return "y:" + strconv.Itoa(p.synID)
+	case dfa.PredTrue:
+		return "t:" + strconv.Itoa(p.alt)
+	default:
+		return "a:" + strconv.Itoa(p.alt)
+	}
+}
+
+// config is an ATN configuration (p, i, γ, π) with the wasResolved mark
+// used by Algorithms 10–11.
+type config struct {
+	state    *atn.State
+	alt      int
+	stk      *stack
+	pred     *predRef
+	resolved bool
+}
+
+func (c *config) key() string {
+	k := strconv.Itoa(c.state.ID) + "|" + strconv.Itoa(c.alt) + "|"
+	if c.stk != nil {
+		k += c.stk.key
+	}
+	return k + "|" + c.pred.key()
+}
+
+// groupKey identifies the (state, alt, pred) group for subsumption.
+func (c *config) groupKey() string {
+	return strconv.Itoa(c.state.ID) + "|" + strconv.Itoa(c.alt) + "|" + c.pred.key()
+}
+
+// dState is a DFA state under construction: a set of ATN configurations
+// plus the bookkeeping from Algorithms 8–9.
+type dState struct {
+	configs []*config
+	groups  map[string][]*config // groupKey -> configs, for subsumption
+	busy    map[string]bool      // closure busy set
+
+	recursiveAlts map[int]bool
+	overflowed    bool
+
+	depth int // token edges from D0, for fixed-k capping
+
+	ds *dfa.State // materialized DFA state, once interned
+}
+
+func newDState() *dState {
+	return &dState{
+		groups:        make(map[string][]*config),
+		busy:          make(map[string]bool),
+		recursiveAlts: make(map[int]bool),
+	}
+}
+
+// add inserts c unless an equivalent (Definition 6) configuration already
+// subsumes it; a more general c (shorter/empty stack) replaces subsumed
+// entries. Reports whether the set changed.
+func (D *dState) add(c *config) bool {
+	gk := c.groupKey()
+	group := D.groups[gk]
+	for i, e := range group {
+		if equivStacks(e.stk, c.stk) {
+			if sizeOf(e.stk) <= sizeOf(c.stk) {
+				return false // existing is as general or more
+			}
+			// c is more general: replace in place.
+			group[i] = c
+			for j, o := range D.configs {
+				if o == e {
+					D.configs[j] = c
+					break
+				}
+			}
+			return true
+		}
+	}
+	D.groups[gk] = append(group, c)
+	D.configs = append(D.configs, c)
+	return true
+}
+
+func sizeOf(st *stack) int {
+	if st == nil {
+		return 0
+	}
+	return st.size
+}
+
+// signature returns a canonical identity for the configuration set,
+// including resolution marks (Definition 6 state equivalence, after
+// subsumption canonicalization).
+func (D *dState) signature() string {
+	keys := make([]string, 0, len(D.configs))
+	for _, c := range D.configs {
+		k := c.key()
+		if c.resolved {
+			k += "|R"
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// alts returns the distinct predicted alternatives, ascending.
+func (D *dState) alts() []int {
+	seen := map[int]bool{}
+	for _, c := range D.configs {
+		seen[c.alt] = true
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// configsDesc renders the configuration set for diagnostics.
+func (D *dState) configsDesc() string {
+	var parts []string
+	for _, c := range D.configs {
+		s := "(" + c.state.String() + "," + strconv.Itoa(c.alt)
+		if c.stk != nil {
+			s += ",[" + c.stk.key + "]"
+		}
+		if c.pred != nil {
+			s += "," + c.pred.key()
+		}
+		if c.resolved {
+			s += ",resolved"
+		}
+		parts = append(parts, s+")")
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"llstar/internal/atn"
+	"llstar/internal/dfa"
+	"llstar/internal/token"
+)
+
+// errLikelyNonLLRegular aborts DFA construction when closure detects
+// recursive submachine invocations in more than one alternative
+// (Section 5.4).
+var errLikelyNonLLRegular = errors.New("likely non-LL-regular decision")
+
+// errResourceLimit aborts construction when the DFA grows past
+// MaxDFAStates.
+var errResourceLimit = errors.New("DFA construction resource limit")
+
+// decAnalysis constructs the lookahead DFA for one decision.
+type decAnalysis struct {
+	m      *atn.Machine
+	dec    *atn.Decision
+	opts   Options
+	shared *firstSets
+
+	d        *dfa.DFA
+	interned map[string]*dfa.State // signature -> materialized state
+	work     []*dState
+	warnings []Warning
+}
+
+func newDecAnalysis(m *atn.Machine, dec *atn.Decision, opts Options, shared *firstSets) *decAnalysis {
+	return &decAnalysis{
+		m:      m,
+		dec:    dec,
+		opts:   opts,
+		shared: shared,
+		d:      dfa.New(dec.ID, dec.Desc),
+	}
+}
+
+// hoistedPred returns the predicate gating alternative alt: an explicit
+// semantic predicate, an explicit syntactic predicate (erased to a
+// semantic predicate per Section 4.1), or — in PEG mode — the auto
+// speculation predicate. Loop/optional exit branches are never gated.
+func (a *decAnalysis) hoistedPred(alt int) *predRef {
+	if sp := a.dec.SemPreds[alt-1]; sp != nil {
+		return &predRef{kind: dfa.PredSem, sem: sp, alt: alt}
+	}
+	if id := a.dec.SynPreds[alt-1]; id >= 0 {
+		return &predRef{kind: dfa.PredSyn, synID: id, alt: alt}
+	}
+	if a.dec.HasExitAlt() && alt == a.dec.NAlts {
+		// Loop/optional exit: always viable. This is what lets a
+		// predicated precedence loop (Section 1.1) exit when the
+		// operator predicate fails, and what makes PEG-mode loops exit
+		// when every speculative body attempt fails.
+		return &predRef{kind: dfa.PredTrue, alt: alt}
+	}
+	if a.dec.Backtrack {
+		return &predRef{kind: dfa.PredAuto, alt: alt}
+	}
+	return nil
+}
+
+// construct is createDFA (Algorithm 8). On a likely-non-LL-regular abort
+// or resource exhaustion it builds the Section 5.4 fallback instead.
+func (a *decAnalysis) construct() *dfa.DFA {
+	d, err := a.constructExact()
+	if err != nil {
+		kind := WarnNonLLRegular
+		msg := fmt.Sprintf("%s: recursion in more than one alternative; failing over to LL(1) with backtracking", a.dec.Desc)
+		if errors.Is(err, errResourceLimit) {
+			kind = WarnResourceLimit
+			msg = fmt.Sprintf("%s: DFA construction exceeded %d states; failing over to LL(1) with backtracking", a.dec.Desc, a.opts.MaxDFAStates)
+		}
+		a.warnings = append(a.warnings, Warning{Decision: a.dec.ID, Kind: kind, Msg: msg})
+		return a.constructFallback(err.Error())
+	}
+	return d
+}
+
+func (a *decAnalysis) constructExact() (*dfa.DFA, error) {
+	a.interned = make(map[string]*dfa.State)
+	a.work = nil
+
+	D0 := newDState()
+	for alt := 1; alt <= a.dec.NAlts; alt++ {
+		c := &config{state: a.dec.AltStart[alt-1], alt: alt, pred: a.hoistedPred(alt)}
+		if err := a.closure(D0, c); err != nil {
+			return nil, err
+		}
+	}
+	a.d.Start = a.materialize(D0)
+
+	for len(a.work) > 0 {
+		D := a.work[0]
+		a.work = a.work[1:]
+		if err := a.expand(D); err != nil {
+			return nil, err
+		}
+	}
+	return a.d, nil
+}
+
+// materialize interns D as a DFA state (or returns the existing one) and
+// queues it for edge expansion if it predicts more than one alternative.
+func (a *decAnalysis) materialize(D *dState) *dfa.State {
+	sig := D.signature()
+	if s, ok := a.interned[sig]; ok {
+		return s
+	}
+	s := a.d.NewState()
+	s.Configs = D.configsDesc()
+	a.interned[sig] = s
+	D.ds = s
+
+	// Predicate edges for resolved configurations (end of Algorithm 8's
+	// main loop), one per alternative, in precedence order.
+	predByAlt := map[int]*predRef{}
+	for _, c := range D.configs {
+		if c.resolved && c.pred != nil {
+			predByAlt[c.alt] = c.pred
+		}
+	}
+	if len(predByAlt) > 0 {
+		alts := make([]int, 0, len(predByAlt))
+		for alt := range predByAlt {
+			alts = append(alts, alt)
+		}
+		sort.Ints(alts)
+		for i, alt := range alts {
+			p := predByAlt[alt]
+			e := dfa.PredEdge{Alt: alt}
+			switch p.kind {
+			case dfa.PredSem:
+				e.Kind, e.Sem = dfa.PredSem, p.sem
+			case dfa.PredSyn:
+				e.Kind, e.SynID = dfa.PredSyn, p.synID
+			case dfa.PredTrue:
+				e.Kind = dfa.PredTrue
+			default:
+				e.Kind = dfa.PredAuto
+				// The lowest-precedence speculation becomes the default
+				// branch: if everything else failed, parse it normally
+				// and let errors surface with full context.
+				if i == len(alts)-1 && !a.hasUnresolved(D) {
+					e.Kind = dfa.PredTrue
+				}
+			}
+			s.PredEdges = append(s.PredEdges, e)
+		}
+	}
+
+	if a.hasUnresolved(D) {
+		a.work = append(a.work, D)
+	}
+	return s
+}
+
+// hasUnresolved reports whether D still has configurations that should be
+// pursued with more lookahead.
+func (a *decAnalysis) hasUnresolved(D *dState) bool {
+	for _, c := range D.configs {
+		if !c.resolved {
+			return true
+		}
+	}
+	return false
+}
+
+// expand computes D's outgoing token edges: move+closure per symbol class
+// (the TD loop of Algorithm 8).
+func (a *decAnalysis) expand(D *dState) error {
+	mentioned, hasOther := a.symbolClasses(D)
+
+	for _, t := range mentioned {
+		tt := t
+		target, err := a.moveClosure(D, func(tr *atn.Trans) bool { return tr.Matches(tt) })
+		if err != nil {
+			return err
+		}
+		if target != nil {
+			D.ds.Edges[tt] = target
+		}
+	}
+	if hasOther {
+		// All token types not explicitly mentioned behave identically:
+		// they can only be matched by wildcard or negated-set edges.
+		target, err := a.moveClosure(D, func(tr *atn.Trans) bool {
+			switch tr.Kind {
+			case atn.TWildcard:
+				return true
+			case atn.TSet:
+				return tr.Negated
+			}
+			return false
+		})
+		if err != nil {
+			return err
+		}
+		if target != nil {
+			D.ds.Default = target
+		}
+	}
+	return nil
+}
+
+// symbolClasses returns the token types explicitly mentioned by D's
+// terminal transitions (sorted) and whether an "everything else" class
+// exists (wildcard or negated-set transitions).
+func (a *decAnalysis) symbolClasses(D *dState) ([]token.Type, bool) {
+	set := token.NewSet()
+	hasEOF := false
+	hasOther := false
+	for _, c := range D.configs {
+		if c.resolved {
+			continue
+		}
+		for _, tr := range c.state.Trans {
+			switch tr.Kind {
+			case atn.TAtom:
+				if tr.Sym == token.EOF {
+					hasEOF = true
+				} else {
+					set.Add(tr.Sym)
+				}
+			case atn.TSet:
+				set.AddSet(tr.Set)
+				if tr.Negated {
+					hasOther = true
+				}
+			case atn.TWildcard:
+				hasOther = true
+			}
+		}
+	}
+	types := set.Types()
+	if hasEOF {
+		types = append(types, token.EOF)
+	}
+	return types, hasOther
+}
+
+// moveClosure is move(D, a) followed by closure of each reached
+// configuration, then resolution and materialization of the target state.
+// It returns nil if no configuration moves on this class.
+func (a *decAnalysis) moveClosure(D *dState, match func(*atn.Trans) bool) (*dfa.State, error) {
+	Dp := newDState()
+	Dp.depth = D.depth + 1
+	moved := false
+	for _, c := range D.configs {
+		if c.resolved {
+			continue
+		}
+		for _, tr := range c.state.Trans {
+			if !match(tr) {
+				continue
+			}
+			moved = true
+			nc := &config{state: tr.To, alt: c.alt, stk: c.stk, pred: c.pred}
+			if err := a.closure(Dp, nc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !moved || len(Dp.configs) == 0 {
+		return nil, nil
+	}
+
+	a.resolve(Dp)
+	if a.opts.MaxK > 0 && Dp.depth >= a.opts.MaxK && a.hasUnresolved(Dp) && len(Dp.alts()) > 1 {
+		// Fixed-k mode: out of lookahead budget; force a resolution now.
+		a.forceResolve(Dp, fmt.Sprintf("exceeds fixed lookahead k=%d", a.opts.MaxK))
+	}
+
+	alts := Dp.alts()
+	if len(alts) == 1 {
+		// All configurations predict the same production: accept state,
+		// no more lookahead needed (this is what makes the DFA match the
+		// minimal lookahead sets LA_i rather than all of R_i).
+		return a.d.Accept(alts[0]), nil
+	}
+	if a.d.NumStates() >= a.opts.MaxDFAStates {
+		return nil, errResourceLimit
+	}
+	return a.materialize(Dp), nil
+}
+
+// closure is Algorithm 9: it adds c and every configuration reachable
+// from c via non-terminal edges, simulating rule invocation and return.
+func (a *decAnalysis) closure(D *dState, c *config) error {
+	key := c.key()
+	if D.busy[key] {
+		return nil
+	}
+	D.busy[key] = true
+	D.add(c)
+
+	p := c.state
+	if p.Stop {
+		if c.stk != nil {
+			// Pop the return state and continue there.
+			if err := a.closure(D, &config{state: c.stk.state, alt: c.alt, stk: c.stk.parent, pred: c.pred}); err != nil {
+				return err
+			}
+		} else {
+			// Empty stack: statically unknown caller. Chase every call
+			// site of this rule — and EOF, since any rule can be invoked
+			// as the start rule, in which case nothing follows it.
+			if err := a.closure(D, &config{state: a.m.EOFState(), alt: c.alt, pred: c.pred}); err != nil {
+				return err
+			}
+			for _, f := range a.followRefs(p.RuleIndex) {
+				if err := a.closure(D, &config{state: f, alt: c.alt, pred: c.pred}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for _, tr := range p.Trans {
+		switch tr.Kind {
+		case atn.TRule:
+			depth := 0
+			if c.stk != nil {
+				depth = c.stk.count(tr.Follow)
+			}
+			if depth == 1 {
+				D.recursiveAlts[c.alt] = true
+				if len(D.recursiveAlts) > 1 {
+					return errLikelyNonLLRegular
+				}
+			}
+			if depth >= a.opts.M {
+				// Recursion governor m: stop pursuing this configuration
+				// (Section 5.3) and mark the state overflowed.
+				D.overflowed = true
+				return nil
+			}
+			if err := a.closure(D, &config{state: tr.Start, alt: c.alt, stk: push(c.stk, tr.Follow), pred: c.pred}); err != nil {
+				return err
+			}
+		case atn.TEpsilon, atn.TPred, atn.TAction:
+			if err := a.closure(D, &config{state: tr.To, alt: c.alt, stk: c.stk, pred: c.pred}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// followRefs returns the call-site follow states for a rule index,
+// guarding synthetic (negative) indexes used by synpred fragments.
+func (a *decAnalysis) followRefs(ruleIndex int) []*atn.State {
+	if ruleIndex < 0 || ruleIndex >= len(a.m.FollowRefs) {
+		return nil
+	}
+	return a.m.FollowRefs[ruleIndex]
+}

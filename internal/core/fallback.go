@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"llstar/internal/atn"
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// firstInfo is an approximate FIRST set for an alternative or rule: the
+// token types it can start with, whether it can start with "anything"
+// (wildcard / negated-set / unknown follow), and whether it can match
+// nothing at all (transparent — its continuation is the enclosing
+// context, statically unknown here).
+type firstInfo struct {
+	set         *token.Set
+	any         bool
+	transparent bool
+}
+
+// firstSets holds per-rule approximate FIRST data shared across decisions.
+type firstSets struct {
+	m        *atn.Machine
+	nullable []bool       // by parser-rule index
+	first    []*firstInfo // by parser-rule index
+}
+
+func computeFirstSets(m *atn.Machine) *firstSets {
+	g := m.Grammar
+	byName := grammar.NullableRules(g)
+	fs := &firstSets{
+		m:        m,
+		nullable: make([]bool, len(g.Rules)),
+		first:    make([]*firstInfo, len(g.Rules)),
+	}
+	for _, r := range g.Rules {
+		fs.nullable[r.Index] = byName[r.Name]
+		fs.first[r.Index] = &firstInfo{set: token.NewSet()}
+	}
+	// Fixpoint: rules may be mutually recursive.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range g.Rules {
+			info := fs.walkFirst(m.RuleStart[r.Index])
+			cur := fs.first[r.Index]
+			if !cur.set.Equal(info.set) || cur.any != info.any {
+				cur.set = info.set
+				cur.any = info.any
+				changed = true
+			}
+		}
+	}
+	return fs
+}
+
+// walkFirst computes the FIRST info reachable from an ATN state without
+// entering callee submachines (their FIRST sets are unioned in; nullable
+// callees are stepped over).
+func (fs *firstSets) walkFirst(start *atn.State) *firstInfo {
+	info := &firstInfo{set: token.NewSet()}
+	seen := map[int]bool{}
+	var walk func(s *atn.State)
+	walk = func(s *atn.State) {
+		if seen[s.ID] {
+			return
+		}
+		seen[s.ID] = true
+		if s.Stop {
+			info.transparent = true
+			return
+		}
+		for _, tr := range s.Trans {
+			switch tr.Kind {
+			case atn.TAtom:
+				info.set.Add(tr.Sym)
+			case atn.TSet:
+				if tr.Negated {
+					info.any = true
+				} else {
+					info.set.AddSet(tr.Set)
+				}
+			case atn.TWildcard:
+				info.any = true
+			case atn.TRule:
+				callee := fs.first[tr.RuleIndex]
+				info.set.AddSet(callee.set)
+				if callee.any {
+					info.any = true
+				}
+				if fs.nullable[tr.RuleIndex] {
+					walk(tr.Follow)
+				}
+			case atn.TEpsilon, atn.TPred, atn.TAction:
+				walk(tr.To)
+			}
+		}
+	}
+	walk(start)
+	return info
+}
+
+// constructFallback builds the Section 5.4 decision: approximate LL(1)
+// token dispatch, with backtracking/predicate states for tokens claimed
+// by more than one alternative.
+func (a *decAnalysis) constructFallback(reason string) *dfa.DFA {
+	d := dfa.New(a.dec.ID, a.dec.Desc)
+	d.Fallback = reason
+	start := d.NewState()
+	d.Start = start
+
+	n := a.dec.NAlts
+	alts := make([]*firstInfo, n)
+	for i := 0; i < n; i++ {
+		alts[i] = a.shared.walkFirst(a.dec.AltStart[i])
+	}
+
+	mentioned := token.NewSet()
+	for _, fi := range alts {
+		mentioned.AddSet(fi.set)
+	}
+
+	conflictStates := map[string]*dfa.State{}
+	target := func(owners []int) *dfa.State {
+		if len(owners) == 1 {
+			return d.Accept(owners[0])
+		}
+		key := ownersKey(owners)
+		if s, ok := conflictStates[key]; ok {
+			return s
+		}
+		s := d.NewState()
+		s.PredEdges = a.fallbackPredEdges(owners)
+		conflictStates[key] = s
+		return s
+	}
+
+	// Owners of any token not explicitly mentioned: alternatives that can
+	// start with anything, or that can match nothing (their continuation
+	// is unknown).
+	var anyOwners []int
+	for i, fi := range alts {
+		if fi.any || fi.transparent {
+			anyOwners = append(anyOwners, i+1)
+		}
+	}
+
+	for _, t := range mentioned.Types() {
+		var owners []int
+		for i, fi := range alts {
+			if fi.set.Contains(t) || fi.any || fi.transparent {
+				owners = append(owners, i+1)
+			}
+		}
+		if len(owners) > 0 {
+			start.Edges[t] = target(owners)
+		}
+	}
+	if len(anyOwners) > 0 {
+		start.Default = target(anyOwners)
+	}
+	// EOF can only follow transparent alternatives.
+	var eofOwners []int
+	for i, fi := range alts {
+		if fi.transparent {
+			eofOwners = append(eofOwners, i+1)
+		}
+	}
+	if len(eofOwners) > 0 {
+		start.Edges[token.EOF] = target(eofOwners)
+	}
+	return d
+}
+
+func ownersKey(owners []int) string {
+	parts := make([]string, len(owners))
+	for i, o := range owners {
+		parts[i] = strconv.Itoa(o)
+	}
+	return strings.Join(parts, ",")
+}
+
+// fallbackPredEdges resolves a token claimed by several alternatives:
+// predicate edges in precedence order if every owner has one, otherwise a
+// static order-based resolution with a warning.
+func (a *decAnalysis) fallbackPredEdges(owners []int) []dfa.PredEdge {
+	sort.Ints(owners)
+	preds := make([]*predRef, len(owners))
+	all := true
+	for i, alt := range owners {
+		preds[i] = a.hoistedPred(alt)
+		if preds[i] == nil {
+			// The `(α)=> a | b` idiom: a single unpredicated owner in
+			// last (lowest-precedence) position is the default branch.
+			if i == len(owners)-1 && all {
+				preds[i] = &predRef{kind: dfa.PredTrue, alt: alt}
+			} else {
+				all = false
+			}
+		}
+	}
+	if !all {
+		min := owners[0]
+		a.warnings = append(a.warnings, Warning{
+			Decision: a.dec.ID,
+			Kind:     WarnAmbiguity,
+			Alts:     owners,
+			Msg: fmt.Sprintf("%s: approximate lookahead cannot separate alternatives %v; resolving in favor of alternative %d",
+				a.dec.Desc, owners, min),
+		})
+		return []dfa.PredEdge{{Kind: dfa.PredTrue, Alt: min}}
+	}
+	edges := make([]dfa.PredEdge, 0, len(owners))
+	for i, alt := range owners {
+		p := preds[i]
+		e := dfa.PredEdge{Alt: alt}
+		switch p.kind {
+		case dfa.PredSem:
+			e.Kind, e.Sem = dfa.PredSem, p.sem
+		case dfa.PredSyn:
+			e.Kind, e.SynID = dfa.PredSyn, p.synID
+		case dfa.PredTrue:
+			e.Kind = dfa.PredTrue
+		default:
+			e.Kind = dfa.PredAuto
+			if i == len(owners)-1 {
+				e.Kind = dfa.PredTrue
+			}
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"llstar/internal/dfa"
+)
+
+// resolve is Algorithm 10: detect conflicting configurations in D and
+// resolve them — with predicates if every conflicting alternative has
+// one, otherwise statically in favor of the lowest-numbered alternative
+// (production order, the paper's ambiguity policy).
+func (a *decAnalysis) resolve(D *dState) {
+	conflicts := a.conflictSet(D)
+	if len(conflicts) == 0 && !D.overflowed {
+		return
+	}
+	if len(conflicts) == 0 {
+		// Recursion overflow: the state may still predict multiple
+		// alternatives even without formally conflicting configurations.
+		alts := D.alts()
+		if len(alts) <= 1 {
+			return
+		}
+		conflicts = alts
+	}
+
+	if a.resolveWithPreds(D, conflicts) {
+		return
+	}
+
+	// Remove every conflicting configuration not belonging to the
+	// lowest-numbered conflicting alternative.
+	min := conflicts[0]
+	a.removeAlts(D, conflicts[1:])
+
+	kind := WarnAmbiguity
+	verb := "input can be matched by multiple alternatives"
+	if D.overflowed {
+		kind = WarnRecursionOverflow
+		verb = "recursion overflow while computing lookahead"
+	}
+	a.warnings = append(a.warnings, Warning{
+		Decision: a.dec.ID,
+		Kind:     kind,
+		Alts:     conflicts,
+		Msg: fmt.Sprintf("%s: %s between alternatives %v; resolving in favor of alternative %d",
+			a.dec.Desc, verb, conflicts, min),
+	})
+}
+
+// conflictSet returns the sorted set of alternatives involved in
+// conflicting configurations (Definition 7): same ATN state, equivalent
+// stacks, different alternatives.
+func (a *decAnalysis) conflictSet(D *dState) []int {
+	byState := map[int][]*config{}
+	for _, c := range D.configs {
+		byState[c.state.ID] = append(byState[c.state.ID], c)
+	}
+	conflict := map[int]bool{}
+	for _, group := range byState {
+		if len(group) < 2 {
+			continue
+		}
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				ci, cj := group[i], group[j]
+				if ci.alt != cj.alt && equivStacks(ci.stk, cj.stk) {
+					conflict[ci.alt] = true
+					conflict[cj.alt] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(conflict))
+	for alt := range conflict {
+		out = append(out, alt)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// resolveWithPreds is Algorithm 11: if every conflicting alternative has
+// a (hoisted) predicate, mark its configurations resolved so the DFA gets
+// predicate transitions instead of an ambiguity warning. One extension
+// beyond the paper's strict rule, matching ANTLR's behavior for the
+// standard `(α)=> a | b` idiom: when exactly one conflicting alternative
+// lacks a predicate and it is the lowest-precedence (highest-numbered)
+// one, it becomes the always-true default branch.
+func (a *decAnalysis) resolveWithPreds(D *dState, conflicts []int) bool {
+	havePred := map[int]bool{}
+	for _, c := range D.configs {
+		if c.pred != nil {
+			havePred[c.alt] = true
+		}
+	}
+	var unpred []int
+	for _, alt := range conflicts {
+		if !havePred[alt] {
+			unpred = append(unpred, alt)
+		}
+	}
+	var defaultAlt int
+	switch {
+	case len(unpred) == 0:
+		// Algorithm 11's normal success case.
+	case len(unpred) == 1 && unpred[0] == conflicts[len(conflicts)-1]:
+		defaultAlt = unpred[0]
+	default:
+		return false
+	}
+	inConflict := map[int]bool{}
+	for _, alt := range conflicts {
+		inConflict[alt] = true
+	}
+	for _, c := range D.configs {
+		if !inConflict[c.alt] {
+			continue
+		}
+		if c.alt == defaultAlt && c.pred == nil {
+			c.pred = &predRef{kind: dfa.PredTrue, alt: c.alt}
+		}
+		c.resolved = true
+	}
+	return true
+}
+
+// forceResolve resolves all of D's remaining alternatives immediately —
+// used when a fixed lookahead budget k runs out.
+func (a *decAnalysis) forceResolve(D *dState, reason string) {
+	alts := a.unresolvedAlts(D)
+	if len(alts) <= 1 {
+		return
+	}
+	if a.resolveWithPreds(D, alts) {
+		return
+	}
+	min := alts[0]
+	a.removeAlts(D, alts[1:])
+	a.warnings = append(a.warnings, Warning{
+		Decision: a.dec.ID,
+		Kind:     WarnAmbiguity,
+		Alts:     alts,
+		Msg: fmt.Sprintf("%s: %s; resolving alternatives %v in favor of alternative %d",
+			a.dec.Desc, reason, alts, min),
+	})
+}
+
+func (a *decAnalysis) unresolvedAlts(D *dState) []int {
+	seen := map[int]bool{}
+	for _, c := range D.configs {
+		if !c.resolved {
+			seen[c.alt] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for alt := range seen {
+		out = append(out, alt)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// removeAlts deletes configurations belonging to the given alternatives
+// unless they are already predicate-resolved.
+func (a *decAnalysis) removeAlts(D *dState, alts []int) {
+	drop := map[int]bool{}
+	for _, alt := range alts {
+		drop[alt] = true
+	}
+	kept := D.configs[:0]
+	for _, c := range D.configs {
+		if drop[c.alt] && !c.resolved {
+			// Also remove from the subsumption group index.
+			gk := c.groupKey()
+			group := D.groups[gk]
+			for i, e := range group {
+				if e == c {
+					D.groups[gk] = append(group[:i], group[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	D.configs = kept
+}

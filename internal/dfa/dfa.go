@@ -1,0 +1,357 @@
+// Package dfa represents lookahead DFA (Definition 4 of the paper): DFA
+// over token types augmented with predicate transitions and accept states
+// that yield predicted production numbers. The LL(*) analysis in
+// internal/core produces one DFA per parsing decision; the runtime
+// simulates it against the token stream to pick an alternative.
+package dfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// PredKind classifies a predicate edge.
+type PredKind int
+
+const (
+	// PredSem evaluates a user semantic predicate {p}?.
+	PredSem PredKind = iota
+	// PredSyn speculatively matches a compiled syntactic predicate
+	// fragment (α)=>.
+	PredSyn
+	// PredAuto speculatively matches the alternative's own body (PEG
+	// mode auto-backtracking).
+	PredAuto
+	// PredTrue always succeeds: the default branch ANTLR leaves on the
+	// lowest conflicting alternative once all others are predicated.
+	PredTrue
+)
+
+// PredEdge is a predicate transition to the accept state for Alt.
+// Edges are evaluated in order; the first that holds wins.
+type PredEdge struct {
+	Kind  PredKind
+	Sem   *grammar.SemPred // PredSem
+	SynID int              // PredSyn
+	Alt   int
+}
+
+func (e PredEdge) String() string {
+	switch e.Kind {
+	case PredSem:
+		return fmt.Sprintf("{%s}? => %d", e.Sem.Text, e.Alt)
+	case PredSyn:
+		return fmt.Sprintf("synpred%d => %d", e.SynID+1, e.Alt)
+	case PredAuto:
+		return fmt.Sprintf("backtrack(alt %d) => %d", e.Alt, e.Alt)
+	default:
+		return fmt.Sprintf("true => %d", e.Alt)
+	}
+}
+
+// State is a lookahead-DFA state.
+type State struct {
+	ID int
+
+	// Edges maps a token type to the next state. Default, when non-nil,
+	// handles every token type without an explicit edge (except EOF);
+	// it arises from wildcard and negated-set transitions.
+	Edges   map[token.Type]*State
+	Default *State
+
+	// AcceptAlt, when nonzero, predicts that production (state f_i).
+	AcceptAlt int
+
+	// PredEdges resolve this state by predicates, evaluated in order,
+	// after no token edge matches (or immediately if the state has no
+	// token edges).
+	PredEdges []PredEdge
+
+	// Configs describes the ATN configurations this state was built
+	// from, for diagnostics and tests.
+	Configs string
+
+	// compiled is a dense edge table indexed by token type + 1 (so EOF
+	// lands at index 0), built by DFA.Compile for fast simulation.
+	compiled []*State
+}
+
+// Target returns the successor for token type t, or nil.
+func (s *State) Target(t token.Type) *State {
+	if s.compiled != nil {
+		idx := int(t) + 1
+		if idx >= 0 && idx < len(s.compiled) {
+			return s.compiled[idx]
+		}
+		if s.Default != nil && t != token.EOF {
+			return s.Default
+		}
+		return nil
+	}
+	if to, ok := s.Edges[t]; ok {
+		return to
+	}
+	if s.Default != nil && t != token.EOF {
+		return s.Default
+	}
+	return nil
+}
+
+// Compile builds dense edge tables for every state, sized for token
+// types up to maxType. Simulation afterwards is an array index per
+// token instead of a map lookup.
+func (d *DFA) Compile(maxType token.Type) {
+	n := int(maxType) + 2 // +1 for the EOF slot at index 0
+	for _, s := range d.States {
+		row := make([]*State, n)
+		if s.Default != nil {
+			for i := 1; i < n; i++ { // never EOF
+				row[i] = s.Default
+			}
+		}
+		for t, to := range s.Edges {
+			idx := int(t) + 1
+			if idx >= 0 && idx < n {
+				row[idx] = to
+			}
+		}
+		s.compiled = row
+	}
+}
+
+// SortedEdges returns edge labels in ascending type order for
+// deterministic iteration.
+func (s *State) SortedEdges() []token.Type {
+	out := make([]token.Type, 0, len(s.Edges))
+	for t := range s.Edges {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DFA is the lookahead automaton for one parsing decision.
+type DFA struct {
+	Decision int
+	Desc     string
+
+	Start  *State
+	States []*State
+
+	// Fallback reports why the analysis could not complete an exact DFA
+	// for this decision ("" if it could): e.g. recursion in multiple
+	// alternatives, or resource limits.
+	Fallback string
+
+	accepts map[int]*State
+}
+
+// New returns an empty DFA for the given decision.
+func New(decision int, desc string) *DFA {
+	return &DFA{Decision: decision, Desc: desc, accepts: make(map[int]*State)}
+}
+
+// NewState allocates a non-accepting state.
+func (d *DFA) NewState() *State {
+	s := &State{ID: len(d.States), Edges: make(map[token.Type]*State)}
+	d.States = append(d.States, s)
+	return s
+}
+
+// Accept returns the shared accept state f_alt, creating it on first use.
+func (d *DFA) Accept(alt int) *State {
+	if s, ok := d.accepts[alt]; ok {
+		return s
+	}
+	s := d.NewState()
+	s.AcceptAlt = alt
+	d.accepts[alt] = s
+	return s
+}
+
+// NumStates returns the state count.
+func (d *DFA) NumStates() int { return len(d.States) }
+
+// HasBacktrack reports whether any state falls back to speculation
+// (syntactic or auto predicates).
+func (d *DFA) HasBacktrack() bool {
+	for _, s := range d.States {
+		for _, e := range s.PredEdges {
+			if e.Kind == PredSyn || e.Kind == PredAuto {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasSemPreds reports whether any state tests a user semantic predicate.
+func (d *DFA) HasSemPreds() bool {
+	for _, s := range d.States {
+		for _, e := range s.PredEdges {
+			if e.Kind == PredSem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Cyclic reports whether the DFA graph contains a cycle. Cyclic DFA give
+// LL(*) its arbitrary-lookahead power; acyclic DFA are fixed LL(k).
+func (d *DFA) Cyclic() bool {
+	const (
+		white, gray, black = 0, 1, 2
+	)
+	color := make([]int, len(d.States))
+	var visit func(s *State) bool
+	visit = func(s *State) bool {
+		color[s.ID] = gray
+		for _, t := range s.SortedEdges() {
+			to := d.States[s.Edges[t].ID]
+			switch color[to.ID] {
+			case gray:
+				return true
+			case white:
+				if visit(to) {
+					return true
+				}
+			}
+		}
+		if s.Default != nil {
+			to := d.States[s.Default.ID]
+			switch color[to.ID] {
+			case gray:
+				return true
+			case white:
+				if visit(to) {
+					return true
+				}
+			}
+		}
+		color[s.ID] = black
+		return false
+	}
+	if d.Start == nil {
+		return false
+	}
+	return visit(d.Start)
+}
+
+// MaxLookahead returns the maximum number of token edges on any path from
+// the start state to an accept or predicated state — the fixed k for an
+// LL(k) decision. It returns -1 for cyclic DFA.
+func (d *DFA) MaxLookahead() int {
+	if d.Start == nil {
+		return 0
+	}
+	if d.Cyclic() {
+		return -1
+	}
+	memo := make(map[int]int)
+	var depth func(s *State) int
+	depth = func(s *State) int {
+		if v, ok := memo[s.ID]; ok {
+			return v
+		}
+		memo[s.ID] = 0 // acyclic, placeholder
+		best := 0
+		for _, t := range s.SortedEdges() {
+			if v := 1 + depth(s.Edges[t]); v > best {
+				best = v
+			}
+		}
+		if s.Default != nil {
+			if v := 1 + depth(s.Default); v > best {
+				best = v
+			}
+		}
+		memo[s.ID] = best
+		return best
+	}
+	k := depth(d.Start)
+	if k == 0 && (len(d.Start.PredEdges) > 0 || d.Start.AcceptAlt > 0) {
+		// Pure-predicate or trivially-accepting decisions examine no
+		// tokens, but report k=1 the way LL(1) tables are counted... no:
+		// keep 0; callers decide presentation.
+		return 0
+	}
+	return k
+}
+
+// Dot renders the DFA in Graphviz format; accept states show "=> alt".
+func (d *DFA) Dot(vocab *token.Vocabulary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph DFA_d%d {\n  rankdir=LR;\n  node [shape=circle fontsize=10];\n", d.Decision)
+	for _, s := range d.States {
+		label := fmt.Sprintf("s%d", s.ID)
+		shape := "circle"
+		if s.AcceptAlt > 0 {
+			label = fmt.Sprintf("s%d\\n=>%d", s.ID, s.AcceptAlt)
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\" shape=%s];\n", s.ID, label, shape)
+		// Group edges by target so the dot stays readable.
+		byTarget := map[int][]string{}
+		for _, t := range s.SortedEdges() {
+			to := s.Edges[t]
+			byTarget[to.ID] = append(byTarget[to.ID], vocab.Name(t))
+		}
+		targets := make([]int, 0, len(byTarget))
+		for id := range byTarget {
+			targets = append(targets, id)
+		}
+		sort.Ints(targets)
+		for _, id := range targets {
+			fmt.Fprintf(&b, "  %d -> %d [label=%q fontsize=9];\n", s.ID, id, strings.Join(byTarget[id], ","))
+		}
+		if s.Default != nil {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"<other>\" fontsize=9];\n", s.ID, s.Default.ID)
+		}
+		for _, e := range s.PredEdges {
+			fmt.Fprintf(&b, "  %d -> acc%d [label=%q fontsize=9 style=dashed];\n", s.ID, e.Alt, e.String())
+		}
+	}
+	// Materialize named accept anchors for predicate edges.
+	seen := map[int]bool{}
+	for _, s := range d.States {
+		for _, e := range s.PredEdges {
+			if !seen[e.Alt] {
+				seen[e.Alt] = true
+				fmt.Fprintf(&b, "  acc%d [label=\"=>%d\" shape=doublecircle];\n", e.Alt, e.Alt)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PredictTypes runs the DFA over a plain sequence of token types,
+// returning the predicted alternative and how many tokens were examined.
+// It supports only pure DFA (no predicate edges) and is intended for
+// tests; the full simulator with predicate evaluation and backtracking
+// lives in the parser runtime.
+func (d *DFA) PredictTypes(types []token.Type) (alt, used int, err error) {
+	s := d.Start
+	for i := 0; ; i++ {
+		if s.AcceptAlt > 0 {
+			return s.AcceptAlt, i, nil
+		}
+		if len(s.PredEdges) > 0 {
+			return 0, i, fmt.Errorf("dfa: state s%d requires predicate evaluation", s.ID)
+		}
+		tt := token.EOF
+		if i < len(types) {
+			tt = types[i]
+		}
+		next := s.Target(tt)
+		if next == nil {
+			return 0, i + 1, fmt.Errorf("dfa: no viable alternative at lookahead %d", i+1)
+		}
+		s = next
+	}
+}

@@ -1,0 +1,130 @@
+package dfa
+
+import (
+	"strings"
+	"testing"
+
+	"llstar/internal/token"
+)
+
+func TestAcyclicMaxLookahead(t *testing.T) {
+	d := New(0, "test")
+	s0 := d.NewState()
+	d.Start = s0
+	s1 := d.NewState()
+	s0.Edges[1] = s1
+	s0.Edges[2] = d.Accept(2)
+	s1.Edges[3] = d.Accept(1)
+	if d.Cyclic() {
+		t.Error("acyclic DFA reported cyclic")
+	}
+	if k := d.MaxLookahead(); k != 2 {
+		t.Errorf("max lookahead = %d, want 2", k)
+	}
+}
+
+func TestCyclicDetection(t *testing.T) {
+	d := New(1, "loop")
+	s0 := d.NewState()
+	d.Start = s0
+	s0.Edges[1] = s0 // self loop
+	s0.Edges[2] = d.Accept(1)
+	if !d.Cyclic() {
+		t.Error("cycle not detected")
+	}
+	if k := d.MaxLookahead(); k != -1 {
+		t.Errorf("cyclic DFA must report k=-1, got %d", k)
+	}
+}
+
+func TestDefaultEdge(t *testing.T) {
+	d := New(2, "wild")
+	s0 := d.NewState()
+	d.Start = s0
+	s0.Edges[1] = d.Accept(1)
+	s0.Default = d.Accept(2)
+	if got := s0.Target(1).AcceptAlt; got != 1 {
+		t.Errorf("explicit edge: %d", got)
+	}
+	if got := s0.Target(9).AcceptAlt; got != 2 {
+		t.Errorf("default edge: %d", got)
+	}
+	if s0.Target(token.EOF) != nil {
+		t.Errorf("default must not capture EOF")
+	}
+}
+
+func TestAcceptShared(t *testing.T) {
+	d := New(3, "acc")
+	a1 := d.Accept(1)
+	if d.Accept(1) != a1 {
+		t.Error("accept states must be shared per alternative")
+	}
+	if a1.AcceptAlt != 1 {
+		t.Error("accept alt not set")
+	}
+}
+
+func TestPredicateClassification(t *testing.T) {
+	d := New(4, "preds")
+	s0 := d.NewState()
+	d.Start = s0
+	s0.PredEdges = append(s0.PredEdges, PredEdge{Kind: PredSem, Alt: 1})
+	if d.HasBacktrack() {
+		t.Error("sem preds are not backtracking")
+	}
+	if !d.HasSemPreds() {
+		t.Error("sem pred not seen")
+	}
+	s0.PredEdges = append(s0.PredEdges, PredEdge{Kind: PredAuto, Alt: 2})
+	if !d.HasBacktrack() {
+		t.Error("auto pred is backtracking")
+	}
+}
+
+func TestPredictTypes(t *testing.T) {
+	d := New(5, "p")
+	s0 := d.NewState()
+	d.Start = s0
+	s1 := d.NewState()
+	s0.Edges[1] = s1
+	s1.Edges[2] = d.Accept(1)
+	s1.Edges[3] = d.Accept(2)
+
+	alt, used, err := d.PredictTypes([]token.Type{1, 2})
+	if err != nil || alt != 1 || used != 2 {
+		t.Errorf("predict: alt=%d used=%d err=%v", alt, used, err)
+	}
+	if _, _, err := d.PredictTypes([]token.Type{1, 9}); err == nil {
+		t.Error("expected no-viable error")
+	}
+	// EOF padding past the slice end.
+	if _, _, err := d.PredictTypes([]token.Type{1}); err == nil {
+		t.Error("expected error on EOF")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	d := New(6, "dot")
+	s0 := d.NewState()
+	d.Start = s0
+	s0.Edges[1] = d.Accept(1)
+	s0.PredEdges = append(s0.PredEdges, PredEdge{Kind: PredTrue, Alt: 2})
+	v := token.NewVocabulary()
+	v.Define("A")
+	out := d.Dot(v)
+	for _, want := range []string{"digraph", "=>1", "true => 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPredEdgeStrings(t *testing.T) {
+	if got := (PredEdge{Kind: PredAuto, Alt: 3}).String(); got != "backtrack(alt 3) => 3" {
+		t.Errorf("auto: %q", got)
+	}
+	if got := (PredEdge{Kind: PredSyn, SynID: 1, Alt: 2}).String(); got != "synpred2 => 2" {
+		t.Errorf("syn: %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llstar/internal/token"
+)
+
+// Minimize merges indistinguishable states with Moore partition
+// refinement: states are initially split by prediction signature (accept
+// alternative and predicate edges) and refined until every pair of states
+// in a class agrees, label by label, on the class of its successor. The
+// prediction function is preserved exactly; only redundant states are
+// removed. It returns the number of states eliminated.
+//
+// ANTLR minimizes its lookahead DFA the same way — cyclic DFA produced by
+// subset construction frequently contain duplicated suffix structure.
+func (d *DFA) Minimize() int {
+	if d.Start == nil || len(d.States) <= 1 {
+		return 0
+	}
+
+	// All labels mentioned anywhere, so each state can be probed with a
+	// common alphabet; the "default" behavior is probed separately.
+	labelSet := token.NewSet()
+	for _, s := range d.States {
+		for t := range s.Edges {
+			labelSet.Add(t)
+		}
+	}
+	labels := labelSet.Types()
+
+	part := make([]int, len(d.States))
+	sigOf := func(s *State) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "a%d", s.AcceptAlt)
+		for _, e := range s.PredEdges {
+			b.WriteString("|" + e.String())
+		}
+		return b.String()
+	}
+	classes := map[string]int{}
+	for i, s := range d.States {
+		sig := sigOf(s)
+		id, ok := classes[sig]
+		if !ok {
+			id = len(classes)
+			classes[sig] = id
+		}
+		part[i] = id
+	}
+
+	classOfTarget := func(s *State, t token.Type) int {
+		to := s.Target(t)
+		if to == nil {
+			return -1
+		}
+		return part[to.ID]
+	}
+	for {
+		next := map[string]int{}
+		newPart := make([]int, len(d.States))
+		for i, s := range d.States {
+			var b strings.Builder
+			fmt.Fprintf(&b, "c%d", part[i])
+			for _, t := range labels {
+				fmt.Fprintf(&b, ",%d", classOfTarget(s, t))
+			}
+			if s.Default != nil {
+				fmt.Fprintf(&b, ",d%d", part[s.Default.ID])
+			} else {
+				b.WriteString(",d-")
+			}
+			sig := b.String()
+			id, ok := next[sig]
+			if !ok {
+				id = len(next)
+				next[sig] = id
+			}
+			newPart[i] = id
+		}
+		if len(next) == len(classes) {
+			break
+		}
+		classes = next
+		part = newPart
+	}
+
+	nClasses := 0
+	for _, c := range part {
+		if c+1 > nClasses {
+			nClasses = c + 1
+		}
+	}
+	if nClasses == len(d.States) {
+		return 0
+	}
+
+	// Representative per class: the lowest-numbered member, keeping the
+	// start state's class rooted at a stable representative.
+	rep := make([]*State, nClasses)
+	for _, s := range d.States {
+		c := part[s.ID]
+		if rep[c] == nil {
+			rep[c] = s
+		}
+	}
+
+	removed := len(d.States) - nClasses
+	redirect := func(s *State) *State {
+		if s == nil {
+			return nil
+		}
+		return rep[part[s.ID]]
+	}
+	kept := make([]*State, 0, nClasses)
+	for _, s := range d.States {
+		if rep[part[s.ID]] != s {
+			continue
+		}
+		for t, to := range s.Edges {
+			s.Edges[t] = redirect(to)
+		}
+		s.Default = redirect(s.Default)
+		kept = append(kept, s)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].ID < kept[j].ID })
+	d.Start = redirect(d.Start)
+	for alt, s := range d.accepts {
+		d.accepts[alt] = redirect(s)
+	}
+	for i, s := range kept {
+		s.ID = i
+		s.compiled = nil // stale; Compile rebuilds
+	}
+	d.States = kept
+	return removed
+}

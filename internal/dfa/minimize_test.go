@@ -1,0 +1,115 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"llstar/internal/token"
+)
+
+// Two states with identical continuations must merge.
+func TestMinimizeMergesDuplicates(t *testing.T) {
+	d := New(0, "dup")
+	s0 := d.NewState()
+	d.Start = s0
+	a := d.NewState()
+	b := d.NewState()
+	acc := d.Accept(1)
+	s0.Edges[1] = a
+	s0.Edges[2] = b
+	a.Edges[3] = acc
+	b.Edges[3] = acc // identical to a
+
+	before := d.NumStates()
+	removed := d.Minimize()
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1 (before=%d after=%d)", removed, before, d.NumStates())
+	}
+	if d.Start.Target(1) != d.Start.Target(2) {
+		t.Errorf("duplicate successors not merged")
+	}
+	if alt, _, err := d.PredictTypes([]token.Type{2, 3}); err != nil || alt != 1 {
+		t.Errorf("prediction broken after minimize: %d %v", alt, err)
+	}
+}
+
+// States with different accept alternatives must never merge.
+func TestMinimizeKeepsDistinctAccepts(t *testing.T) {
+	d := New(1, "acc")
+	s0 := d.NewState()
+	d.Start = s0
+	s0.Edges[1] = d.Accept(1)
+	s0.Edges[2] = d.Accept(2)
+	if removed := d.Minimize(); removed != 0 {
+		t.Errorf("removed %d states from already-minimal DFA", removed)
+	}
+}
+
+// Property: minimization preserves the prediction function on random
+// acyclic-ish DFA over random probe strings.
+func TestMinimizePreservesPredictions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := New(0, "rand")
+		n := 2 + r.Intn(10)
+		states := make([]*State, n)
+		for i := range states {
+			states[i] = d.NewState()
+		}
+		d.Start = states[0]
+		nAlts := 1 + r.Intn(3)
+		accepts := make([]*State, nAlts)
+		for i := range accepts {
+			accepts[i] = d.Accept(i + 1)
+		}
+		// Random forward edges (acyclic), plus edges into accepts.
+		for i, s := range states {
+			for t := token.Type(1); t <= 4; t++ {
+				switch r.Intn(4) {
+				case 0:
+					if i+1 < n {
+						s.Edges[t] = states[i+1+r.Intn(n-i-1)]
+					}
+				case 1:
+					s.Edges[t] = accepts[r.Intn(nAlts)]
+				}
+			}
+		}
+
+		// Record predictions over probe strings before minimizing.
+		probes := make([][]token.Type, 40)
+		for i := range probes {
+			m := r.Intn(6)
+			probe := make([]token.Type, m)
+			for j := range probe {
+				probe[j] = token.Type(1 + r.Intn(5))
+			}
+			probes[i] = probe
+		}
+		type outcome struct {
+			alt, used int
+			failed    bool
+		}
+		run := func() []outcome {
+			out := make([]outcome, len(probes))
+			for i, probe := range probes {
+				alt, used, err := d.PredictTypes(probe)
+				out[i] = outcome{alt, used, err != nil}
+			}
+			return out
+		}
+		before := run()
+		d.Minimize()
+		after := run()
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

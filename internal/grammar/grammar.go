@@ -1,0 +1,463 @@
+// Package grammar defines the intermediate representation for predicated
+// grammars (Section 3 of the paper): rules made of alternatives, which are
+// sequences of elements. Elements include token/rule references, EBNF
+// blocks, semantic predicates {p}?, syntactic predicates (α)=>, embedded
+// actions {µ}, and always-executed actions {{µ}}. Lexer rules reuse the
+// same shapes with character-level atoms.
+//
+// The package also provides validation (undefined references, left
+// recursion) and the immediate-left-recursion rewrite to a predicated
+// precedence loop (Section 1.1 of the paper).
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"llstar/internal/token"
+)
+
+// Grammar is a parsed predicated grammar: parser rules, lexer rules, a
+// token vocabulary, and grammar-level options.
+type Grammar struct {
+	Name    string
+	Options Options
+
+	// Rules holds parser rules in declaration order.
+	Rules []*Rule
+	// LexRules holds lexer rules (including fragments) in declaration
+	// order. Order matters: on a longest-match tie the earliest rule wins.
+	LexRules []*Rule
+
+	byName map[string]*Rule
+
+	// Vocab assigns token types. Literals used by parser rules are
+	// interned here and matched by the lexer engine.
+	Vocab *token.Vocabulary
+
+	// NamedActions holds @name {...} actions (e.g. @members), kept
+	// verbatim for the code generator.
+	NamedActions map[string]string
+}
+
+// Options are grammar-level options from an options {...} block.
+type Options struct {
+	// Backtrack enables PEG mode: every production of every decision gets
+	// an auto-inserted syntactic predicate, so any decision the analysis
+	// cannot make deterministic falls back to ordered backtracking.
+	Backtrack bool
+	// Memoize enables packrat memoization of speculative parses.
+	Memoize bool
+	// K, when > 0, caps DFA lookahead depth at a fixed k (classic LL(k)
+	// mode). 0 means unbounded (LL(*)).
+	K int
+	// M is the recursion-depth governor m from Section 5.3. 0 means use
+	// the default (1, the paper's example setting).
+	M int
+	// Raw retains all key=value option pairs as written.
+	Raw map[string]string
+}
+
+// DefaultM is the recursion governor used when Options.M is zero.
+const DefaultM = 1
+
+// Governor returns the effective recursion-depth limit m.
+func (o Options) Governor() int {
+	if o.M > 0 {
+		return o.M
+	}
+	return DefaultM
+}
+
+// New returns an empty grammar with a fresh vocabulary.
+func New(name string) *Grammar {
+	return &Grammar{
+		Name:   name,
+		byName: make(map[string]*Rule),
+		Vocab:  token.NewVocabulary(),
+	}
+}
+
+// AddRule appends a rule and indexes it by name. It returns an error if the
+// name is already taken.
+func (g *Grammar) AddRule(r *Rule) error {
+	if _, dup := g.byName[r.Name]; dup {
+		return fmt.Errorf("grammar %s: rule %s redefined", g.Name, r.Name)
+	}
+	g.byName[r.Name] = r
+	if r.IsLexer {
+		r.Index = len(g.LexRules)
+		g.LexRules = append(g.LexRules, r)
+	} else {
+		r.Index = len(g.Rules)
+		g.Rules = append(g.Rules, r)
+	}
+	return nil
+}
+
+// Rule returns the rule with the given name, or nil.
+func (g *Grammar) Rule(name string) *Rule {
+	return g.byName[name]
+}
+
+// Start returns the start rule: the first parser rule.
+func (g *Grammar) Start() *Rule {
+	if len(g.Rules) == 0 {
+		return nil
+	}
+	return g.Rules[0]
+}
+
+// Rule is a parser or lexer rule.
+type Rule struct {
+	Name  string
+	Index int // position within Rules or LexRules
+	Pos   token.Pos
+
+	IsLexer  bool
+	Fragment bool // lexer fragment: never matched standalone
+
+	// Alts are the top-level alternatives.
+	Alts []*Alt
+
+	// Options holds per-rule option overrides (k=..., memoize=..., backtrack=...).
+	Options map[string]string
+
+	// Args is the formal-parameter text for parameterized rules, e.g.
+	// "int p" in e_[int p]; used by the left-recursion rewrite and codegen.
+	Args string
+}
+
+// OptionBool reads a boolean rule option with a default.
+func (r *Rule) OptionBool(name string, def bool) bool {
+	if r.Options == nil {
+		return def
+	}
+	v, ok := r.Options[name]
+	if !ok {
+		return def
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return def
+	}
+	return b
+}
+
+// OptionInt reads an integer rule option with a default.
+func (r *Rule) OptionInt(name string, def int) int {
+	if r.Options == nil {
+		return def
+	}
+	v, ok := r.Options[name]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Alt is one alternative: a sequence of elements. Leading predicates
+// (semantic or syntactic) gate the alternative per Figure 3.
+type Alt struct {
+	Elems []Element
+}
+
+// LeadingSemPred returns the alternative's left-edge semantic predicate, or
+// nil. Only predicates at the very left edge gate the production in the
+// formal semantics; the analysis hoists these into decisions.
+func (a *Alt) LeadingSemPred() *SemPred {
+	for _, e := range a.Elems {
+		switch e := e.(type) {
+		case *SemPred:
+			return e
+		case *Action:
+			continue // actions don't consume input; look past them
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// LeadingSynPred returns the alternative's left-edge syntactic predicate,
+// or nil.
+func (a *Alt) LeadingSynPred() *SynPred {
+	for _, e := range a.Elems {
+		switch e := e.(type) {
+		case *SynPred:
+			return e
+		case *Action:
+			continue
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Element is one grammar element in an alternative.
+type Element interface {
+	elem()
+	String() string
+}
+
+// BlockOp is the EBNF operator applied to a Block.
+type BlockOp int
+
+const (
+	// OpNone is a plain parenthesized subrule (a|b).
+	OpNone BlockOp = iota
+	// OpOptional is (a|b)?.
+	OpOptional
+	// OpStar is (a|b)*.
+	OpStar
+	// OpPlus is (a|b)+.
+	OpPlus
+)
+
+func (op BlockOp) String() string {
+	switch op {
+	case OpOptional:
+		return "?"
+	case OpStar:
+		return "*"
+	case OpPlus:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// TokenRef references a token type by name (uppercase reference or quoted
+// literal resolved to a type).
+type TokenRef struct {
+	Name string
+	Type token.Type
+	Pos  token.Pos
+}
+
+// RuleRef references a parser rule (or, inside lexer rules, another lexer
+// rule / fragment).
+type RuleRef struct {
+	Name string
+	Pos  token.Pos
+	// ArgText is actual-argument text for parameterized rule calls, e.g.
+	// "0" in e_[0].
+	ArgText string
+}
+
+// Block is a parenthesized subrule with an optional EBNF operator. Blocks
+// with more than one alternative, and all looping blocks, are parsing
+// decisions.
+type Block struct {
+	Alts []*Alt
+	Op   BlockOp
+	Pos  token.Pos
+}
+
+// SemPred is a semantic predicate {text}?. Predicates are host-language
+// code; the runtime resolves them through a hook registry and codegen
+// splices them verbatim.
+type SemPred struct {
+	Text string
+	Pos  token.Pos
+}
+
+// SynPred is a syntactic predicate (α)=>. Auto marks predicates inserted
+// by PEG mode rather than written by the user.
+type SynPred struct {
+	Block *Block
+	Auto  bool
+	Pos   token.Pos
+}
+
+// Action is an embedded action {text} or an always-executed action
+// {{text}} (Section 4.3: runs even during speculation).
+type Action struct {
+	Text       string
+	AlwaysExec bool
+	Pos        token.Pos
+}
+
+// Wildcard matches any single token (parser) or any character (lexer).
+type Wildcard struct {
+	Pos token.Pos
+}
+
+// CharLit matches one literal rune (lexer rules only).
+type CharLit struct {
+	R   rune
+	Pos token.Pos
+}
+
+// StringLit matches a literal rune sequence (lexer rules only).
+type StringLit struct {
+	S   string
+	Pos token.Pos
+}
+
+// RuneRange is an inclusive rune interval.
+type RuneRange struct {
+	Lo, Hi rune
+}
+
+// CharSet matches one rune from a union of ranges, possibly negated
+// (lexer rules only).
+type CharSet struct {
+	Ranges  []RuneRange
+	Negated bool
+	Pos     token.Pos
+}
+
+// NotToken matches any single token except those in Types (parser rules):
+// the ~A / ~(A|B) operator. Names holds the source spellings; Types is
+// filled in when the front end resolves the vocabulary.
+type NotToken struct {
+	Names []string
+	Types []token.Type
+	Pos   token.Pos
+}
+
+func (*TokenRef) elem()  {}
+func (*RuleRef) elem()   {}
+func (*Block) elem()     {}
+func (*SemPred) elem()   {}
+func (*SynPred) elem()   {}
+func (*Action) elem()    {}
+func (*Wildcard) elem()  {}
+func (*CharLit) elem()   {}
+func (*StringLit) elem() {}
+func (*CharSet) elem()   {}
+func (*NotToken) elem()  {}
+
+func (e *TokenRef) String() string { return e.Name }
+func (e *RuleRef) String() string {
+	if e.ArgText != "" {
+		return e.Name + "[" + e.ArgText + "]"
+	}
+	return e.Name
+}
+
+func (e *Block) String() string {
+	s := "("
+	for i, alt := range e.Alts {
+		if i > 0 {
+			s += " | "
+		}
+		s += alt.String()
+	}
+	return s + ")" + e.Op.String()
+}
+
+func (a *Alt) String() string {
+	if len(a.Elems) == 0 {
+		return "ε"
+	}
+	s := ""
+	for i, el := range a.Elems {
+		if i > 0 {
+			s += " "
+		}
+		s += el.String()
+	}
+	return s
+}
+
+func (e *SemPred) String() string { return "{" + e.Text + "}?" }
+func (e *SynPred) String() string {
+	if e.Auto {
+		return "(…)=>auto"
+	}
+	return e.Block.String() + "=>"
+}
+func (e *Action) String() string {
+	if e.AlwaysExec {
+		return "{{" + e.Text + "}}"
+	}
+	return "{" + e.Text + "}"
+}
+func (e *Wildcard) String() string { return "." }
+func (e *CharLit) String() string  { return strconv.QuoteRune(e.R) }
+func (e *StringLit) String() string {
+	return strconv.Quote(e.S)
+}
+func (e *CharSet) String() string {
+	s := ""
+	if e.Negated {
+		s = "~"
+	}
+	s += "["
+	for _, r := range e.Ranges {
+		if r.Lo == r.Hi {
+			s += string(r.Lo)
+		} else {
+			s += string(r.Lo) + "-" + string(r.Hi)
+		}
+	}
+	return s + "]"
+}
+func (e *NotToken) String() string {
+	if len(e.Names) == 1 {
+		return "~" + e.Names[0]
+	}
+	return "~(" + strings.Join(e.Names, "|") + ")"
+}
+
+// RuleText renders a rule approximately in meta-language syntax, used by
+// diagnostics and codegen comments.
+func (r *Rule) RuleText() string {
+	s := r.Name + " :"
+	for i, alt := range r.Alts {
+		if i > 0 {
+			s += " |"
+		}
+		s += " " + alt.String()
+	}
+	return s + " ;"
+}
+
+// SortedOptionKeys returns rule option keys in sorted order for
+// deterministic output.
+func (r *Rule) SortedOptionKeys() []string {
+	keys := make([]string, 0, len(r.Options))
+	for k := range r.Options {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Walk applies fn to every element of every alternative of the rule,
+// descending into blocks and syntactic-predicate blocks. fn returning
+// false prunes descent below that element.
+func (r *Rule) Walk(fn func(Element) bool) {
+	for _, alt := range r.Alts {
+		walkAlt(alt, fn)
+	}
+}
+
+func walkAlt(a *Alt, fn func(Element) bool) {
+	for _, e := range a.Elems {
+		if !fn(e) {
+			continue
+		}
+		switch e := e.(type) {
+		case *Block:
+			for _, alt := range e.Alts {
+				walkAlt(alt, fn)
+			}
+		case *SynPred:
+			if e.Block != nil {
+				for _, alt := range e.Block.Alts {
+					walkAlt(alt, fn)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+
+	"llstar/internal/token"
+)
+
+// mkGrammar builds a small grammar in code (the meta front end has its
+// own tests; these exercise the IR directly).
+func mkGrammar(t *testing.T, rules map[string][][]Element) *Grammar {
+	t.Helper()
+	g := New("T")
+	// Deterministic order: sort by name manually via two passes not
+	// needed — tests list rules explicitly.
+	for _, name := range orderedKeys(rules) {
+		r := &Rule{Name: name}
+		for _, elems := range rules[name] {
+			r.Alts = append(r.Alts, &Alt{Elems: elems})
+		}
+		if err := g.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func orderedKeys(m map[string][][]Element) []string {
+	// Start rule must come first; tests name it "s".
+	keys := []string{"s"}
+	for k := range m {
+		if k != "s" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func ref(name string) Element     { return &RuleRef{Name: name} }
+func tok(t token.Type) Element    { return &TokenRef{Name: "T", Type: t} }
+func seq(es ...Element) []Element { return es }
+
+func TestValidateUndefined(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s": {seq(ref("missing"))},
+	})
+	issues := Validate(g)
+	if err := FirstFatal(issues); err == nil || !strings.Contains(err.Error(), "undefined rule") {
+		t.Errorf("want undefined-rule error, got %v", issues)
+	}
+}
+
+func TestValidateDirectLeftRecursion(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s": {seq(ref("s"), tok(1)), seq(tok(2))},
+	})
+	err := FirstFatal(Validate(g))
+	if err == nil || !strings.Contains(err.Error(), "left-recursive") {
+		t.Errorf("want left-recursion error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "directly") {
+		t.Errorf("should report direct recursion: %v", err)
+	}
+}
+
+func TestValidateIndirectLeftRecursion(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s": {seq(ref("b"), tok(1))},
+		"b": {seq(ref("s"), tok(2)), seq(tok(3))},
+	})
+	err := FirstFatal(Validate(g))
+	if err == nil || !strings.Contains(err.Error(), "left-recursive") {
+		t.Errorf("want left-recursion error, got %v", err)
+	}
+}
+
+// Left recursion through a nullable prefix must be detected.
+func TestValidateNullablePrefixRecursion(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s":     {seq(ref("empty"), ref("s"), tok(1)), seq(tok(2))},
+		"empty": {seq()},
+	})
+	err := FirstFatal(Validate(g))
+	if err == nil {
+		t.Errorf("nullable-prefix recursion not detected")
+	}
+}
+
+func TestValidateUnreachable(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s":      {seq(tok(1))},
+		"orphan": {seq(tok(2))},
+	})
+	issues := Validate(g)
+	if FirstFatal(issues) != nil {
+		t.Fatalf("unexpected fatal: %v", issues)
+	}
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Message, "unreachable") && i.Rule == "orphan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unreachable warning missing: %v", issues)
+	}
+}
+
+func TestNullableRules(t *testing.T) {
+	g := mkGrammar(t, map[string][][]Element{
+		"s": {seq(ref("a"), tok(1))},
+		"a": {seq(&Block{Alts: []*Alt{{Elems: seq(tok(2))}}, Op: OpStar})},
+		"b": {seq(tok(3))},
+	})
+	n := NullableRules(g)
+	if !n["a"] || n["b"] || n["s"] {
+		t.Errorf("nullable: %v", n)
+	}
+}
+
+func TestRewriteLeftRecursionShape(t *testing.T) {
+	// e : e '*' e | e '+' e | INT
+	star, plus, intTok := token.Type(1), token.Type(2), token.Type(3)
+	g := New("E")
+	e := &Rule{Name: "e", Alts: []*Alt{
+		{Elems: seq(ref("e"), tok(star), ref("e"))},
+		{Elems: seq(ref("e"), tok(plus), ref("e"))},
+		{Elems: seq(tok(intTok))},
+	}}
+	if err := g.AddRule(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteLeftRecursion(g, "e"); err != nil {
+		t.Fatal(err)
+	}
+	loop := g.Rule("e_")
+	if loop == nil {
+		t.Fatal("no e_ rule created")
+	}
+	if loop.Args != "int p" {
+		t.Errorf("args: %q", loop.Args)
+	}
+	// Entry rule delegates with precedence 0.
+	entry := g.Rule("e").Alts
+	if len(entry) != 1 {
+		t.Fatalf("entry alts: %d", len(entry))
+	}
+	if rr, ok := entry[0].Elems[0].(*RuleRef); !ok || rr.Name != "e_" || rr.ArgText != "0" {
+		t.Errorf("entry: %s", g.Rule("e").RuleText())
+	}
+	// Loop rule: (primaries) (ops)*.
+	body := loop.Alts[0].Elems
+	if len(body) != 2 {
+		t.Fatalf("loop body: %s", loop.RuleText())
+	}
+	ops := body[1].(*Block)
+	if ops.Op != OpStar || len(ops.Alts) != 2 {
+		t.Fatalf("ops block: %s", ops)
+	}
+	// Highest-listed operator gets the highest precedence predicate.
+	p1 := ops.Alts[0].Elems[0].(*SemPred)
+	p2 := ops.Alts[1].Elems[0].(*SemPred)
+	if p1.Text != "p <= 2" || p2.Text != "p <= 1" {
+		t.Errorf("precedence preds: %q %q", p1.Text, p2.Text)
+	}
+	// Left-associative: recursive call at prec+1.
+	tail := ops.Alts[0].Elems[len(ops.Alts[0].Elems)-1].(*RuleRef)
+	if tail.Name != "e_" || tail.ArgText != "3" {
+		t.Errorf("recursive call: %+v", tail)
+	}
+	// Rewritten grammar must validate.
+	if err := FirstFatal(Validate(g)); err != nil {
+		t.Errorf("rewritten grammar invalid: %v", err)
+	}
+}
+
+func TestRewriteLeftRecursionErrors(t *testing.T) {
+	g := New("E")
+	if err := g.AddRule(&Rule{Name: "e", Alts: []*Alt{
+		{Elems: seq(ref("e"), tok(1), ref("e"))},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteLeftRecursion(g, "e"); err == nil || !strings.Contains(err.Error(), "non-recursive") {
+		t.Errorf("want no-primary error, got %v", err)
+	}
+	if err := RewriteLeftRecursion(g, "nope"); err == nil {
+		t.Errorf("unknown rule must error")
+	}
+	g2 := New("F")
+	if err := g2.AddRule(&Rule{Name: "f", Alts: []*Alt{{Elems: seq(tok(1))}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteLeftRecursion(g2, "f"); err == nil || !strings.Contains(err.Error(), "not immediately left-recursive") {
+		t.Errorf("want not-recursive error, got %v", err)
+	}
+}
+
+func TestSuffixOperatorRewrite(t *testing.T) {
+	// e : e '!' | ID  (suffix operator)
+	g := New("E")
+	if err := g.AddRule(&Rule{Name: "e", Alts: []*Alt{
+		{Elems: seq(ref("e"), tok(1))},
+		{Elems: seq(tok(2))},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteLeftRecursion(g, "e"); err != nil {
+		t.Fatal(err)
+	}
+	loop := g.Rule("e_")
+	ops := loop.Alts[0].Elems[1].(*Block)
+	// Suffix alternative has no trailing recursive call.
+	last := ops.Alts[0].Elems[len(ops.Alts[0].Elems)-1]
+	if _, isRef := last.(*RuleRef); isRef {
+		t.Errorf("suffix operator should not recurse: %s", ops)
+	}
+}
+
+func TestRuleHelpers(t *testing.T) {
+	r := &Rule{Name: "x", Options: map[string]string{"k": "3", "memoize": "true", "bad": "zz"}}
+	if r.OptionInt("k", 0) != 3 || r.OptionInt("missing", 7) != 7 || r.OptionInt("bad", 9) != 9 {
+		t.Errorf("OptionInt wrong")
+	}
+	if !r.OptionBool("memoize", false) || r.OptionBool("missing", true) != true {
+		t.Errorf("OptionBool wrong")
+	}
+	keys := r.SortedOptionKeys()
+	if len(keys) != 3 || keys[0] != "bad" {
+		t.Errorf("keys: %v", keys)
+	}
+}
+
+func TestElementStrings(t *testing.T) {
+	for _, tc := range []struct {
+		e    Element
+		want string
+	}{
+		{&TokenRef{Name: "ID"}, "ID"},
+		{&RuleRef{Name: "e", ArgText: "0"}, "e[0]"},
+		{&SemPred{Text: "p"}, "{p}?"},
+		{&Action{Text: "x", AlwaysExec: true}, "{{x}}"},
+		{&Wildcard{}, "."},
+		{&NotToken{Names: []string{"A", "B"}}, "~(A|B)"},
+		{&CharLit{R: 'q'}, "'q'"},
+		{&Block{Alts: []*Alt{{Elems: seq(&TokenRef{Name: "A"})}}, Op: OpStar}, "(A)*"},
+	} {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("%T: %q want %q", tc.e, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package grammar
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// RewriteLeftRecursion implements the Section 1.1 prototype: it replaces a
+// rule with immediate left recursion (self-referential alternatives) by a
+// predicated precedence loop. The classic example
+//
+//	e : e '*' e | e '+' e | INT ;
+//
+// becomes
+//
+//	e       : e_[0] ;
+//	e_[int p] : (INT) ( {p<=2}? '*' e_[3] | {p<=1}? '+' e_[2] )* ;
+//
+// Operator precedence follows alternative order, highest to lowest. Binary
+// operators are treated as left-associative (the recursive call passes
+// prec+1); suffix operators (alternatives of the form `e α` with no
+// trailing self-reference) are supported as well. Alternatives that do not
+// start with a self-reference are the primaries.
+//
+// The rewrite mutates the grammar in place: rule name keeps its public
+// entry point and a new rule name+"_" carries the loop. It returns an
+// error if the rule has no primary alternative or if a recursive
+// alternative is not in an supported shape.
+func RewriteLeftRecursion(g *Grammar, ruleName string) error {
+	r := g.Rule(ruleName)
+	if r == nil {
+		return fmt.Errorf("leftrec: no rule %s", ruleName)
+	}
+	if r.IsLexer {
+		return fmt.Errorf("leftrec: %s is a lexer rule", ruleName)
+	}
+
+	type opAlt struct {
+		middle []Element // elements between the two self-references
+		binary bool      // true: e α e; false: suffix e α
+	}
+	var ops []opAlt
+	var primaries []*Alt
+
+	for _, alt := range r.Alts {
+		if len(alt.Elems) == 0 {
+			primaries = append(primaries, alt)
+			continue
+		}
+		head, ok := alt.Elems[0].(*RuleRef)
+		if !ok || head.Name != ruleName {
+			primaries = append(primaries, alt)
+			continue
+		}
+		rest := alt.Elems[1:]
+		if len(rest) == 0 {
+			return fmt.Errorf("leftrec: rule %s has alternative %q with a bare self-reference", ruleName, alt.String())
+		}
+		if tail, ok := rest[len(rest)-1].(*RuleRef); ok && tail.Name == ruleName {
+			mid := rest[:len(rest)-1]
+			if len(mid) == 0 {
+				return fmt.Errorf("leftrec: rule %s: alternative %q has adjacent self-references", ruleName, alt.String())
+			}
+			for _, e := range mid {
+				if ref, ok := e.(*RuleRef); ok && ref.Name == ruleName {
+					return fmt.Errorf("leftrec: rule %s: ternary or nested self-reference in %q not supported", ruleName, alt.String())
+				}
+			}
+			ops = append(ops, opAlt{middle: mid, binary: true})
+			continue
+		}
+		ops = append(ops, opAlt{middle: rest, binary: false})
+	}
+
+	if len(ops) == 0 {
+		return fmt.Errorf("leftrec: rule %s is not immediately left-recursive", ruleName)
+	}
+	if len(primaries) == 0 {
+		return fmt.Errorf("leftrec: rule %s has no non-recursive alternative", ruleName)
+	}
+
+	loopName := ruleName + "_"
+	if g.Rule(loopName) != nil {
+		return fmt.Errorf("leftrec: helper rule name %s already taken", loopName)
+	}
+
+	n := len(ops)
+	// Loop alternatives: one per operator, ordered as written.
+	var loopAlts []*Alt
+	for j, op := range ops {
+		prec := n - j // highest-listed operator gets highest precedence
+		elems := []Element{
+			&SemPred{Text: fmt.Sprintf("p <= %d", prec)},
+		}
+		// Any self-references inside the middle (e.g. the index expression
+		// in a[e]) recurse from precedence 0.
+		for _, e := range op.middle {
+			elems = append(elems, retargetSelf(e, ruleName, loopName, "0"))
+		}
+		if op.binary {
+			// Left-associative: right operand must bind tighter.
+			elems = append(elems, &RuleRef{Name: loopName, ArgText: strconv.Itoa(prec + 1)})
+		}
+		loopAlts = append(loopAlts, &Alt{Elems: elems})
+	}
+
+	primaryBlock := &Block{Alts: primaries}
+	loopBlock := &Block{Alts: loopAlts, Op: OpStar}
+	loopRule := &Rule{
+		Name: loopName,
+		Args: "int p",
+		Alts: []*Alt{{Elems: []Element{primaryBlock, loopBlock}}},
+		Pos:  r.Pos,
+	}
+
+	// Entry rule delegates with precedence 0.
+	r.Alts = []*Alt{{Elems: []Element{&RuleRef{Name: loopName, ArgText: "0"}}}}
+
+	return g.AddRule(loopRule)
+}
+
+// retargetSelf rewrites self-references inside operator middles to call the
+// loop rule with the given precedence argument.
+func retargetSelf(e Element, self, loop, arg string) Element {
+	switch e := e.(type) {
+	case *RuleRef:
+		if e.Name == self {
+			return &RuleRef{Name: loop, ArgText: arg, Pos: e.Pos}
+		}
+		return e
+	case *Block:
+		alts := make([]*Alt, len(e.Alts))
+		for i, alt := range e.Alts {
+			elems := make([]Element, len(alt.Elems))
+			for j, el := range alt.Elems {
+				elems[j] = retargetSelf(el, self, loop, arg)
+			}
+			alts[i] = &Alt{Elems: elems}
+		}
+		return &Block{Alts: alts, Op: e.Op, Pos: e.Pos}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,278 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Issue is a validation diagnostic.
+type Issue struct {
+	Rule    string
+	Message string
+	Fatal   bool
+}
+
+func (i Issue) String() string {
+	kind := "warning"
+	if i.Fatal {
+		kind = "error"
+	}
+	if i.Rule != "" {
+		return fmt.Sprintf("%s: rule %s: %s", kind, i.Rule, i.Message)
+	}
+	return fmt.Sprintf("%s: %s", kind, i.Message)
+}
+
+// Validate checks the grammar for structural problems:
+//
+//   - references to undefined rules (fatal)
+//   - parser rules referencing lexer fragments (fatal)
+//   - left-recursive parser rules, direct or indirect (fatal — the paper's
+//     strategy requires non-left-recursive grammars; see RewriteLeftRecursion
+//     for the immediate-left-recursion escape hatch)
+//   - unreachable parser rules (warning)
+//   - empty rules with multiple empty alternatives (warning)
+//
+// It returns all issues found; the grammar is usable iff none is fatal.
+func Validate(g *Grammar) []Issue {
+	var issues []Issue
+	issues = append(issues, checkRefs(g)...)
+	if hasFatal(issues) {
+		// Left-recursion analysis needs resolvable references.
+		return issues
+	}
+	issues = append(issues, checkLeftRecursion(g)...)
+	issues = append(issues, checkReachability(g)...)
+	return issues
+}
+
+func hasFatal(issues []Issue) bool {
+	for _, i := range issues {
+		if i.Fatal {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstFatal returns the first fatal issue as an error, or nil.
+func FirstFatal(issues []Issue) error {
+	for _, i := range issues {
+		if i.Fatal {
+			return fmt.Errorf("%s", i.String())
+		}
+	}
+	return nil
+}
+
+func checkRefs(g *Grammar) []Issue {
+	var issues []Issue
+	check := func(r *Rule) {
+		r.Walk(func(e Element) bool {
+			ref, ok := e.(*RuleRef)
+			if !ok {
+				return true
+			}
+			target := g.Rule(ref.Name)
+			if target == nil {
+				issues = append(issues, Issue{Rule: r.Name, Fatal: true,
+					Message: fmt.Sprintf("reference to undefined rule %s", ref.Name)})
+				return true
+			}
+			if !r.IsLexer && target.IsLexer && target.Fragment {
+				issues = append(issues, Issue{Rule: r.Name, Fatal: true,
+					Message: fmt.Sprintf("parser rule references lexer fragment %s", ref.Name)})
+			}
+			if r.IsLexer && !target.IsLexer {
+				issues = append(issues, Issue{Rule: r.Name, Fatal: true,
+					Message: fmt.Sprintf("lexer rule references parser rule %s", ref.Name)})
+			}
+			return true
+		})
+	}
+	for _, r := range g.Rules {
+		check(r)
+	}
+	for _, r := range g.LexRules {
+		check(r)
+	}
+	return issues
+}
+
+// nullableElems reports whether a sequence of elements can derive ε,
+// given a per-rule nullability map.
+func nullableSeq(elems []Element, ruleNullable map[string]bool) bool {
+	for _, e := range elems {
+		if !nullableElem(e, ruleNullable) {
+			return false
+		}
+	}
+	return true
+}
+
+func nullableElem(e Element, ruleNullable map[string]bool) bool {
+	switch e := e.(type) {
+	case *SemPred, *SynPred, *Action:
+		return true
+	case *Block:
+		if e.Op == OpStar || e.Op == OpOptional {
+			return true
+		}
+		for _, alt := range e.Alts {
+			if nullableSeq(alt.Elems, ruleNullable) {
+				return true
+			}
+		}
+		return false
+	case *RuleRef:
+		return ruleNullable[e.Name]
+	default:
+		// TokenRef, Wildcard, char atoms, NotToken all consume input.
+		return false
+	}
+}
+
+// NullableRules computes, to fixpoint, which rules can derive ε. The
+// analysis uses it to build approximate FIRST sets for the Section 5.4
+// fallback decisions.
+func NullableRules(g *Grammar) map[string]bool { return computeNullable(g) }
+
+// computeNullable computes, to fixpoint, which rules can derive ε.
+func computeNullable(g *Grammar) map[string]bool {
+	nullable := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range append(append([]*Rule{}, g.Rules...), g.LexRules...) {
+			if nullable[r.Name] {
+				continue
+			}
+			for _, alt := range r.Alts {
+				if nullableSeq(alt.Elems, nullable) {
+					nullable[r.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return nullable
+}
+
+// leftCorners returns, for each parser rule, the set of rules reachable at
+// a leftmost position (through nullable prefixes and into blocks).
+func leftCorners(g *Grammar, nullable map[string]bool) map[string]map[string]bool {
+	corners := make(map[string]map[string]bool, len(g.Rules))
+	for _, r := range g.Rules {
+		set := make(map[string]bool)
+		for _, alt := range r.Alts {
+			collectLeftRefs(alt.Elems, nullable, set)
+		}
+		corners[r.Name] = set
+	}
+	// Transitive closure.
+	for changed := true; changed; {
+		changed = false
+		for name, set := range corners {
+			for ref := range set {
+				for indirect := range corners[ref] {
+					if !set[indirect] {
+						set[indirect] = true
+						changed = true
+					}
+				}
+			}
+			corners[name] = set
+		}
+	}
+	return corners
+}
+
+// collectLeftRefs adds to set every rule referenced at a leftmost position
+// of the element sequence.
+func collectLeftRefs(elems []Element, nullable map[string]bool, set map[string]bool) {
+	for _, e := range elems {
+		switch e := e.(type) {
+		case *SemPred, *SynPred, *Action:
+			continue // transparent; keep scanning
+		case *RuleRef:
+			set[e.Name] = true
+			if nullable[e.Name] {
+				continue
+			}
+			return
+		case *Block:
+			for _, alt := range e.Alts {
+				collectLeftRefs(alt.Elems, nullable, set)
+			}
+			if nullableElem(e, nullable) {
+				continue
+			}
+			return
+		default:
+			return // consumed a token; no longer leftmost
+		}
+	}
+}
+
+func checkLeftRecursion(g *Grammar) []Issue {
+	nullable := computeNullable(g)
+	corners := leftCorners(g, nullable)
+	var issues []Issue
+	names := make([]string, 0, len(corners))
+	for name := range corners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if corners[name][name] {
+			kind := "indirectly"
+			if directlyLeftRecursive(g.Rule(name), nullable) {
+				kind = "directly"
+			}
+			issues = append(issues, Issue{Rule: name, Fatal: true,
+				Message: fmt.Sprintf("rule is %s left-recursive; LL(*) requires non-left-recursive grammars (use RewriteLeftRecursion for immediate left recursion)", kind)})
+		}
+	}
+	return issues
+}
+
+// directlyLeftRecursive reports whether some alternative of r references r
+// at its leftmost position.
+func directlyLeftRecursive(r *Rule, nullable map[string]bool) bool {
+	for _, alt := range r.Alts {
+		set := make(map[string]bool)
+		collectLeftRefs(alt.Elems, nullable, set)
+		if set[r.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkReachability(g *Grammar) []Issue {
+	if len(g.Rules) == 0 {
+		return nil
+	}
+	reach := map[string]bool{g.Start().Name: true}
+	var visit func(r *Rule)
+	visit = func(r *Rule) {
+		r.Walk(func(e Element) bool {
+			if ref, ok := e.(*RuleRef); ok {
+				if t := g.Rule(ref.Name); t != nil && !t.IsLexer && !reach[t.Name] {
+					reach[t.Name] = true
+					visit(t)
+				}
+			}
+			return true
+		})
+	}
+	visit(g.Start())
+	var issues []Issue
+	for _, r := range g.Rules {
+		if !reach[r.Name] {
+			issues = append(issues, Issue{Rule: r.Name,
+				Message: "rule is unreachable from the start rule"})
+		}
+	}
+	return issues
+}

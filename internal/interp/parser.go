@@ -1,0 +1,245 @@
+// Package interp executes parses over an analyzed grammar exactly the way
+// an ANTLR-generated LL(*) parser would: recursive descent over the ATN,
+// with each decision driven by its lookahead DFA, failing over to
+// speculation (syntactic predicates / PEG-mode backtracking) where the
+// DFA says so, memoizing speculative rule invocations, gating mutators
+// during speculation, and reporting errors at the offending token.
+package interp
+
+import (
+	"fmt"
+
+	"llstar/internal/atn"
+	"llstar/internal/core"
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+	"llstar/internal/lexrt"
+	"llstar/internal/llk"
+	"llstar/internal/runtime"
+	"llstar/internal/token"
+)
+
+// Options configure a parser.
+type Options struct {
+	// Memoize enables the packrat cache for speculative parses. Nil means
+	// "use the grammar's memoize option".
+	Memoize *bool
+	// CollectStats enables per-decision profiling (Tables 2–4 data).
+	CollectStats bool
+	// BuildTree enables parse-tree construction.
+	BuildTree bool
+	// Hooks binds semantic predicates and actions.
+	Hooks runtime.Hooks
+	// State is the initial user state (the paper's S).
+	State any
+	// ErrorListener, if set, observes syntax errors when they surface.
+	ErrorListener runtime.ErrorListener
+	// ApproxK, when > 0, switches predictions to ANTLR-v2-style linear
+	// approximate LL(k) tables of that depth instead of LL(*) lookahead
+	// DFA; decisions the approximation cannot make speculate alternatives
+	// in order. Used by the Section 6.2 v2-vs-v3 comparison.
+	ApproxK int
+	// Recover enables error recovery: failed token matches try
+	// single-token deletion then insertion, failed predictions resync by
+	// deleting tokens; the parse continues and Errors() collects every
+	// syntax error (up to MaxErrors).
+	Recover bool
+	// MaxErrors caps collected errors in Recover mode (default 10).
+	MaxErrors int
+}
+
+// Parser interprets an analyzed grammar.
+type Parser struct {
+	res  *core.Result
+	m    *atn.Machine
+	dfas []*dfa.DFA
+	opts Options
+
+	stream *runtime.TokenStream
+	memo   *runtime.MemoTable
+	stats  *runtime.ParseStats
+	spec   int // speculation nesting depth
+	ctx    runtime.Context
+
+	// deepest failure seen during speculation, for Section 4.4 reporting
+	deepestIdx int
+	deepestErr *runtime.SyntaxError
+
+	// approx holds lazily-built v2-style lookahead tables per decision
+	// when Options.ApproxK > 0.
+	approx []*llk.Tables
+
+	// errors collects recovered syntax errors (Recover mode).
+	errors []*runtime.SyntaxError
+}
+
+// New returns a parser for an analyzed grammar.
+func New(res *core.Result, opts Options) *Parser {
+	p := &Parser{res: res, m: res.Machine, dfas: res.DFAs, opts: opts}
+	if opts.ApproxK > 0 {
+		p.approx = make([]*llk.Tables, len(res.DFAs))
+	}
+	if opts.CollectStats {
+		p.stats = runtime.NewParseStats(len(res.DFAs))
+		for _, di := range res.Decisions {
+			if di.Class == core.ClassBacktrack {
+				p.stats.Decisions[di.Decision.ID].CanBacktrack = true
+			}
+		}
+	}
+	return p
+}
+
+// Stats returns the profiling data collected so far (nil unless
+// CollectStats was set).
+func (p *Parser) Stats() *runtime.ParseStats { return p.stats }
+
+// Errors returns the syntax errors recovered during the last parse
+// (Recover mode; empty otherwise).
+func (p *Parser) Errors() []*runtime.SyntaxError { return p.errors }
+
+// maxErrors returns the recovery error budget.
+func (p *Parser) maxErrors() int {
+	if p.opts.MaxErrors > 0 {
+		return p.opts.MaxErrors
+	}
+	return 10
+}
+
+// report records a recovered error; it returns non-nil when recovery must
+// stop (not recovering, speculating, or over budget).
+func (p *Parser) report(se *runtime.SyntaxError) error {
+	if p.spec > 0 || !p.opts.Recover {
+		return se
+	}
+	p.errors = append(p.errors, se)
+	if p.opts.ErrorListener != nil {
+		p.opts.ErrorListener(se)
+	}
+	if len(p.errors) >= p.maxErrors() {
+		return se
+	}
+	return nil
+}
+
+// memoEnabled reports whether memoization applies for this parse.
+func (p *Parser) memoEnabled() bool {
+	if p.opts.Memoize != nil {
+		return *p.opts.Memoize
+	}
+	return p.res.Grammar.Options.Memoize
+}
+
+// ParseString lexes input with the grammar's lexer rules and parses it
+// starting at startRule, requiring all input to be consumed.
+func (p *Parser) ParseString(startRule, input string) (*Node, error) {
+	if p.m.Lex == nil {
+		return nil, fmt.Errorf("interp: grammar %s has no lexer rules; use ParseTokens", p.res.Grammar.Name)
+	}
+	lx := lexrt.New(p.m.Lex, input)
+	return p.ParseTokens(startRule, runtime.NewTokenStream(lx))
+}
+
+// ParseTokens parses a token stream starting at startRule, requiring all
+// input to be consumed.
+func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*Node, error) {
+	idx := p.m.RuleIndexByName(startRule)
+	if idx < 0 {
+		return nil, fmt.Errorf("interp: no parser rule %s", startRule)
+	}
+	p.stream = stream
+	p.memo = nil
+	if p.memoEnabled() {
+		p.memo = runtime.NewMemoTable(len(p.res.Grammar.Rules))
+	}
+	p.spec = 0
+	p.deepestIdx = -1
+	p.deepestErr = nil
+	p.errors = nil
+	p.ctx = runtime.Context{Stream: stream, State: p.opts.State}
+
+	var holder *Node
+	if p.opts.BuildTree {
+		holder = &Node{}
+	}
+	err := p.parseRule(idx, 0, holder)
+	if err == nil && stream.LA(1) != token.EOF {
+		se := p.syntaxErr(stream.LT(1), startRule, "extraneous input after parse")
+		if rerr := p.report(se); rerr != nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		// In recover mode every error already reached the listener.
+		if se, ok := err.(*runtime.SyntaxError); ok && p.opts.ErrorListener != nil && !p.opts.Recover {
+			p.opts.ErrorListener(se)
+		}
+		return nil, err
+	}
+	var root *Node
+	if holder != nil && len(holder.Children) > 0 {
+		root = holder.Children[0]
+	}
+	if p.stats != nil && p.memo != nil {
+		p.stats.MemoEntries = p.memo.Entries()
+		p.stats.MemoHits = p.memo.Hits()
+		p.stats.MemoMisses = p.memo.Misses()
+	}
+	if lexErr := stream.Err(); lexErr != nil {
+		return nil, lexErr
+	}
+	return root, nil
+}
+
+func (p *Parser) syntaxErr(at token.Token, rule, msg string) *runtime.SyntaxError {
+	return &runtime.SyntaxError{Offending: at, Rule: rule, Msg: msg}
+}
+
+// noteFailure records the deepest speculative failure (Section 4.4: report
+// errors at the deepest symbol reached by a failed speculative parse).
+func (p *Parser) noteFailure(err *runtime.SyntaxError) {
+	if idx := err.Offending.Index; idx >= p.deepestIdx {
+		p.deepestIdx = idx
+		p.deepestErr = err
+	}
+}
+
+// parseRule parses one rule invocation. arg is the rule's integer
+// argument (parameterized rules); parent receives the rule's tree node.
+func (p *Parser) parseRule(idx, arg int, parent *Node) error {
+	r := p.res.Grammar.Rules[idx]
+	memoizable := p.memo != nil && p.spec > 0 && r.Args == "" && r.OptionBool("memoize", true)
+	start := p.stream.Index()
+	if memoizable {
+		if stop, ok := p.memo.Get(idx, start); ok {
+			if stop == runtime.MemoFailed {
+				return p.syntaxErr(p.stream.LT(1), r.Name, "memoized failure")
+			}
+			p.stream.Seek(stop)
+			return nil
+		}
+	}
+
+	var node *Node
+	if parent != nil && p.spec == 0 {
+		node = &Node{Rule: r.Name}
+		parent.Children = append(parent.Children, node)
+	}
+
+	err := p.walk(p.m.RuleStart[idx], p.m.RuleStop[idx], &frame{rule: r, arg: arg, node: node})
+	if memoizable {
+		if err != nil {
+			p.memo.Put(idx, start, runtime.MemoFailed)
+		} else {
+			p.memo.Put(idx, start, p.stream.Index())
+		}
+	}
+	return err
+}
+
+// frame is one rule invocation's context.
+type frame struct {
+	rule *grammar.Rule
+	arg  int
+	node *Node
+}

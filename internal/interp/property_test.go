@@ -1,0 +1,202 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/lexrt"
+	"llstar/internal/meta"
+	"llstar/internal/peg"
+	"llstar/internal/runtime"
+)
+
+// genGrammarSrc builds a random acyclic PEG-mode grammar over tokens
+// A..D: rule i only references rules j > i, so every parse terminates;
+// shared prefixes and EBNF blocks exercise prediction and backtracking.
+func genGrammarSrc(r *rand.Rand, nRules int) string {
+	var b strings.Builder
+	b.WriteString("grammar Rand;\noptions { backtrack=true; memoize=true; }\n")
+	toks := []string{"A", "B", "C", "D"}
+	for i := 0; i < nRules; i++ {
+		fmt.Fprintf(&b, "r%d :", i)
+		nAlts := 1 + r.Intn(3)
+		for a := 0; a < nAlts; a++ {
+			if a > 0 {
+				b.WriteString(" |")
+			}
+			nEl := r.Intn(4)
+			for e := 0; e < nEl; e++ {
+				switch r.Intn(5) {
+				case 0, 1:
+					b.WriteString(" " + toks[r.Intn(len(toks))])
+				case 2:
+					if i+1 < nRules {
+						fmt.Fprintf(&b, " r%d", i+1+r.Intn(nRules-i-1))
+					} else {
+						b.WriteString(" " + toks[r.Intn(len(toks))])
+					}
+				case 3:
+					fmt.Fprintf(&b, " (%s)%s", toks[r.Intn(len(toks))],
+						[]string{"?", "*", "+"}[r.Intn(3)])
+				default:
+					fmt.Fprintf(&b, " (%s | %s)", toks[r.Intn(len(toks))], toks[r.Intn(len(toks))])
+				}
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	b.WriteString("A : 'a' ;\nB : 'b' ;\nC : 'c' ;\nD : 'd' ;\n")
+	b.WriteString("WS : (' ')+ { skip(); } ;\n")
+	return b.String()
+}
+
+func genInput(r *rand.Rand) string {
+	letters := []string{"a", "b", "c", "d"}
+	n := r.Intn(10)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = letters[r.Intn(len(letters))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Properties over random grammars and inputs:
+//   - analysis terminates and parsing is deterministic
+//   - memoization never changes the outcome or the tree
+//   - on success, the tree's leaves are exactly the input tokens
+func TestRandomGrammarProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genGrammarSrc(r, 1+r.Intn(5))
+		g, err := meta.Parse("rand.g", src)
+		if err != nil {
+			t.Logf("grammar parse failed (generator bug): %v\n%s", err, src)
+			return false
+		}
+		if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+			t.Logf("validate failed: %v\n%s", err, src)
+			return false
+		}
+		res, err := core.Analyze(g, core.Options{})
+		if err != nil {
+			t.Logf("analyze failed: %v\n%s", err, src)
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			input := genInput(r)
+			on, off := true, false
+			pOn := New(res, Options{BuildTree: true, Memoize: &on})
+			pOff := New(res, Options{BuildTree: true, Memoize: &off})
+			tOn, errOn := pOn.ParseString("r0", input)
+			tOff, errOff := pOff.ParseString("r0", input)
+			if (errOn == nil) != (errOff == nil) {
+				t.Logf("memo parity broken on %q:\nmemo: %v\nno-memo: %v\n%s", input, errOn, errOff, src)
+				return false
+			}
+			if errOn == nil {
+				if tOn.String() != tOff.String() {
+					t.Logf("memo changed tree on %q\n%s", input, src)
+					return false
+				}
+				// Leaves must equal the input exactly (EOF required).
+				var leaves []string
+				for _, l := range tOn.Leaves() {
+					leaves = append(leaves, l.Text)
+				}
+				if strings.Join(leaves, " ") != input {
+					t.Logf("tree leaves %v != input %q\n%s", leaves, input, src)
+					return false
+				}
+			}
+			// Determinism.
+			p2 := New(res, Options{BuildTree: true})
+			t2, err2 := p2.ParseString("r0", input)
+			if (err2 == nil) != (errOn == nil) || (err2 == nil && t2.String() != tOn.String()) {
+				t.Logf("nondeterministic parse on %q\n%s", input, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On PEG-mode grammars, any input the packrat baseline accepts must also
+// be accepted by the LL(*) parser (LL(*) statically removes speculation
+// but keeps ordered-choice semantics). Checked over a curated grammar set
+// and random inputs.
+func TestLLStarAcceptsPEGLanguage(t *testing.T) {
+	grammars := []string{
+		`grammar G1;
+options { backtrack=true; memoize=true; }
+s : A B | A C | A ;
+A : 'a' ;
+B : 'b' ;
+C : 'c' ;
+WS : (' ')+ { skip(); } ;`,
+		`grammar G2;
+options { backtrack=true; memoize=true; }
+s : (A)* B | (A)* C ;
+A : 'a' ;
+B : 'b' ;
+C : 'c' ;
+WS : (' ')+ { skip(); } ;`,
+		`grammar G3;
+options { backtrack=true; memoize=true; }
+s : t (s)? ;
+t : A (B)? | C s D ;
+A : 'a' ;
+B : 'b' ;
+C : 'c' ;
+D : 'd' ;
+WS : (' ')+ { skip(); } ;`,
+		`grammar G4;
+options { backtrack=true; memoize=true; }
+s : e ;
+e : t '+' e | t ;
+t : A | '(' e ')' ;
+A : 'a' ;
+WS : (' ')+ { skip(); } ;`,
+	}
+	r := rand.New(rand.NewSource(7))
+	for gi, src := range grammars {
+		g, err := meta.Parse("g.g", src)
+		if err != nil {
+			t.Fatalf("G%d: %v", gi+1, err)
+		}
+		if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+			t.Fatalf("G%d: %v", gi+1, err)
+		}
+		res, err := core.Analyze(g, core.Options{})
+		if err != nil {
+			t.Fatalf("G%d: %v", gi+1, err)
+		}
+		letters := []string{"a", "b", "c", "d", "+", "(", ")"}
+		for trial := 0; trial < 300; trial++ {
+			n := r.Intn(8)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = letters[r.Intn(len(letters))]
+			}
+			input := strings.Join(parts, " ")
+
+			pp := peg.New(g, peg.Options{Memoize: true})
+			lx := lexrt.New(res.Machine.Lex, input)
+			_, pegErr := pp.ParseTokens("s", runtime.NewTokenStream(lx))
+			if pegErr != nil {
+				continue // only check PEG ⊆ LL(*)
+			}
+			ip := New(res, Options{})
+			if _, err := ip.ParseString("s", input); err != nil {
+				t.Errorf("G%d: PEG accepts %q but LL(*) rejects: %v", gi+1, input, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package interp
+
+import (
+	"testing"
+)
+
+const recoverGrammar = `
+grammar Rec;
+prog : (stmt)+ ;
+stmt : ID '=' INT ';' ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' '|'\n')+ { skip(); } ;
+`
+
+func TestRecoverSingleTokenDeletion(t *testing.T) {
+	res := analyzeSrc(t, recoverGrammar)
+	p := New(res, Options{BuildTree: true, Recover: true})
+	// Extra INT before ';' is deleted; both statements survive.
+	tree, err := p.ParseString("prog", "a = 1 1 ; b = 2 ;")
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if len(p.Errors()) != 1 {
+		t.Fatalf("want 1 recovered error, got %v", p.Errors())
+	}
+	if got := len(tree.Children); got != 2 {
+		t.Errorf("want 2 statements, got %d: %s", got, tree)
+	}
+}
+
+func TestRecoverSingleTokenInsertion(t *testing.T) {
+	res := analyzeSrc(t, recoverGrammar)
+	p := New(res, Options{BuildTree: true, Recover: true})
+	// Missing ';' after the first statement: inserted virtually.
+	tree, err := p.ParseString("prog", "a = 1 b = 2 ;")
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if len(p.Errors()) != 1 {
+		t.Fatalf("want 1 recovered error, got %v", p.Errors())
+	}
+	if got := len(tree.Children); got != 2 {
+		t.Errorf("want 2 statements, got %d: %s", got, tree)
+	}
+}
+
+func TestRecoverPredictionResync(t *testing.T) {
+	res := analyzeSrc(t, recoverGrammar)
+	p := New(res, Options{BuildTree: true, Recover: true})
+	// Garbage between statements: the loop prediction fails, resync
+	// deletes tokens until a statement start appears... here garbage is
+	// an INT which cannot start stmt.
+	tree, err := p.ParseString("prog", "a = 1 ; 42 99 b = 2 ;")
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if len(p.Errors()) == 0 {
+		t.Fatal("expected recovered errors")
+	}
+	if got := len(tree.Children); got != 2 {
+		t.Errorf("want 2 statements, got %d: %s", got, tree)
+	}
+}
+
+func TestRecoverErrorBudget(t *testing.T) {
+	res := analyzeSrc(t, recoverGrammar)
+	p := New(res, Options{Recover: true, MaxErrors: 2})
+	_, err := p.ParseString("prog", "1 ; 2 ; 3 ; 4 ; 5 ;")
+	if err == nil {
+		t.Fatal("expected failure after exhausting the error budget")
+	}
+	if len(p.Errors()) != 2 {
+		t.Errorf("want exactly 2 collected errors, got %d", len(p.Errors()))
+	}
+}
+
+func TestNoRecoveryByDefault(t *testing.T) {
+	res := analyzeSrc(t, recoverGrammar)
+	p := New(res, Options{})
+	if _, err := p.ParseString("prog", "a = 1 1 ;"); err == nil {
+		t.Fatal("without Recover the first error must abort")
+	}
+	if len(p.Errors()) != 0 {
+		t.Errorf("no errors should be collected without Recover")
+	}
+}
+
+// Recovery must never engage during speculation: backtracking relies on
+// failures being control flow.
+func TestRecoverNotDuringSpeculation(t *testing.T) {
+	res := analyzeSrc(t, `
+grammar RS;
+options { backtrack=true; memoize=true; }
+s : a | b ;
+a : X Y Z ;
+b : X Y W ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+W : 'w' ;
+WS : (' ')+ { skip(); } ;
+`)
+	p := New(res, Options{BuildTree: true, Recover: true})
+	tree, err := p.ParseString("s", "x y w")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p.Errors()) != 0 {
+		t.Errorf("speculative failures must not be reported: %v", p.Errors())
+	}
+	if tree.String() != "(s (b x y w))" {
+		t.Errorf("tree: %s", tree)
+	}
+}

@@ -1,0 +1,70 @@
+package interp
+
+import (
+	"testing"
+
+	"llstar/internal/runtime"
+	"llstar/internal/token"
+)
+
+// Parsers work over externally supplied token streams (no lexer rules in
+// the grammar at all): the use case of driving the parser from a custom
+// or third-party tokenizer.
+func TestParseTokensWithCustomSource(t *testing.T) {
+	res := analyzeSrc(t, `
+grammar Tok;
+tokens { A; B; }
+s : A (B)* ;
+`)
+	vocab := res.Grammar.Vocab
+	a, b := vocab.Lookup("A"), vocab.Lookup("B")
+	src := &runtime.SliceSource{Tokens: []token.Token{
+		{Type: a, Text: "a", Pos: token.Pos{Line: 1, Col: 1}},
+		{Type: b, Text: "b", Pos: token.Pos{Line: 1, Col: 2}},
+		{Type: b, Text: "b", Pos: token.Pos{Line: 1, Col: 3}},
+	}}
+	p := New(res, Options{BuildTree: true})
+	tree, err := p.ParseTokens("s", runtime.NewTokenStream(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.String() != "(s a b b)" {
+		t.Errorf("tree: %s", tree)
+	}
+	// ParseString must refuse: there are no lexer rules.
+	p2 := New(res, Options{})
+	if _, err := p2.ParseString("s", "ab"); err == nil {
+		t.Error("ParseString without lexer rules must error")
+	}
+}
+
+func TestTreeUtilities(t *testing.T) {
+	res := analyzeSrc(t, `
+grammar TU;
+s : a a ;
+a : X ;
+X : 'x' ;
+`)
+	p := New(res, Options{BuildTree: true})
+	tree, err := p.ParseString("s", "xx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Find("a")); got != 2 {
+		t.Errorf("Find(a) = %d nodes", got)
+	}
+	visited := 0
+	tree.Walk(func(*Node) bool { visited++; return true })
+	if visited != tree.Count() {
+		t.Errorf("walk visited %d of %d", visited, tree.Count())
+	}
+	if tree.Child(0).Rule != "a" || tree.Child(99) != nil {
+		t.Errorf("Child navigation broken")
+	}
+	if tok := tree.Child(0).TokenAt(0); tok == nil || tok.Text != "x" {
+		t.Errorf("TokenAt: %v", tok)
+	}
+	if tree.Text() != "x x" {
+		t.Errorf("Text: %q", tree.Text())
+	}
+}

@@ -1,0 +1,179 @@
+// Package lexrt is the lexer engine: it simulates the character-level
+// ATN built from a grammar's lexer rules with maximal-munch semantics —
+// longest match wins, and among rules matching the same longest prefix
+// the one declared first (with implicit literals outranking named rules)
+// wins. Matches from rules carrying a skip() action are discarded;
+// channel(HIDDEN) rules are emitted off the default channel.
+//
+// For speed the engine performs subset construction on the fly: NFA
+// configuration sets are interned as DFA states and transitions are
+// memoized per rune, so steady-state lexing costs one map lookup per
+// character (the same trick ANTLR's lexers use).
+package lexrt
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"llstar/internal/atn"
+	"llstar/internal/runtime"
+	"llstar/internal/token"
+)
+
+// dfaState is an interned NFA configuration set with memoized rune
+// transitions. accept is the best (lowest-index) lexer rule accepting in
+// this set, or -1.
+type dfaState struct {
+	states []*atn.State
+	accept int
+	edges  map[rune]*dfaState // nil target = dead end, also memoized
+}
+
+// Lexer tokenizes an input string using a LexMachine. It implements
+// runtime.TokenSource.
+type Lexer struct {
+	lm    *atn.LexMachine
+	input []rune
+	pos   int
+	line  int
+	col   int
+
+	start    *dfaState
+	interned map[string]*dfaState
+
+	// scratch buffers for uncached transitions
+	next []*atn.State
+	seen []int
+	gen  int
+}
+
+var _ runtime.TokenSource = (*Lexer)(nil)
+
+// New returns a lexer over input.
+func New(lm *atn.LexMachine, input string) *Lexer {
+	lx := &Lexer{
+		lm:       lm,
+		input:    []rune(input),
+		line:     1,
+		col:      1,
+		interned: make(map[string]*dfaState),
+		seen:     make([]int, len(lm.States)),
+	}
+	lx.start = lx.intern(lm.Closure(lm.Start))
+	return lx
+}
+
+// intern canonicalizes a configuration set into a shared dfaState.
+func (l *Lexer) intern(states []*atn.State) *dfaState {
+	sort.Slice(states, func(i, j int) bool { return states[i].ID < states[j].ID })
+	var key strings.Builder
+	for _, s := range states {
+		key.WriteString(strconv.Itoa(s.ID))
+		key.WriteByte('.')
+	}
+	if d, ok := l.interned[key.String()]; ok {
+		return d
+	}
+	accept := -1
+	for _, s := range states {
+		if r := l.lm.AcceptRule(s); r >= 0 && (accept < 0 || r < accept) {
+			accept = r
+		}
+	}
+	d := &dfaState{states: states, accept: accept, edges: make(map[rune]*dfaState)}
+	l.interned[key.String()] = d
+	return d
+}
+
+// step computes (and memoizes) the successor of d on rune r.
+func (l *Lexer) step(d *dfaState, r rune) *dfaState {
+	if next, ok := d.edges[r]; ok {
+		return next
+	}
+	l.gen++
+	l.next = l.next[:0]
+	for _, s := range d.states {
+		for _, tr := range s.Trans {
+			if tr.Kind == atn.TEpsilon || !tr.MatchesRune(r) {
+				continue
+			}
+			for _, c := range l.lm.Closure(tr.To) {
+				if l.seen[c.ID] != l.gen {
+					l.seen[c.ID] = l.gen
+					l.next = append(l.next, c)
+				}
+			}
+		}
+	}
+	var next *dfaState
+	if len(l.next) > 0 {
+		next = l.intern(append([]*atn.State(nil), l.next...))
+	}
+	d.edges[r] = next
+	return next
+}
+
+// NextToken implements runtime.TokenSource: it returns the next token on
+// any channel (the token stream filters channels), an EOF token at end of
+// input (repeatedly), or a *runtime.LexError.
+func (l *Lexer) NextToken() (token.Token, error) {
+	for {
+		if l.pos >= len(l.input) {
+			return token.Token{Type: token.EOF, Pos: token.Pos{Line: l.line, Col: l.col}}, nil
+		}
+		tok, skip, err := l.match()
+		if err != nil {
+			return token.Token{}, err
+		}
+		if skip {
+			continue
+		}
+		return tok, nil
+	}
+}
+
+// match runs one maximal-munch simulation from the current position.
+func (l *Lexer) match() (token.Token, bool, error) {
+	start := l.pos
+	startPos := token.Pos{Line: l.line, Col: l.col}
+
+	d := l.start
+	bestEnd, bestRule := -1, -1
+	if d.accept >= 0 {
+		bestEnd, bestRule = start, d.accept
+	}
+	for i := start; i < len(l.input); i++ {
+		d = l.step(d, l.input[i])
+		if d == nil {
+			break
+		}
+		if d.accept >= 0 {
+			bestEnd, bestRule = i+1, d.accept
+		}
+	}
+
+	if bestRule < 0 {
+		return token.Token{}, false, &runtime.LexError{Pos: startPos, Rune: l.input[start]}
+	}
+	text := string(l.input[start:bestEnd])
+	l.advance(start, bestEnd)
+	info := l.lm.Rules[bestRule]
+	if info.Skip {
+		return token.Token{}, true, nil
+	}
+	return token.Token{Type: info.Type, Text: text, Pos: startPos, Channel: info.Channel}, false, nil
+}
+
+// advance updates line/col over input[start:end) and moves the cursor.
+func (l *Lexer) advance(start, end int) {
+	for i := start; i < end; i++ {
+		if l.input[i] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+	}
+	l.pos = end
+}

@@ -1,0 +1,198 @@
+// Package llk implements the fixed-k, linear-approximate lookahead
+// decisions of ANTLR v2 (Parr's PhD "linear approximate lookahead"): for
+// each decision and each depth d ≤ k it computes the *set* of tokens that
+// can appear at depth d for each alternative, ignoring correlations
+// between depths. Space is O(|T|·k) instead of O(|T|^k), at the cost of
+// approximation: decisions a full LL(k) (or LL(*)) parser could make
+// deterministically may stay ambiguous and force speculation.
+//
+// The interpreter uses these tables in "v2 mode" for the Section 6.2
+// comparison (ANTLR v3 LL(*) parsers are ~2.5x faster than v2 parsers).
+package llk
+
+import (
+	"strconv"
+
+	"llstar/internal/atn"
+	"llstar/internal/token"
+)
+
+// Tables holds the linear-approximate lookahead sets for one decision.
+type Tables struct {
+	K int
+	// la[d-1][alt-1] is the approximate token set at depth d for the
+	// alternative; anyTok[d-1][alt-1] marks wildcard/unknown.
+	la     [][]*token.Set
+	anyTok [][]bool
+}
+
+// Lookahead is the minimal stream view Predict needs.
+type Lookahead interface {
+	LA(i int) token.Type
+}
+
+// Compute builds approximate depth-wise lookahead sets for a decision.
+func Compute(m *atn.Machine, dec *atn.Decision, k int) *Tables {
+	t := &Tables{K: k}
+	t.la = make([][]*token.Set, k)
+	t.anyTok = make([][]bool, k)
+	for d := 0; d < k; d++ {
+		t.la[d] = make([]*token.Set, dec.NAlts)
+		t.anyTok[d] = make([]bool, dec.NAlts)
+	}
+	for alt := 0; alt < dec.NAlts; alt++ {
+		frontier := closure(m, []*atn.State{dec.AltStart[alt]})
+		for d := 0; d < k; d++ {
+			set := token.NewSet()
+			anyTok := false
+			var next []*atn.State
+			for _, s := range frontier {
+				for _, tr := range s.Trans {
+					switch tr.Kind {
+					case atn.TAtom:
+						set.Add(tr.Sym)
+						next = append(next, tr.To)
+					case atn.TSet:
+						if tr.Negated {
+							anyTok = true
+						} else {
+							set.AddSet(tr.Set)
+						}
+						next = append(next, tr.To)
+					case atn.TWildcard:
+						anyTok = true
+						next = append(next, tr.To)
+					}
+				}
+			}
+			t.la[d][alt] = set
+			t.anyTok[d][alt] = anyTok
+			frontier = closure(m, next)
+			if len(frontier) == 0 {
+				for rest := d + 1; rest < k; rest++ {
+					t.la[rest][alt] = token.NewSet()
+				}
+				break
+			}
+		}
+	}
+	return t
+}
+
+// closure expands states over epsilon-ish and rule edges without tracking
+// a call stack: rule invocations jump into the callee, and rule stops
+// chase every call site (plus EOF when there are none) — the classic
+// FOLLOW approximation.
+func closure(m *atn.Machine, states []*atn.State) []*atn.State {
+	seen := map[int]bool{}
+	var out []*atn.State
+	var stack []*atn.State
+	stack = append(stack, states...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		if s.Stop {
+			refs := []*atn.State(nil)
+			if s.RuleIndex >= 0 && s.RuleIndex < len(m.FollowRefs) {
+				refs = m.FollowRefs[s.RuleIndex]
+			}
+			if len(refs) == 0 {
+				stack = append(stack, m.EOFState())
+			}
+			stack = append(stack, refs...)
+			continue
+		}
+		emits := false
+		for _, tr := range s.Trans {
+			switch tr.Kind {
+			case atn.TRule:
+				stack = append(stack, tr.Start)
+			case atn.TEpsilon, atn.TPred, atn.TAction:
+				stack = append(stack, tr.To)
+			default:
+				emits = true
+			}
+		}
+		if emits {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Predict filters alternatives depth by depth. It returns the chosen
+// alternative if exactly one survives (alt > 0), otherwise alt == 0 and
+// the ordered surviving candidates, plus the number of tokens examined.
+func (t *Tables) Predict(look Lookahead) (alt int, viable []int, depth int) {
+	for a := 1; a <= len(t.la[0]); a++ {
+		viable = append(viable, a)
+	}
+	for d := 0; d < t.K; d++ {
+		tt := look.LA(d + 1)
+		var filtered []int
+		for _, a := range viable {
+			if t.anyTok[d][a-1] || t.la[d][a-1].Contains(tt) ||
+				(tt == token.EOF && t.la[d][a-1].Contains(token.EOF)) {
+				filtered = append(filtered, a)
+			}
+		}
+		depth = d + 1
+		if len(filtered) == 0 {
+			// Nothing matches at this depth: keep the previous viable
+			// set; the caller decides (speculate or report).
+			return 0, viable, depth
+		}
+		viable = filtered
+		if len(viable) == 1 {
+			return viable[0], viable, depth
+		}
+	}
+	return 0, viable, t.K
+}
+
+// ExactTupleCount enumerates the distinct exact k-sequences of lookahead
+// for a decision, up to limit — demonstrating why full LL(k)/LALR(k)
+// k-tuple storage is exponential (the Section 2 LPG anecdote). It returns
+// the count and whether the limit was hit.
+func ExactTupleCount(m *atn.Machine, dec *atn.Decision, k, limit int) (int, bool) {
+	tuples := map[string]bool{}
+	var rec func(states []*atn.State, prefix string, depth int) bool
+	rec = func(states []*atn.State, prefix string, depth int) bool {
+		if depth == k {
+			tuples[prefix] = true
+			return len(tuples) < limit
+		}
+		// Partition by next token.
+		byTok := map[token.Type][]*atn.State{}
+		for _, s := range states {
+			for _, tr := range s.Trans {
+				switch tr.Kind {
+				case atn.TAtom:
+					byTok[tr.Sym] = append(byTok[tr.Sym], tr.To)
+				case atn.TSet:
+					for _, tt := range tr.Set.Types() {
+						if !tr.Negated {
+							byTok[tt] = append(byTok[tt], tr.To)
+						}
+					}
+				}
+			}
+		}
+		for tt, next := range byTok {
+			if !rec(closure(m, next), prefix+","+strconv.Itoa(int(tt)), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	for alt := 0; alt < dec.NAlts; alt++ {
+		if !rec(closure(m, []*atn.State{dec.AltStart[alt]}), "", 0) {
+			return len(tuples), true
+		}
+	}
+	return len(tuples), false
+}

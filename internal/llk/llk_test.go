@@ -1,0 +1,145 @@
+package llk
+
+import (
+	"testing"
+
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/meta"
+	"llstar/internal/token"
+)
+
+func load(t *testing.T, src string) *core.Result {
+	t.Helper()
+	g, err := meta.Parse("t.g", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := core.Analyze(g, core.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+type sliceLook struct{ ts []token.Type }
+
+func (s sliceLook) LA(i int) token.Type {
+	if i-1 < len(s.ts) {
+		return s.ts[i-1]
+	}
+	return token.EOF
+}
+
+const lpg = `
+grammar LPG;
+a : b (A)+ X
+  | c (A)+ Y
+  ;
+b : ;
+c : ;
+A : 'a' ;
+X : 'x' ;
+Y : 'y' ;
+`
+
+// The LPG anecdote: no fixed k separates the alternatives, so for inputs
+// with more than k A's the approximation leaves both alternatives viable.
+func TestFixedKCannotDecide(t *testing.T) {
+	res := load(t, lpg)
+	m := res.Machine
+	dec := m.Decisions[0] // rule a decision is built first
+	if dec.Rule.Name != "a" {
+		t.Fatalf("expected rule a decision first, got %s", dec.Rule.Name)
+	}
+	vb := res.Grammar.Vocab
+	A, X := vb.Lookup("A"), vb.Lookup("X")
+
+	for _, k := range []int{1, 2, 4, 8} {
+		tbl := Compute(m, dec, k)
+		// k+2 A's then X: undecidable at this k.
+		var ts []token.Type
+		for i := 0; i < k+2; i++ {
+			ts = append(ts, A)
+		}
+		ts = append(ts, X)
+		alt, viable, _ := tbl.Predict(sliceLook{ts})
+		if alt != 0 || len(viable) != 2 {
+			t.Errorf("k=%d: expected undecided {1,2}, got alt=%d viable=%v", k, alt, viable)
+		}
+		// X within range: decidable (approximately).
+		ts = []token.Type{A, X}
+		alt, _, _ = tbl.Predict(sliceLook{ts})
+		if k >= 2 && alt != 1 {
+			t.Errorf("k=%d: A X should pick alt 1, got %d", k, alt)
+		}
+	}
+}
+
+// Linear approximation loses inter-depth correlation: a grammar LL(2) by
+// sequences is not separable by per-depth sets.
+func TestLinearApproximationWeakness(t *testing.T) {
+	res := load(t, `
+grammar W;
+s : A B | B A ;
+A : 'a' ;
+B : 'b' ;
+`)
+	m := res.Machine
+	dec := m.Decisions[0]
+	vb := res.Grammar.Vocab
+	A, B := vb.Lookup("A"), vb.Lookup("B")
+	tbl := Compute(m, dec, 2)
+	// Depth-1 sets: {A} vs {B} — separable. Fine at k=1 already.
+	if alt, _, _ := tbl.Predict(sliceLook{[]token.Type{A, B}}); alt != 1 {
+		t.Errorf("A B: want 1, got %d", alt)
+	}
+	// Now a genuinely correlated case: (A B | A A) vs (A A | A B) is
+	// identical per-depth {A}×{A,B}, so approximation cannot decide.
+	res2 := load(t, `
+grammar W2;
+s : x | y ;
+x : A B | A A ;
+y : A A | A B ;
+A : 'a' ;
+B : 'b' ;
+`)
+	dec2 := res2.Machine.Decisions[0]
+	if dec2.Rule.Name != "s" {
+		for _, d := range res2.Machine.Decisions {
+			if d.Rule.Name == "s" {
+				dec2 = d
+			}
+		}
+	}
+	tbl2 := Compute(res2.Machine, dec2, 4)
+	alt, viable, _ := tbl2.Predict(sliceLook{[]token.Type{res2.Grammar.Vocab.Lookup("A"), res2.Grammar.Vocab.Lookup("B")}})
+	if alt != 0 || len(viable) != 2 {
+		t.Errorf("correlated lookahead should stay undecided, got alt=%d viable=%v", alt, viable)
+	}
+}
+
+// Exact k-tuple enumeration grows with k for the LPG grammar, unlike the
+// O(|T|·k) linear approximation.
+func TestExactTupleGrowth(t *testing.T) {
+	res := load(t, `
+grammar G;
+s : (A | B)* X | (A | B)* Y ;
+A : 'a' ;
+B : 'b' ;
+X : 'x' ;
+Y : 'y' ;
+`)
+	dec := res.Machine.Decisions[0]
+	if dec.Rule.Name != "s" {
+		t.Fatalf("unexpected first decision %s", dec.Rule.Name)
+	}
+	n4, _ := ExactTupleCount(res.Machine, dec, 4, 1_000_000)
+	n8, hit := ExactTupleCount(res.Machine, dec, 8, 1_000_000)
+	if n8 <= n4*4 && !hit {
+		t.Errorf("expected exponential tuple growth: k=4 → %d, k=8 → %d", n4, n8)
+	}
+}

@@ -1,0 +1,446 @@
+// Package meta implements the grammar meta-language front end: a
+// hand-written lexer and recursive-descent parser that read ANTLR-style
+// grammar text (.g files) into the grammar IR.
+//
+// Supported syntax, a faithful subset of ANTLR 3:
+//
+//	grammar Name;
+//	options { backtrack=true; memoize=true; k=2; }
+//	tokens { FOO; BAR; }
+//	@members { ... }
+//
+//	rule[int p] : {pred}? a B 'lit' (x | y)* {action} {{always}} ;
+//	decl : (declSpec)=> declSpec ';' | stmt ;
+//	ID   : ('a'..'z'|'A'..'Z'|'_') ('a'..'z'|'0'..'9'|'_')* ;
+//	WS   : (' '|'\t'|'\n')+ { skip(); } ;
+//	fragment DIGIT : '0'..'9' ;
+package meta
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"llstar/internal/token"
+)
+
+// kind is a meta-language token kind.
+type kind int
+
+const (
+	tEOF          kind = iota
+	tID                // rule or token name
+	tString            // 'text' with escapes resolved
+	tInt               // integer literal
+	tAction            // {...} raw text (braces stripped)
+	tDoubleAction      // {{...}} raw text
+	tArg               // [...] raw text
+	tColon
+	tSemi
+	tOr
+	tLParen
+	tRParen
+	tQuestion
+	tStar
+	tPlus
+	tTilde
+	tDot
+	tRange  // ..
+	tAssign // =
+	tArrow  // =>
+	tOptions
+	tTokens
+	tGrammar
+	tFragment
+	tAt // @name
+)
+
+func (k kind) String() string {
+	switch k {
+	case tEOF:
+		return "EOF"
+	case tID:
+		return "identifier"
+	case tString:
+		return "string literal"
+	case tInt:
+		return "integer"
+	case tAction:
+		return "action"
+	case tDoubleAction:
+		return "{{action}}"
+	case tArg:
+		return "[args]"
+	case tColon:
+		return "':'"
+	case tSemi:
+		return "';'"
+	case tOr:
+		return "'|'"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tQuestion:
+		return "'?'"
+	case tStar:
+		return "'*'"
+	case tPlus:
+		return "'+'"
+	case tTilde:
+		return "'~'"
+	case tDot:
+		return "'.'"
+	case tRange:
+		return "'..'"
+	case tAssign:
+		return "'='"
+	case tArrow:
+		return "'=>'"
+	case tOptions:
+		return "'options'"
+	case tTokens:
+		return "'tokens'"
+	case tGrammar:
+		return "'grammar'"
+	case tFragment:
+		return "'fragment'"
+	case tAt:
+		return "'@'"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+type metaToken struct {
+	kind kind
+	text string
+	pos  token.Pos
+}
+
+// lexer tokenizes grammar text.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a meta-language syntax error with position information.
+type Error struct {
+	File string
+	Pos  token.Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func (lx *lexer) errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	if lx.off+w >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off+w:])
+	return r
+}
+
+func (lx *lexer) next() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) pos() token.Pos { return token.Pos{Line: lx.line, Col: lx.col} }
+
+// skipWS consumes whitespace and comments.
+func (lx *lexer) skipWS() error {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.next()
+		case r == '/' && lx.peek2() == '/':
+			for r := lx.peek(); r != '\n' && r != -1; r = lx.peek() {
+				lx.next()
+			}
+		case r == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.next()
+			lx.next()
+			for {
+				r := lx.next()
+				if r == -1 {
+					return lx.errf(start, "unterminated block comment")
+				}
+				if r == '*' && lx.peek() == '/' {
+					lx.next()
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIDStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIDCont(r rune) bool {
+	return isIDStart(r) || (r >= '0' && r <= '9')
+}
+
+// lex returns the next meta-language token.
+func (lx *lexer) lex() (metaToken, error) {
+	if err := lx.skipWS(); err != nil {
+		return metaToken{}, err
+	}
+	pos := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == -1:
+		return metaToken{kind: tEOF, pos: pos}, nil
+	case isIDStart(r):
+		start := lx.off
+		for isIDCont(lx.peek()) {
+			lx.next()
+		}
+		text := lx.src[start:lx.off]
+		k := tID
+		switch text {
+		case "options":
+			k = tOptions
+		case "tokens":
+			k = tTokens
+		case "grammar":
+			k = tGrammar
+		case "fragment":
+			k = tFragment
+		}
+		return metaToken{kind: k, text: text, pos: pos}, nil
+	case r >= '0' && r <= '9':
+		start := lx.off
+		for p := lx.peek(); p >= '0' && p <= '9'; p = lx.peek() {
+			lx.next()
+		}
+		return metaToken{kind: tInt, text: lx.src[start:lx.off], pos: pos}, nil
+	case r == '\'':
+		return lx.lexString(pos)
+	case r == '{':
+		return lx.lexAction(pos)
+	case r == '[':
+		return lx.lexArg(pos)
+	}
+	lx.next()
+	switch r {
+	case ':':
+		return metaToken{kind: tColon, text: ":", pos: pos}, nil
+	case ';':
+		return metaToken{kind: tSemi, text: ";", pos: pos}, nil
+	case '|':
+		return metaToken{kind: tOr, text: "|", pos: pos}, nil
+	case '(':
+		return metaToken{kind: tLParen, text: "(", pos: pos}, nil
+	case ')':
+		return metaToken{kind: tRParen, text: ")", pos: pos}, nil
+	case '?':
+		return metaToken{kind: tQuestion, text: "?", pos: pos}, nil
+	case '*':
+		return metaToken{kind: tStar, text: "*", pos: pos}, nil
+	case '+':
+		return metaToken{kind: tPlus, text: "+", pos: pos}, nil
+	case '~':
+		return metaToken{kind: tTilde, text: "~", pos: pos}, nil
+	case '@':
+		return metaToken{kind: tAt, text: "@", pos: pos}, nil
+	case '.':
+		if lx.peek() == '.' {
+			lx.next()
+			return metaToken{kind: tRange, text: "..", pos: pos}, nil
+		}
+		return metaToken{kind: tDot, text: ".", pos: pos}, nil
+	case '=':
+		if lx.peek() == '>' {
+			lx.next()
+			return metaToken{kind: tArrow, text: "=>", pos: pos}, nil
+		}
+		return metaToken{kind: tAssign, text: "=", pos: pos}, nil
+	}
+	return metaToken{}, lx.errf(pos, "unexpected character %q", r)
+}
+
+// lexString reads a single-quoted literal, resolving escapes.
+func (lx *lexer) lexString(pos token.Pos) (metaToken, error) {
+	lx.next() // opening quote
+	var b strings.Builder
+	for {
+		r := lx.next()
+		switch r {
+		case -1, '\n':
+			return metaToken{}, lx.errf(pos, "unterminated string literal")
+		case '\'':
+			return metaToken{kind: tString, text: b.String(), pos: pos}, nil
+		case '\\':
+			e := lx.next()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case 'u':
+				var v rune
+				for i := 0; i < 4; i++ {
+					d := lx.next()
+					switch {
+					case d >= '0' && d <= '9':
+						v = v*16 + (d - '0')
+					case d >= 'a' && d <= 'f':
+						v = v*16 + (d - 'a' + 10)
+					case d >= 'A' && d <= 'F':
+						v = v*16 + (d - 'A' + 10)
+					default:
+						return metaToken{}, lx.errf(pos, "bad \\u escape")
+					}
+				}
+				b.WriteRune(v)
+			case -1:
+				return metaToken{}, lx.errf(pos, "unterminated string literal")
+			default:
+				return metaToken{}, lx.errf(pos, "unknown escape \\%c", e)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// lexAction reads a balanced {...} or {{...}} action. Braces inside
+// single- or double-quoted strings and comments in the action text do not
+// count toward balancing.
+func (lx *lexer) lexAction(pos token.Pos) (metaToken, error) {
+	lx.next() // '{'
+	double := false
+	if lx.peek() == '{' {
+		lx.next()
+		double = true
+	}
+	depth := 1
+	var b strings.Builder
+	for {
+		r := lx.next()
+		switch r {
+		case -1:
+			return metaToken{}, lx.errf(pos, "unterminated action")
+		case '{':
+			depth++
+			b.WriteRune(r)
+		case '}':
+			depth--
+			if depth == 0 {
+				if double {
+					if lx.peek() != '}' {
+						return metaToken{}, lx.errf(pos, "expected }} to close {{...}} action")
+					}
+					lx.next()
+					return metaToken{kind: tDoubleAction, text: strings.TrimSpace(b.String()), pos: pos}, nil
+				}
+				return metaToken{kind: tAction, text: strings.TrimSpace(b.String()), pos: pos}, nil
+			}
+			b.WriteRune(r)
+		case '\'', '"':
+			quote := r
+			b.WriteRune(r)
+			for {
+				c := lx.next()
+				if c == -1 {
+					return metaToken{}, lx.errf(pos, "unterminated string inside action")
+				}
+				b.WriteRune(c)
+				if c == '\\' {
+					esc := lx.next()
+					if esc == -1 {
+						return metaToken{}, lx.errf(pos, "unterminated string inside action")
+					}
+					b.WriteRune(esc)
+					continue
+				}
+				if c == quote {
+					break
+				}
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// lexArg reads a balanced [...] rule-argument block.
+func (lx *lexer) lexArg(pos token.Pos) (metaToken, error) {
+	lx.next() // '['
+	depth := 1
+	var b strings.Builder
+	for {
+		r := lx.next()
+		switch r {
+		case -1:
+			return metaToken{}, lx.errf(pos, "unterminated [args]")
+		case '[':
+			depth++
+			b.WriteRune(r)
+		case ']':
+			depth--
+			if depth == 0 {
+				return metaToken{kind: tArg, text: strings.TrimSpace(b.String()), pos: pos}, nil
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

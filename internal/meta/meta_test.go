@@ -1,0 +1,222 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+
+	"llstar/internal/grammar"
+)
+
+func parse(t *testing.T, src string) *grammar.Grammar {
+	t.Helper()
+	g, err := Parse("t.g", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return g
+}
+
+func TestParseBasics(t *testing.T) {
+	g := parse(t, `
+grammar Demo;
+options { backtrack=true; memoize=true; k=2; m=3; custom=x; }
+tokens { EXTRA; MORE; }
+@members { var helper int }
+
+a : b C 'lit' | ;
+b : (C)* (D)? (C | D)+ ;
+C : 'c' ;
+D : 'd' ;
+`)
+	if g.Name != "Demo" {
+		t.Errorf("name %q", g.Name)
+	}
+	if !g.Options.Backtrack || !g.Options.Memoize || g.Options.K != 2 || g.Options.M != 3 {
+		t.Errorf("options: %+v", g.Options)
+	}
+	if g.Options.Raw["custom"] != "x" {
+		t.Errorf("raw options not kept")
+	}
+	if g.Vocab.Lookup("EXTRA") == 0 || g.Vocab.Lookup("MORE") == 0 {
+		t.Errorf("tokens{} not registered")
+	}
+	if g.NamedActions["members"] != "var helper int" {
+		t.Errorf("@members: %q", g.NamedActions["members"])
+	}
+	if len(g.Rules) != 2 || len(g.LexRules) != 2 {
+		t.Fatalf("rules %d lex %d", len(g.Rules), len(g.LexRules))
+	}
+	a := g.Rule("a")
+	if len(a.Alts) != 2 || len(a.Alts[1].Elems) != 0 {
+		t.Errorf("rule a alts wrong: %s", a.RuleText())
+	}
+	if g.Vocab.Literal("lit") == 0 {
+		t.Errorf("literal not interned")
+	}
+}
+
+func TestParsePredicatesAndActions(t *testing.T) {
+	g := parse(t, `
+grammar P;
+r : {isType()}? A {act();} {{always();}} (A B)=> A B ;
+A : 'a' ;
+B : 'b' ;
+`)
+	elems := g.Rule("r").Alts[0].Elems
+	if _, ok := elems[0].(*grammar.SemPred); !ok {
+		t.Errorf("elem 0 should be SemPred, got %T", elems[0])
+	}
+	act, ok := elems[2].(*grammar.Action)
+	if !ok || act.AlwaysExec {
+		t.Errorf("elem 2 should be plain action, got %#v", elems[2])
+	}
+	always, ok := elems[3].(*grammar.Action)
+	if !ok || !always.AlwaysExec {
+		t.Errorf("elem 3 should be {{...}} action, got %#v", elems[3])
+	}
+	if _, ok := elems[4].(*grammar.SynPred); !ok {
+		t.Errorf("elem 4 should be SynPred, got %T", elems[4])
+	}
+}
+
+func TestParseRuleArgsAndRefs(t *testing.T) {
+	g := parse(t, `
+grammar A;
+e : e2[0] ;
+e2[int p] : A e2[p+1] | ;
+A : 'a' ;
+`)
+	e2 := g.Rule("e2")
+	if e2.Args != "int p" {
+		t.Errorf("args: %q", e2.Args)
+	}
+	ref := g.Rule("e").Alts[0].Elems[0].(*grammar.RuleRef)
+	if ref.ArgText != "0" {
+		t.Errorf("arg text: %q", ref.ArgText)
+	}
+}
+
+func TestParseLexerShapes(t *testing.T) {
+	g := parse(t, `
+grammar L;
+s : STR ;
+STR : '"' (~('"'|'\\') | '\\' .)* '"' ;
+fragment HEX : ('0'..'9'|'a'..'f') ;
+NUM : HEX (HEX)* ;
+WS : (' '|'\t')+ { skip(); } ;
+`)
+	if !g.Rule("HEX").Fragment {
+		t.Errorf("HEX should be a fragment")
+	}
+	str := g.Rule("STR")
+	if str.IsLexer != true {
+		t.Errorf("STR should be a lexer rule")
+	}
+	// Check the negated set parsed.
+	found := false
+	str.Walk(func(e grammar.Element) bool {
+		if cs, ok := e.(*grammar.CharSet); ok && cs.Negated {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("negated charset not parsed")
+	}
+}
+
+func TestParseNotTokens(t *testing.T) {
+	g := parse(t, `
+grammar N;
+s : ~SEMI ~(A | B) ;
+SEMI : ';' ;
+A : 'a' ;
+B : 'b' ;
+`)
+	elems := g.Rule("s").Alts[0].Elems
+	n1 := elems[0].(*grammar.NotToken)
+	if len(n1.Types) != 1 || n1.Types[0] != g.Vocab.Lookup("SEMI") {
+		t.Errorf("~SEMI resolved wrong: %+v", n1)
+	}
+	n2 := elems[1].(*grammar.NotToken)
+	if len(n2.Types) != 2 {
+		t.Errorf("~(A|B) resolved wrong: %+v", n2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"grammar ;", "expected identifier"},
+		{"grammar G; a : X ", "expected ';'"},
+		{"grammar G;", "no rules"},
+		{"grammar G; a : 'x ;", "unterminated string"},
+		{"grammar G; a : {foo ;", "unterminated action"},
+		{"grammar G; fragment a : B ;", "fragment a must be a lexer rule"},
+		{"grammar G; a : B ; a : C ;", "redefined"},
+		{"grammar G; A : 'z'..'a' ;", "inverted range"},
+		{"grammar G; a : 'x' .. 'y' ;", "'..' ranges are only valid in lexer rules"},
+		{"grammar G; A : b ;", "lexer rule cannot reference parser rule"},
+		{"grammar G; options { k }\na : B ;", "malformed option"},
+		{"grammar G; options { k=x; }\na : B ;", "option k"},
+	}
+	for _, tc := range cases {
+		_, err := Parse("t.g", tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("file.g", "grammar G;\na : X\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	me, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if me.File != "file.g" || me.Pos.Line != 3 {
+		t.Errorf("position: %v", me)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	g := parse(t, `
+grammar E;
+s : NL ;
+NL : '\n' | '\t' | '\\' | '\'' | 'A' ;
+`)
+	var runes []rune
+	g.Rule("NL").Walk(func(e grammar.Element) bool {
+		if c, ok := e.(*grammar.CharLit); ok {
+			runes = append(runes, c.R)
+		}
+		return true
+	})
+	want := []rune{'\n', '\t', '\\', '\'', 'A'}
+	if len(runes) != len(want) {
+		t.Fatalf("runes: %q", string(runes))
+	}
+	for i := range want {
+		if runes[i] != want[i] {
+			t.Errorf("escape %d: %q want %q", i, runes[i], want[i])
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	parse(t, `
+// line comment
+grammar C; /* block
+comment */
+a : B ; // trailing
+B : 'b' ;
+`)
+}

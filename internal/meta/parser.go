@@ -1,0 +1,602 @@
+package meta
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// Parse reads grammar text and returns the grammar IR. file is used only
+// in error messages.
+func Parse(file, src string) (*grammar.Grammar, error) {
+	p := &parser{lx: newLexer(src), file: file}
+	if err := p.advance(); err != nil {
+		return nil, p.wrap(err)
+	}
+	g, err := p.parseGrammar()
+	if err != nil {
+		return nil, p.wrap(err)
+	}
+	if err := p.resolveTokens(g); err != nil {
+		return nil, p.wrap(err)
+	}
+	return g, nil
+}
+
+type parser struct {
+	lx   *lexer
+	file string
+	tok  metaToken
+}
+
+func (p *parser) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	if me, ok := err.(*Error); ok && me.File == "" {
+		me.File = p.file
+		return me
+	}
+	return err
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k kind) (metaToken, error) {
+	if p.tok.kind != k {
+		return metaToken{}, p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return metaToken{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseGrammar() (*grammar.Grammar, error) {
+	if _, err := p.expect(tGrammar); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tSemi); err != nil {
+		return nil, err
+	}
+	g := grammar.New(name.text)
+
+	// Prequel: options, tokens, @name actions.
+	for {
+		switch p.tok.kind {
+		case tOptions:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tAction {
+				return nil, p.errf("expected { after options")
+			}
+			if err := parseOptions(p.tok.text, &g.Options); err != nil {
+				return nil, &Error{Pos: p.tok.pos, Msg: err.Error()}
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tTokens:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tAction {
+				return nil, p.errf("expected { after tokens")
+			}
+			for _, decl := range strings.FieldsFunc(p.tok.text, func(r rune) bool {
+				return r == ';' || r == ',' || r == '\n'
+			}) {
+				decl = strings.TrimSpace(decl)
+				if decl != "" {
+					g.Vocab.Define(decl)
+				}
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tAt:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			nm, err := p.expect(tID)
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tAction {
+				return nil, p.errf("expected action after @%s", nm.text)
+			}
+			if g.NamedActions == nil {
+				g.NamedActions = make(map[string]string)
+			}
+			g.NamedActions[nm.text] = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			goto rules
+		}
+	}
+
+rules:
+	for p.tok.kind != tEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddRule(r); err != nil {
+			return nil, &Error{Pos: r.Pos, Msg: err.Error()}
+		}
+	}
+	if len(g.Rules) == 0 && len(g.LexRules) == 0 {
+		return nil, p.errf("grammar %s has no rules", g.Name)
+	}
+	return g, nil
+}
+
+// parseOptions parses "k1=v1; k2=v2;" option text.
+func parseOptions(text string, opts *grammar.Options) error {
+	if opts.Raw == nil {
+		opts.Raw = make(map[string]string)
+	}
+	for _, field := range strings.Split(text, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		eq := strings.IndexByte(field, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed option %q (want key=value)", field)
+		}
+		key := strings.TrimSpace(field[:eq])
+		val := strings.TrimSpace(field[eq+1:])
+		opts.Raw[key] = val
+		switch key {
+		case "backtrack":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("option backtrack: %v", err)
+			}
+			opts.Backtrack = b
+		case "memoize":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("option memoize: %v", err)
+			}
+			opts.Memoize = b
+		case "k":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("option k: %v", err)
+			}
+			opts.K = n
+		case "m":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("option m: %v", err)
+			}
+			opts.M = n
+		}
+	}
+	return nil
+}
+
+func isLexerName(name string) bool {
+	r, _ := utf8.DecodeRuneInString(name)
+	return unicode.IsUpper(r)
+}
+
+func (p *parser) parseRule() (*grammar.Rule, error) {
+	r := &grammar.Rule{Pos: p.tok.pos}
+	if p.tok.kind == tFragment {
+		r.Fragment = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(tID)
+	if err != nil {
+		return nil, err
+	}
+	r.Name = name.text
+	r.IsLexer = isLexerName(name.text)
+	if r.Fragment && !r.IsLexer {
+		return nil, p.errf("fragment %s must be a lexer rule (uppercase name)", r.Name)
+	}
+	if p.tok.kind == tArg {
+		r.Args = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind == tOptions {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tAction {
+			return nil, p.errf("expected { after rule options")
+		}
+		var o grammar.Options
+		if err := parseOptions(p.tok.text, &o); err != nil {
+			return nil, &Error{Pos: p.tok.pos, Msg: err.Error()}
+		}
+		r.Options = o.Raw
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	alts, err := p.parseAltList(r.IsLexer)
+	if err != nil {
+		return nil, err
+	}
+	r.Alts = alts
+	if _, err := p.expect(tSemi); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseAltList(lexer bool) ([]*grammar.Alt, error) {
+	var alts []*grammar.Alt
+	for {
+		alt, err := p.parseAlt(lexer)
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, alt)
+		if p.tok.kind != tOr {
+			return alts, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAlt(lexer bool) (*grammar.Alt, error) {
+	alt := &grammar.Alt{}
+	for {
+		switch p.tok.kind {
+		case tOr, tRParen, tSemi, tEOF:
+			return alt, nil
+		}
+		e, err := p.parseElement(lexer)
+		if err != nil {
+			return nil, err
+		}
+		alt.Elems = append(alt.Elems, e)
+	}
+}
+
+func (p *parser) parseElement(lexer bool) (grammar.Element, error) {
+	pos := p.tok.pos
+	switch p.tok.kind {
+	case tAction:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tQuestion {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &grammar.SemPred{Text: text, Pos: pos}, nil
+		}
+		return &grammar.Action{Text: text, Pos: pos}, nil
+	case tDoubleAction:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &grammar.Action{Text: text, AlwaysExec: true, Pos: pos}, nil
+	case tLParen:
+		blk, err := p.parseBlock(lexer)
+		if err != nil {
+			return nil, err
+		}
+		if blk.Op == grammar.OpNone && p.tok.kind == tArrow {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &grammar.SynPred{Block: blk, Pos: pos}, nil
+		}
+		return blk, nil
+	}
+	atom, err := p.parseAtom(lexer)
+	if err != nil {
+		return nil, err
+	}
+	return p.applySuffix(atom, pos)
+}
+
+// parseBlock parses '(' altList ')' with an optional EBNF suffix.
+func (p *parser) parseBlock(lexer bool) (*grammar.Block, error) {
+	pos := p.tok.pos
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	alts, err := p.parseAltList(lexer)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, err
+	}
+	blk := &grammar.Block{Alts: alts, Pos: pos}
+	switch p.tok.kind {
+	case tQuestion:
+		blk.Op = grammar.OpOptional
+		err = p.advance()
+	case tStar:
+		blk.Op = grammar.OpStar
+		err = p.advance()
+	case tPlus:
+		blk.Op = grammar.OpPlus
+		err = p.advance()
+	}
+	return blk, err
+}
+
+// applySuffix wraps an atom in a single-alt block if followed by ?/*/+.
+func (p *parser) applySuffix(atom grammar.Element, pos token.Pos) (grammar.Element, error) {
+	var op grammar.BlockOp
+	switch p.tok.kind {
+	case tQuestion:
+		op = grammar.OpOptional
+	case tStar:
+		op = grammar.OpStar
+	case tPlus:
+		op = grammar.OpPlus
+	default:
+		return atom, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &grammar.Block{
+		Alts: []*grammar.Alt{{Elems: []grammar.Element{atom}}},
+		Op:   op,
+		Pos:  pos,
+	}, nil
+}
+
+func (p *parser) parseAtom(lexer bool) (grammar.Element, error) {
+	pos := p.tok.pos
+	switch p.tok.kind {
+	case tID:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if isLexerName(name) {
+			if lexer {
+				// Reference to another lexer rule or fragment.
+				return &grammar.RuleRef{Name: name, Pos: pos}, nil
+			}
+			return &grammar.TokenRef{Name: name, Pos: pos}, nil
+		}
+		if lexer {
+			return nil, p.errf("lexer rule cannot reference parser rule %s", name)
+		}
+		ref := &grammar.RuleRef{Name: name, Pos: pos}
+		if p.tok.kind == tArg {
+			ref.ArgText = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return ref, nil
+
+	case tString:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !lexer {
+			if p.tok.kind == tRange {
+				return nil, p.errf("'..' ranges are only valid in lexer rules")
+			}
+			if text == "" {
+				return nil, p.errf("empty literal")
+			}
+			return &grammar.TokenRef{Name: "'" + text + "'", Pos: pos}, nil
+		}
+		// Lexer literal, possibly a range 'a'..'z'.
+		if p.tok.kind == tRange {
+			lo, ok := singleRune(text)
+			if !ok {
+				return nil, p.errf("range bound %q must be a single character", text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			hiTok, err := p.expect(tString)
+			if err != nil {
+				return nil, err
+			}
+			hi, ok := singleRune(hiTok.text)
+			if !ok {
+				return nil, p.errf("range bound %q must be a single character", hiTok.text)
+			}
+			if hi < lo {
+				return nil, p.errf("inverted range %q..%q", text, hiTok.text)
+			}
+			return &grammar.CharSet{Ranges: []grammar.RuneRange{{Lo: lo, Hi: hi}}, Pos: pos}, nil
+		}
+		if r, ok := singleRune(text); ok {
+			return &grammar.CharLit{R: r, Pos: pos}, nil
+		}
+		if text == "" {
+			return nil, p.errf("empty literal")
+		}
+		return &grammar.StringLit{S: text, Pos: pos}, nil
+
+	case tTilde:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseNegation(lexer, pos)
+
+	case tDot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &grammar.Wildcard{Pos: pos}, nil
+	}
+	return nil, p.errf("unexpected %s %q in rule", p.tok.kind, p.tok.text)
+}
+
+func singleRune(s string) (rune, bool) {
+	r, w := utf8.DecodeRuneInString(s)
+	if w == 0 || w != len(s) {
+		return 0, false
+	}
+	return r, true
+}
+
+// parseNegation parses the operand of '~'. In lexer rules the result is a
+// negated character set; in parser rules a NotToken (names resolved later).
+func (p *parser) parseNegation(lexer bool, pos token.Pos) (grammar.Element, error) {
+	if lexer {
+		set := &grammar.CharSet{Negated: true, Pos: pos}
+		add := func(e grammar.Element) error {
+			switch e := e.(type) {
+			case *grammar.CharLit:
+				set.Ranges = append(set.Ranges, grammar.RuneRange{Lo: e.R, Hi: e.R})
+			case *grammar.CharSet:
+				if e.Negated {
+					return p.errf("cannot nest ~ inside ~")
+				}
+				set.Ranges = append(set.Ranges, e.Ranges...)
+			default:
+				return p.errf("~ in lexer rule must negate characters, not %s", e)
+			}
+			return nil
+		}
+		if p.tok.kind == tLParen {
+			blk, err := p.parseBlock(true)
+			if err != nil {
+				return nil, err
+			}
+			if blk.Op != grammar.OpNone {
+				return nil, p.errf("EBNF operator not allowed on ~(...) operand")
+			}
+			for _, alt := range blk.Alts {
+				if len(alt.Elems) != 1 {
+					return nil, p.errf("~(...) alternatives must be single characters or ranges")
+				}
+				if err := add(alt.Elems[0]); err != nil {
+					return nil, err
+				}
+			}
+			return set, nil
+		}
+		atom, err := p.parseAtom(true)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(atom); err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+
+	// Parser rule: ~A or ~(A|B); resolved to types later.
+	not := &grammar.NotToken{Pos: pos}
+	collect := func(e grammar.Element) error {
+		ref, ok := e.(*grammar.TokenRef)
+		if !ok {
+			return p.errf("~ in parser rule must negate token references, not %s", e)
+		}
+		// Record the spelling; resolveTokens assigns the type.
+		not.Names = append(not.Names, ref.Name)
+		not.Types = append(not.Types, token.Invalid)
+		return nil
+	}
+	if p.tok.kind == tLParen {
+		blk, err := p.parseBlock(false)
+		if err != nil {
+			return nil, err
+		}
+		if blk.Op != grammar.OpNone {
+			return nil, p.errf("EBNF operator not allowed on ~(...) operand")
+		}
+		for _, alt := range blk.Alts {
+			if len(alt.Elems) != 1 {
+				return nil, p.errf("~(...) alternatives must be single tokens")
+			}
+			if err := collect(alt.Elems[0]); err != nil {
+				return nil, err
+			}
+		}
+		return not, nil
+	}
+	atom, err := p.parseAtom(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := collect(atom); err != nil {
+		return nil, err
+	}
+	return not, nil
+}
+
+// resolveTokens assigns token types: lexer-rule names first (declaration
+// order), then literals and other references as encountered.
+func (p *parser) resolveTokens(g *grammar.Grammar) error {
+	for _, lr := range g.LexRules {
+		if !lr.Fragment {
+			g.Vocab.Define(lr.Name)
+		}
+	}
+	var firstErr error
+	resolve := func(r *grammar.Rule) {
+		r.Walk(func(e grammar.Element) bool {
+			switch e := e.(type) {
+			case *grammar.TokenRef:
+				if strings.HasPrefix(e.Name, "'") {
+					e.Type = g.Vocab.DefineLiteral(strings.Trim(e.Name, "'"))
+				} else {
+					e.Type = g.Vocab.Define(e.Name)
+				}
+			case *grammar.NotToken:
+				for i, nm := range e.Names {
+					if strings.HasPrefix(nm, "'") {
+						e.Types[i] = g.Vocab.DefineLiteral(strings.Trim(nm, "'"))
+					} else {
+						e.Types[i] = g.Vocab.Define(nm)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range g.Rules {
+		resolve(r)
+	}
+	return firstErr
+}

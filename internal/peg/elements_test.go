@@ -1,0 +1,93 @@
+package peg
+
+import (
+	"testing"
+
+	"llstar/internal/lexrt"
+	"llstar/internal/runtime"
+)
+
+// Exercise every PEG element kind: wildcard, negation, predicates,
+// actions, optionals, plus loops, and syntactic (and-)predicates.
+func TestPEGElementKinds(t *testing.T) {
+	g, res := load(t, `
+grammar El;
+options { backtrack=true; memoize=true; }
+s : (A B)=> A B C
+  | A ~C .
+  ;
+t : (A)+ (B)? {{count()}} ;
+u : {yes()}? A | B ;
+v : {no()}? A | A ;
+A : 'a' ;
+B : 'b' ;
+C : 'c' ;
+WS : (' ')+ { skip(); } ;
+`)
+	var counted int
+	hooks := runtime.Hooks{
+		Preds: map[string]func(*runtime.Context) bool{
+			"yes()": func(*runtime.Context) bool { return true },
+			"no()":  func(*runtime.Context) bool { return false },
+		},
+		Actions: map[string]func(*runtime.Context){
+			"count()": func(*runtime.Context) { counted++ },
+		},
+	}
+
+	parse := func(start, input string) error {
+		p := New(g, Options{Memoize: true, BuildTree: true, Hooks: hooks})
+		lx := lexrt.New(res.Machine.Lex, input)
+		_, err := p.ParseTokens(start, runtime.NewTokenStream(lx))
+		return err
+	}
+
+	// Synpred gate: "a b c" passes the and-predicate, takes alt 1.
+	if err := parse("s", "a b c"); err != nil {
+		t.Errorf("s: a b c: %v", err)
+	}
+	// Alt 2: A then any-but-C then any.
+	if err := parse("s", "a a b"); err != nil {
+		t.Errorf("s: a a b: %v", err)
+	}
+	// ~C must reject C.
+	if err := parse("s", "a c b"); err == nil {
+		t.Errorf("s: a c b should fail (~C)")
+	}
+	// Plus and optional.
+	if err := parse("t", "a a a b"); err != nil {
+		t.Errorf("t: %v", err)
+	}
+	if counted == 0 {
+		t.Errorf("{{...}} action did not run")
+	}
+	if err := parse("t", "b"); err == nil {
+		t.Errorf("t: (A)+ requires at least one a")
+	}
+	// Semantic predicates gate ordered choice.
+	if err := parse("u", "a"); err != nil {
+		t.Errorf("u: %v", err)
+	}
+	if err := parse("v", "a"); err != nil {
+		t.Errorf("v: failed pred must fall through to alt 2: %v", err)
+	}
+	// Unknown rule.
+	p := New(g, Options{})
+	lx := lexrt.New(res.Machine.Lex, "a")
+	if _, err := p.ParseTokens("nope", runtime.NewTokenStream(lx)); err == nil {
+		t.Errorf("unknown start rule must error")
+	}
+}
+
+func TestPEGStats(t *testing.T) {
+	g, res := load(t, grammarSrc)
+	p := New(g, Options{Memoize: true})
+	lx := lexrt.New(res.Machine.Lex, "- - - 5")
+	if _, err := p.ParseTokens("s", runtime.NewTokenStream(lx)); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.RuleInvocations == 0 || st.Steps == 0 || st.MemoEntries == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}

@@ -1,0 +1,372 @@
+// Package peg is the baseline packrat/PEG parser (Ford) over the same
+// grammar IR: ordered choice, unlimited backtracking, memoized partial
+// results. It is what ANTLR's PEG mode degenerates to with no static
+// analysis — every decision speculates — and serves as the comparison
+// point for how much speculation LL(*) removes.
+package peg
+
+import (
+	"fmt"
+
+	"llstar/internal/grammar"
+	"llstar/internal/lexrt"
+	"llstar/internal/runtime"
+	"llstar/internal/token"
+)
+
+// Options configure the packrat parser.
+type Options struct {
+	// Memoize enables the packrat cache. Without it the parser is a
+	// plain backtracking recursive-descent parser — exponential in the
+	// worst case, as the paper notes for the RatsC grammar.
+	Memoize bool
+	// BuildTree enables parse-tree construction.
+	BuildTree bool
+	// Hooks binds semantic predicates (actions are never run during PEG
+	// speculation and only the committed parse exists here, so plain
+	// actions run on the committed path).
+	Hooks runtime.Hooks
+	// State is user state for predicates/actions.
+	State any
+	// MaxSteps aborts runaway exponential parses (0 = no limit). The
+	// memoization ablation uses it to demonstrate non-termination-like
+	// blowup without hanging the benchmark.
+	MaxSteps int
+}
+
+// Stats profiles a PEG parse.
+type Stats struct {
+	// RuleInvocations counts rule applications (including memo hits).
+	RuleInvocations int
+	// MemoHits counts cache hits.
+	MemoHits int
+	// MemoEntries is the final cache size.
+	MemoEntries int
+	// Steps counts element-matching steps (work performed).
+	Steps int
+}
+
+// ErrBudget is returned when MaxSteps is exhausted.
+var ErrBudget = fmt.Errorf("peg: step budget exhausted (exponential backtracking?)")
+
+// Node is a PEG parse-tree node (same shape as the interp tree).
+type Node struct {
+	Rule     string
+	Token    *token.Token
+	Children []*Node
+}
+
+// String renders the tree as an s-expression.
+func (n *Node) String() string {
+	if n == nil {
+		return "nil"
+	}
+	if n.Token != nil {
+		return n.Token.Text
+	}
+	s := "(" + n.Rule
+	for _, c := range n.Children {
+		s += " " + c.String()
+	}
+	return s + ")"
+}
+
+type memoEntry struct {
+	stop int
+	node *Node
+	fail bool
+}
+
+// Parser is a packrat parser for a grammar.
+type Parser struct {
+	g      *grammar.Grammar
+	lexG   *grammar.Grammar
+	opts   Options
+	stream *runtime.TokenStream
+	memo   []map[int]memoEntry // by rule index
+	stats  Stats
+	ctx    runtime.Context
+
+	deepest    int
+	deepestTok token.Token
+}
+
+// New returns a packrat parser for g.
+func New(g *grammar.Grammar, opts Options) *Parser {
+	return &Parser{g: g, opts: opts}
+}
+
+// Stats returns profiling for the last parse.
+func (p *Parser) Stats() Stats { return p.stats }
+
+// ParseTokens parses the stream from startRule, requiring full input
+// consumption.
+func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*Node, error) {
+	r := p.g.Rule(startRule)
+	if r == nil || r.IsLexer {
+		return nil, fmt.Errorf("peg: no parser rule %s", startRule)
+	}
+	p.stream = stream
+	p.stats = Stats{}
+	p.memo = make([]map[int]memoEntry, len(p.g.Rules))
+	p.deepest = -1
+	p.ctx = runtime.Context{Stream: stream, State: p.opts.State, Speculating: true}
+
+	node, ok, err := p.parseRule(r)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || stream.LA(1) != token.EOF {
+		at := stream.LT(1)
+		if p.deepest >= at.Index {
+			at = p.deepestTok
+		}
+		return nil, &runtime.SyntaxError{Offending: at, Rule: startRule, Msg: "PEG parse failed"}
+	}
+	if lexErr := stream.Err(); lexErr != nil {
+		return nil, lexErr
+	}
+	for _, row := range p.memo {
+		p.stats.MemoEntries += len(row)
+	}
+	return node, nil
+}
+
+// step charges one unit of work against the budget.
+func (p *Parser) step() error {
+	p.stats.Steps++
+	if p.opts.MaxSteps > 0 && p.stats.Steps > p.opts.MaxSteps {
+		return ErrBudget
+	}
+	return nil
+}
+
+func (p *Parser) fail() {
+	t := p.stream.LT(1)
+	if t.Index > p.deepest {
+		p.deepest = t.Index
+		p.deepestTok = t
+	}
+}
+
+// parseRule applies a rule at the current position with memoization.
+func (p *Parser) parseRule(r *grammar.Rule) (*Node, bool, error) {
+	p.stats.RuleInvocations++
+	start := p.stream.Index()
+	if p.opts.Memoize && r.Args == "" {
+		if row := p.memo[r.Index]; row != nil {
+			if e, ok := row[start]; ok {
+				p.stats.MemoHits++
+				if e.fail {
+					p.fail()
+					return nil, false, nil
+				}
+				p.stream.Seek(e.stop)
+				return e.node, true, nil
+			}
+		}
+	}
+	node, ok, err := p.applyAlts(r, r.Alts, r.Name)
+	if err != nil {
+		return nil, false, err
+	}
+	if p.opts.Memoize && r.Args == "" {
+		if p.memo[r.Index] == nil {
+			p.memo[r.Index] = make(map[int]memoEntry)
+		}
+		if ok {
+			p.memo[r.Index][start] = memoEntry{stop: p.stream.Index(), node: node}
+		} else {
+			p.memo[r.Index][start] = memoEntry{fail: true}
+		}
+	}
+	return node, ok, nil
+}
+
+// applyAlts tries alternatives in order (PEG ordered choice): the first
+// that matches wins, later ones are never considered.
+func (p *Parser) applyAlts(r *grammar.Rule, alts []*grammar.Alt, ruleName string) (*Node, bool, error) {
+	start := p.stream.Index()
+	for _, alt := range alts {
+		var node *Node
+		if p.opts.BuildTree && ruleName != "" {
+			node = &Node{Rule: ruleName}
+		}
+		ok, err := p.matchSeq(r, alt.Elems, node)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return node, true, nil
+		}
+		p.stream.Seek(start)
+	}
+	p.fail()
+	return nil, false, nil
+}
+
+func (p *Parser) matchSeq(r *grammar.Rule, elems []grammar.Element, node *Node) (bool, error) {
+	for _, e := range elems {
+		ok, err := p.matchElem(r, e, node)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (p *Parser) matchElem(r *grammar.Rule, e grammar.Element, node *Node) (bool, error) {
+	if err := p.step(); err != nil {
+		return false, err
+	}
+	switch e := e.(type) {
+	case *grammar.TokenRef:
+		return p.matchToken(func(t token.Type) bool { return t == e.Type }, node), nil
+
+	case *grammar.NotToken:
+		return p.matchToken(func(t token.Type) bool {
+			if t == token.EOF {
+				return false
+			}
+			for _, x := range e.Types {
+				if t == x {
+					return false
+				}
+			}
+			return true
+		}, node), nil
+
+	case *grammar.Wildcard:
+		return p.matchToken(func(t token.Type) bool { return t != token.EOF }, node), nil
+
+	case *grammar.RuleRef:
+		target := p.g.Rule(e.Name)
+		if target == nil {
+			return false, fmt.Errorf("peg: undefined rule %s", e.Name)
+		}
+		child, ok, err := p.parseRule(target)
+		if err != nil || !ok {
+			return false, err
+		}
+		if node != nil && child != nil {
+			node.Children = append(node.Children, child)
+		}
+		return true, nil
+
+	case *grammar.SemPred:
+		ok, err := p.opts.Hooks.EvalPred(e.Text, &p.ctx)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			p.fail()
+		}
+		return ok, nil
+
+	case *grammar.SynPred:
+		// And-predicate: match the fragment, then rewind.
+		start := p.stream.Index()
+		_, ok, err := p.applyAlts(r, e.Block.Alts, "")
+		p.stream.Seek(start)
+		return ok, err
+
+	case *grammar.Action:
+		// PEG parsers cannot run side-effecting actions safely; only
+		// {{...}} actions are honored, mirroring the paper's discussion.
+		if e.AlwaysExec {
+			p.opts.Hooks.RunAction(e.Text, &p.ctx)
+		}
+		return true, nil
+
+	case *grammar.Block:
+		return p.matchBlock(r, e, node)
+	}
+	return false, fmt.Errorf("peg: unsupported element %T", e)
+}
+
+func (p *Parser) matchToken(pred func(token.Type) bool, node *Node) bool {
+	t := p.stream.LT(1)
+	if !pred(t.Type) {
+		p.fail()
+		return false
+	}
+	p.stream.Consume()
+	if node != nil {
+		tok := t
+		node.Children = append(node.Children, &Node{Token: &tok})
+	}
+	return true
+}
+
+func (p *Parser) matchBlock(r *grammar.Rule, blk *grammar.Block, node *Node) (bool, error) {
+	matchOnce := func() (bool, error) {
+		start := p.stream.Index()
+		for _, alt := range blk.Alts {
+			mark := 0
+			if node != nil {
+				mark = len(node.Children)
+			}
+			ok, err := p.matchSeq(r, alt.Elems, node)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			p.stream.Seek(start)
+			if node != nil {
+				node.Children = node.Children[:mark]
+			}
+		}
+		return false, nil
+	}
+	switch blk.Op {
+	case grammar.OpNone:
+		ok, err := matchOnce()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			p.fail()
+		}
+		return ok, nil
+	case grammar.OpOptional:
+		if _, err := matchOnce(); err != nil {
+			return false, err
+		}
+		return true, nil
+	case grammar.OpStar, grammar.OpPlus:
+		n := 0
+		for {
+			if err := p.step(); err != nil {
+				return false, err
+			}
+			before := p.stream.Index()
+			ok, err := matchOnce()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			n++
+			if p.stream.Index() == before {
+				break // ε body; don't loop forever
+			}
+		}
+		if blk.Op == grammar.OpPlus && n == 0 {
+			p.fail()
+			return false, nil
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("peg: unknown block op")
+}
+
+// ParseString lexes input using the grammar's lexer rules and parses it.
+func (p *Parser) ParseString(startRule, input string, lex *lexrt.Lexer) (*Node, error) {
+	return p.ParseTokens(startRule, runtime.NewTokenStream(lex))
+}

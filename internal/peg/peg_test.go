@@ -1,0 +1,141 @@
+package peg
+
+import (
+	"strings"
+	"testing"
+
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/interp"
+	"llstar/internal/lexrt"
+	"llstar/internal/meta"
+	"llstar/internal/runtime"
+)
+
+func load(t *testing.T, src string) (*grammar.Grammar, *core.Result) {
+	t.Helper()
+	g, err := meta.Parse("t.g", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	res, err := core.Analyze(g, core.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return g, res
+}
+
+const grammarSrc = `
+grammar P;
+options { backtrack=true; memoize=true; }
+s : ('-')* ID | e ;
+e : INT | '-' e ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' ')+ { skip(); } ;
+`
+
+func pegParse(t *testing.T, g *grammar.Grammar, res *core.Result, opts Options, start, input string) (*Node, error) {
+	t.Helper()
+	lx := lexrt.New(res.Machine.Lex, input)
+	p := New(g, opts)
+	return p.ParseTokens(start, runtime.NewTokenStream(lx))
+}
+
+func TestPEGBasics(t *testing.T) {
+	g, res := load(t, grammarSrc)
+	for _, in := range []string{"x", "5", "- - x", "- - - 5"} {
+		if _, err := pegParse(t, g, res, Options{Memoize: true}, "s", in); err != nil {
+			t.Errorf("parse %q: %v", in, err)
+		}
+	}
+	if _, err := pegParse(t, g, res, Options{Memoize: true}, "s", "- -"); err == nil {
+		t.Errorf("dangling '-' must fail")
+	}
+}
+
+// PEG and LL(*) agree on this grammar's language (ordered choice matches
+// production-order ambiguity resolution).
+func TestPEGAgreesWithLLStar(t *testing.T) {
+	g, res := load(t, grammarSrc)
+	inputs := []string{"x", "5", "- x", "- 5", "- - - - x", "- - - - 5", "-", "- -", "z 9"}
+	for _, in := range inputs {
+		_, pegErr := pegParse(t, g, res, Options{Memoize: true, BuildTree: true}, "s", in)
+		ip := interp.New(res, interp.Options{BuildTree: true})
+		_, llErr := ip.ParseString("s", in)
+		if (pegErr == nil) != (llErr == nil) {
+			t.Errorf("%q: peg err=%v, ll(*) err=%v", in, pegErr, llErr)
+		}
+	}
+}
+
+// The PEG A → a | ab hazard: alternative 2 is dead under PEG ordered
+// choice but live under LL(*).
+func TestPEGOrderedChoiceHazard(t *testing.T) {
+	src := `
+grammar H;
+s : a EOFT ;
+a : X | X Y ;
+EOFT : ';' ;
+X : 'x' ;
+Y : 'y' ;
+`
+	g, res := load(t, src)
+	// "xy;" — PEG matches 'a' as alt 1 (just X), then fails on Y vs ';'.
+	if _, err := pegParse(t, g, res, Options{Memoize: true}, "s", "xy;"); err == nil {
+		t.Errorf("PEG should fail on xy; (first-match ordered choice)")
+	}
+	ip := interp.New(res, interp.Options{})
+	if _, err := ip.ParseString("s", "xy;"); err != nil {
+		t.Errorf("LL(*) should parse xy;: %v", err)
+	}
+}
+
+// Memoization turns exponential backtracking into linear work: nested
+// ambiguous prefixes without memoization blow the step budget.
+func TestPEGMemoizationAblation(t *testing.T) {
+	src := `
+grammar M;
+s : a ;
+a : b X | b Y ;
+b : LP a RP | Z ;
+LP : '(' ;
+RP : ')' ;
+X : 'x' ;
+Y : 'y' ;
+Z : 'z' ;
+`
+	g, res := load(t, src)
+	// a = b X | b Y; b = ( a ) | z. Ending every level with y forces the
+	// b X attempt to parse the whole nested body and fail, then reparse
+	// it for b Y — 2^depth work without memoization.
+	input := strings.Repeat("(", 14) + "zy" + strings.Repeat(")y", 14)
+	budget := 2_000_000
+
+	pOff := New(g, Options{Memoize: false, MaxSteps: budget})
+	lx := lexrt.New(res.Machine.Lex, input)
+	_, errOff := pOff.ParseTokens("s", runtime.NewTokenStream(lx))
+
+	pOn := New(g, Options{Memoize: true, MaxSteps: budget})
+	lx = lexrt.New(res.Machine.Lex, input)
+	_, errOn := pOn.ParseTokens("s", runtime.NewTokenStream(lx))
+
+	if errOn != nil {
+		t.Fatalf("memoized parse failed: %v", errOn)
+	}
+	if errOff == nil {
+		// Even if it finished, it must have done far more work.
+		if pOff.Stats().Steps < 10*pOn.Stats().Steps {
+			t.Errorf("expected exponential blowup without memoization: off=%d on=%d steps",
+				pOff.Stats().Steps, pOn.Stats().Steps)
+		}
+	} else if errOff != ErrBudget {
+		t.Fatalf("unmemoized parse failed oddly: %v", errOff)
+	}
+	if pOn.Stats().MemoEntries == 0 {
+		t.Errorf("memo table unused")
+	}
+}

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"llstar/internal/token"
+)
+
+// Context is the state visible to semantic predicates and actions: the
+// paper's machine state S plus the current stream and rule frame. User
+// code stores whatever it wants in State (e.g. a symbol table).
+type Context struct {
+	// Stream gives predicates access to lookahead (e.g. the C grammar's
+	// isTypeName(next token) predicate).
+	Stream *TokenStream
+	// State is arbitrary user state, threaded through the whole parse.
+	State any
+	// Arg is the current rule's integer argument for parameterized rules
+	// (the precedence loops produced by the left-recursion rewrite).
+	Arg int
+	// Speculating reports whether the parser is inside a speculative
+	// parse; mutators are disabled then unless marked {{...}}.
+	Speculating bool
+	// LastToken is the most recently consumed token (nil before any).
+	LastToken *token.Token
+}
+
+// Hooks binds grammar predicate/action text to host (Go) code. Keys are
+// the exact text between the braces, trimmed.
+type Hooks struct {
+	// Preds maps semantic-predicate text to its evaluation.
+	Preds map[string]func(*Context) bool
+	// Actions maps action text to its implementation.
+	Actions map[string]func(*Context)
+}
+
+// EvalPred evaluates a semantic predicate. Precedence comparisons of the
+// form "p <= 3" (produced by the left-recursion rewrite) are evaluated
+// natively against ctx.Arg; anything else must be bound in Hooks.Preds.
+func (h Hooks) EvalPred(text string, ctx *Context) (bool, error) {
+	if ok, matched := evalArgComparison(text, ctx.Arg); matched {
+		return ok, nil
+	}
+	if h.Preds != nil {
+		if fn, ok := h.Preds[strings.TrimSpace(text)]; ok {
+			return fn(ctx), nil
+		}
+	}
+	return false, fmt.Errorf("semantic predicate {%s}? has no binding", text)
+}
+
+// RunAction executes an action if bound; unbound actions are ignored (a
+// grammar may carry actions meant only for the code generator).
+func (h Hooks) RunAction(text string, ctx *Context) {
+	if h.Actions == nil {
+		return
+	}
+	if fn, ok := h.Actions[strings.TrimSpace(text)]; ok {
+		fn(ctx)
+	}
+}
+
+// evalArgComparison handles "<ident> OP <int>" with OP in <=, <, >=, >,
+// ==, != against the rule argument. matched reports whether the text has
+// that shape.
+func evalArgComparison(text string, arg int) (result, matched bool) {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return false, false
+	}
+	if !isIdent(fields[0]) {
+		return false, false
+	}
+	n, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return false, false
+	}
+	switch fields[1] {
+	case "<=":
+		return arg <= n, true
+	case "<":
+		return arg < n, true
+	case ">=":
+		return arg >= n, true
+	case ">":
+		return arg > n, true
+	case "==":
+		return arg == n, true
+	case "!=":
+		return arg != n, true
+	}
+	return false, false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalRuleArg evaluates the actual-argument text of a parameterized rule
+// call: an integer literal, the identifier of the caller's own argument,
+// or "<ident> + <int>" / "<ident> - <int>".
+func EvalRuleArg(text string, callerArg int) (int, error) {
+	t := strings.TrimSpace(text)
+	if t == "" {
+		return 0, nil
+	}
+	if n, err := strconv.Atoi(t); err == nil {
+		return n, nil
+	}
+	if isIdent(t) {
+		return callerArg, nil
+	}
+	for _, op := range []string{"+", "-"} {
+		if i := strings.Index(t, op); i > 0 {
+			lhs, rhs := strings.TrimSpace(t[:i]), strings.TrimSpace(t[i+1:])
+			n, err := strconv.Atoi(rhs)
+			if err != nil || !isIdent(lhs) {
+				break
+			}
+			if op == "+" {
+				return callerArg + n, nil
+			}
+			return callerArg - n, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot evaluate rule argument %q", text)
+}

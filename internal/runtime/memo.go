@@ -1,0 +1,75 @@
+package runtime
+
+// Memoization (Section 6.2): while speculating, the parser records, per
+// (rule, start position), whether the rule matched and where it stopped,
+// so no input position is ever parsed by the same production twice —
+// Ford's packrat guarantee. ANTLR (and this runtime) memoizes only while
+// speculating, which is why less backtracking means a smaller cache.
+
+// MemoFailed marks a (rule, position) pair that failed to match.
+const MemoFailed = -2
+
+// MemoTable memoizes speculative rule invocations.
+type MemoTable struct {
+	// byRule[rule][start] = stop index of a successful speculative match,
+	// or MemoFailed. Synpred fragments get their own rows after the
+	// parser rules.
+	byRule []map[int]int
+	hits   int
+	misses int
+	stores int
+}
+
+// NewMemoTable returns a table with rows rules.
+func NewMemoTable(rows int) *MemoTable {
+	return &MemoTable{byRule: make([]map[int]int, rows)}
+}
+
+// Get looks up a prior speculative parse of rule at start. ok reports
+// whether an entry exists; stop is the recorded stop index or MemoFailed.
+func (m *MemoTable) Get(rule, start int) (stop int, ok bool) {
+	if m == nil || rule < 0 || rule >= len(m.byRule) || m.byRule[rule] == nil {
+		if m != nil {
+			m.misses++
+		}
+		return 0, false
+	}
+	stop, ok = m.byRule[rule][start]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return stop, ok
+}
+
+// Put records the outcome of a speculative parse.
+func (m *MemoTable) Put(rule, start, stop int) {
+	if m == nil || rule < 0 || rule >= len(m.byRule) {
+		return
+	}
+	if m.byRule[rule] == nil {
+		m.byRule[rule] = make(map[int]int)
+	}
+	m.byRule[rule][start] = stop
+	m.stores++
+}
+
+// Entries returns the number of memoized outcomes, the cache-size metric
+// the paper discusses (O(|N|·n) worst case).
+func (m *MemoTable) Entries() int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	for _, row := range m.byRule {
+		n += len(row)
+	}
+	return n
+}
+
+// Hits returns successful lookups.
+func (m *MemoTable) Hits() int { return m.hits }
+
+// Misses returns failed lookups.
+func (m *MemoTable) Misses() int { return m.misses }

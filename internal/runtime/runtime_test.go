@@ -1,0 +1,255 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"llstar/internal/token"
+)
+
+func toks(types ...token.Type) []token.Token {
+	out := make([]token.Token, len(types))
+	for i, t := range types {
+		out[i] = token.Token{Type: t, Text: "t", Pos: token.Pos{Line: 1, Col: i + 1}}
+	}
+	return out
+}
+
+func TestTokenStreamBasics(t *testing.T) {
+	s := NewTokenStream(&SliceSource{Tokens: toks(1, 2, 3)})
+	if s.LA(1) != 1 || s.LA(2) != 2 || s.LA(4) != token.EOF || s.LA(99) != token.EOF {
+		t.Fatalf("lookahead wrong")
+	}
+	s.Consume()
+	if s.LA(1) != 2 || s.Index() != 1 {
+		t.Fatalf("consume wrong")
+	}
+	s.Seek(0)
+	if s.LA(1) != 1 {
+		t.Fatalf("seek wrong")
+	}
+	// Consuming past EOF is a no-op.
+	for i := 0; i < 10; i++ {
+		s.Consume()
+	}
+	if s.LA(1) != token.EOF {
+		t.Fatalf("must stick at EOF")
+	}
+}
+
+func TestTokenStreamWatermark(t *testing.T) {
+	s := NewTokenStream(&SliceSource{Tokens: toks(1, 2, 3, 4, 5)})
+	s.WatermarkReset()
+	s.LA(3)
+	if s.Watermark() != 2 {
+		t.Fatalf("watermark = %d, want 2", s.Watermark())
+	}
+	prev := s.WatermarkReset()
+	if prev != 2 || s.Watermark() != -1 {
+		t.Fatalf("reset: prev=%d cur=%d", prev, s.Watermark())
+	}
+	s.ExtendWatermark(7)
+	if s.Watermark() != 7 {
+		t.Fatalf("extend failed")
+	}
+}
+
+// Property: any interleaving of Consume/Seek/LA agrees with a reference
+// implementation over the same token slice.
+func TestTokenStreamMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		types := make([]token.Type, n)
+		for i := range types {
+			types[i] = token.Type(1 + r.Intn(5))
+		}
+		s := NewTokenStream(&SliceSource{Tokens: toks(types...)})
+		pos := 0
+		la := func(i int) token.Type {
+			idx := pos + i - 1
+			if idx >= len(types) {
+				return token.EOF
+			}
+			return types[idx]
+		}
+		for step := 0; step < 60; step++ {
+			switch r.Intn(3) {
+			case 0:
+				k := 1 + r.Intn(4)
+				if s.LA(k) != la(k) {
+					return false
+				}
+			case 1:
+				s.Consume()
+				if pos < len(types) {
+					pos++
+				}
+			case 2:
+				target := r.Intn(n + 2)
+				s.Seek(target)
+				pos = target
+				if pos > len(types) {
+					pos = len(types)
+				}
+			}
+			if s.LA(1) != la(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoTable(t *testing.T) {
+	m := NewMemoTable(3)
+	if _, ok := m.Get(1, 5); ok {
+		t.Fatal("unexpected hit")
+	}
+	m.Put(1, 5, 9)
+	if stop, ok := m.Get(1, 5); !ok || stop != 9 {
+		t.Fatalf("get: %d %v", stop, ok)
+	}
+	m.Put(2, 0, MemoFailed)
+	if stop, ok := m.Get(2, 0); !ok || stop != MemoFailed {
+		t.Fatalf("failed entry: %d %v", stop, ok)
+	}
+	if m.Entries() != 2 {
+		t.Fatalf("entries = %d", m.Entries())
+	}
+	if m.Hits() != 2 || m.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", m.Hits(), m.Misses())
+	}
+	// Out-of-range rows must not panic.
+	m.Put(99, 0, 1)
+	if _, ok := m.Get(99, 0); ok {
+		t.Fatal("out-of-range row hit")
+	}
+	var nilTable *MemoTable
+	if nilTable.Entries() != 0 {
+		t.Fatal("nil table entries")
+	}
+}
+
+func TestParseStatsAggregation(t *testing.T) {
+	ps := NewParseStats(3)
+	ps.Decisions[1].CanBacktrack = true
+	ps.Record(0, 1, false, 0)
+	ps.Record(0, 3, false, 0)
+	ps.Record(1, 5, true, 5)
+	ps.Record(1, 1, false, 0)
+	ps.Record(-1, 9, false, 0) // ignored
+	ps.Record(99, 9, false, 0) // ignored
+
+	if ps.TotalEvents() != 4 {
+		t.Errorf("events = %d", ps.TotalEvents())
+	}
+	if ps.DecisionsCovered() != 2 {
+		t.Errorf("covered = %d", ps.DecisionsCovered())
+	}
+	if got := ps.AvgK(); got != 2.5 {
+		t.Errorf("avgK = %v", got)
+	}
+	if ps.MaxK() != 5 {
+		t.Errorf("maxK = %d", ps.MaxK())
+	}
+	if ps.BacktrackEvents() != 1 {
+		t.Errorf("backs = %d", ps.BacktrackEvents())
+	}
+	if got := ps.BacktrackRatio(); got != 0.25 {
+		t.Errorf("ratio = %v", got)
+	}
+	if got := ps.AvgBacktrackK(); got != 5 {
+		t.Errorf("backK = %v", got)
+	}
+	if ps.CanBacktrackCount() != 1 || ps.DidBacktrackCount() != 1 {
+		t.Errorf("can/did = %d/%d", ps.CanBacktrackCount(), ps.DidBacktrackCount())
+	}
+	if got := ps.BacktrackTriggerRate(); got != 0.5 {
+		t.Errorf("trigger rate = %v", got)
+	}
+	if ps.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestHooksEvalPred(t *testing.T) {
+	var h Hooks
+	ctx := &Context{Arg: 3}
+	for _, tc := range []struct {
+		text string
+		want bool
+	}{
+		{"p <= 3", true},
+		{"p <= 2", false},
+		{"p < 4", true},
+		{"p >= 3", true},
+		{"p > 3", false},
+		{"p == 3", true},
+		{"p != 3", false},
+	} {
+		got, err := h.EvalPred(tc.text, ctx)
+		if err != nil {
+			t.Errorf("%q: %v", tc.text, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q with arg 3: got %v", tc.text, got)
+		}
+	}
+	// Unbound predicate errors.
+	if _, err := h.EvalPred("isFoo()", ctx); err == nil {
+		t.Error("unbound predicate must error")
+	}
+	// Bound predicate dispatches.
+	h.Preds = map[string]func(*Context) bool{"isFoo()": func(*Context) bool { return true }}
+	if ok, err := h.EvalPred("isFoo()", ctx); err != nil || !ok {
+		t.Errorf("bound predicate: %v %v", ok, err)
+	}
+}
+
+func TestEvalRuleArg(t *testing.T) {
+	for _, tc := range []struct {
+		text   string
+		caller int
+		want   int
+		err    bool
+	}{
+		{"", 7, 0, false},
+		{"3", 7, 3, false},
+		{"p", 7, 7, false},
+		{"p + 1", 7, 8, false},
+		{"p - 2", 7, 5, false},
+		{"p * 2", 7, 0, true},
+		{"wat?", 7, 0, true},
+	} {
+		got, err := EvalRuleArg(tc.text, tc.caller)
+		if (err != nil) != tc.err {
+			t.Errorf("%q: err=%v", tc.text, err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("%q: got %d want %d", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	e := &SyntaxError{
+		Offending: token.Token{Text: "x", Pos: token.Pos{Line: 2, Col: 5}},
+		Rule:      "expr",
+		Msg:       "no viable alternative",
+	}
+	want := `2:5: rule expr: no viable alternative at "x"`
+	if e.Error() != want {
+		t.Errorf("got %q want %q", e.Error(), want)
+	}
+	eofErr := &SyntaxError{Offending: token.Token{Type: token.EOF}, Msg: "m"}
+	if got := eofErr.Error(); got != `0:0: m at "<EOF>"` {
+		t.Errorf("eof error: %q", got)
+	}
+}

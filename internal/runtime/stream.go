@@ -1,0 +1,169 @@
+// Package runtime provides the LL(*) parser runtime (Section 4 of the
+// paper): buffered token streams with mark/rewind for speculation, the
+// packrat memoization table, per-decision profiling counters (the raw
+// material for Tables 2–4), syntax-error values that point at the
+// offending token (Section 4.4), and the hook registry through which
+// host-language semantic predicates and actions are bound.
+package runtime
+
+import (
+	"llstar/internal/token"
+)
+
+// TokenSource produces tokens; the lexer engine implements it, and tests
+// can supply slices via SliceSource.
+type TokenSource interface {
+	// NextToken returns the next token. After end of input it must keep
+	// returning a token with Type == token.EOF.
+	NextToken() (token.Token, error)
+}
+
+// SliceSource is a TokenSource over a fixed slice, for tests and tools.
+type SliceSource struct {
+	Tokens []token.Token
+	i      int
+}
+
+// NextToken implements TokenSource.
+func (s *SliceSource) NextToken() (token.Token, error) {
+	if s.i >= len(s.Tokens) {
+		return token.Token{Type: token.EOF, Pos: s.eofPos()}, nil
+	}
+	t := s.Tokens[s.i]
+	s.i++
+	return t, nil
+}
+
+func (s *SliceSource) eofPos() token.Pos {
+	if len(s.Tokens) == 0 {
+		return token.Pos{Line: 1, Col: 1}
+	}
+	p := s.Tokens[len(s.Tokens)-1].Pos
+	p.Col += len(s.Tokens[len(s.Tokens)-1].Text)
+	return p
+}
+
+// TokenStream is a buffered stream over a TokenSource supporting
+// arbitrary lookahead (LT/LA), seeking for backtracking, and a high-water
+// mark for measuring lookahead depth per decision event.
+type TokenStream struct {
+	src    TokenSource
+	tokens []token.Token
+	p      int // index of the current (next unconsumed) token
+	err    error
+
+	// high is the largest absolute index examined since WatermarkReset;
+	// used by the profiler to measure lookahead depth.
+	high int
+}
+
+// NewTokenStream returns a stream reading lazily from src. Off-channel
+// tokens (Channel != 0) are filtered out.
+func NewTokenStream(src TokenSource) *TokenStream {
+	return &TokenStream{src: src, high: -1}
+}
+
+// fill ensures the buffer holds at least n+1 tokens (index n valid).
+func (s *TokenStream) fill(n int) {
+	for len(s.tokens) <= n {
+		if s.err != nil {
+			// After a lex error, pad with EOF so parsing can stop.
+			s.tokens = append(s.tokens, token.Token{Type: token.EOF})
+			continue
+		}
+		t, err := s.src.NextToken()
+		if err != nil {
+			s.err = err
+			continue
+		}
+		if t.Channel != 0 && t.Type != token.EOF {
+			continue
+		}
+		t.Index = len(s.tokens)
+		s.tokens = append(s.tokens, t)
+		if t.Type == token.EOF {
+			// Keep exactly one EOF; fill re-serves it via index clamp.
+			break
+		}
+	}
+}
+
+// clamp maps an index past EOF back onto the EOF token.
+func (s *TokenStream) clamp(i int) int {
+	s.fill(i)
+	if i >= len(s.tokens) {
+		return len(s.tokens) - 1
+	}
+	return i
+}
+
+// LT returns the token i positions ahead (LT(1) is the current token).
+func (s *TokenStream) LT(i int) token.Token {
+	idx := s.p + i - 1
+	if idx >= len(s.tokens) {
+		idx = s.clamp(idx)
+	}
+	if idx > s.high {
+		s.high = idx
+	}
+	return s.tokens[idx]
+}
+
+// LA returns the token type i positions ahead.
+func (s *TokenStream) LA(i int) token.Type {
+	idx := s.p + i - 1
+	if idx >= len(s.tokens) {
+		idx = s.clamp(idx)
+	}
+	if idx > s.high {
+		s.high = idx
+	}
+	return s.tokens[idx].Type
+}
+
+// Consume advances past the current token.
+func (s *TokenStream) Consume() {
+	s.fill(s.p)
+	if s.tokens[s.p].Type != token.EOF {
+		s.p++
+	}
+}
+
+// Index returns the current absolute position.
+func (s *TokenStream) Index() int { return s.p }
+
+// Seek rewinds (or fast-forwards) to an absolute position.
+func (s *TokenStream) Seek(i int) {
+	s.fill(i)
+	if i > len(s.tokens)-1 {
+		i = len(s.tokens) - 1
+	}
+	s.p = i
+}
+
+// Err returns the first token-source error, if any.
+func (s *TokenStream) Err() error { return s.err }
+
+// Size returns the number of tokens buffered so far (including EOF once
+// reached); it grows as the parser looks ahead.
+func (s *TokenStream) Size() int { return len(s.tokens) }
+
+// WatermarkReset resets the lookahead high-water mark and returns the
+// previous one (absolute index, -1 if untouched).
+func (s *TokenStream) WatermarkReset() int {
+	h := s.high
+	s.high = -1
+	return h
+}
+
+// Watermark returns the largest absolute index examined since the last
+// reset (-1 if none).
+func (s *TokenStream) Watermark() int { return s.high }
+
+// ExtendWatermark raises the high-water mark to at least h; nested
+// lookahead measurements use it to restore an outer scope's mark.
+func (s *TokenStream) ExtendWatermark(h int) {
+	if h > s.high {
+		s.high = h
+	}
+}

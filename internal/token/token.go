@@ -1,0 +1,343 @@
+// Package token defines lexical tokens, source positions, and token-type
+// vocabularies shared by the lexer engine, the parser runtime, and the
+// LL(*) analysis.
+//
+// A grammar defines a vocabulary: a dense mapping from token-type integers
+// to names. Types <= EOF are reserved. The analysis and the lookahead DFA
+// both operate on token types, never on token text.
+package token
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a token type. Grammar token types are dense small integers
+// assigned by the vocabulary; negative values are reserved sentinels.
+type Type int
+
+// Reserved token types.
+const (
+	// Invalid is the zero value; no real token has this type.
+	Invalid Type = 0
+	// EOF marks end of input. Streams return an EOF token forever once
+	// the underlying input is exhausted.
+	EOF Type = -1
+	// Epsilon is used internally by the analysis for ε-edges; it never
+	// appears in a token stream.
+	Epsilon Type = -2
+	// MinUserType is the first token type assignable to user tokens.
+	MinUserType Type = 1
+)
+
+// Pos is a position in source input.
+type Pos struct {
+	Line int // 1-based line number
+	Col  int // 1-based column (rune count)
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Type  Type
+	Text  string
+	Pos   Pos
+	Index int // index in the token stream, assigned by the stream
+	// Channel distinguishes default tokens (0) from hidden ones (e.g.
+	// whitespace a lexer rule routed off-channel instead of skipping).
+	Channel int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%q<%d>@%s", t.Text, t.Type, t.Pos)
+}
+
+// IsEOF reports whether the token is the end-of-file sentinel.
+func (t Token) IsEOF() bool { return t.Type == EOF }
+
+// Vocabulary maps token type integers to symbolic names and literal
+// spellings. It is built by the meta-language front end while reading a
+// grammar and is immutable afterwards from the parser runtime's view.
+type Vocabulary struct {
+	names    []string        // index = int(Type); names[0] unused
+	literals map[string]Type // 'literal' text -> type
+	byName   map[string]Type
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{
+		names:    []string{"<invalid>"},
+		literals: make(map[string]Type),
+		byName:   make(map[string]Type),
+	}
+}
+
+// Define registers name as a token type and returns its type. Defining the
+// same name twice returns the original type.
+func (v *Vocabulary) Define(name string) Type {
+	if t, ok := v.byName[name]; ok {
+		return t
+	}
+	t := Type(len(v.names))
+	v.names = append(v.names, name)
+	v.byName[name] = t
+	return t
+}
+
+// DefineLiteral registers a quoted literal such as "'int'" and returns its
+// type. The literal text excludes the quotes. Literals get synthetic names
+// of the form 'text'.
+func (v *Vocabulary) DefineLiteral(text string) Type {
+	if t, ok := v.literals[text]; ok {
+		return t
+	}
+	t := v.Define("'" + text + "'")
+	v.literals[text] = t
+	return t
+}
+
+// Literal returns the type previously assigned to a literal, or Invalid.
+func (v *Vocabulary) Literal(text string) Type {
+	return v.literals[text]
+}
+
+// Lookup returns the type for a token name, or Invalid if unknown.
+func (v *Vocabulary) Lookup(name string) Type {
+	return v.byName[name]
+}
+
+// Name returns the symbolic name for a token type.
+func (v *Vocabulary) Name(t Type) string {
+	switch {
+	case t == EOF:
+		return "EOF"
+	case t == Epsilon:
+		return "ε"
+	case t > 0 && int(t) < len(v.names):
+		return v.names[t]
+	default:
+		return fmt.Sprintf("<type %d>", int(t))
+	}
+}
+
+// Size returns the number of defined token types (excluding reserved ones).
+func (v *Vocabulary) Size() int { return len(v.names) - 1 }
+
+// MaxType returns the largest assigned token type.
+func (v *Vocabulary) MaxType() Type { return Type(len(v.names) - 1) }
+
+// Names returns all defined names ordered by type.
+func (v *Vocabulary) Names() []string {
+	out := make([]string, 0, v.Size())
+	out = append(out, v.names[1:]...)
+	return out
+}
+
+// Literals returns the literal spellings sorted lexicographically,
+// primarily for deterministic lexer construction.
+func (v *Vocabulary) Literals() []string {
+	out := make([]string, 0, len(v.literals))
+	for s := range v.literals {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Set is a set of token types, used for lookahead sets and DFA edge labels.
+// The zero value is an empty set.
+type Set struct {
+	bits []uint64
+	eof  bool
+}
+
+// NewSet returns a set containing the given types.
+func NewSet(types ...Type) *Set {
+	s := &Set{}
+	for _, t := range types {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts t into the set.
+func (s *Set) Add(t Type) {
+	if t == EOF {
+		s.eof = true
+		return
+	}
+	if t < 0 {
+		return
+	}
+	i := int(t)
+	for i/64 >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[i/64] |= 1 << (uint(i) % 64)
+}
+
+// AddSet inserts every member of o.
+func (s *Set) AddSet(o *Set) {
+	if o == nil {
+		return
+	}
+	if o.eof {
+		s.eof = true
+	}
+	for len(s.bits) < len(o.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	for i, b := range o.bits {
+		s.bits[i] |= b
+	}
+}
+
+// Remove deletes t from the set.
+func (s *Set) Remove(t Type) {
+	if t == EOF {
+		s.eof = false
+		return
+	}
+	i := int(t)
+	if t < 0 || i/64 >= len(s.bits) {
+		return
+	}
+	s.bits[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Contains reports whether t is in the set.
+func (s *Set) Contains(t Type) bool {
+	if s == nil {
+		return false
+	}
+	if t == EOF {
+		return s.eof
+	}
+	i := int(t)
+	if t < 0 || i/64 >= len(s.bits) {
+		return false
+	}
+	return s.bits[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	if s == nil {
+		return true
+	}
+	if s.eof {
+		return false
+	}
+	for _, b := range s.bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	if s.eof {
+		n++
+	}
+	for _, b := range s.bits {
+		for ; b != 0; b &= b - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Types returns the members in ascending order (EOF first if present).
+func (s *Set) Types() []Type {
+	if s == nil {
+		return nil
+	}
+	out := make([]Type, 0, s.Len())
+	if s.eof {
+		out = append(out, EOF)
+	}
+	for i, b := range s.bits {
+		for b != 0 {
+			low := b & -b
+			bit := 0
+			for m := low; m > 1; m >>= 1 {
+				bit++
+			}
+			out = append(out, Type(i*64+bit))
+			b &^= low
+		}
+	}
+	return out
+}
+
+// Intersects reports whether s and o share a member.
+func (s *Set) Intersects(o *Set) bool {
+	if s == nil || o == nil {
+		return false
+	}
+	if s.eof && o.eof {
+		return true
+	}
+	n := len(s.bits)
+	if len(o.bits) < n {
+		n = len(o.bits)
+	}
+	for i := 0; i < n; i++ {
+		if s.bits[i]&o.bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if s.eof != o.eof {
+		return false
+	}
+	a, b := s.bits, o.bits
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i := range b {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{eof: s.eof}
+	c.bits = append(c.bits, s.bits...)
+	return c
+}
+
+// Format renders the set using a vocabulary, e.g. {ID, 'int', EOF}.
+func (s *Set) Format(v *Vocabulary) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.Types() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Name(t))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package token
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	id := v.Define("ID")
+	if id != 1 {
+		t.Fatalf("first type = %d, want 1", id)
+	}
+	if v.Define("ID") != id {
+		t.Errorf("re-defining must return the same type")
+	}
+	lit := v.DefineLiteral("int")
+	if lit == id {
+		t.Errorf("literal must get a fresh type")
+	}
+	if v.Literal("int") != lit {
+		t.Errorf("Literal lookup failed")
+	}
+	if v.Lookup("ID") != id {
+		t.Errorf("Lookup failed")
+	}
+	if v.Name(id) != "ID" || v.Name(lit) != "'int'" {
+		t.Errorf("names: %q %q", v.Name(id), v.Name(lit))
+	}
+	if v.Name(EOF) != "EOF" {
+		t.Errorf("EOF name: %q", v.Name(EOF))
+	}
+	if v.Size() != 2 || v.MaxType() != lit {
+		t.Errorf("size=%d max=%d", v.Size(), v.MaxType())
+	}
+	if got := v.Literals(); len(got) != 1 || got[0] != "int" {
+		t.Errorf("literals: %v", got)
+	}
+}
+
+// genSet builds a set plus the reference map from random values.
+func genSet(r *rand.Rand) (*Set, map[Type]bool) {
+	s := NewSet()
+	ref := map[Type]bool{}
+	n := r.Intn(40)
+	for i := 0; i < n; i++ {
+		t := Type(r.Intn(200))
+		if r.Intn(10) == 0 {
+			t = EOF
+		}
+		s.Add(t)
+		ref[t] = true
+	}
+	return s, ref
+}
+
+// Property: Set behaves exactly like a map-based reference set.
+func TestSetMatchesReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, ref := genSet(r)
+		if s.Len() != len(ref) {
+			return false
+		}
+		for tt := range ref {
+			if !s.Contains(tt) {
+				return false
+			}
+		}
+		got := s.Types()
+		if len(got) != len(ref) {
+			return false
+		}
+		// Remove half and re-check.
+		for tt := range ref {
+			if r.Intn(2) == 0 {
+				s.Remove(tt)
+				delete(ref, tt)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for _, tt := range s.Types() {
+			if !ref[tt] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddSet is union; Intersects agrees with a reference check;
+// Equal is reflexive and detects differences.
+func TestSetAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, refA := genSet(r)
+		b, refB := genSet(r)
+
+		u := a.Clone()
+		u.AddSet(b)
+		for tt := range refA {
+			if !u.Contains(tt) {
+				return false
+			}
+		}
+		for tt := range refB {
+			if !u.Contains(tt) {
+				return false
+			}
+		}
+		if u.Len() > len(refA)+len(refB) {
+			return false
+		}
+
+		wantInter := false
+		for tt := range refA {
+			if refB[tt] {
+				wantInter = true
+			}
+		}
+		if a.Intersects(b) != wantInter {
+			return false
+		}
+		if !a.Equal(a.Clone()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetEdgeCases(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Contains(1) || nilSet.Len() != 0 || !nilSet.Empty() {
+		t.Errorf("nil set must behave as empty")
+	}
+	s := NewSet(EOF, 3)
+	if !s.Contains(EOF) || !s.Contains(3) || s.Contains(4) {
+		t.Errorf("membership broken")
+	}
+	if got := s.Types(); !reflect.DeepEqual(got, []Type{EOF, 3}) {
+		t.Errorf("types order: %v", got)
+	}
+	s.Add(Epsilon) // reserved types other than EOF are ignored
+	if s.Len() != 2 {
+		t.Errorf("epsilon must not be stored")
+	}
+	v := NewVocabulary()
+	v.Define("A")
+	if got := s.Format(v); got != "{EOF, <type 3>}" {
+		t.Errorf("format: %q", got)
+	}
+}
+
+func TestTokenBasics(t *testing.T) {
+	tok := Token{Type: EOF}
+	if !tok.IsEOF() {
+		t.Error("EOF detection")
+	}
+	p := Pos{Line: 3, Col: 9}
+	if p.String() != "3:9" {
+		t.Errorf("pos: %s", p)
+	}
+}

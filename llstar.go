@@ -1,0 +1,312 @@
+// Package llstar is a parser generator and parsing library implementing
+// the LL(*) parsing strategy of Parr & Fisher, "LL(*): The Foundation of
+// the ANTLR Parser Generator" (PLDI 2011).
+//
+// A grammar written in an ANTLR-like meta-language is statically analyzed
+// into one lookahead DFA per parsing decision. At parse time decisions
+// gracefully throttle up from fixed LL(1) lookahead, to cyclic-DFA
+// arbitrary lookahead, to backtracking with packrat memoization — per
+// decision and per input. Semantic predicates make recognition
+// context-sensitive; embedded actions run un-speculated.
+//
+// Quickstart:
+//
+//	g, err := llstar.Load("expr.g", src)
+//	p := g.NewParser(llstar.WithTree())
+//	tree, err := p.Parse("s", "unsigned int x")
+package llstar
+
+import (
+	"fmt"
+	"os"
+
+	"llstar/internal/codegen"
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/interp"
+	"llstar/internal/meta"
+	"llstar/internal/runtime"
+)
+
+// Re-exported runtime types. These aliases are the public names for the
+// values the parser runtime hands to user code.
+type (
+	// Tree is a parse-tree node.
+	Tree = interp.Node
+	// Stats is the per-decision runtime profile of a parse.
+	Stats = runtime.ParseStats
+	// Hooks binds semantic predicates and actions to Go functions.
+	Hooks = runtime.Hooks
+	// Context is the state predicates/actions see.
+	Context = runtime.Context
+	// SyntaxError is a parse error located at its offending token.
+	SyntaxError = runtime.SyntaxError
+)
+
+// Grammar is a loaded, validated, and analyzed grammar, ready to make
+// parsers.
+type Grammar struct {
+	res      *core.Result
+	issues   []grammar.Issue
+	warnings []string
+}
+
+// LoadOptions tune Load.
+type LoadOptions struct {
+	// RewriteLeftRecursion automatically rewrites immediately
+	// left-recursive rules into predicated precedence loops
+	// (Section 1.1) instead of rejecting them.
+	RewriteLeftRecursion bool
+	// AnalysisM overrides the recursion governor m.
+	AnalysisM int
+	// MaxK forces classic fixed-k lookahead.
+	MaxK int
+}
+
+// Load parses, validates, and analyzes grammar text. name appears in
+// error messages (typically the file name).
+func Load(name, src string) (*Grammar, error) {
+	return LoadWith(name, src, LoadOptions{})
+}
+
+// LoadWith is Load with options.
+func LoadWith(name, src string, opts LoadOptions) (*Grammar, error) {
+	g, err := meta.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RewriteLeftRecursion {
+		for _, name := range directLeftRecursive(g) {
+			if err := grammar.RewriteLeftRecursion(g, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	issues := grammar.Validate(g)
+	if err := grammar.FirstFatal(issues); err != nil {
+		return nil, err
+	}
+	res, err := core.Analyze(g, core.Options{M: opts.AnalysisM, MaxK: opts.MaxK})
+	if err != nil {
+		return nil, err
+	}
+	lg := &Grammar{res: res, issues: issues}
+	for _, i := range issues {
+		lg.warnings = append(lg.warnings, i.String())
+	}
+	for _, w := range res.Warnings {
+		lg.warnings = append(lg.warnings, w.String())
+	}
+	return lg, nil
+}
+
+// LoadFile loads a grammar from disk.
+func LoadFile(path string) (*Grammar, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(path, string(data))
+}
+
+// directLeftRecursive lists rules whose own alternatives start with a
+// self-reference (candidates for the precedence-loop rewrite).
+func directLeftRecursive(g *grammar.Grammar) []string {
+	var out []string
+	for _, r := range g.Rules {
+		for _, alt := range r.Alts {
+			if len(alt.Elems) == 0 {
+				continue
+			}
+			if ref, ok := alt.Elems[0].(*grammar.RuleRef); ok && ref.Name == r.Name {
+				out = append(out, r.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Name returns the grammar's declared name.
+func (g *Grammar) Name() string { return g.res.Grammar.Name }
+
+// Warnings returns validation and analysis diagnostics (non-fatal).
+func (g *Grammar) Warnings() []string { return g.warnings }
+
+// AnalysisResult exposes the underlying analysis for advanced callers
+// (the benchmark harness, the code generator, tests).
+func (g *Grammar) AnalysisResult() *core.Result { return g.res }
+
+// DecisionClass mirrors the Table 1 decision taxonomy.
+type DecisionClass string
+
+// Decision classes.
+const (
+	Fixed     DecisionClass = "fixed"     // acyclic DFA, LL(k)
+	Cyclic    DecisionClass = "cyclic"    // cyclic DFA, arbitrary lookahead
+	Backtrack DecisionClass = "backtrack" // fails over to speculation
+)
+
+// DecisionReport summarizes one analyzed parsing decision.
+type DecisionReport struct {
+	ID        int
+	Rule      string
+	Desc      string
+	Class     DecisionClass
+	FixedK    int // lookahead depth for fixed decisions
+	DFAStates int
+	Fallback  string // non-empty if analysis fell back (Section 5.4)
+}
+
+// Decisions reports every parsing decision's analysis outcome.
+func (g *Grammar) Decisions() []DecisionReport {
+	out := make([]DecisionReport, 0, len(g.res.Decisions))
+	for _, di := range g.res.Decisions {
+		r := DecisionReport{
+			ID:        di.Decision.ID,
+			Rule:      di.Decision.Rule.Name,
+			Desc:      di.Decision.Desc,
+			FixedK:    di.FixedK,
+			DFAStates: di.DFA.NumStates(),
+			Fallback:  di.DFA.Fallback,
+		}
+		switch di.Class {
+		case core.ClassFixed:
+			r.Class = Fixed
+		case core.ClassCyclic:
+			r.Class = Cyclic
+		default:
+			r.Class = Backtrack
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Summary renders a one-line analysis summary (the Table 1 row for this
+// grammar).
+func (g *Grammar) Summary() string {
+	var fixed, cyclic, back int
+	for _, d := range g.Decisions() {
+		switch d.Class {
+		case Fixed:
+			fixed++
+		case Cyclic:
+			cyclic++
+		default:
+			back++
+		}
+	}
+	n := len(g.res.Decisions)
+	return fmt.Sprintf("%s: %d decisions: %d fixed, %d cyclic, %d backtrack (%.1f%%), analysis %v",
+		g.Name(), n, fixed, cyclic, back, pct(back, n), g.res.Elapsed)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// DotDFA renders a decision's lookahead DFA in Graphviz format.
+func (g *Grammar) DotDFA(decision int) (string, error) {
+	if decision < 0 || decision >= len(g.res.DFAs) {
+		return "", fmt.Errorf("llstar: no decision %d", decision)
+	}
+	return g.res.DFAs[decision].Dot(g.res.Grammar.Vocab), nil
+}
+
+// DotATN renders a rule's ATN submachine (all rules if ruleName is "").
+func (g *Grammar) DotATN(ruleName string) string {
+	return g.res.Machine.Dot(ruleName)
+}
+
+// GenerateGo emits a self-contained Go source file implementing a
+// recursive-descent LL(*) parser for the grammar (lexer tables, lookahead
+// DFA tables, one method per rule). pkg is the generated package name.
+func (g *Grammar) GenerateGo(pkg string) ([]byte, error) {
+	return codegen.Generate(g.res, codegen.Options{Package: pkg})
+}
+
+// Parser wraps the grammar interpreter with a stable public surface.
+type Parser struct {
+	g          *Grammar
+	opts       interp.Options
+	lastStats  *Stats
+	lastErrors []*SyntaxError
+}
+
+// ParserOption configures NewParser.
+type ParserOption func(*interp.Options)
+
+// WithTree enables parse-tree construction.
+func WithTree() ParserOption { return func(o *interp.Options) { o.BuildTree = true } }
+
+// WithStats enables runtime decision profiling.
+func WithStats() ParserOption { return func(o *interp.Options) { o.CollectStats = true } }
+
+// WithHooks binds semantic predicates and actions.
+func WithHooks(h Hooks) ParserOption { return func(o *interp.Options) { o.Hooks = h } }
+
+// WithState sets the initial user state visible to predicates/actions.
+func WithState(s any) ParserOption { return func(o *interp.Options) { o.State = s } }
+
+// WithMemoize overrides the grammar's memoize option.
+func WithMemoize(on bool) ParserOption {
+	return func(o *interp.Options) { v := on; o.Memoize = &v }
+}
+
+// WithApproxLLK switches to ANTLR-v2-style linear approximate LL(k)
+// prediction (the Section 6.2 baseline).
+func WithApproxLLK(k int) ParserOption { return func(o *interp.Options) { o.ApproxK = k } }
+
+// WithErrorListener observes syntax errors as they surface.
+func WithErrorListener(l func(*SyntaxError)) ParserOption {
+	return func(o *interp.Options) { o.ErrorListener = l }
+}
+
+// WithRecovery enables error recovery: failed matches try single-token
+// deletion/insertion and failed predictions resync, the parse continues,
+// and Errors() reports everything found (up to maxErrors; 0 means 10).
+func WithRecovery(maxErrors int) ParserOption {
+	return func(o *interp.Options) {
+		o.Recover = true
+		o.MaxErrors = maxErrors
+	}
+}
+
+// NewParser returns a parser for the grammar.
+func (g *Grammar) NewParser(opts ...ParserOption) *Parser {
+	var o interp.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Parser{g: g, opts: o}
+}
+
+// Parse parses input starting at rule startRule (the grammar's first rule
+// if empty), requiring the whole input to be consumed. Each call is an
+// independent parse.
+func (p *Parser) Parse(startRule, input string) (*Tree, error) {
+	if startRule == "" {
+		start := p.g.res.Grammar.Start()
+		if start == nil {
+			return nil, fmt.Errorf("llstar: grammar %s has no parser rules", p.g.Name())
+		}
+		startRule = start.Name
+	}
+	ip := interp.New(p.g.res, p.opts)
+	tree, err := ip.ParseString(startRule, input)
+	p.lastStats = ip.Stats()
+	p.lastErrors = ip.Errors()
+	return tree, err
+}
+
+// Errors returns the syntax errors recovered during the most recent
+// Parse (WithRecovery mode; empty otherwise).
+func (p *Parser) Errors() []*SyntaxError { return p.lastErrors }
+
+// Stats returns the profile of the most recent Parse (nil without
+// WithStats).
+func (p *Parser) Stats() *Stats { return p.lastStats }

@@ -1,0 +1,136 @@
+package llstar_test
+
+import (
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+const apiGrammar = `
+grammar API;
+s : ID
+  | ID '=' INT
+  | ('unsigned')* 'int' ID
+  ;
+ID : ('a'..'z'|'A'..'Z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' ')+ { skip(); } ;
+`
+
+func TestLoadAndParse(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "API" {
+		t.Errorf("name: %s", g.Name())
+	}
+	p := g.NewParser(llstar.WithTree(), llstar.WithStats())
+	tree, err := p.Parse("", "unsigned unsigned int x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.String() != "(s unsigned unsigned int x)" {
+		t.Errorf("tree: %s", tree)
+	}
+	if p.Stats() == nil || p.Stats().TotalEvents() == 0 {
+		t.Errorf("stats not collected")
+	}
+}
+
+func TestDecisionsReport(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Decisions()
+	if len(ds) == 0 {
+		t.Fatal("no decisions")
+	}
+	var sawCyclicOrFixed bool
+	for _, d := range ds {
+		if d.Class == llstar.Fixed || d.Class == llstar.Cyclic {
+			sawCyclicOrFixed = true
+		}
+		if d.DFAStates <= 0 {
+			t.Errorf("decision %d has no DFA states", d.ID)
+		}
+	}
+	if !sawCyclicOrFixed {
+		t.Error("expected deterministic decisions")
+	}
+	if !strings.Contains(g.Summary(), "API:") {
+		t.Errorf("summary: %s", g.Summary())
+	}
+}
+
+func TestDotExports(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := g.DotDFA(0)
+	if err != nil || !strings.Contains(dot, "digraph") {
+		t.Errorf("DotDFA: %v", err)
+	}
+	if _, err := g.DotDFA(999); err == nil {
+		t.Error("out-of-range decision must error")
+	}
+	if !strings.Contains(g.DotATN("s"), "digraph ATN") {
+		t.Error("DotATN failed")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := llstar.Load("bad.g", "grammar X; a : undefined ;"); err == nil {
+		t.Error("undefined rule must fail Load")
+	}
+	if _, err := llstar.Load("bad.g", "not a grammar"); err == nil {
+		t.Error("syntax error must fail Load")
+	}
+	if _, err := llstar.Load("lr.g", "grammar L; a : a B | B ; B : 'b' ;"); err == nil {
+		t.Error("left recursion must fail Load without the rewrite option")
+	}
+}
+
+func TestLeftRecursionOption(t *testing.T) {
+	src := "grammar L; a : a B | B ; B : 'b' ;"
+	g, err := llstar.LoadWith("lr.g", src, llstar.LoadOptions{RewriteLeftRecursion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.NewParser()
+	if _, err := p.Parse("a", "bbb"); err != nil {
+		t.Errorf("parse after rewrite: %v", err)
+	}
+}
+
+func TestGenerateGoAPI(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := g.GenerateGo("apiparser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package apiparser") {
+		t.Error("generated package name missing")
+	}
+}
+
+func TestErrorListener(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen *llstar.SyntaxError
+	p := g.NewParser(llstar.WithErrorListener(func(e *llstar.SyntaxError) { seen = e }))
+	if _, err := p.Parse("", "unsigned ="); err == nil {
+		t.Fatal("expected error")
+	}
+	if seen == nil {
+		t.Error("listener not invoked")
+	}
+}
