@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

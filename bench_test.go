@@ -7,6 +7,7 @@ package llstar_test
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -203,6 +204,40 @@ func BenchmarkLexer(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTracerOverhead guards the observability tentpole's cost
+// contract: a no-op tracer must be indistinguishable from no tracer
+// (both reduce to nil inside the parser — see obs.Active), and an
+// enabled tracer's cost is reported for tracking. Run the off/nop
+// pair to verify the <2% disabled-overhead requirement.
+func BenchmarkTracerOverhead(b *testing.B) {
+	w, err := bench.ByName("Java1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1, 500)
+	run := func(b *testing.B, opts ...llstar.ParserOption) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := g.NewParser(opts...)
+			if _, err := p.Parse(w.Start, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("nop", func(b *testing.B) { run(b, llstar.WithTracer(llstar.NopTracer())) })
+	b.Run("jsonl-discard", func(b *testing.B) {
+		run(b, llstar.WithTracer(llstar.NewJSONLTracer(io.Discard)))
+	})
+	b.Run("metrics", func(b *testing.B) {
+		run(b, llstar.WithMetrics(llstar.NewMetrics()))
+	})
 }
 
 // BenchmarkGovernorM (ablation) varies the recursion governor m on the

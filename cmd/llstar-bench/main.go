@@ -6,6 +6,7 @@
 //	llstar-bench -table 3         # just Table 3
 //	llstar-bench -lines 5000      # bigger inputs for Tables 3/4
 //	llstar-bench -seed 7          # different synthetic input
+//	llstar-bench -profile         # where analysis time goes, per grammar
 package main
 
 import (
@@ -21,7 +22,16 @@ func main() {
 	lines := flag.Int("lines", 2000, "approximate input size in lines for tables 3 and 4")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memo := flag.Bool("memo", false, "also print memoization cache statistics")
+	profile := flag.Bool("profile", false, "print the per-grammar analysis profile (slowest decisions) instead of tables")
 	flag.Parse()
+
+	if *profile {
+		if err := analysisProfile(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(n int, f func() error, title string) {
 		if *table != 0 && *table != n {
@@ -47,4 +57,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// analysisProfile prints, per benchmark grammar, the most expensive
+// parsing decisions of the static analysis (time, DFA states, closure
+// calls) — the data behind Table 1's "Runtime" column.
+func analysisProfile(out *os.File) error {
+	const top = 5
+	for _, w := range bench.Workloads {
+		g, err := w.LoadFresh()
+		if err != nil {
+			return fmt.Errorf("%s: %v", w.Name, err)
+		}
+		fmt.Fprintln(out, g.Summary())
+		prof := g.AnalysisProfile()
+		n := len(prof)
+		if n > top {
+			n = top
+		}
+		for _, d := range prof[:n] {
+			extra := ""
+			if d.Fallback != "" {
+				extra = "  fallback: " + d.Fallback
+			}
+			fmt.Fprintf(out, "  d%-4d %-9s %6d states %8d closures %10v  %s%s\n",
+				d.ID, d.Class, d.DFAStates, d.ClosureCalls, d.Elapsed, d.Desc, extra)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
 }

@@ -1,10 +1,17 @@
 // Command llstar-parse parses an input file with a grammar using the
 // LL(*) interpreter and prints the parse tree and, optionally, runtime
-// decision statistics:
+// decision statistics, a structured trace, and metrics:
 //
 //	llstar-parse grammar.g input.txt
 //	llstar-parse -rule expr -stats grammar.g input.txt
+//	llstar-parse -trace=out.json -trace-format=chrome grammar.g input.txt
+//	llstar-parse -metrics grammar.g input.txt
 //	echo '1+2*3' | llstar-parse grammar.g -
+//
+// A chrome-format trace opens as a timeline in chrome://tracing or
+// https://ui.perfetto.dev; the jsonl format is one event per line for
+// ad-hoc analysis. -metrics prints Prometheus-text counters and
+// histograms covering both analysis and the parse.
 package main
 
 import (
@@ -21,6 +28,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print runtime decision statistics after the parse")
 	noTree := flag.Bool("no-tree", false, "suppress the parse tree")
 	leftrec := flag.Bool("leftrec", false, "rewrite immediate left recursion before analysis")
+	trace := flag.String("trace", "", "write a structured trace of analysis and parse to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+	metrics := flag.Bool("metrics", false, "print Prometheus-text metrics after the parse")
+	metricsJSON := flag.Bool("metrics-json", false, "print metrics as expvar-style JSON instead")
 	flag.Parse()
 
 	if flag.NArg() != 2 {
@@ -42,7 +53,31 @@ func main() {
 		fatal(err)
 	}
 
-	g, err := llstar.LoadWith(flag.Arg(0), string(gsrc), llstar.LoadOptions{RewriteLeftRecursion: *leftrec})
+	var tracer *llstar.TraceWriter
+	loadOpts := llstar.LoadOptions{RewriteLeftRecursion: *leftrec}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			tracer = llstar.NewJSONLTracer(f)
+		case "chrome":
+			tracer = llstar.NewChromeTracer(f)
+		default:
+			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
+		}
+		loadOpts.Tracer = tracer
+	}
+	var reg *llstar.Metrics
+	if *metrics || *metricsJSON {
+		reg = llstar.NewMetrics()
+		loadOpts.Metrics = reg
+	}
+
+	g, err := llstar.LoadWith(flag.Arg(0), string(gsrc), loadOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,16 +89,47 @@ func main() {
 	if *stats {
 		opts = append(opts, llstar.WithStats())
 	}
+	if tracer != nil {
+		opts = append(opts, llstar.WithTracer(tracer))
+	}
+	if reg != nil {
+		opts = append(opts, llstar.WithMetrics(reg))
+	}
 	p := g.NewParser(opts...)
-	tree, err := p.Parse(*rule, string(input))
-	if err != nil {
-		fatal(err)
+	tree, perr := p.Parse(*rule, string(input))
+	if tracer != nil {
+		// Finalize the trace even when the parse failed: the events up
+		// to the failure are exactly what a trace is for.
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "llstar-parse: trace:", err)
+		}
+	}
+	if perr != nil {
+		if reg != nil {
+			printMetrics(reg, *metricsJSON)
+		}
+		fatal(perr)
 	}
 	if !*noTree {
 		fmt.Println(tree.String())
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, p.Stats().String())
+	}
+	if reg != nil {
+		printMetrics(reg, *metricsJSON)
+	}
+}
+
+func printMetrics(reg *llstar.Metrics, asJSON bool) {
+	var err error
+	if asJSON {
+		err = reg.WriteJSON(os.Stdout)
+	} else {
+		err = reg.WritePrometheus(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llstar-parse: metrics:", err)
 	}
 }
 

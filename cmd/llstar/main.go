@@ -4,6 +4,7 @@
 //
 //	llstar grammar.g                 # analysis report (Table 1-style)
 //	llstar -decisions grammar.g      # per-decision detail
+//	llstar -profile grammar.g        # per-decision analysis time/state-count table
 //	llstar -dot 3 grammar.g          # decision 3's DFA in Graphviz format
 //	llstar -atn rule grammar.g       # a rule's ATN in Graphviz format
 //	llstar -generate pkg grammar.g   # emit a Go parser to stdout
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	decisions := flag.Bool("decisions", false, "print per-decision analysis detail")
+	profile := flag.Bool("profile", false, "print the analysis profile: per-decision time, DFA states, closure calls")
 	dot := flag.Int("dot", -1, "print the given decision's lookahead DFA as Graphviz dot")
 	atnRule := flag.String("atn", "", "print the given rule's ATN as Graphviz dot")
 	generate := flag.String("generate", "", "generate a Go parser with the given package name")
@@ -48,6 +50,18 @@ func main() {
 	}
 
 	switch {
+	case *profile:
+		fmt.Println(g.Summary())
+		fmt.Println()
+		fmt.Printf("%-5s %-9s %9s %8s %10s  %s\n", "dec", "class", "states", "closure", "time", "decision")
+		for _, d := range g.AnalysisProfile() {
+			extra := ""
+			if d.Fallback != "" {
+				extra = "  fallback: " + d.Fallback
+			}
+			fmt.Printf("d%-4d %-9s %9d %8d %10v  %s: %s%s\n",
+				d.ID, d.Class, d.DFAStates, d.ClosureCalls, d.Elapsed, d.Rule, d.Desc, extra)
+		}
 	case *dot >= 0:
 		s, err := g.DotDFA(*dot)
 		if err != nil {

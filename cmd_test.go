@@ -1,7 +1,10 @@
 package llstar_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +36,9 @@ func TestCommandsSmoke(t *testing.T) {
 	if out := run("./cmd/llstar", "-leftrec", "grammars/calc.g"); !strings.Contains(out, "decisions") {
 		t.Errorf("llstar -leftrec: %s", out)
 	}
+	if out := run("./cmd/llstar", "-profile", "grammars/figure1.g"); !strings.Contains(out, "closure") {
+		t.Errorf("llstar -profile: %s", out)
+	}
 
 	// llstar-parse over stdin.
 	cmd := exec.Command("go", "run", "./cmd/llstar-parse", "-leftrec", "-stats", "grammars/calc.g", "-")
@@ -43,6 +49,39 @@ func TestCommandsSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "(e ") {
 		t.Errorf("llstar-parse output: %s", out)
+	}
+
+	// llstar-parse tracing and metrics.
+	dir := t.TempDir()
+	input := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(input, []byte(`{"a": [1, 2, true]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	out2 := run("./cmd/llstar-parse", "-no-tree", "-trace="+jsonl, "-metrics", "grammars/json.g", input)
+	if !strings.Contains(out2, "llstar_predict_events_total") || !strings.Contains(out2, "# TYPE llstar_lookahead_depth histogram") {
+		t.Errorf("llstar-parse -metrics output: %s", out2)
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"predict"`) {
+		t.Errorf("jsonl trace has no predict events: %s", data)
+	}
+
+	chrome := filepath.Join(dir, "trace.json")
+	run("./cmd/llstar-parse", "-no-tree", "-trace="+chrome, "-trace-format=chrome", "grammars/json.g", input)
+	data, err = os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, data)
+	}
+	if len(events) == 0 {
+		t.Error("chrome trace is empty")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"llstar/internal/atn"
 	"llstar/internal/dfa"
 	"llstar/internal/grammar"
+	"llstar/internal/obs"
 )
 
 // Options tune the analysis.
@@ -21,6 +22,13 @@ type Options struct {
 	// MaxK, when > 0, caps lookahead depth at a fixed k (classic LL(k)
 	// mode). 0 uses the grammar option (0 = unbounded LL(*)).
 	MaxK int
+	// Tracer, if set, receives structured analysis events: the overall
+	// analysis span, ATN construction, one dfa.construct span per
+	// decision, and instants for warnings and Section 5.4 fallbacks.
+	Tracer obs.Tracer
+	// Metrics, if set, accumulates analysis counters (decision classes,
+	// DFA states, closure calls, fallbacks, warnings by kind).
+	Metrics *obs.Metrics
 }
 
 // DefaultMaxDFAStates bounds DFA construction per decision.
@@ -104,6 +112,13 @@ type DecisionInfo struct {
 	Class    Class
 	// FixedK is the lookahead depth for ClassFixed decisions.
 	FixedK int
+	// Elapsed is the wall-clock time spent constructing, minimizing,
+	// and compiling this decision's DFA.
+	Elapsed time.Duration
+	// ClosureCalls counts invocations of the closure operation
+	// (Algorithm 9) during this decision's subset construction — the
+	// dominant analysis cost.
+	ClosureCalls int
 }
 
 // Result is the full analysis output for a grammar.
@@ -157,10 +172,24 @@ func (r *Result) FixedKHistogram() []int {
 // Analyze builds the ATN for g and constructs a lookahead DFA for every
 // parsing decision. The grammar must already validate cleanly.
 func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
+	tr := obs.Active(opts.Tracer)
+	mx := opts.Metrics
 	start := time.Now()
+	var analysisT0, atnT0 time.Duration
+	if tr != nil {
+		analysisT0 = tr.Now()
+		atnT0 = analysisT0
+	}
 	m, err := atn.Build(g)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: "atn.build", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+			TS: atnT0, Dur: tr.Now() - atnT0, Decision: -1,
+			OK: true, N: int64(len(m.Decisions)),
+		})
 	}
 	res := &Result{Grammar: g, Machine: m}
 	if opts.M == 0 {
@@ -184,14 +213,23 @@ func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
 		if m := dec.Rule.OptionInt("m", 0); m > 0 {
 			decOpts.M = m
 		}
+		var decT0 time.Duration
+		if tr != nil {
+			decT0 = tr.Now()
+		}
+		decStart := time.Now()
 		da := newDecAnalysis(m, dec, decOpts, shared)
 		d := da.construct()
 		d.Minimize()
 		d.Compile(g.Vocab.MaxType())
 		res.DFAs[dec.ID] = d
-		res.Warnings = append(res.Warnings, da.warnings...)
 
-		info := DecisionInfo{Decision: dec, DFA: d}
+		info := DecisionInfo{
+			Decision:     dec,
+			DFA:          d,
+			Elapsed:      time.Since(decStart),
+			ClosureCalls: da.closureCalls,
+		}
 		switch {
 		case d.HasBacktrack():
 			info.Class = ClassBacktrack
@@ -203,9 +241,54 @@ func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
 		}
 		res.Decisions = append(res.Decisions, info)
 
-		res.Warnings = append(res.Warnings, deadProductions(dec, d)...)
+		warnings := append(da.warnings, deadProductions(dec, d)...)
+		res.Warnings = append(res.Warnings, warnings...)
+
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Name: "dfa.construct", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+				TS: decT0, Dur: tr.Now() - decT0,
+				Decision: dec.ID, Rule: dec.Rule.Name, Detail: dec.Desc,
+				Throttle: info.Class.String(), OK: d.Fallback == "",
+				N: int64(d.NumStates()),
+			})
+			if d.Fallback != "" {
+				tr.Emit(obs.Event{
+					Name: "analysis.fallback", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
+					Decision: dec.ID, Rule: dec.Rule.Name, Detail: d.Fallback,
+				})
+			}
+			for _, w := range warnings {
+				tr.Emit(obs.Event{
+					Name: "analysis.warning", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
+					Decision: w.Decision, Rule: dec.Rule.Name,
+					Detail: w.Kind.String() + ": " + w.Msg,
+				})
+			}
+		}
+		if mx != nil {
+			mx.Counter(obs.Label("llstar_analysis_decisions_total", "class", info.Class.String())).Inc()
+			mx.Counter("llstar_analysis_dfa_states_total").Add(int64(d.NumStates()))
+			mx.Counter("llstar_analysis_closure_calls_total").Add(int64(da.closureCalls))
+			if d.Fallback != "" {
+				mx.Counter("llstar_analysis_fallbacks_total").Inc()
+			}
+			for _, w := range warnings {
+				mx.Counter(obs.Label("llstar_analysis_warnings_total", "kind", w.Kind.String())).Inc()
+			}
+		}
 	}
 	res.Elapsed = time.Since(start)
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: "analysis", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+			TS: analysisT0, Dur: tr.Now() - analysisT0, Decision: -1,
+			Rule: g.Name, OK: true, N: int64(len(res.Decisions)),
+		})
+	}
+	if mx != nil {
+		mx.Gauge("llstar_analysis_elapsed_us").Set(res.Elapsed.Microseconds())
+	}
 	return res, nil
 }
 

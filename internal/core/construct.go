@@ -30,6 +30,11 @@ type decAnalysis struct {
 	interned map[string]*dfa.State // signature -> materialized state
 	work     []*dState
 	warnings []Warning
+
+	// closureCalls counts invocations of closure (Algorithm 9) for the
+	// analysis profile; an int increment, so cheap enough to track
+	// unconditionally.
+	closureCalls int
 }
 
 func newDecAnalysis(m *atn.Machine, dec *atn.Decision, opts Options, shared *firstSets) *decAnalysis {
@@ -293,6 +298,7 @@ func (a *decAnalysis) moveClosure(D *dState, match func(*atn.Trans) bool) (*dfa.
 // closure is Algorithm 9: it adds c and every configuration reachable
 // from c via non-terminal edges, simulating rule invocation and return.
 func (a *decAnalysis) closure(D *dState, c *config) error {
+	a.closureCalls++
 	key := c.key()
 	if D.busy[key] {
 		return nil

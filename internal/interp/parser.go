@@ -8,6 +8,7 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"llstar/internal/atn"
 	"llstar/internal/core"
@@ -15,6 +16,7 @@ import (
 	"llstar/internal/grammar"
 	"llstar/internal/lexrt"
 	"llstar/internal/llk"
+	"llstar/internal/obs"
 	"llstar/internal/runtime"
 	"llstar/internal/token"
 )
@@ -46,6 +48,15 @@ type Options struct {
 	Recover bool
 	// MaxErrors caps collected errors in Recover mode (default 10).
 	MaxErrors int
+	// Tracer, if set, receives structured runtime events: parse and
+	// prediction spans (with throttle level and lookahead depth),
+	// speculation spans, predicate evaluations, memo hits/misses, and
+	// error-recovery resyncs. Nil (or obs.Nop) costs nothing.
+	Tracer obs.Tracer
+	// Metrics, if set, accumulates runtime counters and histograms
+	// (prediction events by throttle level, lookahead-depth
+	// distributions, speculation and memo activity).
+	Metrics *obs.Metrics
 }
 
 // Parser interprets an analyzed grammar.
@@ -71,6 +82,17 @@ type Parser struct {
 
 	// errors collects recovered syntax errors (Recover mode).
 	errors []*runtime.SyntaxError
+
+	// tr is the normalized tracer (nil when tracing is off — the hot
+	// path gates on this single nil check) and mx the metrics registry.
+	tr obs.Tracer
+	mx *obs.Metrics
+	// measureK enables the lookahead watermark bookkeeping in predict;
+	// set when any of stats, tracer, or metrics needs depth data.
+	measureK bool
+	// throttle caches each decision's static class name ("fixed",
+	// "cyclic", "backtrack") for event labeling; nil unless tr or mx.
+	throttle []string
 }
 
 // New returns a parser for an analyzed grammar.
@@ -85,6 +107,15 @@ func New(res *core.Result, opts Options) *Parser {
 			if di.Class == core.ClassBacktrack {
 				p.stats.Decisions[di.Decision.ID].CanBacktrack = true
 			}
+		}
+	}
+	p.tr = obs.Active(opts.Tracer)
+	p.mx = opts.Metrics
+	p.measureK = p.stats != nil || p.tr != nil || p.mx != nil
+	if p.tr != nil || p.mx != nil {
+		p.throttle = make([]string, len(res.DFAs))
+		for _, di := range res.Decisions {
+			p.throttle[di.Decision.ID] = di.Class.String()
 		}
 	}
 	return p
@@ -113,6 +144,15 @@ func (p *Parser) report(se *runtime.SyntaxError) error {
 		return se
 	}
 	p.errors = append(p.errors, se)
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{
+			Name: "error", Cat: obs.PhaseRuntime, Ph: obs.PhInstant, TS: p.tr.Now(),
+			Decision: -1, Rule: se.Rule, Detail: se.Msg, N: int64(se.Offending.Index),
+		})
+	}
+	if p.mx != nil {
+		p.mx.Counter("llstar_syntax_errors_total").Inc()
+	}
 	if p.opts.ErrorListener != nil {
 		p.opts.ErrorListener(se)
 	}
@@ -162,11 +202,57 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 	if p.opts.BuildTree {
 		holder = &Node{}
 	}
+	var parseT0 time.Duration
+	if p.tr != nil {
+		parseT0 = p.tr.Now()
+	}
 	err := p.parseRule(idx, 0, holder)
 	if err == nil && stream.LA(1) != token.EOF {
 		se := p.syntaxErr(stream.LT(1), startRule, "extraneous input after parse")
 		if rerr := p.report(se); rerr != nil {
 			err = rerr
+		}
+	}
+	if p.stats != nil && p.memo != nil {
+		p.stats.MemoEntries = p.memo.Entries()
+		p.stats.MemoHits = p.memo.Hits()
+		p.stats.MemoMisses = p.memo.Misses()
+		p.stats.MemoStores = p.memo.Stores()
+	}
+	// In recover mode every syntax error was already instrumented by
+	// report; here only the terminal error of a non-recovering parse
+	// still needs an event.
+	if err != nil && !p.opts.Recover {
+		if se, ok := err.(*runtime.SyntaxError); ok {
+			if p.tr != nil {
+				p.tr.Emit(obs.Event{
+					Name: "error", Cat: obs.PhaseRuntime, Ph: obs.PhInstant, TS: p.tr.Now(),
+					Decision: -1, Rule: se.Rule, Detail: se.Msg, N: int64(se.Offending.Index),
+				})
+			}
+			if p.mx != nil {
+				p.mx.Counter("llstar_syntax_errors_total").Inc()
+			}
+		}
+	}
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{
+			Name: "parse", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+			TS: parseT0, Dur: p.tr.Now() - parseT0, Decision: -1,
+			Rule: startRule, OK: err == nil, N: int64(stream.Size()),
+		})
+	}
+	if p.mx != nil {
+		p.mx.Counter("llstar_parses_total").Inc()
+		if err != nil {
+			p.mx.Counter("llstar_parse_errors_total").Inc()
+		}
+		p.mx.Counter("llstar_tokens_total").Add(int64(stream.Size()))
+		if p.memo != nil {
+			p.mx.Counter("llstar_memo_hits_total").Add(int64(p.memo.Hits()))
+			p.mx.Counter("llstar_memo_misses_total").Add(int64(p.memo.Misses()))
+			p.mx.Counter("llstar_memo_stores_total").Add(int64(p.memo.Stores()))
+			p.mx.Gauge("llstar_memo_entries").Set(int64(p.memo.Entries()))
 		}
 	}
 	if err != nil {
@@ -179,11 +265,6 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 	var root *Node
 	if holder != nil && len(holder.Children) > 0 {
 		root = holder.Children[0]
-	}
-	if p.stats != nil && p.memo != nil {
-		p.stats.MemoEntries = p.memo.Entries()
-		p.stats.MemoHits = p.memo.Hits()
-		p.stats.MemoMisses = p.memo.Misses()
 	}
 	if lexErr := stream.Err(); lexErr != nil {
 		return nil, lexErr
@@ -211,7 +292,19 @@ func (p *Parser) parseRule(idx, arg int, parent *Node) error {
 	memoizable := p.memo != nil && p.spec > 0 && r.Args == "" && r.OptionBool("memoize", true)
 	start := p.stream.Index()
 	if memoizable {
-		if stop, ok := p.memo.Get(idx, start); ok {
+		stop, ok := p.memo.Get(idx, start)
+		if p.tr != nil {
+			name := "memo.miss"
+			if ok {
+				name = "memo.hit"
+			}
+			p.tr.Emit(obs.Event{
+				Name: name, Cat: obs.PhaseRuntime, Ph: obs.PhInstant, TS: p.tr.Now(),
+				Decision: -1, Rule: r.Name, Depth: p.spec,
+				OK: ok && stop != runtime.MemoFailed, N: int64(start),
+			})
+		}
+		if ok {
 			if stop == runtime.MemoFailed {
 				return p.syntaxErr(p.stream.LT(1), r.Name, "memoized failure")
 			}

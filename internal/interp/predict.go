@@ -2,10 +2,13 @@ package interp
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"llstar/internal/atn"
 	"llstar/internal/dfa"
 	"llstar/internal/llk"
+	"llstar/internal/obs"
 )
 
 // predict chooses an alternative at a decision point: it simulates the
@@ -24,9 +27,13 @@ func (p *Parser) predict(dec *atn.Decision, fr *frame) (int, error) {
 	// Lookahead-depth measurement costs a watermark reset per decision
 	// event; skip it entirely when not profiling.
 	var startIdx, savedHigh int
-	if p.stats != nil {
+	if p.measureK {
 		startIdx = p.stream.Index()
 		savedHigh = p.stream.WatermarkReset()
+	}
+	var predT0 time.Duration
+	if p.tr != nil {
+		predT0 = p.tr.Now()
 	}
 
 	backtracked := false
@@ -38,17 +45,36 @@ func (p *Parser) predict(dec *atn.Decision, fr *frame) (int, error) {
 		alt, err = p.simulate(d, dec, fr, &backtracked)
 	}
 
-	if p.stats != nil {
+	if p.measureK {
 		k := 0
 		if wm := p.stream.Watermark(); wm >= startIdx {
 			k = wm - startIdx + 1
 		}
 		p.stream.ExtendWatermark(savedHigh)
-		btk := 0
-		if backtracked {
-			btk = k
+		if p.stats != nil {
+			btk := 0
+			if backtracked {
+				btk = k
+			}
+			p.stats.Record(dec.ID, k, backtracked, btk)
 		}
-		p.stats.Record(dec.ID, k, backtracked, btk)
+		if p.tr != nil {
+			p.tr.Emit(obs.Event{
+				Name: "predict", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+				TS: predT0, Dur: p.tr.Now() - predT0,
+				Decision: dec.ID, Rule: fr.rule.Name, Alt: alt,
+				K: k, Depth: p.spec, Throttle: p.throttle[dec.ID],
+				Backtracked: backtracked, OK: err == nil,
+			})
+		}
+		if p.mx != nil {
+			p.mx.Counter(obs.Label("llstar_predict_events_total", "throttle", p.throttle[dec.ID])).Inc()
+			p.mx.Histogram("llstar_lookahead_depth").Observe(int64(k))
+			p.mx.Histogram(obs.Label("llstar_lookahead_depth", "decision", strconv.Itoa(dec.ID))).Observe(int64(k))
+			if backtracked {
+				p.mx.Counter("llstar_predict_backtrack_total").Inc()
+			}
+		}
 	}
 	return alt, err
 }
@@ -157,10 +183,26 @@ func (p *Parser) approxPredict(dec *atn.Decision, fr *frame, backtracked *bool) 
 // with mutators off, then rewind.
 func (p *Parser) specAlt(dec *atn.Decision, alt int, fr *frame) bool {
 	start := p.stream.Index()
+	var t0 time.Duration
+	if p.tr != nil {
+		t0 = p.tr.Now()
+	}
 	p.spec++
 	err := p.walk(dec.AltStart[alt-1], dec.End, &frame{rule: dec.Rule, arg: fr.arg})
 	p.spec--
+	consumed := p.stream.Index() - start
 	p.stream.Seek(start)
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{
+			Name: "speculate.alt", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+			TS: t0, Dur: p.tr.Now() - t0,
+			Decision: dec.ID, Rule: dec.Rule.Name, Alt: alt,
+			K: consumed, Depth: p.spec + 1, OK: err == nil,
+		})
+	}
+	if p.mx != nil {
+		p.recordSpeculation(consumed, err == nil)
+	}
 	return err == nil
 }
 
@@ -169,9 +211,40 @@ func (p *Parser) specAlt(dec *atn.Decision, alt int, fr *frame) bool {
 func (p *Parser) specSynPred(id int, fr *frame) bool {
 	def := p.m.SynPreds[id]
 	start := p.stream.Index()
+	var t0 time.Duration
+	if p.tr != nil {
+		t0 = p.tr.Now()
+	}
 	p.spec++
 	err := p.walk(def.Start, def.Stop, &frame{rule: def.Rule, arg: fr.arg})
 	p.spec--
+	consumed := p.stream.Index() - start
 	p.stream.Seek(start)
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{
+			Name: "speculate.synpred", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+			TS: t0, Dur: p.tr.Now() - t0,
+			Decision: -1, Rule: def.Rule.Name, Alt: id,
+			K: consumed, Depth: p.spec + 1, OK: err == nil,
+		})
+	}
+	if p.mx != nil {
+		p.mx.Counter(obs.Label("llstar_synpred_evals_total", "result", specResult(err == nil))).Inc()
+		p.recordSpeculation(consumed, err == nil)
+	}
 	return err == nil
+}
+
+// recordSpeculation updates the speculation counters and depth
+// histogram (tokens consumed before rewinding).
+func (p *Parser) recordSpeculation(consumed int, ok bool) {
+	p.mx.Counter(obs.Label("llstar_speculations_total", "result", specResult(ok))).Inc()
+	p.mx.Histogram("llstar_speculation_depth").Observe(int64(consumed))
+}
+
+func specResult(ok bool) string {
+	if ok {
+		return "match"
+	}
+	return "fail"
 }

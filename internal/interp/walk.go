@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"llstar/internal/atn"
+	"llstar/internal/obs"
 	"llstar/internal/runtime"
 	"llstar/internal/token"
 )
@@ -125,16 +126,35 @@ func (p *Parser) recoverPredict(dec *atn.Decision, fr *frame, err error) (int, e
 	if rerr := p.report(se); rerr != nil {
 		return 0, rerr
 	}
+	deleted := 0
 	for p.stream.LA(1) != token.EOF {
 		p.stream.Consume()
+		deleted++
 		if alt, err2 := p.predict(dec, fr); err2 == nil {
+			p.noteResync(dec, fr, deleted, true)
 			return alt, nil
 		}
 	}
 	if dec.HasExitAlt() {
+		p.noteResync(dec, fr, deleted, true)
 		return dec.NAlts, nil
 	}
+	p.noteResync(dec, fr, deleted, false)
 	return 0, se
+}
+
+// noteResync records one panic-mode resynchronization (tokens deleted
+// until a viable alternative, or until EOF on failure).
+func (p *Parser) noteResync(dec *atn.Decision, fr *frame, deleted int, ok bool) {
+	if p.tr != nil {
+		p.tr.Emit(obs.Event{
+			Name: "resync", Cat: obs.PhaseRuntime, Ph: obs.PhInstant, TS: p.tr.Now(),
+			Decision: dec.ID, Rule: fr.rule.Name, OK: ok, N: int64(deleted),
+		})
+	}
+	if p.mx != nil {
+		p.mx.Counter("llstar_error_resyncs_total").Inc()
+	}
 }
 
 // consume advances past t, attaching it to the parse tree when building.
@@ -171,5 +191,27 @@ func (p *Parser) matchError(tr *atn.Trans, at token.Token, fr *frame) error {
 func (p *Parser) evalSemPred(text string, fr *frame) (bool, error) {
 	p.ctx.Speculating = p.spec > 0
 	p.ctx.Arg = fr.arg
-	return p.opts.Hooks.EvalPred(text, &p.ctx)
+	ok, err := p.opts.Hooks.EvalPred(text, &p.ctx)
+	if p.tr != nil {
+		detail := text
+		if err != nil {
+			detail = text + ": " + err.Error()
+		}
+		p.tr.Emit(obs.Event{
+			Name: "sempred", Cat: obs.PhaseRuntime, Ph: obs.PhInstant, TS: p.tr.Now(),
+			Decision: -1, Rule: fr.rule.Name, Depth: p.spec,
+			OK: ok, Detail: detail,
+		})
+	}
+	if p.mx != nil {
+		result := "true"
+		switch {
+		case err != nil:
+			result = "error"
+		case !ok:
+			result = "false"
+		}
+		p.mx.Counter(obs.Label("llstar_sempred_evals_total", "result", result)).Inc()
+	}
+	return ok, err
 }

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges, and bounded
+// histograms. Instruments are created on first use and accumulate
+// across parses; a registry may be shared by several parsers and the
+// analysis. All instruments are safe for concurrent use.
+//
+// Names follow Prometheus conventions (snake_case, `_total` suffix for
+// counters) and may carry a label set rendered into the name with
+// Label, e.g. `llstar_predict_events_total{throttle="fixed"}`. The full
+// metric vocabulary is documented in docs/observability.md.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Label renders a metric name with a label set, preserving pair order:
+// Label("x_total", "a", "1", "b", "2") == `x_total{a="1",b="2"}`.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a rendered metric name into its family and label
+// part: `x{a="1"}` -> ("x", `a="1"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultBuckets are the histogram upper bounds used when none are
+// given: powers of two covering lookahead and speculation depths.
+var DefaultBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Histogram is a bounded histogram over int64 observations: a fixed
+// set of cumulative-style buckets plus sum, count, and max.
+type Histogram struct {
+	bounds []int64        // upper bounds (inclusive), ascending
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	n      atomic.Int64
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 if none).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Counter returns (creating if needed) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. bounds
+// apply only on first creation; empty means DefaultBuckets.
+func (m *Metrics) Histogram(name string, bounds ...int64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		m.hists[name] = h
+	}
+	return h
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (one `# TYPE` header per metric family, series
+// sorted by name).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	typed := map[string]bool{} // families with a TYPE line already out
+	header := func(name, kind string) string {
+		family, _ := splitName(name)
+		if typed[family] {
+			return ""
+		}
+		typed[family] = true
+		return fmt.Sprintf("# TYPE %s %s\n", family, kind)
+	}
+
+	for _, name := range sortedKeys(m.counters) {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", header(name, "counter"), name, m.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", header(name, "gauge"), name, m.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.hists) {
+		h := m.hists[name]
+		family, labels := splitName(name)
+		if _, err := io.WriteString(w, header(name, "histogram")); err != nil {
+			return err
+		}
+		series := func(suffix, extraLabels string) string {
+			all := labels
+			if extraLabels != "" {
+				if all != "" {
+					all += ","
+				}
+				all += extraLabels
+			}
+			if all == "" {
+				return family + suffix
+			}
+			return family + suffix + "{" + all + "}"
+		}
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b))), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n", series("_sum", ""), h.Sum(), series("_count", ""), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histJSON is a histogram's expvar-style JSON shape.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object:
+// counters and gauges as numbers, histograms as
+// {count, sum, max, buckets}.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]any{}
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		buckets := map[string]int64{}
+		for i, b := range h.bounds {
+			if n := h.counts[i].Load(); n > 0 {
+				buckets[fmt.Sprint(b)] = n
+			}
+		}
+		if n := h.counts[len(h.bounds)].Load(); n > 0 {
+			buckets["+Inf"] = n
+		}
+		out[name] = histJSON{Count: h.Count(), Sum: h.Sum(), Max: h.Max(), Buckets: buckets}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

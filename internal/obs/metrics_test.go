@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("no labels: %q", got)
+	}
+	if got := Label("x_total", "a", "1", "b", "two"); got != `x_total{a="1",b="two"}` {
+		t.Errorf("labels: %q", got)
+	}
+	f, l := splitName(`x_total{a="1"}`)
+	if f != "x_total" || l != `a="1"` {
+		t.Errorf("splitName: %q %q", f, l)
+	}
+	f, l = splitName("plain")
+	if f != "plain" || l != "" {
+		t.Errorf("splitName plain: %q %q", f, l)
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("c_total").Inc()
+	m.Counter("c_total").Add(4)
+	if v := m.Counter("c_total").Value(); v != 5 {
+		t.Errorf("counter = %d", v)
+	}
+	m.Gauge("g").Set(7)
+	m.Gauge("g").Add(-2)
+	if v := m.Gauge("g").Value(); v != 5 {
+		t.Errorf("gauge = %d", v)
+	}
+	h := m.Histogram("h", 1, 2, 4)
+	for _, v := range []int64{0, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 111 || h.Max() != 100 {
+		t.Errorf("hist count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	// Same name returns the same instrument; bounds apply on first use.
+	if m.Histogram("h", 99).Count() != 6 {
+		t.Error("histogram identity")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(Label("llstar_predict_events_total", "throttle", "fixed")).Add(3)
+	m.Counter(Label("llstar_predict_events_total", "throttle", "backtrack")).Inc()
+	m.Gauge("llstar_memo_entries").Set(12)
+	h := m.Histogram("llstar_lookahead_depth", 1, 2)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE llstar_predict_events_total counter",
+		`llstar_predict_events_total{throttle="fixed"} 3`,
+		`llstar_predict_events_total{throttle="backtrack"} 1`,
+		"# TYPE llstar_memo_entries gauge",
+		"llstar_memo_entries 12",
+		"# TYPE llstar_lookahead_depth histogram",
+		`llstar_lookahead_depth_bucket{le="1"} 2`,
+		`llstar_lookahead_depth_bucket{le="2"} 2`,
+		`llstar_lookahead_depth_bucket{le="+Inf"} 3`,
+		"llstar_lookahead_depth_sum 11",
+		"llstar_lookahead_depth_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several label sets.
+	if n := strings.Count(out, "# TYPE llstar_predict_events_total"); n != 1 {
+		t.Errorf("TYPE lines for family = %d", n)
+	}
+}
+
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram(Label("llstar_lookahead_depth", "decision", "3"), 1).Observe(2)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`llstar_lookahead_depth_bucket{decision="3",le="+Inf"} 1`,
+		`llstar_lookahead_depth_sum{decision="3"} 2`,
+		`llstar_lookahead_depth_count{decision="3"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a_total").Add(2)
+	m.Gauge("b").Set(-1)
+	m.Histogram("h", 1, 2).Observe(2)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if out["a_total"] != float64(2) || out["b"] != float64(-1) {
+		t.Errorf("scalars: %v", out)
+	}
+	h := out["h"].(map[string]any)
+	if h["count"] != float64(1) || h["sum"] != float64(2) || h["max"] != float64(2) {
+		t.Errorf("hist: %v", h)
+	}
+	if h["buckets"].(map[string]any)["2"] != float64(1) {
+		t.Errorf("buckets: %v", h)
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("c_total").Inc()
+				m.Histogram("h").Observe(int64(j % 10))
+				m.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := m.Counter("c_total").Value(); v != 8000 {
+		t.Errorf("counter = %d", v)
+	}
+	if n := m.Histogram("h").Count(); n != 8000 {
+		t.Errorf("hist count = %d", n)
+	}
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Format selects a TraceWriter's on-disk encoding.
+type Format int
+
+// Trace formats.
+const (
+	// FormatJSONL writes one JSON object per line — easy to grep, jq,
+	// or load into a dataframe.
+	FormatJSONL Format = iota
+	// FormatChrome writes a Chrome trace_event JSON array loadable by
+	// chrome://tracing and Perfetto (ui.perfetto.dev) as a timeline.
+	FormatChrome
+)
+
+// TraceWriter is a Tracer that serializes events to an io.Writer in
+// JSONL or Chrome trace_event format. It is safe for concurrent use.
+// Close must be called to flush (and, for the Chrome format, terminate
+// the JSON array).
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	format Format
+	start  time.Time
+	n      int // events written
+	closed bool
+	err    error
+}
+
+// NewJSONL returns a TraceWriter emitting one JSON object per line.
+func NewJSONL(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriter(w), format: FormatJSONL, start: time.Now()}
+}
+
+// NewChrome returns a TraceWriter emitting a Chrome trace_event array.
+func NewChrome(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriter(w), format: FormatChrome, start: time.Now()}
+}
+
+// Now implements Tracer.
+func (t *TraceWriter) Now() time.Duration { return time.Since(t.start) }
+
+// jsonlEvent is the line schema of FormatJSONL (docs/observability.md).
+type jsonlEvent struct {
+	TS          int64  `json:"ts_us"`
+	Dur         int64  `json:"dur_us,omitempty"`
+	Ph          string `json:"ph"`
+	Cat         string `json:"cat"`
+	Name        string `json:"name"`
+	Decision    *int   `json:"decision,omitempty"`
+	Rule        string `json:"rule,omitempty"`
+	Alt         int    `json:"alt,omitempty"`
+	K           *int   `json:"k,omitempty"`
+	Depth       int    `json:"depth,omitempty"`
+	Throttle    string `json:"throttle,omitempty"`
+	Backtracked bool   `json:"backtracked,omitempty"`
+	OK          bool   `json:"ok"`
+	N           int64  `json:"n,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// chromeEvent is one element of the Chrome trace_event array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Emit implements Tracer.
+func (t *TraceWriter) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	var payload any
+	switch t.format {
+	case FormatChrome:
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  string(e.Cat),
+			Ph:   string(e.Ph),
+			TS:   float64(e.TS) / float64(time.Microsecond),
+			PID:  1,
+			TID:  1,
+		}
+		if e.Ph == PhSpan {
+			ce.Dur = float64(e.Dur) / float64(time.Microsecond)
+			// Perfetto drops zero-duration complete events; clamp to the
+			// smallest representable tick so every span stays visible.
+			if ce.Dur == 0 {
+				ce.Dur = 0.001
+			}
+		}
+		if e.Ph == PhInstant {
+			ce.Scope = "t"
+		}
+		ce.Args = chromeArgs(e)
+		payload = ce
+	default:
+		je := jsonlEvent{
+			TS:          e.TS.Microseconds(),
+			Ph:          string(e.Ph),
+			Cat:         string(e.Cat),
+			Name:        e.Name,
+			Rule:        e.Rule,
+			Alt:         e.Alt,
+			Depth:       e.Depth,
+			Throttle:    e.Throttle,
+			Backtracked: e.Backtracked,
+			OK:          e.OK,
+			N:           e.N,
+			Detail:      e.Detail,
+		}
+		if e.Ph == PhSpan {
+			je.Dur = e.Dur.Microseconds()
+		}
+		if e.Decision >= 0 {
+			d := e.Decision
+			je.Decision = &d
+		}
+		if e.Name == "predict" || e.Name == "speculate.alt" || e.Name == "speculate.synpred" {
+			k := e.K
+			je.K = &k
+		}
+		payload = je
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if t.format == FormatChrome {
+		if t.n == 0 {
+			_, t.err = t.bw.WriteString("[\n")
+		} else {
+			_, t.err = t.bw.WriteString(",\n")
+		}
+		if t.err != nil {
+			return
+		}
+	}
+	if _, err := t.bw.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	if t.format == FormatJSONL {
+		t.err = t.bw.WriteByte('\n')
+	}
+	t.n++
+}
+
+// chromeArgs builds the args object for the trace viewer's detail pane,
+// including only attributes the event actually carries.
+func chromeArgs(e Event) map[string]any {
+	args := map[string]any{}
+	if e.Decision >= 0 {
+		args["decision"] = e.Decision
+	}
+	if e.Rule != "" {
+		args["rule"] = e.Rule
+	}
+	if e.Alt != 0 {
+		args["alt"] = e.Alt
+	}
+	if e.Throttle != "" {
+		args["throttle"] = e.Throttle
+	}
+	switch e.Name {
+	case "predict", "speculate.alt", "speculate.synpred":
+		args["k"] = e.K
+		args["depth"] = e.Depth
+		args["backtracked"] = e.Backtracked
+		args["ok"] = e.OK
+	default:
+		if e.OK {
+			args["ok"] = true
+		}
+	}
+	if e.N != 0 {
+		args["n"] = e.N
+	}
+	if e.Detail != "" {
+		args["detail"] = e.Detail
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// Close flushes buffered events and finalizes the output. For the
+// Chrome format it terminates the JSON array; the file is not loadable
+// before Close. It returns the first error encountered while writing.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err == nil && t.format == FormatChrome {
+		closer := "\n]\n"
+		if t.n == 0 {
+			closer = "[\n]\n"
+		}
+		_, t.err = t.bw.WriteString(closer)
+	}
+	if ferr := t.bw.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	return t.err
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Events returns how many events have been written.
+func (t *TraceWriter) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

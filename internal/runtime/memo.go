@@ -73,3 +73,8 @@ func (m *MemoTable) Hits() int { return m.hits }
 
 // Misses returns failed lookups.
 func (m *MemoTable) Misses() int { return m.misses }
+
+// Stores returns how many outcomes Put has recorded, including
+// overwrites of an existing (rule, start) entry — which is why Stores
+// can exceed Entries.
+func (m *MemoTable) Stores() int { return m.stores }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -124,6 +125,14 @@ func TestMemoTable(t *testing.T) {
 	if m.Hits() != 2 || m.Misses() != 1 {
 		t.Fatalf("hits=%d misses=%d", m.Hits(), m.Misses())
 	}
+	if m.Stores() != 2 {
+		t.Fatalf("stores = %d, want 2", m.Stores())
+	}
+	// Overwriting an entry counts as a store but not a new entry.
+	m.Put(1, 5, 11)
+	if m.Stores() != 3 || m.Entries() != 2 {
+		t.Fatalf("after overwrite: stores=%d entries=%d", m.Stores(), m.Entries())
+	}
 	// Out-of-range rows must not panic.
 	m.Put(99, 0, 1)
 	if _, ok := m.Get(99, 0); ok {
@@ -132,6 +141,32 @@ func TestMemoTable(t *testing.T) {
 	var nilTable *MemoTable
 	if nilTable.Entries() != 0 {
 		t.Fatal("nil table entries")
+	}
+}
+
+func TestParseStatsStringMemo(t *testing.T) {
+	ps := NewParseStats(1)
+	ps.Record(0, 1, false, 0)
+	ps.MemoEntries = 4
+	ps.MemoHits = 3
+	ps.MemoMisses = 1
+	ps.MemoStores = 5
+	s := ps.String()
+	for _, want := range []string{"memo=4", "hits=3", "misses=1", "stores=5", "hit-ratio=75.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+	if got := ps.MemoHitRatio(); got != 0.75 {
+		t.Errorf("MemoHitRatio = %v", got)
+	}
+	// No lookups at all: the ratio is 0, not NaN, and String stays terse.
+	empty := NewParseStats(1)
+	if got := empty.MemoHitRatio(); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+	if s := empty.String(); strings.Contains(s, "NaN") {
+		t.Errorf("String() leaks NaN: %s", s)
 	}
 }
 
@@ -210,6 +245,38 @@ func TestHooksEvalPred(t *testing.T) {
 	if ok, err := h.EvalPred("isFoo()", ctx); err != nil || !ok {
 		t.Errorf("bound predicate: %v %v", ok, err)
 	}
+	// A non-nil Preds map that lacks the key still errors, naming the
+	// predicate text.
+	if _, err := h.EvalPred("isBar()", ctx); err == nil || !strings.Contains(err.Error(), "isBar()") {
+		t.Errorf("missing-key predicate: %v", err)
+	}
+	// Bound-predicate text is trimmed before lookup.
+	if ok, err := h.EvalPred("  isFoo()  ", ctx); err != nil || !ok {
+		t.Errorf("trimmed predicate: %v %v", ok, err)
+	}
+}
+
+func TestEvalArgComparisonMalformed(t *testing.T) {
+	// None of these have the "<ident> OP <int>" shape; they must fall
+	// through to Hooks.Preds (matched=false), not silently evaluate.
+	for _, text := range []string{
+		"p ?? 3",   // unknown operator
+		"1 <= 3",   // literal lhs, not an identifier
+		"p <= x",   // non-integer rhs
+		"p <=",     // two fields
+		"p",        // one field
+		"p <= 3 4", // four fields
+		"",         // empty
+	} {
+		if _, matched := evalArgComparison(text, 3); matched {
+			t.Errorf("%q must not match as an arg comparison", text)
+		}
+	}
+	// And EvalPred therefore reports them unbound.
+	var h Hooks
+	if _, err := h.EvalPred("1 <= 3", &Context{Arg: 3}); err == nil {
+		t.Error("malformed comparison must be treated as unbound")
+	}
 }
 
 func TestEvalRuleArg(t *testing.T) {
@@ -224,8 +291,15 @@ func TestEvalRuleArg(t *testing.T) {
 		{"p", 7, 7, false},
 		{"p + 1", 7, 8, false},
 		{"p - 2", 7, 5, false},
+		{"p+1", 7, 8, false}, // spacing is optional
+		{"p-2", 7, 5, false},
+		{"  p + 1  ", 7, 8, false},
 		{"p * 2", 7, 0, true},
 		{"wat?", 7, 0, true},
+		{"p +", 7, 0, true},   // missing rhs
+		{"+ 3", 7, 0, true},   // missing lhs (operator at index 0)
+		{"2 + 2", 7, 0, true}, // lhs is not an identifier
+		{"p + q", 7, 0, true}, // rhs is not an integer
 	} {
 		got, err := EvalRuleArg(tc.text, tc.caller)
 		if (err != nil) != tc.err {

@@ -29,6 +29,9 @@ type ParseStats struct {
 	// MemoHits/MemoMisses count cache activity.
 	MemoHits   int
 	MemoMisses int
+	// MemoStores counts Put operations (entries written, including
+	// overwrites).
+	MemoStores int
 }
 
 // NewParseStats sizes the table for n decisions.
@@ -175,9 +178,21 @@ func (ps *ParseStats) BacktrackTriggerRate() float64 {
 	return float64(backs) / float64(events)
 }
 
-// String summarizes the profile.
+// MemoHitRatio is the fraction of memo lookups that hit (0 with no
+// lookups).
+func (ps *ParseStats) MemoHitRatio() float64 {
+	lookups := ps.MemoHits + ps.MemoMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(ps.MemoHits) / float64(lookups)
+}
+
+// String summarizes the profile, including memo-cache effectiveness
+// (hits, misses, stores, and hit ratio — not just the entry count).
 func (ps *ParseStats) String() string {
-	return fmt.Sprintf("events=%d covered=%d avgK=%.2f maxK=%d backtrack=%.2f%% backK=%.2f memo=%d",
+	return fmt.Sprintf("events=%d covered=%d avgK=%.2f maxK=%d backtrack=%.2f%% backK=%.2f memo=%d hits=%d misses=%d stores=%d hit-ratio=%.1f%%",
 		ps.TotalEvents(), ps.DecisionsCovered(), ps.AvgK(), ps.MaxK(),
-		100*ps.BacktrackRatio(), ps.AvgBacktrackK(), ps.MemoEntries)
+		100*ps.BacktrackRatio(), ps.AvgBacktrackK(), ps.MemoEntries,
+		ps.MemoHits, ps.MemoMisses, ps.MemoStores, 100*ps.MemoHitRatio())
 }

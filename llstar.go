@@ -18,13 +18,17 @@ package llstar
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"time"
 
 	"llstar/internal/codegen"
 	"llstar/internal/core"
 	"llstar/internal/grammar"
 	"llstar/internal/interp"
 	"llstar/internal/meta"
+	"llstar/internal/obs"
 	"llstar/internal/runtime"
 )
 
@@ -42,6 +46,39 @@ type (
 	// SyntaxError is a parse error located at its offending token.
 	SyntaxError = runtime.SyntaxError
 )
+
+// Re-exported observability types. A Tracer receives structured events
+// from analysis and parsing; Metrics accumulates counters and bounded
+// histograms. See docs/observability.md for the event schema and metric
+// names.
+type (
+	// Tracer receives structured trace events.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// TraceWriter serializes trace events (JSONL or Chrome trace_event
+	// format); Close it to flush.
+	TraceWriter = obs.TraceWriter
+	// Metrics is a registry of counters, gauges, and histograms.
+	Metrics = obs.Metrics
+)
+
+// NewJSONLTracer returns a tracer writing one JSON object per line to w.
+// Close it after the last parse to flush.
+func NewJSONLTracer(w io.Writer) *TraceWriter { return obs.NewJSONL(w) }
+
+// NewChromeTracer returns a tracer writing a Chrome trace_event JSON
+// array to w, loadable by chrome://tracing and Perfetto. The file is
+// valid only after Close.
+func NewChromeTracer(w io.Writer) *TraceWriter { return obs.NewChrome(w) }
+
+// NewMetrics returns an empty metrics registry to pass to WithMetrics
+// and LoadOptions.Metrics.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NopTracer returns the no-op tracer. Installing it is free: the
+// parser normalizes it away, so it costs exactly as much as no tracer.
+func NopTracer() Tracer { return obs.Nop }
 
 // Grammar is a loaded, validated, and analyzed grammar, ready to make
 // parsers.
@@ -61,6 +98,11 @@ type LoadOptions struct {
 	AnalysisM int
 	// MaxK forces classic fixed-k lookahead.
 	MaxK int
+	// Tracer, if set, receives analysis-phase events (ATN construction,
+	// per-decision subset construction, fallbacks, warnings).
+	Tracer Tracer
+	// Metrics, if set, accumulates analysis counters.
+	Metrics *Metrics
 }
 
 // Load parses, validates, and analyzes grammar text. name appears in
@@ -86,7 +128,12 @@ func LoadWith(name, src string, opts LoadOptions) (*Grammar, error) {
 	if err := grammar.FirstFatal(issues); err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(g, core.Options{M: opts.AnalysisM, MaxK: opts.MaxK})
+	res, err := core.Analyze(g, core.Options{
+		M:       opts.AnalysisM,
+		MaxK:    opts.MaxK,
+		Tracer:  opts.Tracer,
+		Metrics: opts.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +230,42 @@ func (g *Grammar) Decisions() []DecisionReport {
 	return out
 }
 
+// DecisionProfile is one row of the analysis profile: where analysis
+// time and DFA states went for a single parsing decision.
+type DecisionProfile struct {
+	ID           int
+	Rule         string
+	Desc         string
+	Class        DecisionClass
+	DFAStates    int
+	ClosureCalls int
+	Elapsed      time.Duration
+	Fallback     string // non-empty if analysis fell back (Section 5.4)
+}
+
+// AnalysisProfile reports per-decision analysis cost (subset
+// construction time, closure calls, DFA size), most expensive decision
+// first. It answers "where did analysis time go" the way Stats answers
+// it for parse time.
+func (g *Grammar) AnalysisProfile() []DecisionProfile {
+	out := make([]DecisionProfile, 0, len(g.res.Decisions))
+	for _, di := range g.res.Decisions {
+		p := DecisionProfile{
+			ID:           di.Decision.ID,
+			Rule:         di.Decision.Rule.Name,
+			Desc:         di.Decision.Desc,
+			Class:        DecisionClass(di.Class.String()),
+			DFAStates:    di.DFA.NumStates(),
+			ClosureCalls: di.ClosureCalls,
+			Elapsed:      di.Elapsed,
+			Fallback:     di.DFA.Fallback,
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	return out
+}
+
 // Summary renders a one-line analysis summary (the Table 1 row for this
 // grammar).
 func (g *Grammar) Summary() string {
@@ -256,6 +339,15 @@ func WithState(s any) ParserOption { return func(o *interp.Options) { o.State = 
 func WithMemoize(on bool) ParserOption {
 	return func(o *interp.Options) { v := on; o.Memoize = &v }
 }
+
+// WithTracer streams structured runtime events (prediction spans with
+// throttle level and lookahead depth, speculation, memoization, error
+// recovery) to t. Passing nil or NopTracer() costs nothing.
+func WithTracer(t Tracer) ParserOption { return func(o *interp.Options) { o.Tracer = t } }
+
+// WithMetrics accumulates runtime counters and histograms into m; one
+// registry may be shared across parsers and with LoadOptions.Metrics.
+func WithMetrics(m *Metrics) ParserOption { return func(o *interp.Options) { o.Metrics = m } }
 
 // WithApproxLLK switches to ANTLR-v2-style linear approximate LL(k)
 // prediction (the Section 6.2 baseline).
