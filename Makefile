@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench fuzz fmt vet check
 
 all: check
 
@@ -15,6 +15,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzMetaParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME)
 
 fmt:
 	gofmt -l .

@@ -7,6 +7,8 @@
 //	llstar-bench -lines 5000      # bigger inputs for Tables 3/4
 //	llstar-bench -seed 7          # different synthetic input
 //	llstar-bench -profile         # where analysis time goes, per grammar
+//	llstar-bench -workers 8       # parallel analysis speedup table
+//	llstar-bench -concurrent 16   # concurrent-parsing throughput table
 package main
 
 import (
@@ -23,12 +25,33 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memo := flag.Bool("memo", false, "also print memoization cache statistics")
 	profile := flag.Bool("profile", false, "print the per-grammar analysis profile (slowest decisions) instead of tables")
+	workers := flag.Int("workers", 0, "print the parallel-analysis speedup table for this many workers (0 = skip; -1 = GOMAXPROCS)")
+	runs := flag.Int("runs", 3, "timing runs per configuration for -workers (best kept)")
+	concurrent := flag.Int("concurrent", 0, "print the concurrent-parsing throughput table for this many goroutines (0 = skip; -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *profile {
 		if err := analysisProfile(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *workers != 0 || *concurrent != 0 {
+		if *workers != 0 {
+			fmt.Println("== Parallel analysis speedup ==")
+			if err := bench.AnalysisSpeedup(os.Stdout, *workers, *runs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if *concurrent != 0 {
+			fmt.Println("== Concurrent parsing throughput ==")
+			if err := bench.ConcurrentParses(os.Stdout, int64(*seed), *lines, *concurrent); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

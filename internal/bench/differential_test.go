@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"llstar"
+	"llstar/internal/lexrt"
+	"llstar/internal/peg"
+	"llstar/internal/runtime"
+)
+
+// mutations derives adversarial variants of a valid input: truncation at
+// an arbitrary byte and deletion of a mid-input byte. Both stay within
+// the grammar's alphabet, so disagreements point at prediction bugs, not
+// lexer differences.
+func mutations(valid string) map[string]string {
+	ms := map[string]string{"valid": valid}
+	if len(valid) > 4 {
+		ms["truncated"] = valid[:len(valid)*3/5]
+		mid := len(valid) / 2
+		ms["deleted-byte"] = valid[:mid] + valid[mid+1:]
+	}
+	return ms
+}
+
+// TestDifferentialBaselines cross-checks three implementations of each
+// benchmark grammar's language on valid and mutated inputs:
+//
+//   - the LL(*) interpreter (lookahead DFAs + backtracking fallback)
+//   - the ANTLR-v2-style linear approximate LL(2) interpreter
+//   - the packrat/PEG baseline (PEG-mode grammars only)
+//
+// LL(*) and approximate LL(k) must agree exactly on accept/reject, and on
+// tree shape when both accept: static analysis only changes *how* an
+// alternative is chosen, never *which* alternative wins. The PEG baseline
+// is checked one-directionally (PEG accepts ⇒ LL(*) accepts) because
+// LL(*) may accept strings ordered choice commits away from; on untouched
+// valid inputs all three must accept.
+func TestDifferentialBaselines(t *testing.T) {
+	const lines = 25
+	for _, w := range Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g, err := w.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := g.AnalysisResult()
+			for seed := int64(1); seed <= 3; seed++ {
+				for name, input := range mutations(w.Input(seed, lines)) {
+					label := fmt.Sprintf("seed=%d/%s", seed, name)
+
+					ll := g.NewParser(llstar.WithTree())
+					llTree, llErr := ll.Parse(w.Start, input)
+
+					ap := g.NewParser(llstar.WithTree(), llstar.WithApproxLLK(2))
+					apTree, apErr := ap.Parse(w.Start, input)
+
+					if (llErr == nil) != (apErr == nil) {
+						t.Errorf("%s: LL(*) and approx-LL(2) disagree:\nLL(*): %v\napprox: %v",
+							label, llErr, apErr)
+						continue
+					}
+					if llErr == nil && llTree.String() != apTree.String() {
+						t.Errorf("%s: LL(*) and approx-LL(2) accept with different trees", label)
+					}
+
+					if w.Mode == "PEG" {
+						pp := peg.New(res.Grammar, peg.Options{Memoize: true})
+						lx := lexrt.New(res.Machine.Lex, input)
+						_, pegErr := pp.ParseTokens(w.Start, runtime.NewTokenStream(lx))
+						if pegErr == nil && llErr != nil {
+							t.Errorf("%s: PEG accepts but LL(*) rejects: %v", label, llErr)
+						}
+						if name == "valid" && pegErr != nil {
+							t.Errorf("%s: PEG rejects generated valid input: %v", label, pegErr)
+						}
+					}
+					if name == "valid" && llErr != nil {
+						t.Errorf("%s: LL(*) rejects generated valid input: %v", label, llErr)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"llstar"
+)
+
+// AnalysisSpeedup prints, per benchmark grammar, wall-clock analysis
+// time with one worker versus `workers` workers, and the resulting
+// speedup — the parallel-analysis counterpart of Table 1's "Runtime"
+// column. Each configuration is run `runs` times (minimum 1) and the
+// best time is kept, damping scheduler noise.
+func AnalysisSpeedup(out io.Writer, workers, runs int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	measure := func(w Workload, n int) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			g, err := w.LoadFreshWith(llstar.LoadOptions{AnalysisWorkers: n})
+			if err != nil {
+				return 0, fmt.Errorf("%s: %v", w.Name, err)
+			}
+			if e := g.AnalysisResult().Elapsed; best == 0 || e < best {
+				best = e
+			}
+		}
+		return best, nil
+	}
+
+	if n := runtime.GOMAXPROCS(0); n < workers {
+		fmt.Fprintf(out, "note: GOMAXPROCS=%d; speedup is bounded by available CPUs\n", n)
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Grammar\tdecisions\tserial\tworkers=%d\tspeedup\n", workers)
+	for _, w := range Workloads {
+		serial, err := measure(w, 1)
+		if err != nil {
+			return err
+		}
+		par, err := measure(w, workers)
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if par > 0 {
+			speedup = float64(serial) / float64(par)
+		}
+		g, err := w.Load()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%.2fx\n",
+			w.Name, g.AnalysisResult().NumDecisions(),
+			serial.Round(time.Microsecond), par.Round(time.Microsecond), speedup)
+	}
+	return tw.Flush()
+}
+
+// ConcurrentParses prints, per benchmark grammar, wall-clock time to
+// parse `goroutines` generated inputs sequentially on one parser versus
+// concurrently through a shared ParserPool with that many goroutines —
+// the serving-path throughput table. Inputs are generated from
+// consecutive seeds so both configurations parse identical work.
+func ConcurrentParses(out io.Writer, seed int64, lines, goroutines int) error {
+	if goroutines <= 0 {
+		goroutines = runtime.GOMAXPROCS(0)
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Grammar\tparses\ttotal lines\tserial\tconcurrent(%d)\tspeedup\tlines/sec\n", goroutines)
+	for _, w := range Workloads {
+		g, err := w.Load()
+		if err != nil {
+			return err
+		}
+		inputs := make([]string, goroutines)
+		totalLines := 0
+		for i := range inputs {
+			inputs[i] = w.Input(seed+int64(i), lines)
+			totalLines += countLines(inputs[i])
+		}
+
+		// Sequential baseline: one reusable parser, one goroutine.
+		p := g.NewParser()
+		serialStart := time.Now()
+		for _, in := range inputs {
+			if _, err := p.Parse(w.Start, in); err != nil {
+				return fmt.Errorf("%s (serial): %v", w.Name, err)
+			}
+		}
+		serial := time.Since(serialStart)
+
+		// Concurrent: shared pool, one goroutine per input.
+		pool := g.NewParserPool()
+		var wg sync.WaitGroup
+		errs := make([]error, len(inputs))
+		concStart := time.Now()
+		for i, in := range inputs {
+			wg.Add(1)
+			go func(i int, in string) {
+				defer wg.Done()
+				_, errs[i] = pool.Parse(w.Start, in)
+			}(i, in)
+		}
+		wg.Wait()
+		conc := time.Since(concStart)
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s (concurrent): %v", w.Name, err)
+			}
+		}
+
+		speedup := 0.0
+		if conc > 0 {
+			speedup = float64(serial) / float64(conc)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%.2fx\t%.0f\n",
+			w.Name, len(inputs), totalLines,
+			serial.Round(time.Millisecond), conc.Round(time.Millisecond),
+			speedup, float64(totalLines)/conc.Seconds())
+	}
+	return tw.Flush()
+}

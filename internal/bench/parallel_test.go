@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+// fingerprint renders every analysis outcome the runtime depends on —
+// per-decision class/k/DFA size/fallback and the full warning list — in
+// decision order. Two grammars with equal fingerprints parse identically.
+func fingerprint(g *llstar.Grammar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grammar %s\n", g.Name())
+	for _, d := range g.Decisions() {
+		fmt.Fprintf(&b, "d%-3d rule=%s class=%s k=%d states=%d fallback=%q desc=%q\n",
+			d.ID, d.Rule, d.Class, d.FixedK, d.DFAStates, d.Fallback, d.Desc)
+	}
+	for _, w := range g.Warnings() {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	return b.String()
+}
+
+// dfaDump concatenates every decision DFA's Graphviz rendering — the
+// strongest available equality witness for two analysis runs.
+func dfaDump(g *llstar.Grammar) string {
+	var b strings.Builder
+	for i := range g.Decisions() {
+		dot, err := g.DotDFA(i)
+		if err != nil {
+			fmt.Fprintf(&b, "d%d: ERROR %v\n", i, err)
+			continue
+		}
+		fmt.Fprintf(&b, "== d%d ==\n%s\n", i, dot)
+	}
+	return b.String()
+}
+
+// TestAnalysisDeterminism proves the parallel analysis pipeline is
+// observably identical to the serial one: for every benchmark grammar,
+// DFAs (down to state numbering and edge order), decision classes, and
+// warnings must match byte-for-byte between 1 worker and 8 workers.
+func TestAnalysisDeterminism(t *testing.T) {
+	for _, w := range Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			serial, err := w.LoadFreshWith(llstar.LoadOptions{AnalysisWorkers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := w.LoadFreshWith(llstar.LoadOptions{AnalysisWorkers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fs, fp := fingerprint(serial), fingerprint(parallel); fs != fp {
+				t.Fatalf("serial and parallel analysis fingerprints differ:\n--- serial ---\n%s\n--- parallel ---\n%s", fs, fp)
+			}
+			if ds, dp := dfaDump(serial), dfaDump(parallel); ds != dp {
+				t.Fatal("serial and parallel analysis produce different DFA dumps")
+			}
+		})
+	}
+}
+
+// TestAnalysisGolden pins the analysis outcomes — ambiguity warnings,
+// recursion-overflow fallbacks, non-LL-regular fallbacks, decision
+// classes — for the paper's running examples and the largest benchmark
+// grammar. Regenerate with UPDATE_GOLDEN=1 after an intentional analysis
+// change; the diff then documents exactly what the change did.
+func TestAnalysisGolden(t *testing.T) {
+	cases := []struct {
+		name, path string
+	}{
+		{"figure1", filepath.Join("..", "..", "grammars", "figure1.g")},
+		{"figure2", filepath.Join("..", "..", "grammars", "figure2.g")},
+		{"java15", filepath.Join("grammars", "java15.g")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			src, err := os.ReadFile(c.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := llstar.LoadWith(c.path, string(src), llstar.LoadOptions{AnalysisWorkers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := llstar.LoadWith(c.path, string(src), llstar.LoadOptions{AnalysisWorkers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(serial)
+			if gp := fingerprint(parallel); gp != got {
+				t.Fatalf("parallel analysis diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", got, gp)
+			}
+
+			golden := filepath.Join("testdata", "analysis_"+c.name+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("analysis fingerprint drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// TestAnalysisSpeedupTable smoke-tests the llstar-bench -workers path:
+// the table must render for every grammar without error. (Actual speedup
+// is hardware-dependent and not asserted.)
+func TestAnalysisSpeedupTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing table in -short mode")
+	}
+	var b strings.Builder
+	if err := AnalysisSpeedup(&b, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range Workloads {
+		if !strings.Contains(b.String(), w.Name) {
+			t.Errorf("speedup table missing %s:\n%s", w.Name, b.String())
+		}
+	}
+}
+
+// TestConcurrentParsesTable smoke-tests the llstar-bench -concurrent
+// path: every grammar parses all generated inputs through the shared
+// pool without error.
+func TestConcurrentParsesTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing table in -short mode")
+	}
+	var b strings.Builder
+	if err := ConcurrentParses(&b, 1, 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range Workloads {
+		if !strings.Contains(b.String(), w.Name) {
+			t.Errorf("throughput table missing %s:\n%s", w.Name, b.String())
+		}
+	}
+}

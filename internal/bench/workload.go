@@ -98,11 +98,17 @@ func (w Workload) Load() (*llstar.Grammar, error) {
 
 // LoadFresh parses and analyzes without the cache (for timing analysis).
 func (w Workload) LoadFresh() (*llstar.Grammar, error) {
+	return w.LoadFreshWith(llstar.LoadOptions{})
+}
+
+// LoadFreshWith is LoadFresh with explicit load options — the analysis
+// speedup harness uses it to pin the analysis worker count.
+func (w Workload) LoadFreshWith(opts llstar.LoadOptions) (*llstar.Grammar, error) {
 	text, err := w.GrammarText()
 	if err != nil {
 		return nil, err
 	}
-	return llstar.Load(w.File, text)
+	return llstar.LoadWith(w.File, text, opts)
 }
 
 // Input generates a deterministic input of roughly `lines` lines for the

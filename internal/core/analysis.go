@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	goruntime "runtime"
+	"sync"
 	"time"
 
 	"llstar/internal/atn"
@@ -29,6 +31,13 @@ type Options struct {
 	// Metrics, if set, accumulates analysis counters (decision classes,
 	// DFA states, closure calls, fallbacks, warnings by kind).
 	Metrics *obs.Metrics
+	// Workers bounds the worker pool that constructs per-decision
+	// lookahead DFAs. Decisions are mutually independent (each runs the
+	// Algorithms 8–11 subset construction against read-only ATN and
+	// FIRST-set data), so they parallelize freely; results are assembled
+	// in decision order, so the output is byte-identical to a serial
+	// run. 0 means GOMAXPROCS; 1 forces the serial path.
+	Workers int
 }
 
 // DefaultMaxDFAStates bounds DFA construction per decision.
@@ -204,76 +213,72 @@ func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
 
 	shared := computeFirstSets(m)
 	res.DFAs = make([]*dfa.DFA, len(m.Decisions))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > len(m.Decisions) {
+		workers = len(m.Decisions)
+	}
+
+	// Each decision's subset construction touches only read-only shared
+	// state (the ATN, the grammar, the FIRST sets) plus its own decAnalysis
+	// scratch, so the per-decision work fans out across a bounded pool.
+	// Outcomes land in a slice indexed by decision ID and are assembled in
+	// decision order below, making the parallel result byte-identical to a
+	// serial run.
+	outcomes := make([]decOutcome, len(m.Decisions))
+	if workers <= 1 {
+		for _, dec := range m.Decisions {
+			outcomes[dec.ID] = analyzeDecision(m, dec, opts, shared, tr, 0)
+		}
+	} else {
+		feed := make(chan *atn.Decision)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				var wT0 time.Duration
+				if tr != nil {
+					wT0 = tr.Now()
+				}
+				n := 0
+				for dec := range feed {
+					outcomes[dec.ID] = analyzeDecision(m, dec, opts, shared, tr, worker)
+					n++
+				}
+				if tr != nil {
+					tr.Emit(obs.Event{
+						Name: "analysis.worker", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+						TS: wT0, Dur: tr.Now() - wT0, Decision: -1,
+						Worker: worker, OK: true, N: int64(n),
+					})
+				}
+			}(w)
+		}
+		for _, dec := range m.Decisions {
+			feed <- dec
+		}
+		close(feed)
+		wg.Wait()
+	}
+
 	for _, dec := range m.Decisions {
-		decOpts := opts
-		// Per-rule lookahead caps (rule options override grammar-level).
-		if k := dec.Rule.OptionInt("k", 0); k > 0 {
-			decOpts.MaxK = k
-		}
-		if m := dec.Rule.OptionInt("m", 0); m > 0 {
-			decOpts.M = m
-		}
-		var decT0 time.Duration
-		if tr != nil {
-			decT0 = tr.Now()
-		}
-		decStart := time.Now()
-		da := newDecAnalysis(m, dec, decOpts, shared)
-		d := da.construct()
-		d.Minimize()
-		d.Compile(g.Vocab.MaxType())
-		res.DFAs[dec.ID] = d
-
-		info := DecisionInfo{
-			Decision:     dec,
-			DFA:          d,
-			Elapsed:      time.Since(decStart),
-			ClosureCalls: da.closureCalls,
-		}
-		switch {
-		case d.HasBacktrack():
-			info.Class = ClassBacktrack
-		case d.Cyclic():
-			info.Class = ClassCyclic
-		default:
-			info.Class = ClassFixed
-			info.FixedK = d.MaxLookahead()
-		}
-		res.Decisions = append(res.Decisions, info)
-
-		warnings := append(da.warnings, deadProductions(dec, d)...)
-		res.Warnings = append(res.Warnings, warnings...)
-
-		if tr != nil {
-			tr.Emit(obs.Event{
-				Name: "dfa.construct", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
-				TS: decT0, Dur: tr.Now() - decT0,
-				Decision: dec.ID, Rule: dec.Rule.Name, Detail: dec.Desc,
-				Throttle: info.Class.String(), OK: d.Fallback == "",
-				N: int64(d.NumStates()),
-			})
-			if d.Fallback != "" {
-				tr.Emit(obs.Event{
-					Name: "analysis.fallback", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
-					Decision: dec.ID, Rule: dec.Rule.Name, Detail: d.Fallback,
-				})
-			}
-			for _, w := range warnings {
-				tr.Emit(obs.Event{
-					Name: "analysis.warning", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
-					Decision: w.Decision, Rule: dec.Rule.Name,
-					Detail: w.Kind.String() + ": " + w.Msg,
-				})
-			}
-		}
+		o := &outcomes[dec.ID]
+		res.DFAs[dec.ID] = o.info.DFA
+		res.Decisions = append(res.Decisions, o.info)
+		res.Warnings = append(res.Warnings, o.warnings...)
 		if mx != nil {
-			mx.Counter(obs.Label("llstar_analysis_decisions_total", "class", info.Class.String())).Inc()
+			d := o.info.DFA
+			mx.Counter(obs.Label("llstar_analysis_decisions_total", "class", o.info.Class.String())).Inc()
 			mx.Counter("llstar_analysis_dfa_states_total").Add(int64(d.NumStates()))
-			mx.Counter("llstar_analysis_closure_calls_total").Add(int64(da.closureCalls))
+			mx.Counter("llstar_analysis_closure_calls_total").Add(int64(o.info.ClosureCalls))
 			if d.Fallback != "" {
 				mx.Counter("llstar_analysis_fallbacks_total").Inc()
 			}
-			for _, w := range warnings {
+			for _, w := range o.warnings {
 				mx.Counter(obs.Label("llstar_analysis_warnings_total", "kind", w.Kind.String())).Inc()
 			}
 		}
@@ -290,6 +295,79 @@ func Analyze(g *grammar.Grammar, opts Options) (*Result, error) {
 		mx.Gauge("llstar_analysis_elapsed_us").Set(res.Elapsed.Microseconds())
 	}
 	return res, nil
+}
+
+// decOutcome is one decision's completed analysis, produced by a worker
+// and assembled into the Result in decision order.
+type decOutcome struct {
+	info     DecisionInfo
+	warnings []Warning
+}
+
+// analyzeDecision runs the full per-decision pipeline — subset
+// construction (Algorithms 8–11), minimization, edge-table compilation,
+// classification, dead-production detection — against read-only shared
+// state. It is safe to call concurrently for distinct decisions; worker
+// tags the trace events with the emitting worker's index.
+func analyzeDecision(m *atn.Machine, dec *atn.Decision, opts Options, shared *firstSets, tr obs.Tracer, worker int) decOutcome {
+	decOpts := opts
+	// Per-rule lookahead caps (rule options override grammar-level).
+	if k := dec.Rule.OptionInt("k", 0); k > 0 {
+		decOpts.MaxK = k
+	}
+	if g := dec.Rule.OptionInt("m", 0); g > 0 {
+		decOpts.M = g
+	}
+	var decT0 time.Duration
+	if tr != nil {
+		decT0 = tr.Now()
+	}
+	decStart := time.Now()
+	da := newDecAnalysis(m, dec, decOpts, shared)
+	d := da.construct()
+	d.Minimize()
+	d.Compile(m.Grammar.Vocab.MaxType())
+
+	info := DecisionInfo{
+		Decision:     dec,
+		DFA:          d,
+		Elapsed:      time.Since(decStart),
+		ClosureCalls: da.closureCalls,
+	}
+	switch {
+	case d.HasBacktrack():
+		info.Class = ClassBacktrack
+	case d.Cyclic():
+		info.Class = ClassCyclic
+	default:
+		info.Class = ClassFixed
+		info.FixedK = d.MaxLookahead()
+	}
+	warnings := append(da.warnings, deadProductions(dec, d)...)
+
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Name: "dfa.construct", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+			TS: decT0, Dur: tr.Now() - decT0,
+			Decision: dec.ID, Rule: dec.Rule.Name, Detail: dec.Desc,
+			Throttle: info.Class.String(), OK: d.Fallback == "",
+			Worker: worker, N: int64(d.NumStates()),
+		})
+		if d.Fallback != "" {
+			tr.Emit(obs.Event{
+				Name: "analysis.fallback", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
+				Decision: dec.ID, Rule: dec.Rule.Name, Detail: d.Fallback, Worker: worker,
+			})
+		}
+		for _, w := range warnings {
+			tr.Emit(obs.Event{
+				Name: "analysis.warning", Cat: obs.PhaseAnalysis, Ph: obs.PhInstant, TS: tr.Now(),
+				Decision: w.Decision, Rule: dec.Rule.Name,
+				Detail: w.Kind.String() + ": " + w.Msg, Worker: worker,
+			})
+		}
+	}
+	return decOutcome{info: info, warnings: warnings}
 }
 
 // deadProductions reports alternatives never predicted by the DFA —

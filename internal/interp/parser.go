@@ -59,7 +59,13 @@ type Options struct {
 	Metrics *obs.Metrics
 }
 
-// Parser interprets an analyzed grammar.
+// Parser interprets an analyzed grammar. A Parser is reusable: every
+// ParseString/ParseTokens call resets the per-parse state (token stream,
+// memo table, speculation depth, stats, recovered errors) before
+// running, so one instance can serve many sequential parses — lazily
+// built approximate-LL(k) tables and the throttle cache carry over. It
+// is NOT safe for concurrent use; the analyzed core.Result it reads is
+// immutable, so any number of Parsers may share it across goroutines.
 type Parser struct {
 	res  *core.Result
 	m    *atn.Machine
@@ -121,8 +127,8 @@ func New(res *core.Result, opts Options) *Parser {
 	return p
 }
 
-// Stats returns the profiling data collected so far (nil unless
-// CollectStats was set).
+// Stats returns the profile of the most recent parse (nil unless
+// CollectStats was set; reset at the start of each parse).
 func (p *Parser) Stats() *runtime.ParseStats { return p.stats }
 
 // Errors returns the syntax errors recovered during the last parse
@@ -196,6 +202,7 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 	p.deepestIdx = -1
 	p.deepestErr = nil
 	p.errors = nil
+	p.stats.Reset()
 	p.ctx = runtime.Context{Stream: stream, State: p.opts.State}
 
 	var holder *Node

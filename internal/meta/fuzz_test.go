@@ -1,0 +1,89 @@
+package meta
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedGrammars feeds every checked-in grammar to the fuzzer so coverage
+// starts from realistic inputs rather than random bytes.
+func seedGrammars(f *testing.F) {
+	f.Helper()
+	for _, dir := range []string{
+		filepath.Join("..", "..", "grammars"),
+		filepath.Join("..", "bench", "grammars"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatalf("seed corpus: %v", err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".g" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatalf("seed corpus: %v", err)
+			}
+			f.Add(string(data))
+		}
+	}
+	// Hand-picked slivers that exercise lexer edge cases: unterminated
+	// strings/actions/args, escapes, ranges, comments at EOF.
+	for _, s := range []string{
+		"",
+		"grammar t; a : 'x' ;",
+		"grammar t; a : 'unterminated",
+		"grammar t; a : {action",
+		"grammar t; a[int x : b ;",
+		"a : b | c => d ;",
+		"// comment only",
+		"/* unterminated block",
+		"a : '\\'' '\\\\' '\\n' ;",
+		"A : 'a'..'z' ;",
+		"a : (b)=> b | c ;",
+		"options { k = 2; backtrack = true; }",
+		"a : b? c* d+ ;",
+		"\x00\xff\xfe",
+		"grammar é; rüle : 'x' ;",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzMetaParse asserts the grammar front end is total: any input either
+// parses or returns an error — it must never panic or run away.
+func FuzzMetaParse(f *testing.F) {
+	seedGrammars(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse("fuzz.g", src)
+		if err == nil && g == nil {
+			t.Fatal("Parse returned nil grammar and nil error")
+		}
+	})
+}
+
+// FuzzLexer asserts the tokenizer is total and makes progress: lexing any
+// input terminates at EOF or an error within a bounded number of tokens.
+func FuzzLexer(f *testing.F) {
+	seedGrammars(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := newLexer(src)
+		// Every token consumes at least one byte, so len(src)+1 tokens
+		// (plus slack) means the lexer stopped making progress.
+		limit := len(src) + 16
+		for i := 0; ; i++ {
+			if i > limit {
+				t.Fatalf("lexer did not terminate after %d tokens on %d-byte input", i, len(src))
+			}
+			tok, err := lx.lex()
+			if err != nil {
+				return
+			}
+			if tok.kind == tEOF {
+				return
+			}
+		}
+	})
+}

@@ -79,6 +79,11 @@ type Event struct {
 	// buffered on parse spans, tokens deleted on resync instants, the
 	// memoized stop index on memo instants.
 	N int64
+	// Worker is the analysis worker-pool index that emitted the event
+	// (0 for serial analysis and all runtime events). The Chrome writer
+	// maps it to the thread lane so parallel analysis renders as one
+	// timeline row per worker.
+	Worker int
 	// Detail is free-form context: predicate text, warning message,
 	// fallback reason.
 	Detail string

@@ -64,6 +64,7 @@ type jsonlEvent struct {
 	Backtracked bool   `json:"backtracked,omitempty"`
 	OK          bool   `json:"ok"`
 	N           int64  `json:"n,omitempty"`
+	Worker      int    `json:"worker,omitempty"`
 	Detail      string `json:"detail,omitempty"`
 }
 
@@ -96,7 +97,7 @@ func (t *TraceWriter) Emit(e Event) {
 			Ph:   string(e.Ph),
 			TS:   float64(e.TS) / float64(time.Microsecond),
 			PID:  1,
-			TID:  1,
+			TID:  1 + e.Worker,
 		}
 		if e.Ph == PhSpan {
 			ce.Dur = float64(e.Dur) / float64(time.Microsecond)
@@ -124,6 +125,7 @@ func (t *TraceWriter) Emit(e Event) {
 			Backtracked: e.Backtracked,
 			OK:          e.OK,
 			N:           e.N,
+			Worker:      e.Worker,
 			Detail:      e.Detail,
 		}
 		if e.Ph == PhSpan {
@@ -193,6 +195,9 @@ func chromeArgs(e Event) map[string]any {
 	}
 	if e.N != 0 {
 		args["n"] = e.N
+	}
+	if e.Worker != 0 {
+		args["worker"] = e.Worker
 	}
 	if e.Detail != "" {
 		args["detail"] = e.Detail

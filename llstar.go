@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"llstar/internal/codegen"
@@ -80,12 +81,24 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // parser normalizes it away, so it costs exactly as much as no tracer.
 func NopTracer() Tracer { return obs.Nop }
 
+// Label renders a metric name with sorted key="value" labels, matching
+// the names the parser and pool register (e.g.
+// Label("llstar_pool_gets_total", "result", "hit")).
+func Label(name string, kv ...string) string { return obs.Label(name, kv...) }
+
 // Grammar is a loaded, validated, and analyzed grammar, ready to make
-// parsers.
+// parsers. After Load returns, a Grammar is immutable — the ATN,
+// lookahead DFAs, and symbol tables are frozen — so one Grammar may be
+// shared by any number of goroutines and Parsers simultaneously.
 type Grammar struct {
 	res      *core.Result
 	issues   []grammar.Issue
 	warnings []string
+
+	// concOnce/concPool lazily initialize the default pool behind
+	// ParseConcurrent.
+	concOnce sync.Once
+	concPool *ParserPool
 }
 
 // LoadOptions tune Load.
@@ -103,6 +116,12 @@ type LoadOptions struct {
 	Tracer Tracer
 	// Metrics, if set, accumulates analysis counters.
 	Metrics *Metrics
+	// AnalysisWorkers bounds the worker pool building per-decision
+	// lookahead DFAs. Decisions are independent, so analysis is
+	// embarrassingly parallel; results are assembled deterministically,
+	// so any worker count yields byte-identical DFAs, warnings, and
+	// fallbacks. 0 means GOMAXPROCS; 1 forces serial analysis.
+	AnalysisWorkers int
 }
 
 // Load parses, validates, and analyzes grammar text. name appears in
@@ -133,6 +152,7 @@ func LoadWith(name, src string, opts LoadOptions) (*Grammar, error) {
 		MaxK:    opts.MaxK,
 		Tracer:  opts.Tracer,
 		Metrics: opts.Metrics,
+		Workers: opts.AnalysisWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -313,11 +333,16 @@ func (g *Grammar) GenerateGo(pkg string) ([]byte, error) {
 }
 
 // Parser wraps the grammar interpreter with a stable public surface.
+//
+// A Parser carries strictly per-parse mutable state (memo table, stats,
+// speculation stack, recovered errors), reset at the start of every
+// Parse, so one instance can serve many sequential parses. It must be
+// used by one goroutine at a time; for concurrent parsing share the
+// immutable Grammar and give each goroutine its own Parser, or use a
+// ParserPool / Grammar.ParseConcurrent (see docs/concurrency.md).
 type Parser struct {
-	g          *Grammar
-	opts       interp.Options
-	lastStats  *Stats
-	lastErrors []*SyntaxError
+	g  *Grammar
+	ip *interp.Parser
 }
 
 // ParserOption configures NewParser.
@@ -374,12 +399,13 @@ func (g *Grammar) NewParser(opts ...ParserOption) *Parser {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return &Parser{g: g, opts: o}
+	return &Parser{g: g, ip: interp.New(g.res, o)}
 }
 
 // Parse parses input starting at rule startRule (the grammar's first rule
 // if empty), requiring the whole input to be consumed. Each call is an
-// independent parse.
+// independent parse: per-parse state is reset, while lazily built
+// lookahead tables carry over between calls.
 func (p *Parser) Parse(startRule, input string) (*Tree, error) {
 	if startRule == "" {
 		start := p.g.res.Grammar.Start()
@@ -388,17 +414,13 @@ func (p *Parser) Parse(startRule, input string) (*Tree, error) {
 		}
 		startRule = start.Name
 	}
-	ip := interp.New(p.g.res, p.opts)
-	tree, err := ip.ParseString(startRule, input)
-	p.lastStats = ip.Stats()
-	p.lastErrors = ip.Errors()
-	return tree, err
+	return p.ip.ParseString(startRule, input)
 }
 
 // Errors returns the syntax errors recovered during the most recent
 // Parse (WithRecovery mode; empty otherwise).
-func (p *Parser) Errors() []*SyntaxError { return p.lastErrors }
+func (p *Parser) Errors() []*SyntaxError { return p.ip.Errors() }
 
 // Stats returns the profile of the most recent Parse (nil without
 // WithStats).
-func (p *Parser) Stats() *Stats { return p.lastStats }
+func (p *Parser) Stats() *Stats { return p.ip.Stats() }
