@@ -20,6 +20,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzMetaParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME)
+	$(GO) test . -run='^$$' -fuzz=FuzzUnmarshalAnalysis -fuzztime=$(FUZZTIME)
 
 fmt:
 	gofmt -l .

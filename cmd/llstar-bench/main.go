@@ -9,6 +9,7 @@
 //	llstar-bench -profile         # where analysis time goes, per grammar
 //	llstar-bench -workers 8       # parallel analysis speedup table
 //	llstar-bench -concurrent 16   # concurrent-parsing throughput table
+//	llstar-bench -coldwarm        # cold analysis vs. cache-hit load table
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 0, "print the parallel-analysis speedup table for this many workers (0 = skip; -1 = GOMAXPROCS)")
 	runs := flag.Int("runs", 3, "timing runs per configuration for -workers (best kept)")
 	concurrent := flag.Int("concurrent", 0, "print the concurrent-parsing throughput table for this many goroutines (0 = skip; -1 = GOMAXPROCS)")
+	coldwarm := flag.Bool("coldwarm", false, "print the cold-analysis vs. cache-hit load-time table")
 	flag.Parse()
 
 	if *profile {
@@ -37,7 +39,15 @@ func main() {
 		}
 		return
 	}
-	if *workers != 0 || *concurrent != 0 {
+	if *workers != 0 || *concurrent != 0 || *coldwarm {
+		if *coldwarm {
+			fmt.Println("== Cold analysis vs. warm cache load ==")
+			if err := bench.ColdWarm(os.Stdout, *runs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
 		if *workers != 0 {
 			fmt.Println("== Parallel analysis speedup ==")
 			if err := bench.AnalysisSpeedup(os.Stdout, *workers, *runs); err != nil {

@@ -8,6 +8,11 @@
 //	llstar-parse -metrics grammar.g input.txt
 //	echo '1+2*3' | llstar-parse grammar.g -
 //
+// Two warm-start modes skip grammar analysis on startup:
+//
+//	llstar-parse -cache ~/.cache/llstar grammar.g input.txt  # persistent analysis cache
+//	llstar-parse -compiled grammar.llsc input.txt            # precompiled artifact (see llstar compile)
+//
 // A chrome-format trace opens as a timeline in chrome://tracing or
 // https://ui.perfetto.dev; the jsonl format is one event per line for
 // ad-hoc analysis. -metrics prints Prometheus-text counters and
@@ -32,29 +37,33 @@ func main() {
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	metrics := flag.Bool("metrics", false, "print Prometheus-text metrics after the parse")
 	metricsJSON := flag.Bool("metrics-json", false, "print metrics as expvar-style JSON instead")
+	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm loads skip analysis)")
+	compiled := flag.String("compiled", "", "load this precompiled .llsc artifact instead of a grammar file")
 	flag.Parse()
 
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)")
+	wantArgs, usage := 2, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)"
+	if *compiled != "" {
+		wantArgs, usage = 1, "usage: llstar-parse -compiled grammar.llsc [flags] input.txt   ('-' reads stdin)"
+	}
+	if flag.NArg() != wantArgs {
+		fmt.Fprintln(os.Stderr, usage)
 		flag.Usage()
 		os.Exit(2)
 	}
-	gsrc, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
+	inputArg := flag.Arg(wantArgs - 1)
 	var input []byte
-	if flag.Arg(1) == "-" {
+	var err error
+	if inputArg == "-" {
 		input, err = io.ReadAll(os.Stdin)
 	} else {
-		input, err = os.ReadFile(flag.Arg(1))
+		input, err = os.ReadFile(inputArg)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
 	var tracer *llstar.TraceWriter
-	loadOpts := llstar.LoadOptions{RewriteLeftRecursion: *leftrec}
+	loadOpts := llstar.LoadOptions{RewriteLeftRecursion: *leftrec, CacheDir: *cacheDir}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -77,7 +86,17 @@ func main() {
 		loadOpts.Metrics = reg
 	}
 
-	g, err := llstar.LoadWith(flag.Arg(0), string(gsrc), loadOpts)
+	var g *llstar.Grammar
+	if *compiled != "" {
+		g, err = llstar.LoadCompiled(*compiled)
+	} else {
+		var gsrc []byte
+		gsrc, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		g, err = llstar.LoadWith(flag.Arg(0), string(gsrc), loadOpts)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -9,17 +9,30 @@
 //	llstar -atn rule grammar.g       # a rule's ATN in Graphviz format
 //	llstar -generate pkg grammar.g   # emit a Go parser to stdout
 //	llstar -leftrec grammar.g        # rewrite immediate left recursion
+//
+// The compile subcommand runs analysis ahead of time and writes a
+// compiled-analysis artifact (.llsc) that llstar-parse -compiled and
+// llstar.LoadCompiled load without re-running subset construction:
+//
+//	llstar compile grammar.g                  # writes grammar.llsc
+//	llstar compile -o build/g.llsc grammar.g  # explicit output path
+//	llstar compile -check grammar.g           # also reload + verify round trip
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"llstar"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compile" {
+		compile(os.Args[2:])
+		return
+	}
 	decisions := flag.Bool("decisions", false, "print per-decision analysis detail")
 	profile := flag.Bool("profile", false, "print the analysis profile: per-decision time, DFA states, closure calls")
 	dot := flag.Int("dot", -1, "print the given decision's lookahead DFA as Graphviz dot")
@@ -94,6 +107,70 @@ func main() {
 				fmt.Printf("  d%-3d %-9s %2d states  %s%s\n", d.ID, d.Class, d.DFAStates, d.Desc, extra)
 			}
 		}
+	}
+}
+
+// compile is the ahead-of-time analysis path: analyze once, write the
+// serialized artifact, and (with -check) prove the artifact loads back
+// to the exact same analysis.
+func compile(args []string) {
+	fs := flag.NewFlagSet("llstar compile", flag.ExitOnError)
+	out := fs.String("o", "", "output artifact path (default: grammar path with .llsc extension)")
+	check := fs.Bool("check", false, "reload the written artifact and verify it reproduces the live analysis")
+	leftrec := fs.Bool("leftrec", false, "rewrite immediately left-recursive rules to predicated precedence loops")
+	m := fs.Int("m", 0, "recursion governor m (0 = grammar option / default 1)")
+	k := fs.Int("k", 0, "fixed lookahead cap k (0 = unbounded LL(*))")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llstar compile [flags] grammar.g")
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := llstar.LoadWith(path, string(data), llstar.LoadOptions{
+		RewriteLeftRecursion: *leftrec,
+		AnalysisM:            *m,
+		MaxK:                 *k,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range g.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, ".g") + ".llsc"
+	}
+	if err := g.WriteCompiled(dst); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(dst)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d decisions, %d bytes -> %s (fingerprint %s)\n",
+		g.Name(), len(g.Decisions()), info.Size(), dst, g.Fingerprint())
+
+	if *check {
+		back, err := llstar.LoadCompiled(dst)
+		if err != nil {
+			fatal(fmt.Errorf("check: %w", err))
+		}
+		if back.Fingerprint() != g.Fingerprint() {
+			fatal(fmt.Errorf("check: cache key drifted: live %s, artifact %s", g.Fingerprint(), back.Fingerprint()))
+		}
+		live, decoded := g.AnalysisDigest(), back.AnalysisDigest()
+		if live != decoded {
+			fatal(fmt.Errorf("check: analysis digest drifted: live %s, artifact %s", live, decoded))
+		}
+		fmt.Printf("check ok: analysis digest %s\n", live)
 	}
 }
 

@@ -40,6 +40,27 @@ func TestCommandsSmoke(t *testing.T) {
 		t.Errorf("llstar -profile: %s", out)
 	}
 
+	// Ahead-of-time compilation: compile -check writes the artifact,
+	// reloads it, and verifies the analysis digest; llstar-parse
+	// -compiled then serves a parse from the artifact.
+	llsc := filepath.Join(t.TempDir(), "figure1.llsc")
+	if out := run("./cmd/llstar", "compile", "-check", "-o", llsc, "grammars/figure1.g"); !strings.Contains(out, "check ok") {
+		t.Errorf("llstar compile -check: %s", out)
+	}
+	fig1Input := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(fig1Input, []byte("unsigned int x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out := run("./cmd/llstar-parse", "-compiled", llsc, fig1Input); !strings.Contains(out, "unsigned") {
+		t.Errorf("llstar-parse -compiled: %s", out)
+	}
+	// Cache mode: the second load must be served warm.
+	cacheDir := t.TempDir()
+	run("./cmd/llstar-parse", "-cache", cacheDir, "-no-tree", "grammars/figure1.g", fig1Input)
+	if out := run("./cmd/llstar-parse", "-cache", cacheDir, "-metrics", "-no-tree", "grammars/figure1.g", fig1Input); !strings.Contains(out, "llstar_cache_hits_total 1") {
+		t.Errorf("llstar-parse -cache warm load did not hit: %s", out)
+	}
+
 	// llstar-parse over stdin.
 	cmd := exec.Command("go", "run", "./cmd/llstar-parse", "-leftrec", "-stats", "grammars/calc.g", "-")
 	cmd.Stdin = strings.NewReader("1 + 2 * 3")

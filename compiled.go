@@ -1,0 +1,250 @@
+package llstar
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"llstar/internal/gcache"
+	"llstar/internal/obs"
+	"llstar/internal/serde"
+)
+
+// This file is the warm-start surface of the facade: serializing an
+// analyzed Grammar to a compiled-analysis artifact (.llsc), loading one
+// back without re-running subset construction, and the persistent
+// on-disk grammar cache behind LoadOptions.CacheDir.
+
+// Fingerprint returns the grammar's cache key: the hex SHA-256 of
+// (grammar name, source, analysis options, artifact format version).
+// Grammars with equal fingerprints have byte-identical analysis
+// results; the persistent cache stores artifacts under this key.
+func (g *Grammar) Fingerprint() string {
+	return hex.EncodeToString(g.fp[:])
+}
+
+// LoadedFromCache reports whether this grammar skipped live analysis —
+// decoded from a serialized artifact or served from the persistent
+// cache.
+func (g *Grammar) LoadedFromCache() bool { return g.fromCache }
+
+// MarshalAnalysis serializes the complete analysis — grammar source,
+// token vocabulary, every decision's lookahead DFA (including
+// predicate edges, accept alternatives, and fallback marks), warnings,
+// and the analysis options — into a versioned, checksummed binary
+// artifact. UnmarshalAnalysis (or LoadCompiled) turns it back into a
+// ready-to-parse Grammar without re-running subset construction.
+func (g *Grammar) MarshalAnalysis() ([]byte, error) {
+	if g.res == nil {
+		return nil, errors.New("llstar: cannot marshal an empty grammar")
+	}
+	return serde.FromResult(g.res, g.srcName, g.src, g.sopts).Encode(), nil
+}
+
+// UnmarshalAnalysis reconstructs a Grammar from a MarshalAnalysis
+// artifact. The cheap front end (meta-parse, validation, ATN build) is
+// replayed from the embedded source; the serialized DFAs are grafted
+// onto the rebuilt ATN, so the expensive subset construction never
+// runs. The result is indistinguishable from a live Load of the same
+// source under the same options: same DFAs, warnings, fallbacks,
+// decision classes, and parse behavior. Corrupt, truncated, or
+// version-skewed artifacts yield descriptive errors, never panics.
+func UnmarshalAnalysis(data []byte) (*Grammar, error) {
+	a, err := serde.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return instantiate(a)
+}
+
+// instantiate replays the front end for a decoded artifact and grafts
+// its DFAs on.
+func instantiate(a *serde.Artifact) (*Grammar, error) {
+	opts := LoadOptions{
+		RewriteLeftRecursion: a.Opts.RewriteLeftRecursion,
+		AnalysisM:            a.Opts.M,
+		MaxK:                 a.Opts.MaxK,
+	}
+	g, issues, err := frontend(a.Name, a.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("llstar: replaying front end for compiled artifact: %w", err)
+	}
+	res, err := serde.Instantiate(a, g)
+	if err != nil {
+		return nil, err
+	}
+	lg := wrap(res, issues, a.Name, a.Source, opts)
+	lg.fromCache = true
+	return lg, nil
+}
+
+// LoadCompiled loads a Grammar from a compiled-analysis artifact file
+// (see `llstar compile` and Grammar.WriteCompiled).
+func LoadCompiled(path string) (*Grammar, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := UnmarshalAnalysis(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteCompiled writes the grammar's compiled-analysis artifact to
+// path (conventionally with a .llsc extension).
+func (g *Grammar) WriteCompiled(path string) error {
+	data, err := g.MarshalAnalysis()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// AnalysisDigest returns a hex SHA-256 over every analysis outcome the
+// runtime depends on: per-decision class, fixed k, fallback reason,
+// and the full Graphviz rendering of each lookahead DFA, plus all
+// warnings. Two grammars with equal digests parse identically; the
+// compile -check CLI path and the CI cache round-trip step diff this
+// digest between a live analysis and a decoded artifact.
+func (g *Grammar) AnalysisDigest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "grammar %s\n", g.Name())
+	for _, d := range g.Decisions() {
+		fmt.Fprintf(h, "d%d rule=%s class=%s k=%d states=%d fallback=%q desc=%q\n",
+			d.ID, d.Rule, d.Class, d.FixedK, d.DFAStates, d.Fallback, d.Desc)
+	}
+	for i := range g.res.DFAs {
+		dot, err := g.DotDFA(i)
+		if err != nil {
+			fmt.Fprintf(h, "d%d: ERROR %v\n", i, err)
+			continue
+		}
+		fmt.Fprintf(h, "== d%d ==\n%s\n", i, dot)
+	}
+	for _, w := range g.Warnings() {
+		fmt.Fprintf(h, "warning: %s\n", w)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadCached is the LoadOptions.CacheDir path: try the persistent
+// cache first; fall through to live analysis (then store) on a miss or
+// on any decode problem. Cache trouble is never fatal — the worst
+// outcome of a broken cache directory is a cold load.
+//
+// Observability: cache.load and cache.store spans (analysis phase) and
+// the llstar_cache_hits/misses/evictions/bytes metrics.
+func loadCached(name, src string, opts LoadOptions) (*Grammar, error) {
+	tr := obs.Active(opts.Tracer)
+	mx := opts.Metrics
+	fp := serde.Fingerprint(name, src, serdeOptions(opts))
+	key := hex.EncodeToString(fp[:])
+
+	cache, err := gcache.New(opts.CacheDir, opts.CacheMaxBytes)
+	if err != nil {
+		// Unusable cache directory: serve the request anyway.
+		if mx != nil {
+			mx.Counter("llstar_cache_errors_total").Inc()
+		}
+		return loadLive(name, src, opts)
+	}
+
+	if g, ok := cacheLoad(cache, key, name, tr, mx); ok {
+		return g, nil
+	}
+	if mx != nil {
+		mx.Counter("llstar_cache_misses_total").Inc()
+	}
+
+	g, err := loadLive(name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	cacheStore(cache, key, g, tr, mx)
+	return g, nil
+}
+
+// cacheLoad tries to serve a grammar from the cache. Undecodable
+// entries are removed so the subsequent store replaces them.
+func cacheLoad(cache *gcache.Cache, key, name string, tr obs.Tracer, mx *obs.Metrics) (*Grammar, bool) {
+	var t0 time.Duration
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	g, err := func() (*Grammar, error) {
+		data, err := cache.Load(key)
+		if err != nil {
+			return nil, err
+		}
+		a, err := serde.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		return instantiate(a)
+	}()
+	if tr != nil {
+		detail := key
+		if err != nil {
+			detail = fmt.Sprintf("%s: %v", key, err)
+		}
+		tr.Emit(obs.Event{
+			Name: "cache.load", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+			TS: t0, Dur: tr.Now() - t0, Decision: -1,
+			Rule: name, OK: err == nil, Detail: detail,
+		})
+	}
+	if err != nil {
+		if !errors.Is(err, gcache.ErrMiss) {
+			// A present-but-unusable entry (corruption, version skew,
+			// fingerprint mismatch): drop it so the store after live
+			// analysis replaces it.
+			_ = cache.Remove(key)
+		}
+		return nil, false
+	}
+	if mx != nil {
+		mx.Counter("llstar_cache_hits_total").Inc()
+	}
+	return g, true
+}
+
+// cacheStore serializes g into the cache; failures are recorded but
+// never surfaced (the caller already has a working grammar).
+func cacheStore(cache *gcache.Cache, key string, g *Grammar, tr obs.Tracer, mx *obs.Metrics) {
+	var t0 time.Duration
+	if tr != nil {
+		t0 = tr.Now()
+	}
+	data, err := g.MarshalAnalysis()
+	var evicted int
+	if err == nil {
+		evicted, err = cache.Store(key, data)
+	}
+	if tr != nil {
+		detail := key
+		if err != nil {
+			detail = fmt.Sprintf("%s: %v", key, err)
+		}
+		tr.Emit(obs.Event{
+			Name: "cache.store", Cat: obs.PhaseAnalysis, Ph: obs.PhSpan,
+			TS: t0, Dur: tr.Now() - t0, Decision: -1,
+			Rule: g.srcName, OK: err == nil, N: int64(len(data)), Detail: detail,
+		})
+	}
+	if mx != nil {
+		if err != nil {
+			mx.Counter("llstar_cache_errors_total").Inc()
+		}
+		if evicted > 0 {
+			mx.Counter("llstar_cache_evictions_total").Add(int64(evicted))
+		}
+		if size, serr := cache.Size(); serr == nil {
+			mx.Gauge("llstar_cache_bytes").Set(size)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package llstar_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llstar"
+)
+
+// predSrc hoists semantic predicates into the lookahead DFA (paper
+// Section 3.2): both alternatives start with ID, so prediction must
+// evaluate {isType()}?/{isVar()}? to resolve — exercising the PredSem
+// edge kind through serialization.
+const predSrc = `
+grammar Pred;
+s : {isType()}? ID ID ';'
+  | {isVar()}? ID '=' INT ';'
+  ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' ')+ { skip(); } ;
+`
+
+// collectingTracer records every event for assertions.
+type collectingTracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []llstar.TraceEvent
+}
+
+func newCollectingTracer() *collectingTracer {
+	return &collectingTracer{epoch: time.Now()}
+}
+
+func (c *collectingTracer) Emit(ev llstar.TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *collectingTracer) Now() time.Duration { return time.Since(c.epoch) }
+
+func (c *collectingTracer) count(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCacheColdThenWarm is the acceptance criterion for the persistent
+// cache: the first CacheDir load analyzes live and stores the artifact;
+// the second serves the artifact, increments the hit counter, and emits
+// zero per-decision subset-construction spans — subset construction is
+// skipped entirely.
+func TestCacheColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+
+	coldTr, coldM := newCollectingTracer(), llstar.NewMetrics()
+	cold, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{
+		CacheDir: dir, Tracer: coldTr, Metrics: coldM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.LoadedFromCache() {
+		t.Error("cold load claims to have come from the cache")
+	}
+	if got := coldM.Counter("llstar_cache_misses_total").Value(); got != 1 {
+		t.Errorf("cold load: misses = %d, want 1", got)
+	}
+	if got := coldM.Counter("llstar_cache_hits_total").Value(); got != 0 {
+		t.Errorf("cold load: hits = %d, want 0", got)
+	}
+	if coldTr.count("dfa.construct") == 0 {
+		t.Error("cold load emitted no dfa.construct spans")
+	}
+	if coldTr.count("cache.store") != 1 {
+		t.Error("cold load did not emit a cache.store span")
+	}
+	if coldM.Gauge("llstar_cache_bytes").Value() <= 0 {
+		t.Error("cold load did not record cache size")
+	}
+
+	warmTr, warmM := newCollectingTracer(), llstar.NewMetrics()
+	warm, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{
+		CacheDir: dir, Tracer: warmTr, Metrics: warmM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.LoadedFromCache() {
+		t.Error("warm load did not come from the cache")
+	}
+	if got := warmM.Counter("llstar_cache_hits_total").Value(); got != 1 {
+		t.Errorf("warm load: hits = %d, want 1", got)
+	}
+	if got := warmM.Counter("llstar_cache_misses_total").Value(); got != 0 {
+		t.Errorf("warm load: misses = %d, want 0", got)
+	}
+	if n := warmTr.count("dfa.construct"); n != 0 {
+		t.Errorf("warm load ran subset construction: %d dfa.construct spans, want 0", n)
+	}
+	if warmTr.count("cache.load") != 1 {
+		t.Error("warm load did not emit a cache.load span")
+	}
+
+	if cd, wd := cold.AnalysisDigest(), warm.AnalysisDigest(); cd != wd {
+		t.Errorf("cold and warm grammars diverge: %s vs %s", cd, wd)
+	}
+	if cold.Fingerprint() != warm.Fingerprint() {
+		t.Error("cold and warm grammars have different cache keys")
+	}
+
+	// The warm grammar must parse exactly like the cold one.
+	for _, input := range []string{"- - 5 !", "7 ;", "- 1 ;"} {
+		ct, cerr := cold.NewParser(llstar.WithTree()).Parse("t", input)
+		wt, werr := warm.NewParser(llstar.WithTree()).Parse("t", input)
+		if (cerr == nil) != (werr == nil) {
+			t.Fatalf("%q: cold/warm disagree: %v vs %v", input, cerr, werr)
+		}
+		if cerr == nil && ct.String() != wt.String() {
+			t.Errorf("%q: cold and warm parsers build different trees", input)
+		}
+	}
+}
+
+// TestCacheKeySensitivity: analysis-relevant options must change the
+// cache key; observability options must not.
+func TestCacheKeySensitivity(t *testing.T) {
+	base, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{
+		AnalysisWorkers: 8, Metrics: llstar.NewMetrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Error("worker count / metrics changed the cache key; analysis output does not depend on them")
+	}
+	diff, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == diff.Fingerprint() {
+		t.Error("MaxK did not change the cache key; different analyses would collide")
+	}
+}
+
+// TestCacheCorruptionFallThrough flips a byte in the stored artifact;
+// the next load must detect the damage, fall through to live analysis,
+// and heal the entry so the load after that hits again.
+func TestCacheCorruptionFallThrough(t *testing.T) {
+	dir := t.TempDir()
+	opts := func(m *llstar.Metrics) llstar.LoadOptions {
+		return llstar.LoadOptions{CacheDir: dir, Metrics: m}
+	}
+	if _, err := llstar.LoadWith("fig2.g", fig2Src, opts(nil)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.llsc"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (%v)", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(entries[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := llstar.NewMetrics()
+	g, err := llstar.LoadWith("fig2.g", fig2Src, opts(m))
+	if err != nil {
+		t.Fatalf("corrupt cache entry must fall through to live analysis, got: %v", err)
+	}
+	if g.LoadedFromCache() {
+		t.Error("grammar claims to come from a corrupt cache entry")
+	}
+	if got := m.Counter("llstar_cache_misses_total").Value(); got != 1 {
+		t.Errorf("corrupt entry: misses = %d, want 1", got)
+	}
+
+	m2 := llstar.NewMetrics()
+	g2, err := llstar.LoadWith("fig2.g", fig2Src, opts(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.LoadedFromCache() || m2.Counter("llstar_cache_hits_total").Value() != 1 {
+		t.Error("cache entry was not healed after corruption fall-through")
+	}
+}
+
+// TestCacheEviction: a byte cap small enough for one artifact must
+// evict the older entry when a second grammar is stored, and count the
+// eviction.
+func TestCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	g1, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := os.Stat(filepath.Join(dir, g1.Fingerprint()+".llsc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cap below two artifacts: storing the predicate grammar must evict
+	// fig2. (Both artifacts are a few KB; the cap leaves room for the
+	// newer one only.)
+	m := llstar.NewMetrics()
+	g2, err := llstar.LoadWith("pred.g", predSrc, llstar.LoadOptions{
+		CacheDir: dir, CacheMaxBytes: size.Size() + 1, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("llstar_cache_evictions_total").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, g1.Fingerprint()+".llsc")); !os.IsNotExist(err) {
+		t.Error("older entry survived eviction")
+	}
+	if _, err := os.Stat(filepath.Join(dir, g2.Fingerprint()+".llsc")); err != nil {
+		t.Error("just-written entry was evicted")
+	}
+}
+
+// TestCacheDirUnusable: a cache rooted somewhere unwritable must not
+// break loading — the worst outcome of a broken cache is a cold load.
+func TestCacheDirUnusable(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := llstar.LoadWith("fig2.g", fig2Src, llstar.LoadOptions{
+		CacheDir: filepath.Join(file, "cache"),
+	})
+	if err != nil {
+		t.Fatalf("unusable cache dir must degrade to a live load, got: %v", err)
+	}
+	if g.LoadedFromCache() {
+		t.Error("grammar claims to come from an unusable cache")
+	}
+}
+
+// TestDecodedGrammarConcurrent is the satellite fix check: a
+// cache-loaded Grammar must flow through ParserPool and
+// ParseConcurrent exactly like a live one — the lazy pool
+// initialization must not re-trigger analysis or differ in behavior.
+func TestDecodedGrammarConcurrent(t *testing.T) {
+	data, err := mustLoad(t, "fig2.g", fig2Src).MarshalAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := llstar.UnmarshalAnalysis(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := g.NewParserPool(llstar.WithTree())
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			input := fmt.Sprintf("- %d ;", i)
+			if _, err := pool.Parse("t", input); err != nil {
+				errs <- fmt.Errorf("pool %q: %w", input, err)
+			}
+			if _, err := g.ParseConcurrent("t", input); err != nil {
+				errs <- fmt.Errorf("concurrent %q: %w", input, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCompiledFileRoundTrip covers the artifact-file surface behind
+// `llstar compile` and `llstar-parse -compiled`.
+func TestCompiledFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig2.llsc")
+	live := mustLoad(t, "fig2.g", fig2Src)
+	if err := live.WriteCompiled(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := llstar.LoadCompiled(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.AnalysisDigest() != live.AnalysisDigest() {
+		t.Error("LoadCompiled grammar diverges from the one that wrote the file")
+	}
+	if _, err := llstar.LoadCompiled(filepath.Join(t.TempDir(), "missing.llsc")); err == nil {
+		t.Error("LoadCompiled of a missing file must fail")
+	}
+}
+
+// TestUnmarshalRobustness: hostile artifacts must produce descriptive
+// errors — never panics, never silently wrong grammars.
+func TestUnmarshalRobustness(t *testing.T) {
+	valid, err := mustLoad(t, "pred.g", predSrc).MarshalAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for i := 0; i < len(valid); i += 7 {
+			if _, err := llstar.UnmarshalAnalysis(valid[:i]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded without error", i)
+			}
+		}
+	})
+	t.Run("bit-flipped", func(t *testing.T) {
+		for i := 0; i < len(valid); i += 11 {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= 0x01
+			g, err := llstar.UnmarshalAnalysis(mut)
+			// Any byte change must flip the checksum (or earlier magic /
+			// version / fingerprint checks); a nil error here would mean
+			// a corrupted artifact was accepted.
+			if err == nil {
+				t.Fatalf("bit flip at byte %d decoded without error: %v", i, g.Name())
+			}
+		}
+	})
+	t.Run("wrong-magic", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		copy(mut, "NOPE")
+		if _, err := llstar.UnmarshalAnalysis(mut); err == nil || !strings.Contains(err.Error(), "artifact") {
+			t.Fatalf("want not-an-artifact error, got %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := llstar.UnmarshalAnalysis(nil); err == nil {
+			t.Fatal("nil artifact decoded without error")
+		}
+	})
+}
+
+func mustLoad(t *testing.T, name, src string) *llstar.Grammar {
+	t.Helper()
+	g, err := llstar.Load(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// FuzzUnmarshalAnalysis hammers the decoder with mutated artifacts.
+// The invariant is total: any input either decodes to a working
+// grammar or returns an error — no panics, no index overflows, no
+// runaway allocations from hostile length prefixes.
+func FuzzUnmarshalAnalysis(f *testing.F) {
+	for _, src := range []struct{ name, text string }{
+		{"fig2.g", fig2Src},
+		{"pred.g", predSrc},
+	} {
+		g, err := llstar.Load(src.name, src.text)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := g.MarshalAnalysis()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LLSC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := llstar.UnmarshalAnalysis(data)
+		if err == nil {
+			// The rare mutants that still decode must be fully usable.
+			_ = g.AnalysisDigest()
+			_, _ = g.NewParser().Parse("", "x")
+		}
+	})
+}

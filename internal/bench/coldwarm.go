@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"llstar"
+)
+
+// ColdWarm prints, per benchmark grammar, cold load time (full
+// analysis, subset construction and all) versus warm load time (the
+// serialized artifact served from the persistent cache) plus the
+// on-disk artifact size — the warm-start counterpart of the
+// parallel-analysis speedup table. Each configuration is run `runs`
+// times (minimum 1) and the best time kept, damping scheduler noise.
+// The cache lives in a fresh temp directory, so cold really is cold.
+func ColdWarm(out io.Writer, runs int) error {
+	if runs < 1 {
+		runs = 1
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Grammar\tdecisions\tartifact\tcold\twarm\tspeedup\n")
+	for _, w := range Workloads {
+		dir, err := os.MkdirTemp("", "llstar-coldwarm-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+
+		text, err := w.GrammarText()
+		if err != nil {
+			return err
+		}
+		load := func() (*llstar.Grammar, time.Duration, error) {
+			start := time.Now()
+			g, err := llstar.LoadWith(w.File, text, llstar.LoadOptions{CacheDir: dir})
+			return g, time.Since(start), err
+		}
+
+		// Cold: every run starts from an empty cache.
+		var g *llstar.Grammar
+		var cold time.Duration
+		for i := 0; i < runs; i++ {
+			var err error
+			var e time.Duration
+			g, e, err = load()
+			if err != nil {
+				return fmt.Errorf("%s (cold): %v", w.Name, err)
+			}
+			if i < runs-1 {
+				// Clear for the next cold run; the final run leaves the
+				// artifact in place for the warm measurements.
+				if err := os.Remove(fmt.Sprintf("%s/%s.llsc", dir, g.Fingerprint())); err != nil {
+					return err
+				}
+			}
+			if cold == 0 || e < cold {
+				cold = e
+			}
+		}
+
+		info, err := os.Stat(fmt.Sprintf("%s/%s.llsc", dir, g.Fingerprint()))
+		if err != nil {
+			return fmt.Errorf("%s: artifact not stored: %v", w.Name, err)
+		}
+
+		var warm time.Duration
+		for i := 0; i < runs; i++ {
+			wg, e, err := load()
+			if err != nil {
+				return fmt.Errorf("%s (warm): %v", w.Name, err)
+			}
+			if !wg.LoadedFromCache() {
+				return fmt.Errorf("%s: warm load missed the cache", w.Name)
+			}
+			if warm == 0 || e < warm {
+				warm = e
+			}
+		}
+
+		speedup := 0.0
+		if warm > 0 {
+			speedup = float64(cold) / float64(warm)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f KB\t%v\t%v\t%.2fx\n",
+			w.Name, g.AnalysisResult().NumDecisions(), float64(info.Size())/1024,
+			cold.Round(time.Microsecond), warm.Round(time.Microsecond), speedup)
+	}
+	return tw.Flush()
+}

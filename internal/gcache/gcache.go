@@ -1,0 +1,191 @@
+// Package gcache is a content-addressed on-disk cache for serialized
+// grammar-analysis artifacts. Entries are keyed by the hex SHA-256
+// fingerprint of (grammar source, analysis options, format version) —
+// see serde.Fingerprint — so a key can never name stale content: any
+// change to the inputs lands on a different key, and obsolete entries
+// simply stop being referenced (and are reclaimed by the size-based
+// eviction).
+//
+// Writes are atomic: the artifact is written to a temp file in the
+// cache directory and renamed into place, so concurrent writers of the
+// same key converge to one valid entry and a crash can never leave a
+// half-written file under a live key. Corruption detection is the
+// decoder's job (every artifact embeds a checksum); the cache only
+// moves bytes.
+package gcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Ext is the artifact file extension.
+const Ext = ".llsc"
+
+// ErrMiss reports that the cache has no entry for a fingerprint.
+var ErrMiss = errors.New("gcache: miss")
+
+// Cache is a directory of compiled-analysis artifacts. The zero value
+// is not usable; construct with New. A Cache is safe for concurrent
+// use by any number of processes sharing the directory.
+type Cache struct {
+	dir string
+	// maxBytes caps the total size of cached artifacts; 0 = unlimited.
+	// When a Store pushes the total over the cap, least-recently
+	// modified entries are evicted (never the one just written).
+	maxBytes int64
+}
+
+// New opens (creating if needed) a cache rooted at dir. maxBytes caps
+// total cache size in bytes; 0 means unlimited.
+func New(dir string, maxBytes int64) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("gcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gcache: %w", err)
+	}
+	return &Cache{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the file path an artifact with the given hex
+// fingerprint is (or would be) stored at.
+func (c *Cache) Path(fp string) string {
+	return filepath.Join(c.dir, fp+Ext)
+}
+
+// Load returns the artifact bytes stored under fp, or ErrMiss.
+func (c *Cache) Load(fp string) ([]byte, error) {
+	data, err := os.ReadFile(c.Path(fp))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrMiss
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gcache: %w", err)
+	}
+	return data, nil
+}
+
+// Store writes the artifact bytes under fp atomically (temp file +
+// rename) and then enforces the size cap. It reports how many other
+// entries were evicted.
+func (c *Cache) Store(fp string, data []byte) (evicted int, err error) {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*"+Ext)
+	if err != nil {
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	if err := os.Rename(tmpName, c.Path(fp)); err != nil {
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	return c.evict(fp)
+}
+
+// Remove deletes the entry for fp (used by callers that found the
+// stored bytes undecodable, so the next load re-analyzes and
+// overwrites). Removing a missing entry is not an error.
+func (c *Cache) Remove(fp string) error {
+	err := os.Remove(c.Path(fp))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("gcache: %w", err)
+	}
+	return nil
+}
+
+// Size returns the total bytes of cached artifacts.
+func (c *Cache) Size() (int64, error) {
+	entries, err := c.entries()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	return total, nil
+}
+
+type entry struct {
+	name  string
+	size  int64
+	mtime int64
+}
+
+// entries lists cached artifacts (temp files excluded), oldest first.
+func (c *Cache) entries() ([]entry, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("gcache: %w", err)
+	}
+	var out []entry
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || filepath.Ext(name) != Ext || name[0] == '.' {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent eviction
+		}
+		out = append(out, entry{name: name, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].mtime != out[j].mtime {
+			return out[i].mtime < out[j].mtime
+		}
+		return out[i].name < out[j].name
+	})
+	return out, nil
+}
+
+// evict removes least-recently modified entries until the cache fits
+// maxBytes, never removing keep (the entry just written).
+func (c *Cache) evict(keep string) (int, error) {
+	if c.maxBytes <= 0 {
+		return 0, nil
+	}
+	entries, err := c.entries()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	evicted := 0
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if e.name == keep+Ext {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.name)); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				total -= e.size
+				continue
+			}
+			return evicted, fmt.Errorf("gcache: evicting %s: %w", e.name, err)
+		}
+		total -= e.size
+		evicted++
+	}
+	return evicted, nil
+}

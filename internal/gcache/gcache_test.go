@@ -1,0 +1,114 @@
+package gcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreLoadRemove(t *testing.T) {
+	c, err := New(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("aa"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("Load on empty cache = %v, want ErrMiss", err)
+	}
+	if _, err := c.Store("aa", []byte("artifact")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Load("aa")
+	if err != nil || string(data) != "artifact" {
+		t.Fatalf("Load = %q, %v", data, err)
+	}
+	if size, err := c.Size(); err != nil || size != int64(len("artifact")) {
+		t.Errorf("Size = %d, %v", size, err)
+	}
+	if err := c.Remove("aa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("aa"); !errors.Is(err, ErrMiss) {
+		t.Errorf("Load after Remove = %v, want ErrMiss", err)
+	}
+	if err := c.Remove("aa"); err != nil {
+		t.Errorf("Remove of a missing entry = %v, want nil", err)
+	}
+}
+
+func TestStoreOverwrites(t *testing.T) {
+	c, err := New(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"one", "two"} {
+		if _, err := c.Store("k", []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := c.Load("k")
+	if err != nil || string(data) != "two" {
+		t.Fatalf("Load after overwrite = %q, %v", data, err)
+	}
+	// No temp-file litter left behind.
+	des, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 1 {
+		t.Errorf("cache dir holds %d files, want 1", len(des))
+	}
+}
+
+func TestEvictionOldestFirstNeverKeep(t *testing.T) {
+	c, err := New(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store("old", []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	// Ensure distinct mtimes so eviction order is by age, not name.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(c.Path("old"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := c.Store("new", []byte("12345678"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 1 {
+		t.Errorf("evicted = %d, want 1", evicted)
+	}
+	if _, err := c.Load("old"); !errors.Is(err, ErrMiss) {
+		t.Error("older entry survived eviction")
+	}
+	if _, err := c.Load("new"); err != nil {
+		t.Error("just-written entry was evicted")
+	}
+}
+
+func TestEvictionSkipsNonEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(stray, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store("k", []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Error("eviction removed a non-artifact file")
+	}
+}
+
+func TestNewRejectsEmptyDir(t *testing.T) {
+	if _, err := New("", 0); err == nil {
+		t.Error("New(\"\") must fail")
+	}
+}

@@ -60,7 +60,9 @@ func New(lm *atn.LexMachine, input string) *Lexer {
 		interned: make(map[string]*dfaState),
 		seen:     make([]int, len(lm.States)),
 	}
-	lx.start = lx.intern(lm.Closure(lm.Start))
+	// Copy the shared precomputed closure: intern sorts its argument in
+	// place, and concurrent lexers share one LexMachine.
+	lx.start = lx.intern(append([]*atn.State(nil), lm.Closure(lm.Start)...))
 	return lx
 }
 

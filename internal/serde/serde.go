@@ -1,0 +1,683 @@
+// Package serde serializes a complete grammar-analysis result — the
+// token vocabulary, every decision's lookahead DFA (states, token and
+// predicate edges, accept alternatives, fallback marks), analysis
+// warnings, and the options that produced them — into a versioned,
+// self-describing binary artifact, and reconstructs a ready-to-parse
+// analysis result from one.
+//
+// The paper's expensive phase is the modified subset construction of
+// Section 5; everything before it (meta-parse, validation, ATN build)
+// is linear in grammar size and deterministic. An artifact therefore
+// embeds the grammar source text and the decoded load path replays only
+// the cheap front end, grafting the serialized DFAs onto the rebuilt
+// ATN instead of re-running subset construction. This mirrors how
+// production ANTLR ships a serialized ATN with generated parsers.
+//
+// Format (all integers are encoding/binary varints; strings are a
+// uvarint byte length followed by UTF-8 bytes):
+//
+//	magic       "LLSC" (4 bytes)
+//	version     uvarint (FormatVersion)
+//	fingerprint 32 bytes — SHA-256 cache key, see Fingerprint
+//	payload     see doc/serialization.md for the field-by-field layout
+//	checksum    32 bytes — SHA-256 of every preceding byte
+//
+// Decode never panics on hostile input: every count is bounds-checked
+// against the remaining payload, the checksum is verified before the
+// payload is interpreted, and the embedded fingerprint is recomputed
+// from the embedded source and options. Any mismatch yields a
+// descriptive error, letting callers fall through to live analysis.
+package serde
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"llstar/internal/atn"
+	"llstar/internal/core"
+	"llstar/internal/dfa"
+	"llstar/internal/grammar"
+	"llstar/internal/token"
+)
+
+// FormatVersion is the artifact format version. Bump it on any change
+// to the payload layout or to the meaning of serialized fields; old
+// artifacts then fail decoding with a descriptive version error and
+// callers re-analyze (the cache key includes the version, so stale
+// entries are simply never found).
+const FormatVersion = 1
+
+// magic identifies an llstar compiled-analysis artifact.
+const magic = "LLSC"
+
+// checksumSize is the size of the trailing SHA-256 checksum.
+const checksumSize = sha256.Size
+
+// Options are the analysis-relevant load options baked into an
+// artifact. They are part of the cache key: the same grammar analyzed
+// under different options yields different DFAs. AnalysisWorkers is
+// deliberately absent — analysis output is byte-identical at any
+// worker count.
+type Options struct {
+	// RewriteLeftRecursion mirrors LoadOptions.RewriteLeftRecursion.
+	RewriteLeftRecursion bool
+	// M mirrors LoadOptions.AnalysisM (0 = grammar option / default).
+	M int
+	// MaxDFAStates mirrors core.Options.MaxDFAStates (0 = default).
+	MaxDFAStates int
+	// MaxK mirrors LoadOptions.MaxK (0 = unbounded LL(*)).
+	MaxK int
+}
+
+// Fingerprint returns the SHA-256 cache key of (grammar name, grammar
+// source, analysis options, format version). Two loads with equal
+// fingerprints are guaranteed to produce byte-identical analysis
+// results, so the fingerprint content-addresses cached artifacts.
+func Fingerprint(name, src string, opts Options) [32]byte {
+	h := sha256.New()
+	// Domain separation + version first: a format bump invalidates
+	// every existing cache entry by construction.
+	fmt.Fprintf(h, "llstar-analysis-v%d\x00", FormatVersion)
+	fmt.Fprintf(h, "name=%d:%s\x00", len(name), name)
+	fmt.Fprintf(h, "src=%d:%s\x00", len(src), src)
+	fmt.Fprintf(h, "leftrec=%t m=%d maxdfa=%d maxk=%d\x00",
+		opts.RewriteLeftRecursion, opts.M, opts.MaxDFAStates, opts.MaxK)
+	var fp [32]byte
+	h.Sum(fp[:0])
+	return fp
+}
+
+// PredEdge is one serialized predicate transition.
+type PredEdge struct {
+	Kind  int // dfa.PredKind
+	Alt   int
+	SynID int    // PredSyn only
+	Sem   string // PredSem only: the predicate text, for verification
+}
+
+// State is one serialized lookahead-DFA state. Token edges are stored
+// sorted by token type; targets and Default are state IDs offset by one
+// so zero means "none".
+type State struct {
+	AcceptAlt   int
+	Configs     string
+	Default     int // target state ID + 1; 0 = none
+	EdgeTypes   []int
+	EdgeTargets []int // state ID + 1
+	Preds       []PredEdge
+}
+
+// Decision is one serialized analyzed decision: its DFA plus the
+// classification and cost data the facade reports.
+type Decision struct {
+	Desc         string
+	Class        int // core.Class
+	FixedK       int
+	ClosureCalls int
+	ElapsedNS    int64
+	Fallback     string
+	Start        int // state ID + 1; 0 = none
+	States       []State
+}
+
+// Warning is one serialized analysis diagnostic.
+type Warning struct {
+	Decision int
+	Kind     int // core.WarningKind
+	Alts     []int
+	Msg      string
+}
+
+// Artifact is the decoded in-memory form of a serialized analysis.
+type Artifact struct {
+	// Name and Source reproduce the exact Load inputs; the warm load
+	// path replays the cheap front end (meta-parse, validation, ATN
+	// build) from them.
+	Name   string
+	Source string
+	Opts   Options
+
+	// VocabNames lists token names by type (type 1 first); VocabLiterals
+	// lists literal spellings sorted lexicographically. Both are
+	// verified against the rebuilt grammar's vocabulary on Instantiate.
+	VocabNames    []string
+	VocabLiterals []string
+
+	Decisions []Decision
+	Warnings  []Warning
+	ElapsedNS int64
+
+	// Fingerprint is the cache key the artifact was written under,
+	// recomputed and verified on decode.
+	Fingerprint [32]byte
+}
+
+// FromResult captures an analysis result as an Artifact. name and src
+// are the original Load inputs; opts the analysis options used.
+func FromResult(res *core.Result, name, src string, opts Options) *Artifact {
+	a := &Artifact{
+		Name:          name,
+		Source:        src,
+		Opts:          opts,
+		VocabNames:    res.Grammar.Vocab.Names(),
+		VocabLiterals: res.Grammar.Vocab.Literals(),
+		ElapsedNS:     res.Elapsed.Nanoseconds(),
+		Fingerprint:   Fingerprint(name, src, opts),
+	}
+	a.Decisions = make([]Decision, len(res.Decisions))
+	for i, di := range res.Decisions {
+		a.Decisions[i] = fromDecision(di)
+	}
+	a.Warnings = make([]Warning, len(res.Warnings))
+	for i, w := range res.Warnings {
+		a.Warnings[i] = Warning{Decision: w.Decision, Kind: int(w.Kind), Alts: append([]int(nil), w.Alts...), Msg: w.Msg}
+	}
+	return a
+}
+
+func fromDecision(di core.DecisionInfo) Decision {
+	d := di.DFA
+	out := Decision{
+		Desc:         di.Decision.Desc,
+		Class:        int(di.Class),
+		FixedK:       di.FixedK,
+		ClosureCalls: di.ClosureCalls,
+		ElapsedNS:    di.Elapsed.Nanoseconds(),
+		Fallback:     d.Fallback,
+	}
+	if d.Start != nil {
+		out.Start = d.Start.ID + 1
+	}
+	out.States = make([]State, len(d.States))
+	for i, s := range d.States {
+		ss := State{AcceptAlt: s.AcceptAlt, Configs: s.Configs}
+		if s.Default != nil {
+			ss.Default = s.Default.ID + 1
+		}
+		for _, t := range s.SortedEdges() {
+			ss.EdgeTypes = append(ss.EdgeTypes, int(t))
+			ss.EdgeTargets = append(ss.EdgeTargets, s.Edges[t].ID+1)
+		}
+		ss.Preds = make([]PredEdge, len(s.PredEdges))
+		for j, e := range s.PredEdges {
+			pe := PredEdge{Kind: int(e.Kind), Alt: e.Alt, SynID: e.SynID}
+			if e.Kind == dfa.PredSem && e.Sem != nil {
+				pe.Sem = e.Sem.Text
+			}
+			ss.Preds[j] = pe
+		}
+		out.States[i] = ss
+	}
+	return out
+}
+
+// Encode serializes the artifact. The output is deterministic: equal
+// artifacts encode to equal bytes.
+func (a *Artifact) Encode() []byte {
+	var b []byte
+	b = append(b, magic...)
+	b = binary.AppendUvarint(b, FormatVersion)
+	b = append(b, a.Fingerprint[:]...)
+
+	b = appendString(b, a.Name)
+	b = appendString(b, a.Source)
+	b = appendBool(b, a.Opts.RewriteLeftRecursion)
+	b = binary.AppendVarint(b, int64(a.Opts.M))
+	b = binary.AppendVarint(b, int64(a.Opts.MaxDFAStates))
+	b = binary.AppendVarint(b, int64(a.Opts.MaxK))
+
+	b = binary.AppendUvarint(b, uint64(len(a.VocabNames)))
+	for _, s := range a.VocabNames {
+		b = appendString(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(a.VocabLiterals)))
+	for _, s := range a.VocabLiterals {
+		b = appendString(b, s)
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(a.Decisions)))
+	for i := range a.Decisions {
+		b = appendDecision(b, &a.Decisions[i])
+	}
+	b = binary.AppendUvarint(b, uint64(len(a.Warnings)))
+	for _, w := range a.Warnings {
+		b = binary.AppendVarint(b, int64(w.Decision))
+		b = binary.AppendVarint(b, int64(w.Kind))
+		b = binary.AppendUvarint(b, uint64(len(w.Alts)))
+		for _, alt := range w.Alts {
+			b = binary.AppendVarint(b, int64(alt))
+		}
+		b = appendString(b, w.Msg)
+	}
+	b = binary.AppendVarint(b, a.ElapsedNS)
+
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}
+
+func appendDecision(b []byte, d *Decision) []byte {
+	b = appendString(b, d.Desc)
+	b = binary.AppendVarint(b, int64(d.Class))
+	b = binary.AppendVarint(b, int64(d.FixedK))
+	b = binary.AppendVarint(b, int64(d.ClosureCalls))
+	b = binary.AppendVarint(b, d.ElapsedNS)
+	b = appendString(b, d.Fallback)
+	b = binary.AppendVarint(b, int64(d.Start))
+	b = binary.AppendUvarint(b, uint64(len(d.States)))
+	for i := range d.States {
+		s := &d.States[i]
+		b = binary.AppendVarint(b, int64(s.AcceptAlt))
+		b = appendString(b, s.Configs)
+		b = binary.AppendVarint(b, int64(s.Default))
+		b = binary.AppendUvarint(b, uint64(len(s.EdgeTypes)))
+		for j := range s.EdgeTypes {
+			b = binary.AppendVarint(b, int64(s.EdgeTypes[j]))
+			b = binary.AppendVarint(b, int64(s.EdgeTargets[j]))
+		}
+		b = binary.AppendUvarint(b, uint64(len(s.Preds)))
+		for _, e := range s.Preds {
+			b = binary.AppendVarint(b, int64(e.Kind))
+			b = binary.AppendVarint(b, int64(e.Alt))
+			b = binary.AppendVarint(b, int64(e.SynID))
+			b = appendString(b, e.Sem)
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Decode errors. ErrVersion and ErrCorrupt wrap the two classes a
+// cache layer treats identically (fall through to live analysis) but a
+// CLI may want to distinguish.
+var (
+	// ErrNotArtifact reports input that is not an llstar artifact at all.
+	ErrNotArtifact = errors.New("serde: not an llstar compiled-analysis artifact")
+	// ErrVersion reports an artifact from a different format version.
+	ErrVersion = errors.New("serde: unsupported artifact format version")
+	// ErrCorrupt reports a structurally damaged artifact (bad checksum,
+	// truncation, out-of-range reference, fingerprint mismatch).
+	ErrCorrupt = errors.New("serde: corrupt artifact")
+)
+
+// reader is a bounds-checked little decoder over the payload. The
+// first failure sticks; subsequent reads return zero values.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a collection length and rejects values that could not
+// possibly fit in the remaining payload (each element costs at least
+// one byte), bounding allocations on hostile input.
+func (r *reader) count(what string) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(r.remaining()) {
+		r.fail("%s count %d exceeds remaining %d bytes", what, v, r.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) int(what string) int {
+	v := r.varint()
+	if v < int64(-1<<31) || v > int64(1<<31-1) {
+		r.fail("%s %d out of range", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str(what string) string {
+	n := r.count(what + " length")
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) boolean(what string) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.remaining() < 1 {
+		r.fail("missing %s byte", what)
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		r.fail("bad %s byte %d", what, v)
+	}
+	return v == 1
+}
+
+// Decode parses and verifies a serialized artifact: magic, version,
+// whole-file checksum, structural bounds, and the embedded fingerprint
+// recomputed from the embedded source and options. It never panics on
+// arbitrary input.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, ErrNotArtifact
+	}
+	version, n := binary.Uvarint(data[len(magic):])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: unreadable version", ErrCorrupt)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: got v%d, this build reads v%d", ErrVersion, version, FormatVersion)
+	}
+	if len(data) < len(magic)+n+checksumSize+checksumSize {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, tail := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+
+	r := &reader{b: body, off: len(magic) + n}
+	a := &Artifact{}
+	copy(a.Fingerprint[:], r.b[r.off:r.off+checksumSize])
+	r.off += checksumSize
+
+	a.Name = r.str("name")
+	a.Source = r.str("source")
+	a.Opts.RewriteLeftRecursion = r.boolean("leftrec option")
+	a.Opts.M = r.int("option m")
+	a.Opts.MaxDFAStates = r.int("option maxdfastates")
+	a.Opts.MaxK = r.int("option maxk")
+
+	nNames := r.count("vocab name")
+	for i := 0; i < nNames && r.err == nil; i++ {
+		a.VocabNames = append(a.VocabNames, r.str("vocab name"))
+	}
+	nLits := r.count("vocab literal")
+	for i := 0; i < nLits && r.err == nil; i++ {
+		a.VocabLiterals = append(a.VocabLiterals, r.str("vocab literal"))
+	}
+
+	nDecs := r.count("decision")
+	for i := 0; i < nDecs && r.err == nil; i++ {
+		a.Decisions = append(a.Decisions, decodeDecision(r))
+	}
+	nWarns := r.count("warning")
+	for i := 0; i < nWarns && r.err == nil; i++ {
+		w := Warning{Decision: r.int("warning decision"), Kind: r.int("warning kind")}
+		nAlts := r.count("warning alt")
+		for j := 0; j < nAlts && r.err == nil; j++ {
+			w.Alts = append(w.Alts, r.int("warning alt"))
+		}
+		w.Msg = r.str("warning message")
+		a.Warnings = append(a.Warnings, w)
+	}
+	a.ElapsedNS = r.varint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	if got := Fingerprint(a.Name, a.Source, a.Opts); got != a.Fingerprint {
+		return nil, fmt.Errorf("%w: fingerprint does not match embedded source and options", ErrCorrupt)
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func decodeDecision(r *reader) Decision {
+	d := Decision{
+		Desc:         r.str("decision desc"),
+		Class:        r.int("decision class"),
+		FixedK:       r.int("decision k"),
+		ClosureCalls: r.int("decision closures"),
+		ElapsedNS:    r.varint(),
+		Fallback:     r.str("decision fallback"),
+		Start:        r.int("decision start"),
+	}
+	nStates := r.count("state")
+	for i := 0; i < nStates && r.err == nil; i++ {
+		s := State{
+			AcceptAlt: r.int("state accept"),
+			Configs:   r.str("state configs"),
+			Default:   r.int("state default"),
+		}
+		nEdges := r.count("edge")
+		for j := 0; j < nEdges && r.err == nil; j++ {
+			s.EdgeTypes = append(s.EdgeTypes, r.int("edge type"))
+			s.EdgeTargets = append(s.EdgeTargets, r.int("edge target"))
+		}
+		nPreds := r.count("pred edge")
+		for j := 0; j < nPreds && r.err == nil; j++ {
+			s.Preds = append(s.Preds, PredEdge{
+				Kind:  r.int("pred kind"),
+				Alt:   r.int("pred alt"),
+				SynID: r.int("pred synID"),
+				Sem:   r.str("pred text"),
+			})
+		}
+		d.States = append(d.States, s)
+	}
+	return d
+}
+
+// validate performs structural checks that do not need the rebuilt
+// grammar: every state/edge reference must be in range so Instantiate
+// can index without panicking.
+func (a *Artifact) validate() error {
+	for i := range a.Decisions {
+		d := &a.Decisions[i]
+		n := len(d.States)
+		if d.Start < 0 || d.Start > n {
+			return fmt.Errorf("%w: decision %d start state %d out of range [0,%d]", ErrCorrupt, i, d.Start-1, n-1)
+		}
+		if d.Class < int(core.ClassFixed) || d.Class > int(core.ClassBacktrack) {
+			return fmt.Errorf("%w: decision %d class %d unknown", ErrCorrupt, i, d.Class)
+		}
+		for si := range d.States {
+			s := &d.States[si]
+			if s.Default < 0 || s.Default > n {
+				return fmt.Errorf("%w: decision %d state %d default %d out of range", ErrCorrupt, i, si, s.Default-1)
+			}
+			if len(s.EdgeTypes) != len(s.EdgeTargets) {
+				return fmt.Errorf("%w: decision %d state %d edge arity mismatch", ErrCorrupt, i, si)
+			}
+			for j, to := range s.EdgeTargets {
+				if to <= 0 || to > n {
+					return fmt.Errorf("%w: decision %d state %d edge target %d out of range", ErrCorrupt, i, si, to-1)
+				}
+				if t := s.EdgeTypes[j]; t < int(token.EOF) {
+					return fmt.Errorf("%w: decision %d state %d edge type %d invalid", ErrCorrupt, i, si, t)
+				}
+			}
+			for _, e := range s.Preds {
+				if e.Kind < int(dfa.PredSem) || e.Kind > int(dfa.PredTrue) {
+					return fmt.Errorf("%w: decision %d state %d predicate kind %d unknown", ErrCorrupt, i, si, e.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Instantiate grafts the artifact's DFAs onto a freshly rebuilt ATN,
+// producing a core.Result indistinguishable from a live analysis of
+// the same grammar under the same options. g must be the validated
+// grammar parsed from the artifact's embedded source (the facade owns
+// the front end so left-recursion rewriting and validation policy stay
+// in one place). The expensive subset construction never runs.
+func Instantiate(a *Artifact, g *grammar.Grammar) (*core.Result, error) {
+	if err := verifyVocab(a, g); err != nil {
+		return nil, err
+	}
+	m, err := atn.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("serde: rebuilding ATN: %w", err)
+	}
+	if len(m.Decisions) != len(a.Decisions) {
+		return nil, fmt.Errorf("%w: artifact has %d decisions, rebuilt grammar has %d", ErrCorrupt, len(a.Decisions), len(m.Decisions))
+	}
+	res := &core.Result{
+		Grammar: g,
+		Machine: m,
+		DFAs:    make([]*dfa.DFA, len(a.Decisions)),
+		Elapsed: time.Duration(a.ElapsedNS),
+	}
+	maxType := g.Vocab.MaxType()
+	for i := range a.Decisions {
+		dec := m.Decisions[i]
+		ad := &a.Decisions[i]
+		if dec.Desc != ad.Desc {
+			return nil, fmt.Errorf("%w: decision %d is %q in the artifact but %q after rebuild", ErrCorrupt, i, ad.Desc, dec.Desc)
+		}
+		d, err := instantiateDFA(ad, dec, len(m.SynPreds))
+		if err != nil {
+			return nil, err
+		}
+		d.Compile(maxType)
+		res.DFAs[i] = d
+		res.Decisions = append(res.Decisions, core.DecisionInfo{
+			Decision:     dec,
+			DFA:          d,
+			Class:        core.Class(ad.Class),
+			FixedK:       ad.FixedK,
+			Elapsed:      time.Duration(ad.ElapsedNS),
+			ClosureCalls: ad.ClosureCalls,
+		})
+	}
+	for _, w := range a.Warnings {
+		res.Warnings = append(res.Warnings, core.Warning{
+			Decision: w.Decision,
+			Kind:     core.WarningKind(w.Kind),
+			Alts:     append([]int(nil), w.Alts...),
+			Msg:      w.Msg,
+		})
+	}
+	return res, nil
+}
+
+func verifyVocab(a *Artifact, g *grammar.Grammar) error {
+	names := g.Vocab.Names()
+	if len(names) != len(a.VocabNames) {
+		return fmt.Errorf("%w: artifact vocabulary has %d token types, rebuilt grammar has %d", ErrCorrupt, len(a.VocabNames), len(names))
+	}
+	for i, want := range a.VocabNames {
+		if names[i] != want {
+			return fmt.Errorf("%w: token type %d is %q in the artifact but %q after rebuild", ErrCorrupt, i+1, want, names[i])
+		}
+	}
+	lits := g.Vocab.Literals()
+	if len(lits) != len(a.VocabLiterals) {
+		return fmt.Errorf("%w: artifact has %d literals, rebuilt grammar has %d", ErrCorrupt, len(a.VocabLiterals), len(lits))
+	}
+	for i, want := range a.VocabLiterals {
+		if lits[i] != want {
+			return fmt.Errorf("%w: literal %d is %q in the artifact but %q after rebuild", ErrCorrupt, i, want, lits[i])
+		}
+	}
+	return nil
+}
+
+// instantiateDFA rebuilds one decision's DFA, re-resolving semantic
+// predicate edges against the rebuilt decision: analysis only ever
+// hoists the left-edge predicate of the edge's own alternative
+// (core's hoistedPred), so dec.SemPreds[alt-1] is the unique source of
+// a PredSem edge's predicate.
+func instantiateDFA(ad *Decision, dec *atn.Decision, nSynPreds int) (*dfa.DFA, error) {
+	d := dfa.New(dec.ID, dec.Desc)
+	d.Fallback = ad.Fallback
+	states := make([]*dfa.State, len(ad.States))
+	for i := range ad.States {
+		states[i] = d.NewState()
+	}
+	for i := range ad.States {
+		as := &ad.States[i]
+		s := states[i]
+		s.AcceptAlt = as.AcceptAlt
+		s.Configs = as.Configs
+		if as.Default > 0 {
+			s.Default = states[as.Default-1]
+		}
+		for j, t := range as.EdgeTypes {
+			s.Edges[token.Type(t)] = states[as.EdgeTargets[j]-1]
+		}
+		for _, e := range as.Preds {
+			pe := dfa.PredEdge{Kind: dfa.PredKind(e.Kind), Alt: e.Alt, SynID: e.SynID}
+			switch pe.Kind {
+			case dfa.PredSem:
+				if e.Alt < 1 || e.Alt > dec.NAlts {
+					return nil, fmt.Errorf("%w: decision %d predicate alt %d out of range 1..%d", ErrCorrupt, dec.ID, e.Alt, dec.NAlts)
+				}
+				sp := dec.SemPreds[e.Alt-1]
+				if sp == nil || sp.Text != e.Sem {
+					return nil, fmt.Errorf("%w: decision %d alt %d semantic predicate %s does not match rebuilt grammar", ErrCorrupt, dec.ID, e.Alt, strconv.Quote(e.Sem))
+				}
+				pe.Sem = sp
+			case dfa.PredSyn:
+				if e.SynID < 0 || e.SynID >= nSynPreds {
+					return nil, fmt.Errorf("%w: decision %d synpred id %d out of range (grammar has %d)", ErrCorrupt, dec.ID, e.SynID, nSynPreds)
+				}
+			}
+			s.PredEdges = append(s.PredEdges, pe)
+		}
+	}
+	if ad.Start > 0 {
+		d.Start = states[ad.Start-1]
+	}
+	return d, nil
+}

@@ -1,0 +1,219 @@
+package serde_test
+
+import (
+	"errors"
+	"testing"
+
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/meta"
+	"llstar/internal/serde"
+)
+
+const testSrc = `
+grammar S;
+s : ID
+  | ID '=' INT
+  | ('unsigned')* 'int' ID
+  ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+WS : (' ')+ { skip(); } ;
+`
+
+// analyze runs the real pipeline (meta-parse, validate, subset
+// construction) so artifacts under test are genuine.
+func analyze(t *testing.T, name, src string) *core.Result {
+	t.Helper()
+	g, err := meta.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analyze(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func artifact(t *testing.T) *serde.Artifact {
+	t.Helper()
+	return serde.FromResult(analyze(t, "s.g", testSrc), "s.g", testSrc, serde.Options{})
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := artifact(t)
+	if string(a.Encode()) != string(a.Encode()) {
+		t.Fatal("Encode is not deterministic for the same artifact")
+	}
+	// Two analyses of the same grammar differ only in wall-clock
+	// timings (kept so AnalysisProfile survives decoding); everything
+	// else must encode byte-identically.
+	b := artifact(t)
+	zeroTimes := func(x *serde.Artifact) {
+		x.ElapsedNS = 0
+		for i := range x.Decisions {
+			x.Decisions[i].ElapsedNS = 0
+		}
+	}
+	zeroTimes(a)
+	zeroTimes(b)
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("two analyses of the same grammar encode differently (beyond timings)")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	a := artifact(t)
+	got, err := serde.Decode(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != a.Name || got.Source != a.Source || got.Opts != a.Opts {
+		t.Error("load inputs did not round-trip")
+	}
+	if got.Fingerprint != a.Fingerprint {
+		t.Error("fingerprint did not round-trip")
+	}
+	if len(got.Decisions) != len(a.Decisions) {
+		t.Fatalf("decisions: got %d, want %d", len(got.Decisions), len(a.Decisions))
+	}
+	if string(got.Encode()) != string(a.Encode()) {
+		t.Error("re-encoding the decoded artifact changes bytes")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := serde.Fingerprint("a.g", "grammar A;", serde.Options{})
+	cases := map[string][32]byte{
+		"name":    serde.Fingerprint("b.g", "grammar A;", serde.Options{}),
+		"source":  serde.Fingerprint("a.g", "grammar B;", serde.Options{}),
+		"leftrec": serde.Fingerprint("a.g", "grammar A;", serde.Options{RewriteLeftRecursion: true}),
+		"m":       serde.Fingerprint("a.g", "grammar A;", serde.Options{M: 2}),
+		"maxk":    serde.Fingerprint("a.g", "grammar A;", serde.Options{MaxK: 3}),
+	}
+	for what, fp := range cases {
+		if fp == base {
+			t.Errorf("changing %s does not change the fingerprint", what)
+		}
+	}
+	if serde.Fingerprint("a.g", "grammar A;", serde.Options{}) != base {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+func TestDecodeErrorClasses(t *testing.T) {
+	valid := artifact(t).Encode()
+
+	t.Run("not-artifact", func(t *testing.T) {
+		for _, data := range [][]byte{nil, []byte("LL"), []byte("GOBX" + string(valid[4:]))} {
+			if _, err := serde.Decode(data); !errors.Is(err, serde.ErrNotArtifact) {
+				t.Errorf("Decode(%q...) = %v, want ErrNotArtifact", data[:min(4, len(data))], err)
+			}
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[4] = serde.FormatVersion + 1 // uvarint version byte after magic
+		if _, err := serde.Decode(mut); !errors.Is(err, serde.ErrVersion) {
+			t.Errorf("Decode(v%d artifact) = %v, want ErrVersion", serde.FormatVersion+1, err)
+		}
+	})
+	t.Run("checksum", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		mut[len(mut)/2] ^= 0x80
+		if _, err := serde.Decode(mut); !errors.Is(err, serde.ErrCorrupt) {
+			t.Errorf("Decode(flipped byte) = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{5, 20, len(valid) / 2, len(valid) - 1} {
+			if _, err := serde.Decode(valid[:n]); !errors.Is(err, serde.ErrCorrupt) {
+				t.Errorf("Decode(first %d bytes) = %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		// Splice garbage between payload and a recomputed checksum: the
+		// checksum passes but the payload must not silently over-read.
+		if _, err := serde.Decode(append(append([]byte(nil), valid...), 0, 0, 0)); !errors.Is(err, serde.ErrCorrupt) {
+			t.Errorf("Decode(appended bytes) = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestDecodeTamperedPayload re-encodes a structurally damaged artifact
+// with a *valid* checksum and fingerprint: the structural validation
+// layer alone must catch it.
+func TestDecodeTamperedPayload(t *testing.T) {
+	tamper := []struct {
+		name string
+		mut  func(a *serde.Artifact)
+	}{
+		{"start-out-of-range", func(a *serde.Artifact) { a.Decisions[0].Start = 999 }},
+		{"edge-target-out-of-range", func(a *serde.Artifact) {
+			s := &a.Decisions[0].States[0]
+			s.EdgeTypes = append(s.EdgeTypes, 1)
+			s.EdgeTargets = append(s.EdgeTargets, 999)
+		}},
+		{"bad-class", func(a *serde.Artifact) { a.Decisions[0].Class = 42 }},
+		{"bad-pred-kind", func(a *serde.Artifact) {
+			s := &a.Decisions[0].States[0]
+			s.Preds = append(s.Preds, serde.PredEdge{Kind: 42, Alt: 1})
+		}},
+	}
+	for _, tc := range tamper {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := artifact(t)
+			tc.mut(a)
+			if _, err := serde.Decode(a.Encode()); !errors.Is(err, serde.ErrCorrupt) {
+				t.Errorf("tampered artifact decoded: err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestDecodeForeignFingerprint: an artifact whose embedded fingerprint
+// does not match its embedded source/options (e.g. the wrong file
+// copied over a cache entry) must be rejected even though its checksum
+// is internally consistent.
+func TestDecodeForeignFingerprint(t *testing.T) {
+	a := artifact(t)
+	a.Source += "\n// appended after fingerprinting\n"
+	if _, err := serde.Decode(a.Encode()); !errors.Is(err, serde.ErrCorrupt) {
+		t.Errorf("fingerprint/source mismatch decoded: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestInstantiateGrammarMismatch: grafting an artifact onto the wrong
+// grammar must fail loudly, not mis-parse.
+func TestInstantiateGrammarMismatch(t *testing.T) {
+	a := serde.FromResult(analyze(t, "s.g", testSrc), "s.g", testSrc, serde.Options{})
+
+	const otherSrc = `
+grammar S;
+s : ID | INT ;
+ID : ('a'..'z')+ ;
+INT : ('0'..'9')+ ;
+EXTRA : ('_')+ ;
+WS : (' ')+ { skip(); } ;
+`
+	other, err := meta.Parse("other.g", otherSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serde.Instantiate(a, other); !errors.Is(err, serde.ErrCorrupt) {
+		t.Errorf("Instantiate on mismatched grammar = %v, want ErrCorrupt", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

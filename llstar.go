@@ -31,6 +31,7 @@ import (
 	"llstar/internal/meta"
 	"llstar/internal/obs"
 	"llstar/internal/runtime"
+	"llstar/internal/serde"
 )
 
 // Re-exported runtime types. These aliases are the public names for the
@@ -95,6 +96,19 @@ type Grammar struct {
 	issues   []grammar.Issue
 	warnings []string
 
+	// Load inputs retained for serialization: MarshalAnalysis embeds
+	// them in the artifact and Fingerprint derives the cache key from
+	// them. sopts holds only the analysis-relevant options (worker
+	// count, tracers, and metrics never change analysis output).
+	srcName string
+	src     string
+	sopts   serde.Options
+	fp      [32]byte
+
+	// fromCache records whether this grammar skipped live analysis
+	// (decoded from an artifact or a cache hit).
+	fromCache bool
+
 	// concOnce/concPool lazily initialize the default pool behind
 	// ParseConcurrent.
 	concOnce sync.Once
@@ -122,6 +136,17 @@ type LoadOptions struct {
 	// so any worker count yields byte-identical DFAs, warnings, and
 	// fallbacks. 0 means GOMAXPROCS; 1 forces serial analysis.
 	AnalysisWorkers int
+	// CacheDir, when non-empty, enables the persistent grammar cache:
+	// Load first looks for a serialized analysis artifact keyed by the
+	// SHA-256 fingerprint of (grammar name, source, analysis options,
+	// format version) and, on a hit, skips subset construction
+	// entirely; on a miss (or any decode error) it analyzes live and
+	// stores the artifact for the next process. See docs/serialization.md.
+	CacheDir string
+	// CacheMaxBytes caps the total size of CacheDir; when a store
+	// pushes the cache over the cap, least-recently written artifacts
+	// are evicted. 0 means unlimited.
+	CacheMaxBytes int64
 }
 
 // Load parses, validates, and analyzes grammar text. name appears in
@@ -130,21 +155,20 @@ func Load(name, src string) (*Grammar, error) {
 	return LoadWith(name, src, LoadOptions{})
 }
 
-// LoadWith is Load with options.
+// LoadWith is Load with options. With LoadOptions.CacheDir set it
+// serves warm loads from the persistent grammar cache, falling through
+// to live analysis on any miss or decode problem.
 func LoadWith(name, src string, opts LoadOptions) (*Grammar, error) {
-	g, err := meta.Parse(name, src)
+	if opts.CacheDir != "" {
+		return loadCached(name, src, opts)
+	}
+	return loadLive(name, src, opts)
+}
+
+// loadLive runs the full pipeline: front end plus subset construction.
+func loadLive(name, src string, opts LoadOptions) (*Grammar, error) {
+	g, issues, err := frontend(name, src, opts)
 	if err != nil {
-		return nil, err
-	}
-	if opts.RewriteLeftRecursion {
-		for _, name := range directLeftRecursive(g) {
-			if err := grammar.RewriteLeftRecursion(g, name); err != nil {
-				return nil, err
-			}
-		}
-	}
-	issues := grammar.Validate(g)
-	if err := grammar.FirstFatal(issues); err != nil {
 		return nil, err
 	}
 	res, err := core.Analyze(g, core.Options{
@@ -157,14 +181,59 @@ func LoadWith(name, src string, opts LoadOptions) (*Grammar, error) {
 	if err != nil {
 		return nil, err
 	}
-	lg := &Grammar{res: res, issues: issues}
+	return wrap(res, issues, name, src, opts), nil
+}
+
+// frontend runs the cheap, deterministic phases shared by live and
+// warm loads: meta-parse, optional left-recursion rewrite, validation.
+func frontend(name, src string, opts LoadOptions) (*grammar.Grammar, []grammar.Issue, error) {
+	g, err := meta.Parse(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.RewriteLeftRecursion {
+		for _, name := range directLeftRecursive(g) {
+			if err := grammar.RewriteLeftRecursion(g, name); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	issues := grammar.Validate(g)
+	if err := grammar.FirstFatal(issues); err != nil {
+		return nil, nil, err
+	}
+	return g, issues, nil
+}
+
+// wrap assembles the public Grammar from an analysis result.
+func wrap(res *core.Result, issues []grammar.Issue, name, src string, opts LoadOptions) *Grammar {
+	sopts := serdeOptions(opts)
+	lg := &Grammar{
+		res:     res,
+		issues:  issues,
+		srcName: name,
+		src:     src,
+		sopts:   sopts,
+		fp:      serde.Fingerprint(name, src, sopts),
+	}
 	for _, i := range issues {
 		lg.warnings = append(lg.warnings, i.String())
 	}
 	for _, w := range res.Warnings {
 		lg.warnings = append(lg.warnings, w.String())
 	}
-	return lg, nil
+	return lg
+}
+
+// serdeOptions projects the analysis-relevant load options into the
+// serialization key. Tracers, metrics, and worker counts are excluded:
+// none of them changes analysis output.
+func serdeOptions(opts LoadOptions) serde.Options {
+	return serde.Options{
+		RewriteLeftRecursion: opts.RewriteLeftRecursion,
+		M:                    opts.AnalysisM,
+		MaxK:                 opts.MaxK,
+	}
 }
 
 // LoadFile loads a grammar from disk.
