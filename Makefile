@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet check
+.PHONY: all build test race bench fuzz fmt vet check serve
 
 all: check
 
@@ -21,6 +21,10 @@ fuzz:
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzMetaParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME)
 	$(GO) test . -run='^$$' -fuzz=FuzzUnmarshalAnalysis -fuzztime=$(FUZZTIME)
+
+SERVE_ADDR ?= 127.0.0.1:8080
+serve:
+	$(GO) run ./cmd/llstar-serve -addr $(SERVE_ADDR) -grammars grammars
 
 fmt:
 	gofmt -l .

@@ -10,12 +10,15 @@
 //	llstar-bench -workers 8       # parallel analysis speedup table
 //	llstar-bench -concurrent 16   # concurrent-parsing throughput table
 //	llstar-bench -coldwarm        # cold analysis vs. cache-hit load table
+//	llstar-bench -serve           # llstar-serve load test (latency/throughput)
+//	llstar-bench -serve -serve-url http://host:8080   # against a running server
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"llstar/internal/bench"
 )
@@ -30,7 +33,28 @@ func main() {
 	runs := flag.Int("runs", 3, "timing runs per configuration for -workers (best kept)")
 	concurrent := flag.Int("concurrent", 0, "print the concurrent-parsing throughput table for this many goroutines (0 = skip; -1 = GOMAXPROCS)")
 	coldwarm := flag.Bool("coldwarm", false, "print the cold-analysis vs. cache-hit load-time table")
+	serve := flag.Bool("serve", false, "run the llstar-serve load harness and print the latency/throughput table")
+	serveURL := flag.String("serve-url", "", "target a running llstar-serve instead of booting one in-process")
+	serveConcurrency := flag.Int("serve-concurrency", 16, "closed-loop clients for -serve")
+	serveDuration := flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
+	serveLines := flag.Int("serve-lines", 200, "approximate generated input size in lines for -serve")
 	flag.Parse()
+
+	if *serve {
+		fmt.Println("== llstar-serve load test ==")
+		err := bench.ServeLoad(os.Stdout, bench.ServeLoadOptions{
+			URL:         *serveURL,
+			Concurrency: *serveConcurrency,
+			Duration:    *serveDuration,
+			Seed:        *seed,
+			Lines:       *serveLines,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *profile {
 		if err := analysisProfile(os.Stdout); err != nil {

@@ -13,6 +13,12 @@
 //	llstar-parse -cache ~/.cache/llstar grammar.g input.txt  # persistent analysis cache
 //	llstar-parse -compiled grammar.llsc input.txt            # precompiled artifact (see llstar compile)
 //
+// With -server the parse runs on a llstar-serve instance instead of
+// in-process; the grammar argument is then a name on the server, not a
+// file:
+//
+//	llstar-parse -server http://localhost:8080 json input.txt
+//
 // A chrome-format trace opens as a timeline in chrome://tracing or
 // https://ui.perfetto.dev; the jsonl format is one event per line for
 // ad-hoc analysis. -metrics prints Prometheus-text counters and
@@ -20,10 +26,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"llstar"
 )
@@ -39,11 +50,15 @@ func main() {
 	metricsJSON := flag.Bool("metrics-json", false, "print metrics as expvar-style JSON instead")
 	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm loads skip analysis)")
 	compiled := flag.String("compiled", "", "load this precompiled .llsc artifact instead of a grammar file")
+	serverURL := flag.String("server", "", "parse on this llstar-serve instance (the grammar argument becomes a server-side name)")
 	flag.Parse()
 
 	wantArgs, usage := 2, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)"
 	if *compiled != "" {
 		wantArgs, usage = 1, "usage: llstar-parse -compiled grammar.llsc [flags] input.txt   ('-' reads stdin)"
+	}
+	if *serverURL != "" {
+		usage = "usage: llstar-parse -server URL [flags] grammarname input.txt   ('-' reads stdin)"
 	}
 	if flag.NArg() != wantArgs {
 		fmt.Fprintln(os.Stderr, usage)
@@ -60,6 +75,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *serverURL != "" {
+		remoteParse(*serverURL, flag.Arg(0), *rule, string(input), *stats, *noTree)
+		return
 	}
 
 	var tracer *llstar.TraceWriter
@@ -149,6 +169,79 @@ func printMetrics(reg *llstar.Metrics, asJSON bool) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "llstar-parse: metrics:", err)
+	}
+}
+
+// remoteParse sends the input to a llstar-serve instance's /v1/parse
+// and renders the result like a local parse: tree text on stdout,
+// stats on stderr, exit 1 on a syntax error (with the offending token
+// named by the server).
+func remoteParse(base, grammar, rule, input string, stats, noTree bool) {
+	body, err := json.Marshal(map[string]any{
+		"grammar": grammar,
+		"rule":    rule,
+		"input":   input,
+		"stats":   stats,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	url := strings.TrimRight(base, "/") + "/v1/parse"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		OK        bool   `json:"ok"`
+		Rule      string `json:"rule"`
+		Text      string `json:"text"`
+		Tokens    int    `json:"tokens"`
+		Nodes     int    `json:"nodes"`
+		ElapsedUS int64  `json:"elapsed_us"`
+		Stats     *struct {
+			PredictEvents   int   `json:"predict_events"`
+			MaxLookahead    int   `json:"max_lookahead"`
+			BacktrackEvents int   `json:"backtrack_events"`
+			BacktrackTokens int64 `json:"backtrack_tokens"`
+			MemoHits        int   `json:"memo_hits"`
+			MemoMisses      int   `json:"memo_misses"`
+		} `json:"stats"`
+		Error *struct {
+			Msg       string `json:"msg"`
+			Rule      string `json:"rule"`
+			Line      int    `json:"line"`
+			Col       int    `json:"col"`
+			Token     string `json:"token"`
+			TokenName string `json:"token_name"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatal(fmt.Errorf("%s: HTTP %d: %v", url, resp.StatusCode, err))
+	}
+	if out.Error != nil {
+		e := out.Error
+		if e.Line > 0 {
+			fatal(fmt.Errorf("%d:%d: %s (at %q %s, rule %s)",
+				e.Line, e.Col, e.Msg, e.Token, e.TokenName, e.Rule))
+		}
+		fatal(fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Msg))
+	}
+	if !out.OK {
+		fatal(fmt.Errorf("HTTP %d: parse failed", resp.StatusCode))
+	}
+	if !noTree {
+		fmt.Println(out.Text)
+	}
+	if stats && out.Stats != nil {
+		s := out.Stats
+		fmt.Fprintf(os.Stderr,
+			"server parse: rule=%s tokens=%d nodes=%d elapsed=%v predicts=%d maxk=%d backtracks=%d (%d tokens) memo=%d/%d\n",
+			out.Rule, out.Tokens, out.Nodes,
+			time.Duration(out.ElapsedUS)*time.Microsecond,
+			s.PredictEvents, s.MaxLookahead, s.BacktrackEvents, s.BacktrackTokens,
+			s.MemoHits, s.MemoHits+s.MemoMisses)
 	}
 }
 

@@ -1,0 +1,145 @@
+// Command llstar-serve runs the llstar parse service: an HTTP server
+// exposing every grammar in a directory over a JSON API, with parser
+// pooling, a persistent analysis cache, backpressure, and Prometheus
+// metrics. See docs/server.md for the API.
+//
+//	llstar-serve -grammars grammars -cache ~/.cache/llstar
+//	curl -s localhost:8080/readyz
+//	curl -s localhost:8080/v1/parse -d '{"grammar":"json","input":"[1,2]"}'
+//
+// The server preloads -preload (default: every grammar in the
+// directory) before /readyz reports ready, so a rollout behind a load
+// balancer never routes traffic to a cold instance. SIGINT/SIGTERM
+// starts a graceful drain: /readyz flips to 503, in-flight requests
+// finish (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"llstar"
+	"llstar/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("llstar-serve: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts with -addr :0)")
+	grammars := flag.String("grammars", "grammars", "directory of .g / .llsc grammar files served by name")
+	preload := flag.String("preload", "all", "comma-separated grammar names to load before ready ('all' for the whole directory, '' for none)")
+	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm restarts skip analysis)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cap the persistent cache size (0 = unlimited)")
+	leftrec := flag.Bool("leftrec", true, "rewrite immediate left recursion before analysis")
+	workers := flag.Int("workers", 0, "analysis workers per grammar load (0 = GOMAXPROCS)")
+	maxInFlight := flag.Int("max-inflight", 64, "max concurrently executing parse requests (-1 disables the limiter)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for a slot before 429")
+	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes (413 beyond)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request parse deadline (504 beyond)")
+	batchWorkers := flag.Int("batch-workers", 0, "worker pool size per /v1/batch request (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	trace := flag.String("trace", "", "write a structured trace of loads and parses to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+	flag.Parse()
+
+	cfg := server.Config{
+		GrammarDir:           *grammars,
+		CacheDir:             *cacheDir,
+		CacheMaxBytes:        *cacheMax,
+		RewriteLeftRecursion: *leftrec,
+		AnalysisWorkers:      *workers,
+		MaxInFlight:          *maxInFlight,
+		QueueWait:            *queueWait,
+		MaxBodyBytes:         *maxBody,
+		RequestTimeout:       *timeout,
+		BatchWorkers:         *batchWorkers,
+		Metrics:              llstar.NewMetrics(),
+	}
+	if p := strings.TrimSpace(*preload); p != "" {
+		cfg.Preload = strings.Split(p, ",")
+	}
+
+	var tw *llstar.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			tw = llstar.NewJSONLTracer(f)
+		case "chrome":
+			tw = llstar.NewChromeTracer(f)
+		default:
+			log.Fatalf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat)
+		}
+		defer tw.Close()
+		cfg.Tracer = tw
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (grammars: %s)", ln.Addr(), *grammars)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	// Preload after the listener is up: /healthz answers during warmup
+	// and /readyz flips only once every preload has completed.
+	warm := time.Now()
+	if err := s.Preload(); err != nil {
+		log.Fatal(err)
+	}
+	list, _ := s.Registry().List()
+	loaded := 0
+	for _, l := range list {
+		if l.Loaded {
+			loaded++
+		}
+	}
+	log.Printf("ready in %v (%d grammars available, %d preloaded)",
+		time.Since(warm).Round(time.Millisecond), len(list), loaded)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("%s: draining (in flight: %d, timeout %v)", got, s.InFlight(), *drainTimeout)
+		s.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		log.Print("drained, exiting")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeLoad boots the in-process bench server and runs a short
+// closed-loop load, checking the table reports traffic for every
+// benchmark grammar with zero failures.
+func TestServeLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock load test")
+	}
+	var sb strings.Builder
+	err := ServeLoad(&sb, ServeLoadOptions{
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Lines:       20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	t.Log("\n" + out)
+	if strings.Contains(out, "first error") {
+		t.Fatalf("load run had failures:\n%s", out)
+	}
+	for _, w := range Workloads {
+		if !strings.Contains(out, w.Name) {
+			t.Errorf("no row for %s", w.Name)
+		}
+	}
+	if !strings.Contains(out, "TOTAL") {
+		t.Error("no TOTAL row")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ms := time.Millisecond
+	ds := []time.Duration{5 * ms, 1 * ms, 4 * ms, 2 * ms, 3 * ms}
+	if got := percentile(ds, 0.5); got != 3*ms {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(ds, 0.99); got != 5*ms {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

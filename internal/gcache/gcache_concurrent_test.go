@@ -1,0 +1,123 @@
+package gcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// payload builds a recognizable artifact for a key: any Load must see
+// either ErrMiss or exactly these bytes — a torn read means the
+// temp-file+rename protocol broke.
+func payload(key string) []byte {
+	return bytes.Repeat([]byte(key+"|"), 64)
+}
+
+// TestConcurrentStoreLoadRemove hammers one cache directory with
+// overlapping writers, readers, removers, and size scans — with the
+// size cap low enough that eviction runs constantly. Run under -race
+// this covers every public entry point concurrently; it is the on-disk
+// half of the server registry's hot-reload path (warm reloads Load and
+// Store under concurrent request traffic).
+func TestConcurrentStoreLoadRemove(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 4
+		rounds  = 50
+	)
+	// Cap at ~2 entries' worth so Store evictions interleave with
+	// loads of the evicted keys.
+	c, err := New(t.TempDir(), int64(2*len(payload("k0"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := key((w + r) % keys)
+				switch w % 4 {
+				case 0, 1: // writers
+					if _, err := c.Store(k, payload(k)); err != nil {
+						t.Errorf("Store(%s): %v", k, err)
+						return
+					}
+				case 2: // readers: miss or exact payload, never torn
+					data, err := c.Load(k)
+					if errors.Is(err, ErrMiss) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("Load(%s): %v", k, err)
+						return
+					}
+					if !bytes.Equal(data, payload(k)) {
+						t.Errorf("Load(%s) returned torn/foreign bytes (%d bytes)", k, len(data))
+						return
+					}
+				case 3: // removers and size scans
+					if err := c.Remove(k); err != nil {
+						t.Errorf("Remove(%s): %v", k, err)
+						return
+					}
+					if _, err := c.Size(); err != nil {
+						t.Errorf("Size: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The directory must end in a consistent state: only whole entries,
+	// no temp litter, every surviving key loadable and intact.
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		data, err := c.Load(k)
+		if errors.Is(err, ErrMiss) {
+			continue
+		}
+		if err != nil || !bytes.Equal(data, payload(k)) {
+			t.Errorf("final Load(%s): %v (%d bytes)", k, err, len(data))
+		}
+	}
+}
+
+// TestConcurrentSameKey converges many writers of one key: exactly one
+// valid artifact must remain, readable throughout.
+func TestConcurrentSameKey(t *testing.T) {
+	c, err := New(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				if _, err := c.Store("shared", payload("shared")); err != nil {
+					t.Errorf("Store: %v", err)
+					return
+				}
+				data, err := c.Load("shared")
+				if err != nil || !bytes.Equal(data, payload("shared")) {
+					t.Errorf("Load: %v (%d bytes)", err, len(data))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if size, err := c.Size(); err != nil || size != int64(len(payload("shared"))) {
+		t.Errorf("final Size = %d, %v", size, err)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -168,18 +169,50 @@ func (m *Metrics) Histogram(name string, bounds ...int64) *Histogram {
 	return h
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// series is one named instrument scheduled for export: deterministic
+// exporters collect every series, sort globally by (family, name), and
+// only then render, so two exports of the same registry are
+// byte-identical regardless of map iteration or registration order.
+type series struct {
+	name   string
+	family string
+	kind   string // "counter", "gauge", "histogram"
+}
+
+// collect returns every registered series sorted by family, then kind,
+// then full name. Callers must hold m.mu.
+func (m *Metrics) collect() []series {
+	all := make([]series, 0, len(m.counters)+len(m.gauges)+len(m.hists))
+	add := func(name, kind string) {
+		family, _ := splitName(name)
+		all = append(all, series{name: name, family: family, kind: kind})
 	}
-	sort.Strings(keys)
-	return keys
+	for name := range m.counters {
+		add(name, "counter")
+	}
+	for name := range m.gauges {
+		add(name, "gauge")
+	}
+	for name := range m.hists {
+		add(name, "histogram")
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].family != all[j].family {
+			return all[i].family < all[j].family
+		}
+		if all[i].kind != all[j].kind {
+			return all[i].kind < all[j].kind
+		}
+		return all[i].name < all[j].name
+	})
+	return all
 }
 
 // WritePrometheus renders the registry in the Prometheus text
-// exposition format (one `# TYPE` header per metric family, series
-// sorted by name).
+// exposition format. Output is deterministic: series are globally
+// sorted by family then name (label sets of one family stay adjacent
+// under a single `# TYPE` header), so scrapes and golden tests are
+// stable diff-to-diff.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -194,87 +227,126 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		return fmt.Sprintf("# TYPE %s %s\n", family, kind)
 	}
 
-	for _, name := range sortedKeys(m.counters) {
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", header(name, "counter"), name, m.counters[name].Value()); err != nil {
-			return err
-		}
-	}
-	for _, name := range sortedKeys(m.gauges) {
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", header(name, "gauge"), name, m.gauges[name].Value()); err != nil {
-			return err
-		}
-	}
-	for _, name := range sortedKeys(m.hists) {
-		h := m.hists[name]
-		family, labels := splitName(name)
-		if _, err := io.WriteString(w, header(name, "histogram")); err != nil {
-			return err
-		}
-		series := func(suffix, extraLabels string) string {
-			all := labels
-			if extraLabels != "" {
-				if all != "" {
-					all += ","
-				}
-				all += extraLabels
-			}
-			if all == "" {
-				return family + suffix
-			}
-			return family + suffix + "{" + all + "}"
-		}
-		var cum int64
-		for i, b := range h.bounds {
-			cum += h.counts[i].Load()
-			if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b))), cum); err != nil {
+	for _, s := range m.collect() {
+		switch s.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", header(s.name, "counter"), s.name, m.counters[s.name].Value()); err != nil {
 				return err
 			}
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n", series("_sum", ""), h.Sum(), series("_count", ""), h.Count()); err != nil {
-			return err
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", header(s.name, "gauge"), s.name, m.gauges[s.name].Value()); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := m.promHistogram(w, s.name, header(s.name, "histogram")); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// histJSON is a histogram's expvar-style JSON shape.
-type histJSON struct {
-	Count   int64            `json:"count"`
-	Sum     int64            `json:"sum"`
-	Max     int64            `json:"max"`
-	Buckets map[string]int64 `json:"buckets"`
+// promHistogram renders one histogram series (buckets, sum, count).
+// Callers must hold m.mu.
+func (m *Metrics) promHistogram(w io.Writer, name, typeHeader string) error {
+	h := m.hists[name]
+	family, labels := splitName(name)
+	if _, err := io.WriteString(w, typeHeader); err != nil {
+		return err
+	}
+	render := func(suffix, extraLabels string) string {
+		all := labels
+		if extraLabels != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extraLabels
+		}
+		if all == "" {
+			return family + suffix
+		}
+		return family + suffix + "{" + all + "}"
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", render("_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b))), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", render("_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n", render("_sum", ""), h.Sum(), render("_count", ""), h.Count()); err != nil {
+		return err
+	}
+	return nil
 }
 
 // WriteJSON renders the registry as a single expvar-style JSON object:
 // counters and gauges as numbers, histograms as
-// {count, sum, max, buckets}.
+// {count, sum, max, buckets}. Keys are emitted in the same globally
+// sorted order as WritePrometheus, and histogram buckets in ascending
+// bound order (+Inf last), so repeated exports of one registry are
+// byte-identical.
 func (m *Metrics) WriteJSON(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := map[string]any{}
-	for name, c := range m.counters {
-		out[name] = c.Value()
-	}
-	for name, g := range m.gauges {
-		out[name] = g.Value()
-	}
-	for name, h := range m.hists {
-		buckets := map[string]int64{}
-		for i, b := range h.bounds {
-			if n := h.counts[i].Load(); n > 0 {
-				buckets[fmt.Sprint(b)] = n
-			}
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	for _, s := range m.collect() {
+		var val []byte
+		switch s.kind {
+		case "counter":
+			val = []byte(fmt.Sprint(m.counters[s.name].Value()))
+		case "gauge":
+			val = []byte(fmt.Sprint(m.gauges[s.name].Value()))
+		case "histogram":
+			val = histValueJSON(m.hists[s.name])
 		}
-		if n := h.counts[len(h.bounds)].Load(); n > 0 {
-			buckets["+Inf"] = n
+		if !first {
+			buf.WriteByte(',')
 		}
-		out[name] = histJSON{Count: h.Count(), Sum: h.Sum(), Max: h.Max(), Buckets: buckets}
+		first = false
+		buf.WriteString("\n  ")
+		key, err := json.Marshal(s.name)
+		if err != nil {
+			return err
+		}
+		buf.Write(key)
+		buf.WriteString(": ")
+		buf.Write(val)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	if !first {
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// histValueJSON renders one histogram as {count, sum, max, buckets}
+// with buckets in ascending bound order.
+func histValueJSON(h *Histogram) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"count": %d, "sum": %d, "max": %d, "buckets": {`, h.Count(), h.Sum(), h.Max())
+	first := true
+	emit := func(bound string, n int64) {
+		if n <= 0 {
+			return
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %d", bound, n)
+	}
+	for i, bound := range h.bounds {
+		emit(fmt.Sprint(bound), h.counts[i].Load())
+	}
+	emit("+Inf", h.counts[len(h.bounds)].Load())
+	b.WriteString("}}")
+	return b.Bytes()
 }

@@ -131,6 +131,87 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// populateMixed fills a registry with interleaved families and label
+// sets in a registration order chosen to disagree with sorted order.
+func populateMixed(m *Metrics) {
+	m.Gauge("z_gauge").Set(1)
+	m.Counter(Label("b_total", "k", "2")).Inc()
+	m.Histogram("m_hist", 1, 4).Observe(3)
+	m.Counter(Label("b_total", "k", "1")).Add(7)
+	m.Counter("a_total").Inc()
+	m.Gauge("c_gauge").Set(-3)
+	m.Histogram(Label("m_hist", "d", "9"), 2).Observe(1)
+}
+
+func TestExportersDeterministic(t *testing.T) {
+	// Two registries populated in different orders, plus repeated
+	// exports of the same registry, must all render byte-identically.
+	m1 := NewMetrics()
+	populateMixed(m1)
+	m2 := NewMetrics()
+	m2.Counter("a_total").Inc()
+	m2.Histogram(Label("m_hist", "d", "9"), 2).Observe(1)
+	m2.Gauge("c_gauge").Set(-3)
+	m2.Counter(Label("b_total", "k", "1")).Add(7)
+	m2.Counter(Label("b_total", "k", "2")).Inc()
+	m2.Gauge("z_gauge").Set(1)
+	m2.Histogram("m_hist", 1, 4).Observe(3)
+
+	render := func(m *Metrics, f func(*Metrics, *bytes.Buffer) error) string {
+		var buf bytes.Buffer
+		if err := f(m, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	prom := func(m *Metrics, b *bytes.Buffer) error { return m.WritePrometheus(b) }
+	js := func(m *Metrics, b *bytes.Buffer) error { return m.WriteJSON(b) }
+
+	for name, f := range map[string]func(*Metrics, *bytes.Buffer) error{"prometheus": prom, "json": js} {
+		a, b := render(m1, f), render(m2, f)
+		if a != b {
+			t.Errorf("%s export depends on registration order:\n--- m1 ---\n%s--- m2 ---\n%s", name, a, b)
+		}
+		if again := render(m1, f); again != a {
+			t.Errorf("%s export not stable across calls", name)
+		}
+	}
+
+	// Series must appear in sorted family order.
+	out := render(m1, prom)
+	last := ""
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		family, _ := splitName(strings.SplitN(line, " ", 2)[0])
+		family = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family, "_bucket"), "_sum"), "_count")
+		if family < last {
+			t.Errorf("prometheus series out of order: %q after %q", family, last)
+		}
+		last = family
+	}
+}
+
+func TestWriteJSONOrderedBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", 1, 2, 16)
+	for _, v := range []int64{1, 2, 9, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Buckets render in ascending bound order with +Inf last, not
+	// lexicographic map order.
+	i1, i16, iInf := strings.Index(out, `"1"`), strings.Index(out, `"16"`), strings.Index(out, `"+Inf"`)
+	if i1 < 0 || i16 < 0 || iInf < 0 || !(i1 < i16 && i16 < iInf) {
+		t.Errorf("bucket order wrong in %s", out)
+	}
+}
+
 func TestMetricsConcurrency(t *testing.T) {
 	m := NewMetrics()
 	var wg sync.WaitGroup

@@ -13,7 +13,7 @@ package obs
 
 import "time"
 
-// Phase distinguishes the two instrumented phases of the system.
+// Phase distinguishes the instrumented phases of the system.
 type Phase string
 
 // Phases.
@@ -24,6 +24,9 @@ const (
 	// PhaseRuntime covers parse execution: prediction, speculation,
 	// memoization, error recovery (paper Section 4).
 	PhaseRuntime Phase = "runtime"
+	// PhaseServer covers the HTTP parse service: per-request spans from
+	// llstar-serve (see docs/server.md).
+	PhaseServer Phase = "server"
 )
 
 // Event phase types (the Ph field), following the Chrome trace_event

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"llstar"
+)
+
+// handleParse serves POST /v1/parse: one grammar, one input, one JSON
+// result. Successful parses answer 200; syntax errors answer 422 with
+// the error located and its offending token named; a parse exceeding
+// the request timeout answers 504 (the abandoned parse finishes in the
+// background and its parser returns to the pool).
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req parseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, "parse", err)
+		return
+	}
+	if req.Grammar == "" {
+		s.countError("parse", "request")
+		writeError(w, http.StatusBadRequest, `missing "grammar"`)
+		return
+	}
+	e, err := s.reg.Get(req.Grammar)
+	if err != nil {
+		s.grammarError(w, "parse", err)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	resp, ok := s.parseWithDeadline(ctx, e, req)
+	if !ok {
+		s.countError("parse", "timeout")
+		writeError(w, http.StatusGatewayTimeout, "parse deadline exceeded")
+		return
+	}
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusUnprocessableEntity
+		s.countError("parse", "syntax")
+	}
+	writeJSON(w, code, resp)
+}
+
+// batchRequest is the body of POST /v1/batch: either plain inputs
+// sharing one grammar/rule, explicit per-item requests, or both.
+type batchRequest struct {
+	Grammar string         `json:"grammar,omitempty"`
+	Rule    string         `json:"rule,omitempty"`
+	Inputs  []string       `json:"inputs,omitempty"`
+	Items   []parseRequest `json:"items,omitempty"`
+	Tree    bool           `json:"tree,omitempty"`
+	Stats   bool           `json:"stats,omitempty"`
+}
+
+// batchResponse reports every item in request order.
+type batchResponse struct {
+	Count     int             `json:"count"`
+	Succeeded int             `json:"succeeded"`
+	Failed    int             `json:"failed"`
+	ElapsedUS int64           `json:"elapsed_us"`
+	Results   []parseResponse `json:"results"`
+}
+
+// handleBatch serves POST /v1/batch: inputs fan out across a bounded
+// worker pool, each parse drawing from its grammar's ParserPool. The
+// response is 200 with per-item outcomes; only malformed requests and
+// whole-batch problems (unknown grammar, oversize) fail the request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, "batch", err)
+		return
+	}
+	items := make([]parseRequest, 0, len(req.Inputs)+len(req.Items))
+	for _, in := range req.Inputs {
+		items = append(items, parseRequest{
+			Grammar: req.Grammar, Rule: req.Rule, Input: in,
+			Tree: req.Tree, Stats: req.Stats,
+		})
+	}
+	for _, it := range req.Items {
+		if it.Grammar == "" {
+			it.Grammar = req.Grammar
+		}
+		if it.Rule == "" {
+			it.Rule = req.Rule
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		s.countError("batch", "request")
+		writeError(w, http.StatusBadRequest, `empty batch: provide "inputs" or "items"`)
+		return
+	}
+	if len(items) > s.cfg.MaxBatchItems {
+		s.countError("batch", "request")
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch too large: %d items (max %d)", len(items), s.cfg.MaxBatchItems))
+		return
+	}
+
+	// Resolve every distinct grammar up front so an unknown grammar
+	// fails the batch before any work runs.
+	entries := map[string]*Entry{}
+	for _, it := range items {
+		if it.Grammar == "" {
+			s.countError("batch", "request")
+			writeError(w, http.StatusBadRequest, `missing "grammar"`)
+			return
+		}
+		if _, ok := entries[it.Grammar]; ok {
+			continue
+		}
+		e, err := s.reg.Get(it.Grammar)
+		if err != nil {
+			s.grammarError(w, "batch", err)
+			return
+		}
+		entries[it.Grammar] = e
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	results := make([]parseResponse, len(items))
+	workers := s.cfg.BatchWorkers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				it := items[i]
+				if ctx.Err() != nil {
+					results[i] = parseResponse{
+						OK: false, Grammar: it.Grammar, Rule: it.Rule,
+						Error: &errorJSON{Msg: "batch deadline exceeded"},
+					}
+					continue
+				}
+				results[i] = s.doParse(entries[it.Grammar], it)
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	resp := batchResponse{
+		Count:     len(results),
+		ElapsedUS: time.Since(start).Microseconds(),
+		Results:   results,
+	}
+	for i := range results {
+		if results[i].OK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+			s.countError("batch", "syntax")
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGrammars serves GET /v1/grammars: every grammar the directory
+// offers, with fingerprints and analysis digests for the loaded ones.
+func (s *Server) handleGrammars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	list, err := s.reg.List()
+	if err != nil {
+		s.countError("grammars", "list")
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Grammars []Listing `json:"grammars"`
+	}{list})
+}
+
+// parseWithDeadline runs one parse, giving up at ctx's deadline. The
+// abandoned goroutine completes the parse and returns its parser to
+// the pool; only the response is dropped.
+func (s *Server) parseWithDeadline(ctx context.Context, e *Entry, req parseRequest) (parseResponse, bool) {
+	done := make(chan parseResponse, 1)
+	go func() { done <- s.doParse(e, req) }()
+	select {
+	case resp := <-done:
+		return resp, true
+	case <-ctx.Done():
+		return parseResponse{}, false
+	}
+}
+
+// doParse is the parse core shared by /v1/parse and /v1/batch: check a
+// parser out of the entry's pool (or build a recovery parser), parse,
+// and render the response.
+func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
+	rule := req.Rule
+	if rule == "" {
+		if start := e.G.AnalysisResult().Grammar.Start(); start != nil {
+			rule = start.Name
+		}
+	}
+	resp := parseResponse{Grammar: e.Name, Rule: rule}
+	start := time.Now()
+
+	var tree *llstar.Tree
+	var perr error
+	if req.Recover {
+		// Recovery changes parser behavior, so it bypasses the pool.
+		p := e.G.NewParser(llstar.WithTree(), llstar.WithStats(), llstar.WithRecovery(0))
+		tree, perr = p.Parse(req.Rule, req.Input)
+		if req.Stats {
+			resp.Stats = toStatsJSON(p.Stats())
+		}
+		for _, se := range p.Errors() {
+			resp.Recovered = append(resp.Recovered, syntaxErrorJSON(e.G, se))
+		}
+	} else {
+		p := e.Pool.Get()
+		tree, perr = p.Parse(req.Rule, req.Input)
+		if req.Stats {
+			resp.Stats = toStatsJSON(p.Stats()) // summarize before Put
+		}
+		e.Pool.Put(p)
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+
+	if perr != nil {
+		ej := toErrorJSON(e.G, perr)
+		resp.Error = &ej
+		return resp
+	}
+	resp.OK = true
+	resp.Text = tree.String()
+	resp.Nodes = tree.Count()
+	resp.Tokens = len(tree.Leaves())
+	if req.Tree {
+		resp.Tree = toTreeNode(e.G, tree)
+	}
+	return resp
+}
+
+// grammarError maps registry errors to HTTP statuses: bad name 400,
+// unknown grammar 404, anything else (unreadable file, analysis
+// failure) 500.
+func (s *Server) grammarError(w http.ResponseWriter, endpoint string, err error) {
+	switch {
+	case errors.Is(err, ErrBadName):
+		s.countError(endpoint, "request")
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrUnknownGrammar):
+		s.countError(endpoint, "unknown_grammar")
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		s.countError(endpoint, "grammar_load")
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// badRequest maps body-decoding failures: oversize 413, otherwise 400.
+func (s *Server) badRequest(w http.ResponseWriter, endpoint string, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		s.countError(endpoint, "toolarge")
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	s.countError(endpoint, "request")
+	writeError(w, http.StatusBadRequest, err.Error())
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llstar"
+	"llstar/internal/gcache"
+	"llstar/internal/obs"
+)
+
+// Registry errors, distinguished so the HTTP layer can map them to
+// status codes (invalid name -> 400, unknown -> 404, load failure -> 500).
+var (
+	// ErrBadName reports a grammar name that is not a plain file stem.
+	ErrBadName = errors.New("server: invalid grammar name")
+	// ErrUnknownGrammar reports a name with no .g or .llsc file in the
+	// grammar directory.
+	ErrUnknownGrammar = errors.New("server: unknown grammar")
+)
+
+// grammarName accepts plain file stems: no path separators, no leading
+// dot, so a request can never escape the grammar directory.
+var grammarName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// Registry resolves grammar names to loaded, analyzed grammars. Names
+// map to files in one directory: <dir>/<name>.g (source, analyzed on
+// first use, warm-started through the persistent gcache when a cache
+// dir is configured) or <dir>/<name>.llsc (a precompiled artifact from
+// `llstar compile`). When both exist the source wins — the artifact is
+// then only reachable through the facade's own cache.
+//
+// Loads are deduplicated singleflight-style: any number of concurrent
+// requests for a cold grammar trigger exactly one analysis, and the
+// rest wait for it. Loaded grammars hot-reload: every hit re-stats the
+// backing file, and a changed mtime/size triggers a reload; if the
+// reloaded fingerprint is unchanged (e.g. a touch) the warm entry and
+// its parser pool are kept.
+type Registry struct {
+	dir  string
+	opts llstar.LoadOptions
+	mx   *obs.Metrics
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	loads   map[string]*loadCall
+}
+
+// Entry is one resolved grammar: the immutable Grammar, the parser
+// pool serving it, its analysis digest, and the file identity used for
+// hot reload.
+type Entry struct {
+	Name     string
+	Path     string
+	Compiled bool // loaded from a .llsc artifact
+	G        *llstar.Grammar
+	Pool     *llstar.ParserPool
+	Digest   string // Grammar.AnalysisDigest, computed once at load
+	LoadedAt time.Time
+
+	mtime time.Time
+	size  int64
+}
+
+type loadCall struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// NewRegistry returns a registry over dir. opts configure source-grammar
+// loads (left-recursion rewrite, analysis workers, persistent cache);
+// mx, if non-nil, receives llstar_server_grammar_loads_total counters
+// and is shared with every entry's parser pool.
+func NewRegistry(dir string, opts llstar.LoadOptions, mx *obs.Metrics) *Registry {
+	return &Registry{
+		dir:     dir,
+		opts:    opts,
+		mx:      mx,
+		entries: map[string]*Entry{},
+		loads:   map[string]*loadCall{},
+	}
+}
+
+// Get returns the entry for name, loading (or hot-reloading) it if
+// needed. Concurrent Gets for the same cold name share one load.
+func (r *Registry) Get(name string) (*Entry, error) {
+	if !grammarName.MatchString(name) || strings.Contains(name, "..") {
+		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok && r.fresh(e) {
+		r.mu.Unlock()
+		return e, nil
+	}
+	if c, ok := r.loads[name]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.e, c.err
+	}
+	c := &loadCall{done: make(chan struct{})}
+	r.loads[name] = c
+	old := r.entries[name]
+	r.mu.Unlock()
+
+	e, err := r.load(name, old)
+	r.mu.Lock()
+	delete(r.loads, name)
+	if err == nil {
+		r.entries[name] = e
+	}
+	r.mu.Unlock()
+	c.e, c.err = e, err
+	close(c.done)
+	return e, err
+}
+
+// fresh reports whether a loaded entry still matches its backing file.
+// A file that has vanished keeps serving its last good grammar rather
+// than failing requests mid-flight.
+func (r *Registry) fresh(e *Entry) bool {
+	st, err := os.Stat(e.Path)
+	if err != nil {
+		return true
+	}
+	return st.ModTime().Equal(e.mtime) && st.Size() == e.size
+}
+
+// resolve maps a name to its backing file: <name>.g first, then
+// <name>.llsc.
+func (r *Registry) resolve(name string) (path string, compiled bool, err error) {
+	g := filepath.Join(r.dir, name+".g")
+	if _, err := os.Stat(g); err == nil {
+		return g, false, nil
+	}
+	c := filepath.Join(r.dir, name+gcache.Ext)
+	if _, err := os.Stat(c); err == nil {
+		return c, true, nil
+	}
+	return "", false, fmt.Errorf("%w: %q", ErrUnknownGrammar, name)
+}
+
+// load reads, analyzes, and wraps one grammar. When a previous entry
+// exists and the reloaded fingerprint matches it, the old entry (and
+// its warm parser pool) is kept with a refreshed file identity.
+func (r *Registry) load(name string, old *Entry) (*Entry, error) {
+	path, compiled, err := r.resolve(name)
+	if err != nil {
+		r.count("error")
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		r.count("error")
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var g *llstar.Grammar
+	if compiled {
+		g, err = llstar.LoadCompiled(path)
+	} else {
+		var data []byte
+		if data, err = os.ReadFile(path); err == nil {
+			g, err = llstar.LoadWith(path, string(data), r.opts)
+		}
+	}
+	if err != nil {
+		r.count("error")
+		return nil, fmt.Errorf("server: loading grammar %q: %w", name, err)
+	}
+	if old != nil && old.Path == path && old.G.Fingerprint() == g.Fingerprint() {
+		e := *old
+		e.mtime, e.size = st.ModTime(), st.Size()
+		r.count("unchanged")
+		return &e, nil
+	}
+	result := "load"
+	if old != nil {
+		result = "reload"
+	}
+	r.count(result)
+	popts := []llstar.ParserOption{llstar.WithTree(), llstar.WithStats()}
+	if r.mx != nil {
+		popts = append(popts, llstar.WithMetrics(r.mx))
+	}
+	return &Entry{
+		Name:     name,
+		Path:     path,
+		Compiled: compiled,
+		G:        g,
+		Pool:     g.NewParserPool(popts...),
+		Digest:   g.AnalysisDigest(),
+		LoadedAt: time.Now(),
+		mtime:    st.ModTime(),
+		size:     st.Size(),
+	}, nil
+}
+
+func (r *Registry) count(result string) {
+	if r.mx != nil {
+		r.mx.Counter(obs.Label("llstar_server_grammar_loads_total", "result", result)).Inc()
+	}
+}
+
+// Listing is one row of the registry listing: every grammar the
+// directory offers, with analysis details for the loaded ones.
+type Listing struct {
+	Name        string `json:"name"`
+	File        string `json:"file"`
+	Compiled    bool   `json:"compiled,omitempty"`
+	Loaded      bool   `json:"loaded"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Digest      string `json:"analysis_digest,omitempty"`
+	Decisions   int    `json:"decisions,omitempty"`
+	Warnings    int    `json:"warnings,omitempty"`
+	FromCache   bool   `json:"loaded_from_cache,omitempty"`
+}
+
+// Names returns every grammar name the directory offers, sorted.
+func (r *Registry) Names() ([]string, error) {
+	des, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		n := de.Name()
+		ext := filepath.Ext(n)
+		if ext != ".g" && ext != gcache.Ext {
+			continue
+		}
+		stem := strings.TrimSuffix(n, ext)
+		if !grammarName.MatchString(stem) || seen[stem] {
+			continue
+		}
+		seen[stem] = true
+		names = append(names, stem)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// List returns the registry listing, sorted by name.
+func (r *Registry) List() ([]Listing, error) {
+	names, err := r.Names()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Listing, 0, len(names))
+	for _, name := range names {
+		path, compiled, err := r.resolve(name)
+		if err != nil {
+			continue // raced with a deletion
+		}
+		l := Listing{Name: name, File: filepath.Base(path), Compiled: compiled}
+		if e, ok := r.entries[name]; ok {
+			l.Loaded = true
+			l.Fingerprint = e.G.Fingerprint()
+			l.Digest = e.Digest
+			l.Decisions = len(e.G.Decisions())
+			l.Warnings = len(e.G.Warnings())
+			l.FromCache = e.G.LoadedFromCache()
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Preload loads the named grammars (or, for the single name "all" or
+// "*", everything the directory offers), returning the first failure.
+func (r *Registry) Preload(names []string) error {
+	if len(names) == 1 && (names[0] == "all" || names[0] == "*") {
+		all, err := r.Names()
+		if err != nil {
+			return err
+		}
+		names = all
+	}
+	for _, name := range names {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, err := r.Get(name); err != nil {
+			return fmt.Errorf("preloading %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package server is the llstar parse service: a stdlib-only net/http
+// server exposing grammars from a directory over a JSON API, built on
+// the facade's concurrency primitives (shared immutable Grammars,
+// ParserPool) and observability (obs.Metrics, obs.Tracer).
+//
+// Endpoints:
+//
+//	POST /v1/parse     parse one input           (JSON in/out)
+//	POST /v1/batch     parse many inputs         (bounded worker fan-out)
+//	GET  /v1/grammars  registry listing with analysis digests
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (200 only after preloads, 503 draining)
+//	GET  /metrics      Prometheus text exposition
+//
+// Robustness: a global in-flight limiter sheds load with 429 +
+// Retry-After once MaxInFlight parses are running and the queue wait is
+// exhausted; request bodies are capped; every parse runs under a
+// per-request timeout; handler panics become JSON 500s; StartDrain
+// flips /readyz to 503 so load balancers stop sending while
+// http.Server.Shutdown drains in-flight requests. See docs/server.md.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"llstar"
+	"llstar/internal/obs"
+)
+
+// Config tunes a Server. The zero value of every limit picks a
+// production-safe default.
+type Config struct {
+	// GrammarDir is the directory of .g / .llsc files served by name.
+	GrammarDir string
+	// CacheDir enables the persistent analysis cache for source-grammar
+	// loads (LoadOptions.CacheDir); CacheMaxBytes caps it.
+	CacheDir      string
+	CacheMaxBytes int64
+	// RewriteLeftRecursion applies the Section 1.1 precedence-loop
+	// rewrite to directly left-recursive rules at load.
+	RewriteLeftRecursion bool
+	// AnalysisWorkers bounds parallel per-decision DFA construction.
+	AnalysisWorkers int
+	// Preload lists grammar names to load before the server reports
+	// ready; the single name "all" (or "*") preloads the whole
+	// directory.
+	Preload []string
+
+	// MaxInFlight caps concurrently executing parse/batch requests
+	// (default 64). MaxInFlight < 0 disables the limiter.
+	MaxInFlight int
+	// QueueWait is how long a request may wait for an in-flight slot
+	// before being shed with 429 (default 100ms; negative means shed
+	// immediately).
+	QueueWait time.Duration
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each parse (default 10s). A request that
+	// exceeds it gets a 504; the abandoned parse finishes in the
+	// background and its parser returns to the pool.
+	RequestTimeout time.Duration
+	// BatchWorkers bounds the per-request worker pool fanning a batch
+	// across parsers (default GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatchItems caps inputs per batch request (default 256).
+	MaxBatchItems int
+
+	// Metrics receives llstar_server_* series plus everything the
+	// facade records (pool, cache, runtime counters). Created if nil.
+	Metrics *obs.Metrics
+	// Tracer, if set, receives a server.<endpoint> span per request and
+	// all analysis/runtime events from loads and parses.
+	Tracer obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// durationBuckets are the histogram bounds (microseconds) for the
+// request-duration and queue-wait series.
+var durationBuckets = []int64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
+// Server is the parse service. Construct with New, then serve
+// Handler() with any http.Server. A Server reports ready only after
+// Preload has completed; StartDrain begins a graceful shutdown.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	mx      *obs.Metrics
+	tr      obs.Tracer
+	slots   chan struct{}
+	ready   atomic.Bool
+	drain   atomic.Bool
+	handler http.Handler
+}
+
+// New validates cfg and builds a Server. The server is not ready until
+// Preload is called (with an empty preload list it merely flips
+// readiness).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.GrammarDir == "" {
+		return nil, fmt.Errorf("server: Config.GrammarDir is required")
+	}
+	st, err := os.Stat(cfg.GrammarDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: grammar dir: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("server: grammar dir %q is not a directory", cfg.GrammarDir)
+	}
+	lopts := llstar.LoadOptions{
+		RewriteLeftRecursion: cfg.RewriteLeftRecursion,
+		AnalysisWorkers:      cfg.AnalysisWorkers,
+		CacheDir:             cfg.CacheDir,
+		CacheMaxBytes:        cfg.CacheMaxBytes,
+		Tracer:               cfg.Tracer,
+		Metrics:              cfg.Metrics,
+	}
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(cfg.GrammarDir, lopts, cfg.Metrics),
+		mx:  cfg.Metrics,
+		tr:  obs.Active(cfg.Tracer),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.handler = s.routes()
+	return s, nil
+}
+
+// Registry exposes the grammar registry (the CLI and tests use it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Metrics { return s.mx }
+
+// Handler returns the root handler (all endpoints plus middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Preload loads cfg.Preload (plus any extra names) and then marks the
+// server ready. It is the readiness gate: call it even with nothing to
+// preload.
+func (s *Server) Preload(extra ...string) error {
+	names := append(append([]string{}, s.cfg.Preload...), extra...)
+	if err := s.reg.Preload(names); err != nil {
+		return err
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether preloads completed and the server is not
+// draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.drain.Load() }
+
+// StartDrain marks the server draining: /readyz turns 503 so load
+// balancers stop routing here, while in-flight (and even new) requests
+// keep being served. Pair it with http.Server.Shutdown, which stops the
+// listener and waits for in-flight requests.
+func (s *Server) StartDrain() { s.drain.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.drain.Load() }
+
+// InFlight returns the number of limiter slots currently held.
+func (s *Server) InFlight() int {
+	if s.slots == nil {
+		return 0
+	}
+	return len(s.slots)
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/parse", s.instrument("parse", true, s.handleParse))
+	mux.Handle("/v1/batch", s.instrument("batch", true, s.handleBatch))
+	mux.Handle("/v1/grammars", s.instrument("grammars", false, s.handleGrammars))
+	return s.recoverPanics(mux)
+}
+
+// statusWriter captures the response code for metrics and tracing.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps an endpoint with the shared middleware: in-flight
+// limiting (limited endpoints only), body caps, request metrics, and a
+// per-request trace span.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var ts0 time.Duration
+		if s.tr != nil {
+			ts0 = s.tr.Now()
+		}
+		rec := &statusWriter{ResponseWriter: w}
+		if limited {
+			wait, ok := s.acquire(r.Context())
+			if !ok {
+				rec.Header().Set("Retry-After", "1")
+				s.countError(endpoint, "overload")
+				writeError(rec, http.StatusTooManyRequests,
+					fmt.Sprintf("overloaded: %d requests in flight; retry", s.cfg.MaxInFlight))
+				s.finish(endpoint, rec, start, ts0)
+				return
+			}
+			if s.slots != nil {
+				s.mx.Histogram("llstar_server_queue_wait_us", durationBuckets...).Observe(wait.Microseconds())
+				defer s.release()
+			}
+		}
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(rec, r)
+		s.finish(endpoint, rec, start, ts0)
+	})
+}
+
+// finish records the per-request metrics and trace span.
+func (s *Server) finish(endpoint string, rec *statusWriter, start time.Time, ts0 time.Duration) {
+	code := rec.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	dur := time.Since(start)
+	s.mx.Counter(obs.Label("llstar_server_requests_total",
+		"endpoint", endpoint, "code", strconv.Itoa(code))).Inc()
+	s.mx.Histogram("llstar_server_request_duration_us", durationBuckets...).Observe(dur.Microseconds())
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Name: "server." + endpoint, Cat: obs.PhaseServer, Ph: obs.PhSpan,
+			TS: ts0, Dur: s.tr.Now() - ts0, Decision: -1,
+			OK: code < 400, N: int64(code),
+		})
+	}
+}
+
+func (s *Server) countError(endpoint, kind string) {
+	s.mx.Counter(obs.Label("llstar_server_errors_total", "endpoint", endpoint, "kind", kind)).Inc()
+}
+
+// acquire takes an in-flight slot, waiting up to QueueWait. It reports
+// the time spent queued and whether a slot was obtained.
+func (s *Server) acquire(ctx context.Context) (time.Duration, bool) {
+	if s.slots == nil {
+		return 0, true
+	}
+	gauge := s.mx.Gauge("llstar_server_inflight")
+	select {
+	case s.slots <- struct{}{}:
+		gauge.Add(1)
+		return 0, true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return 0, false
+	}
+	start := time.Now()
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		gauge.Add(1)
+		return time.Since(start), true
+	case <-t.C:
+		return time.Since(start), false
+	case <-ctx.Done():
+		return time.Since(start), false
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.mx.Gauge("llstar_server_inflight").Add(-1)
+}
+
+// recoverPanics turns a handler panic into a JSON 500 instead of
+// killing the connection (and, under http.Server, the goroutine).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.countError(r.URL.Path, "panic")
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.drain.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "loading")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.mx.WritePrometheus(w); err != nil {
+		s.countError("metrics", "write")
+	}
+}

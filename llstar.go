@@ -32,6 +32,7 @@ import (
 	"llstar/internal/obs"
 	"llstar/internal/runtime"
 	"llstar/internal/serde"
+	"llstar/internal/token"
 )
 
 // Re-exported runtime types. These aliases are the public names for the
@@ -265,6 +266,17 @@ func directLeftRecursive(g *grammar.Grammar) []string {
 
 // Name returns the grammar's declared name.
 func (g *Grammar) Name() string { return g.res.Grammar.Name }
+
+// TokenNames returns the grammar's token vocabulary — symbolic names
+// and literal spellings ('...'), ordered by token type: TokenNames()[i]
+// names type i+1. Diagnostic layers (e.g. the parse service) use it to
+// name tokens instead of printing raw type integers.
+func (g *Grammar) TokenNames() []string { return g.res.Grammar.Vocab.Names() }
+
+// TokenName returns the symbolic name for a token type: a rule name
+// like "ID", a literal spelling like "'int'", "EOF" for end of input,
+// and a "<type N>" placeholder for types outside the vocabulary.
+func (g *Grammar) TokenName(t int) string { return g.res.Grammar.Vocab.Name(token.Type(t)) }
 
 // Warnings returns validation and analysis diagnostics (non-fatal).
 func (g *Grammar) Warnings() []string { return g.warnings }

@@ -134,3 +134,37 @@ func TestErrorListener(t *testing.T) {
 		t.Error("listener not invoked")
 	}
 }
+
+func TestTokenNames(t *testing.T) {
+	g, err := llstar.Load("api.g", apiGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.TokenNames()
+	if len(names) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	has := func(want string) {
+		for _, n := range names {
+			if n == want {
+				return
+			}
+		}
+		t.Errorf("TokenNames missing %q in %v", want, names)
+	}
+	has("ID")
+	has("INT")
+	has("'int'")
+	// TokenNames()[i] names type i+1.
+	for i, n := range names {
+		if got := g.TokenName(i + 1); got != n {
+			t.Errorf("TokenName(%d) = %q, want %q", i+1, got, n)
+		}
+	}
+	if got := g.TokenName(-1); got != "EOF" {
+		t.Errorf("TokenName(EOF) = %q", got)
+	}
+	if got := g.TokenName(9999); !strings.Contains(got, "9999") {
+		t.Errorf("TokenName(out of range) = %q", got)
+	}
+}
