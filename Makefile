@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet check serve
+.PHONY: all build test race bench fuzz fmt vet check serve cover-report benchdiff
 
 all: check
 
@@ -25,6 +25,18 @@ fuzz:
 SERVE_ADDR ?= 127.0.0.1:8080
 serve:
 	$(GO) run ./cmd/llstar-serve -addr $(SERVE_ADDR) -grammars grammars
+
+# One self-contained HTML coverage/hotspot report per benchmark grammar,
+# from a synthetic corpus at the baseline seed/size.
+COVER_DIR ?= profiles
+cover-report:
+	$(GO) run ./cmd/llstar-bench -cover-html $(COVER_DIR) -seed 1 -lines 300
+
+# Rerun the benchmark workloads at the checked-in baseline's config and
+# fail on counter drift (timings are compared only on matching hardware;
+# see scripts/benchdiff).
+benchdiff:
+	scripts/benchdiff -no-timing BENCH_5.json
 
 fmt:
 	gofmt -l .

@@ -240,6 +240,37 @@ func BenchmarkTracerOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkCoverageOverhead guards the coverage profiler's cost
+// contract alongside BenchmarkTracerOverhead: with no profile
+// installed every instrumentation site is a nil check ("off" must
+// match the historical baseline), and the enabled cost — field bumps
+// plus one mutex acquisition per parse — is reported for tracking.
+func BenchmarkCoverageOverhead(b *testing.B) {
+	w, err := bench.ByName("Java1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1, 500)
+	run := func(b *testing.B, opts ...llstar.ParserOption) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := g.NewParser(opts...)
+			if _, err := p.Parse(w.Start, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("coverage", func(b *testing.B) { run(b, llstar.WithCoverage(g.NewCoverage())) })
+	b.Run("coverage+stats", func(b *testing.B) {
+		run(b, llstar.WithCoverage(g.NewCoverage()), llstar.WithStats())
+	})
+}
+
 // BenchmarkGovernorM (ablation) varies the recursion governor m on the
 // Figure 2 grammar: larger m means deeper DFA exploration before failover.
 func BenchmarkGovernorM(b *testing.B) {

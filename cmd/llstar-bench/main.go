@@ -12,6 +12,11 @@
 //	llstar-bench -coldwarm        # cold analysis vs. cache-hit load table
 //	llstar-bench -serve           # llstar-serve load test (latency/throughput)
 //	llstar-bench -serve -serve-url http://host:8080   # against a running server
+//	llstar-bench -json BENCH.json # machine-readable result set (the bench trajectory)
+//	llstar-bench -compare BENCH_5.json   # rerun at the baseline's config and diff;
+//	                                     # exit 1 on counter drift or >15% timing loss
+//	llstar-bench -hotspots        # per-grammar coverage + hotspot attribution
+//	llstar-bench -cover-html profiles/   # one HTML hotspot report per grammar
 package main
 
 import (
@@ -38,7 +43,64 @@ func main() {
 	serveConcurrency := flag.Int("serve-concurrency", 16, "closed-loop clients for -serve")
 	serveDuration := flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
 	serveLines := flag.Int("serve-lines", 200, "approximate generated input size in lines for -serve")
+	jsonOut := flag.String("json", "", "write a machine-readable result set (counters + timings) to this file")
+	compare := flag.String("compare", "", "rerun at the baseline file's seed/lines and diff against it; exit 1 on regression")
+	compareThreshold := flag.Float64("compare-threshold", 0.15, "tolerated fractional lines/sec regression for -compare")
+	compareTiming := flag.Bool("compare-timing", true, "compare timings for -compare (disable when the baseline is from different hardware, e.g. CI)")
+	hotspots := flag.Bool("hotspots", false, "print per-grammar coverage reports and hotspot attribution")
+	hotspotTop := flag.Int("hotspot-top", 10, "hotspot rows per grammar for -hotspots")
+	coverHTML := flag.String("cover-html", "", "write one self-contained HTML hotspot report per grammar into this directory")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare, *compareThreshold, *compareTiming, *runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		rs, err := bench.RunResultSet(*seed, *lines, *runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rs.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (seed=%d lines=%d)\n", *jsonOut, *seed, *lines)
+		return
+	}
+	if *hotspots || *coverHTML != "" {
+		if *hotspots {
+			if err := bench.Hotspots(os.Stdout, *seed, *lines, *hotspotTop); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *coverHTML != "" {
+			files, err := bench.WriteHTMLReports(*coverHTML, *seed, *lines)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, f := range files {
+				fmt.Println("wrote", f)
+			}
+		}
+		return
+	}
 
 	if *serve {
 		fmt.Println("== llstar-serve load test ==")
@@ -114,6 +176,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCompare reruns the workloads at the baseline's recorded seed and
+// input size, then diffs: deterministic counters must match exactly;
+// timings may regress up to the threshold (skipped with
+// -compare-timing=false, the cross-machine CI mode).
+func runCompare(path string, threshold float64, timing bool, runs int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.ReadResults(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cur, err := bench.RunResultSet(baseline.Seed, baseline.Lines, runs)
+	if err != nil {
+		return err
+	}
+	if !bench.Compare(os.Stdout, baseline, cur, bench.CompareOptions{Threshold: threshold, Timing: timing}) {
+		return fmt.Errorf("bench regressions against %s", path)
+	}
+	fmt.Printf("no regressions against %s\n", path)
+	return nil
 }
 
 // analysisProfile prints, per benchmark grammar, the most expensive

@@ -6,6 +6,8 @@
 //	llstar-parse -rule expr -stats grammar.g input.txt
 //	llstar-parse -trace=out.json -trace-format=chrome grammar.g input.txt
 //	llstar-parse -metrics grammar.g input.txt
+//	llstar-parse -cover -hotspots grammar.g input.txt
+//	llstar-parse -cover-html report.html grammar.g input.txt
 //	echo '1+2*3' | llstar-parse grammar.g -
 //
 // Two warm-start modes skip grammar analysis on startup:
@@ -48,6 +50,10 @@ func main() {
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	metrics := flag.Bool("metrics", false, "print Prometheus-text metrics after the parse")
 	metricsJSON := flag.Bool("metrics-json", false, "print metrics as expvar-style JSON instead")
+	coverFlag := flag.Bool("cover", false, "print the grammar coverage report after the parse (rules/decisions/alts/DFA states exercised)")
+	hotspots := flag.Bool("hotspots", false, "print prediction-strategy totals and the decision hotspot table after the parse")
+	hotspotTop := flag.Int("hotspot-top", 10, "hotspot rows for -hotspots")
+	coverHTML := flag.String("cover-html", "", "write a self-contained HTML coverage/hotspot report to this file")
 	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm loads skip analysis)")
 	compiled := flag.String("compiled", "", "load this precompiled .llsc artifact instead of a grammar file")
 	serverURL := flag.String("server", "", "parse on this llstar-serve instance (the grammar argument becomes a server-side name)")
@@ -128,6 +134,11 @@ func main() {
 	if *stats {
 		opts = append(opts, llstar.WithStats())
 	}
+	var prof *llstar.CoverageProfile
+	if *coverFlag || *hotspots || *coverHTML != "" {
+		prof = g.NewCoverage()
+		opts = append(opts, llstar.WithCoverage(prof))
+	}
 	if tracer != nil {
 		opts = append(opts, llstar.WithTracer(tracer))
 	}
@@ -147,6 +158,9 @@ func main() {
 		if reg != nil {
 			printMetrics(reg, *metricsJSON)
 		}
+		// A failed parse still has a coverage story: what ran before the
+		// error is exactly what -cover shows.
+		printCoverage(prof, *coverFlag, *hotspots, *hotspotTop, *coverHTML)
 		fatal(perr)
 	}
 	if !*noTree {
@@ -157,6 +171,48 @@ func main() {
 	}
 	if reg != nil {
 		printMetrics(reg, *metricsJSON)
+	}
+	printCoverage(prof, *coverFlag, *hotspots, *hotspotTop, *coverHTML)
+}
+
+// printCoverage renders the coverage profile of the parse: the full
+// report for -cover, strategy totals plus the hotspot table for
+// -hotspots, and an HTML report for -cover-html.
+func printCoverage(prof *llstar.CoverageProfile, report, hot bool, top int, htmlPath string) {
+	if prof == nil {
+		return
+	}
+	snap := prof.Snapshot()
+	if report {
+		if err := snap.WriteReport(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "llstar-parse: cover:", err)
+		}
+	}
+	if hot {
+		if !report {
+			// The strategy split is the hotspot table's context: how the
+			// predictions that fed it resolved.
+			tot := snap.StrategyTotals()
+			fmt.Fprintf(os.Stderr, "prediction strategies (%d events):\n", snap.TotalPredictions())
+			for i, n := range tot {
+				fmt.Fprintf(os.Stderr, "  %-9s %12d\n", llstar.CoverageStrategy(i), n)
+			}
+		}
+		if err := snap.WriteHotspots(os.Stderr, top); err != nil {
+			fmt.Fprintln(os.Stderr, "llstar-parse: hotspots:", err)
+		}
+	}
+	if htmlPath != "" {
+		f, err := os.Create(htmlPath)
+		if err == nil {
+			err = snap.WriteHTML(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llstar-parse: cover-html:", err)
+		}
 	}
 }
 

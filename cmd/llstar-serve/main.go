@@ -6,6 +6,14 @@
 //	llstar-serve -grammars grammars -cache ~/.cache/llstar
 //	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/parse -d '{"grammar":"json","input":"[1,2]"}'
+//	curl -s localhost:8080/debug/coverage | jq .
+//	curl -s 'localhost:8080/debug/coverage?grammar=json&format=html' > cov.html
+//
+// Introspection (/debug/coverage live per-grammar coverage profiles,
+// /debug/vars metrics JSON, /debug/pprof) is on the main listener by
+// default (-debug=false removes it) and can additionally be bound to a
+// private -debug-addr. Every response carries an X-Request-Id for log
+// and trace correlation.
 //
 // The server preloads -preload (default: every grammar in the
 // directory) before /readyz reports ready, so a rollout behind a load
@@ -51,6 +59,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 	trace := flag.String("trace", "", "write a structured trace of loads and parses to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+	debug := flag.Bool("debug", true, "mount the introspection endpoints (/debug/coverage, /debug/vars, /debug/pprof) on the main listener")
+	debugAddr := flag.String("debug-addr", "", "additionally serve only the /debug endpoints on this separate (private) listener")
+	noCoverage := flag.Bool("no-coverage", false, "disable the per-grammar coverage profiler behind /debug/coverage")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -64,6 +75,8 @@ func main() {
 		MaxBodyBytes:         *maxBody,
 		RequestTimeout:       *timeout,
 		BatchWorkers:         *batchWorkers,
+		Debug:                *debug,
+		DisableCoverage:      *noCoverage,
 		Metrics:              llstar.NewMetrics(),
 	}
 	if p := strings.TrimSpace(*preload); p != "" {
@@ -108,6 +121,21 @@ func main() {
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoints on %s", dln.Addr())
+		dhs := &http.Server{Handler: s.DebugHandler()}
+		go func() {
+			if err := dhs.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dhs.Close()
+	}
 
 	// Preload after the listener is up: /healthz answers during warmup
 	// and /readyz flips only once every preload has completed.

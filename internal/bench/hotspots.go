@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"llstar"
+)
+
+// CoverageProfiles parses each workload's synthetic corpus with the
+// coverage profiler enabled and returns one snapshot per workload.
+func CoverageProfiles(seed int64, lines int) (map[string]*llstar.CoverageSnapshot, error) {
+	out := make(map[string]*llstar.CoverageSnapshot, len(Workloads))
+	for _, w := range Workloads {
+		g, err := w.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		prof := g.NewCoverage()
+		p := g.NewParser(llstar.WithCoverage(prof))
+		if _, err := p.Parse(w.Start, w.Input(seed, lines)); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		out[w.Name] = prof.Snapshot()
+	}
+	return out, nil
+}
+
+// Hotspots prints, per workload, the coverage summary and the top
+// hotspot decisions over a generated corpus.
+func Hotspots(out io.Writer, seed int64, lines, top int) error {
+	snaps, err := CoverageProfiles(seed, lines)
+	if err != nil {
+		return err
+	}
+	for _, w := range Workloads {
+		s := snaps[w.Name]
+		fmt.Fprintf(out, "-- %s --\n", w.Name)
+		if err := s.WriteReport(out); err != nil {
+			return err
+		}
+		if err := s.WriteHotspots(out, top); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// WriteHTMLReports parses every workload with coverage enabled and
+// writes one self-contained HTML hotspot report per grammar into dir
+// (created if missing). It returns the files written.
+func WriteHTMLReports(dir string, seed int64, lines int) ([]string, error) {
+	snaps, err := CoverageProfiles(seed, lines)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, w := range Workloads {
+		name := strings.TrimSuffix(w.File, ".g") + ".html"
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		werr := snaps[w.Name].WriteHTML(f)
+		cerr := f.Close()
+		if werr != nil {
+			return nil, werr
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		files = append(files, path)
+	}
+	return files, nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineFixture() *ResultSet {
+	return &ResultSet{
+		Version: ResultVersion, Seed: 1, Lines: 100, Runs: 1,
+		Workloads: []WorkloadResult{
+			{Name: "A", Grammar: "a.g", Decisions: 5, Events: 100, MemoStores: 10, AvgK: 1.5, LinesPerSec: 1000},
+			{Name: "B", Grammar: "b.g", Decisions: 3, Events: 50, AvgK: 1.0, LinesPerSec: 2000},
+		},
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	var out bytes.Buffer
+	if !Compare(&out, baselineFixture(), baselineFixture(), CompareOptions{Timing: true}) {
+		t.Fatalf("identical sets must compare clean:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok: A timing") {
+		t.Errorf("missing ok lines:\n%s", out.String())
+	}
+}
+
+func TestCompareCounterDrift(t *testing.T) {
+	cur := baselineFixture()
+	cur.Workloads[0].Events = 101
+	var out bytes.Buffer
+	if Compare(&out, baselineFixture(), cur, CompareOptions{}) {
+		t.Fatal("counter drift must fail")
+	}
+	if !strings.Contains(out.String(), "events changed 100 -> 101") {
+		t.Errorf("drift not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareTimingThreshold(t *testing.T) {
+	cur := baselineFixture()
+	cur.Workloads[0].LinesPerSec = 800 // -20%
+	var out bytes.Buffer
+	if Compare(&out, baselineFixture(), cur, CompareOptions{Timing: true}) {
+		t.Fatal("20% timing loss must fail the default 15% gate")
+	}
+	out.Reset()
+	if !Compare(&out, baselineFixture(), cur, CompareOptions{Timing: true, Threshold: 0.25}) {
+		t.Fatalf("20%% loss must pass a 25%% gate:\n%s", out.String())
+	}
+	// Timing off: the same regression is invisible.
+	out.Reset()
+	if !Compare(&out, baselineFixture(), cur, CompareOptions{Timing: false}) {
+		t.Fatal("timing-off compare must ignore lines/sec")
+	}
+}
+
+func TestCompareConfigAndMissing(t *testing.T) {
+	cur := baselineFixture()
+	cur.Lines = 200
+	var out bytes.Buffer
+	if Compare(&out, baselineFixture(), cur, CompareOptions{}) {
+		t.Fatal("config mismatch must fail")
+	}
+
+	cur = baselineFixture()
+	cur.Workloads = cur.Workloads[:1]
+	out.Reset()
+	if Compare(&out, baselineFixture(), cur, CompareOptions{}) {
+		t.Fatal("missing workload must fail")
+	}
+	if !strings.Contains(out.String(), "B: missing") {
+		t.Errorf("missing workload not reported:\n%s", out.String())
+	}
+}
+
+func TestResultSetRoundTrip(t *testing.T) {
+	rs := baselineFixture()
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 1 || len(back.Workloads) != 2 || back.Workloads[0].Events != 100 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Version check rejects foreign schemas.
+	if _, err := ReadResults(strings.NewReader(`{"version": 999}`)); err == nil {
+		t.Fatal("version mismatch must error")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"llstar/internal/atn"
 	"llstar/internal/core"
+	"llstar/internal/cover"
 	"llstar/internal/dfa"
 	"llstar/internal/grammar"
 	"llstar/internal/lexrt"
@@ -57,6 +58,12 @@ type Options struct {
 	// (prediction events by throttle level, lookahead-depth
 	// distributions, speculation and memo activity).
 	Metrics *obs.Metrics
+	// Coverage, if set, is the shared destination for decision-level
+	// coverage counters: the parser records into a private recorder and
+	// merges it into this profile once per parse, so pooled and
+	// concurrent parsers accumulate into one aggregate. Nil costs one
+	// pointer check per instrumentation site.
+	Coverage *cover.Profile
 }
 
 // Parser interprets an analyzed grammar. A Parser is reusable: every
@@ -93,6 +100,9 @@ type Parser struct {
 	// path gates on this single nil check) and mx the metrics registry.
 	tr obs.Tracer
 	mx *obs.Metrics
+	// cov is this parser's private coverage recorder (nil when coverage
+	// is off), flushed into Options.Coverage once per parse.
+	cov *cover.Recorder
 	// measureK enables the lookahead watermark bookkeeping in predict;
 	// set when any of stats, tracer, or metrics needs depth data.
 	measureK bool
@@ -117,7 +127,10 @@ func New(res *core.Result, opts Options) *Parser {
 	}
 	p.tr = obs.Active(opts.Tracer)
 	p.mx = opts.Metrics
-	p.measureK = p.stats != nil || p.tr != nil || p.mx != nil
+	if opts.Coverage != nil {
+		p.cov = opts.Coverage.NewRecorder()
+	}
+	p.measureK = p.stats != nil || p.tr != nil || p.mx != nil || p.cov != nil
 	if p.tr != nil || p.mx != nil {
 		p.throttle = make([]string, len(res.DFAs))
 		for _, di := range res.Decisions {
@@ -262,6 +275,10 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 			p.mx.Gauge("llstar_memo_entries").Set(int64(p.memo.Entries()))
 		}
 	}
+	if p.cov != nil {
+		p.cov.EndParse(int64(stream.Size()), err != nil)
+		p.cov.Flush()
+	}
 	if err != nil {
 		// In recover mode every error already reached the listener.
 		if se, ok := err.(*runtime.SyntaxError); ok && p.opts.ErrorListener != nil && !p.opts.Recover {
@@ -296,10 +313,16 @@ func (p *Parser) noteFailure(err *runtime.SyntaxError) {
 // argument (parameterized rules); parent receives the rule's tree node.
 func (p *Parser) parseRule(idx, arg int, parent *Node) error {
 	r := p.res.Grammar.Rules[idx]
+	if p.cov != nil {
+		p.cov.Rule(idx)
+	}
 	memoizable := p.memo != nil && p.spec > 0 && r.Args == "" && r.OptionBool("memoize", true)
 	start := p.stream.Index()
 	if memoizable {
 		stop, ok := p.memo.Get(idx, start)
+		if p.cov != nil {
+			p.cov.Memo(idx, ok)
+		}
 		if p.tr != nil {
 			name := "memo.miss"
 			if ok {

@@ -58,6 +58,11 @@ func (p *Parser) predict(dec *atn.Decision, fr *frame) (int, error) {
 			}
 			p.stats.Record(dec.ID, k, backtracked, btk)
 		}
+		// Coverage shares the stats gate, so per-decision strategy counts
+		// sum to exactly ParseStats.TotalEvents().
+		if p.cov != nil {
+			p.cov.Prediction(dec.ID, alt, k, backtracked, err != nil)
+		}
 		if p.tr != nil {
 			p.tr.Emit(obs.Event{
 				Name: "predict", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
@@ -82,6 +87,9 @@ func (p *Parser) predict(dec *atn.Decision, fr *frame) (int, error) {
 func (p *Parser) simulate(d *dfa.DFA, dec *atn.Decision, fr *frame, backtracked *bool) (int, error) {
 	s := d.Start
 	i := 0
+	if p.cov != nil {
+		p.cov.State(dec.ID, s.ID)
+	}
 	for {
 		if s.AcceptAlt > 0 {
 			return s.AcceptAlt, nil
@@ -93,6 +101,10 @@ func (p *Parser) simulate(d *dfa.DFA, dec *atn.Decision, fr *frame, backtracked 
 		if next != nil {
 			i++
 			s = next
+			if p.cov != nil {
+				p.cov.Edge(dec.ID)
+				p.cov.State(dec.ID, s.ID)
+			}
 			continue
 		}
 		if len(s.PredEdges) > 0 {
@@ -123,7 +135,7 @@ func (p *Parser) resolvePreds(edges []dfa.PredEdge, dec *atn.Decision, fr *frame
 			}
 		case dfa.PredSyn:
 			*backtracked = true
-			if p.specSynPred(e.SynID, fr) {
+			if p.specSynPred(e.SynID, dec, fr) {
 				return e.Alt, nil
 			}
 		case dfa.PredAuto:
@@ -192,6 +204,9 @@ func (p *Parser) specAlt(dec *atn.Decision, alt int, fr *frame) bool {
 	p.spec--
 	consumed := p.stream.Index() - start
 	p.stream.Seek(start)
+	if p.cov != nil {
+		p.cov.Speculation(dec.ID, consumed, p.spec+1, err == nil)
+	}
 	if p.tr != nil {
 		p.tr.Emit(obs.Event{
 			Name: "speculate.alt", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
@@ -207,8 +222,9 @@ func (p *Parser) specAlt(dec *atn.Decision, alt int, fr *frame) bool {
 }
 
 // specSynPred speculatively matches an explicit syntactic predicate
-// fragment (α)=>.
-func (p *Parser) specSynPred(id int, fr *frame) bool {
+// fragment (α)=>. dec is the decision whose prediction launched the
+// speculation, for coverage attribution.
+func (p *Parser) specSynPred(id int, dec *atn.Decision, fr *frame) bool {
 	def := p.m.SynPreds[id]
 	start := p.stream.Index()
 	var t0 time.Duration
@@ -220,6 +236,9 @@ func (p *Parser) specSynPred(id int, fr *frame) bool {
 	p.spec--
 	consumed := p.stream.Index() - start
 	p.stream.Seek(start)
+	if p.cov != nil {
+		p.cov.Speculation(dec.ID, consumed, p.spec+1, err == nil)
+	}
 	if p.tr != nil {
 		p.tr.Emit(obs.Event{
 			Name: "speculate.synpred", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,

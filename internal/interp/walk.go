@@ -155,6 +155,9 @@ func (p *Parser) noteResync(dec *atn.Decision, fr *frame, deleted int, ok bool) 
 	if p.mx != nil {
 		p.mx.Counter("llstar_error_resyncs_total").Inc()
 	}
+	if p.cov != nil {
+		p.cov.Resync(dec.ID, deleted)
+	}
 }
 
 // consume advances past t, attaching it to the parse tree when building.

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goldenTrace is a fixed mixed workload: parallel analysis spans across
+// three workers, a runtime prediction sequence with speculation and a
+// resync, and a server request span carrying a request id — every
+// event shape the Chrome exporter has to render. Timestamps are
+// explicit, so the serialized bytes are fully deterministic.
+func goldenTrace() []Event {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	return []Event{
+		// Parallel analysis: one dfa.construct span per worker; worker N
+		// must land in Chrome thread lane N+1.
+		{Name: "analysis", Cat: PhaseAnalysis, Ph: PhSpan, TS: us(0), Dur: us(900), Decision: -1, OK: true, N: 3},
+		{Name: "dfa.construct", Cat: PhaseAnalysis, Ph: PhSpan, TS: us(10), Dur: us(300), Decision: 0, Rule: "s", Throttle: "fixed", OK: true, N: 4, Worker: 0},
+		{Name: "dfa.construct", Cat: PhaseAnalysis, Ph: PhSpan, TS: us(12), Dur: us(450), Decision: 1, Rule: "expr", Throttle: "cyclic", OK: true, N: 17, Worker: 1},
+		{Name: "dfa.construct", Cat: PhaseAnalysis, Ph: PhSpan, TS: us(15), Dur: us(200), Decision: 2, Rule: "decl", Throttle: "backtrack", OK: false, N: 9, Worker: 2,
+			Detail: "recursion overflow; falling back to backtracking"},
+		// Runtime: a fixed prediction, a backtracking one with a nested
+		// speculation, a memo hit, and a resync instant.
+		{Name: "parse", Cat: PhaseRuntime, Ph: PhSpan, TS: us(1000), Dur: us(500), Decision: -1, Rule: "s", OK: true, N: 42},
+		{Name: "predict", Cat: PhaseRuntime, Ph: PhSpan, TS: us(1010), Dur: us(3), Decision: 0, Rule: "s", Alt: 1, K: 1, Throttle: "fixed", OK: true},
+		{Name: "speculate.alt", Cat: PhaseRuntime, Ph: PhSpan, TS: us(1020), Dur: us(40), Decision: 2, Rule: "decl", Alt: 2, K: 81, Depth: 1, Backtracked: true, OK: false},
+		{Name: "predict", Cat: PhaseRuntime, Ph: PhSpan, TS: us(1065), Dur: us(50), Decision: 2, Rule: "decl", Alt: 1, K: 81, Throttle: "backtrack", Backtracked: true, OK: true},
+		{Name: "memo.hit", Cat: PhaseRuntime, Ph: PhInstant, TS: us(1100), Decision: -1, Rule: "type", N: 7},
+		{Name: "resync", Cat: PhaseRuntime, Ph: PhInstant, TS: us(1200), Decision: 3, Rule: "stmt", N: 2, Detail: "deleted 2 tokens"},
+		// Server: the request span wrapping it all, request id in Detail.
+		{Name: "server.parse", Cat: PhaseServer, Ph: PhSpan, TS: us(950), Dur: us(600), Decision: -1, OK: true, N: 200, Detail: "req-41d8cd98"},
+	}
+}
+
+// TestChromeGoldenRoundTrip locks the Chrome trace_event encoding to a
+// checked-in golden file and re-parses the output to verify the
+// structural invariants a viewer depends on: event count and order,
+// worker-to-lane assignment, span durations, and args. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/obs -run TestChromeGoldenRoundTrip
+func TestChromeGoldenRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewChrome(&buf)
+	for _, e := range goldenTrace() {
+		tw.Emit(e)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome encoding drifted from %s.\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.\ngot:\n%s", golden, buf.String())
+	}
+
+	// Round trip: the file must be one well-formed JSON array a trace
+	// viewer can load.
+	var got []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v", err)
+	}
+	events := goldenTrace()
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d in, %d out", len(events), len(got))
+	}
+	for i, e := range events {
+		c := got[i]
+		if c.Name != e.Name || c.Cat != string(e.Cat) || c.Ph != string(e.Ph) {
+			t.Errorf("event %d: identity %s/%s/%s, want %s/%s/%c", i, c.Name, c.Cat, c.Ph, e.Name, e.Cat, e.Ph)
+		}
+		// Worker lanes: analysis worker N renders as thread N+1, so
+		// parallel DFA construction gets one timeline row per worker.
+		if c.TID != 1+e.Worker {
+			t.Errorf("event %d (%s): tid = %d, want %d", i, e.Name, c.TID, 1+e.Worker)
+		}
+		if c.TS != float64(e.TS.Microseconds()) {
+			t.Errorf("event %d (%s): ts = %v, want %d", i, e.Name, c.TS, e.TS.Microseconds())
+		}
+		if e.Ph == PhSpan && c.Dur != float64(e.Dur.Microseconds()) {
+			t.Errorf("event %d (%s): dur = %v, want %d", i, e.Name, c.Dur, e.Dur.Microseconds())
+		}
+		if e.Ph == PhInstant && c.S != "t" {
+			t.Errorf("event %d (%s): instant scope = %q, want t", i, e.Name, c.S)
+		}
+		if e.Detail != "" && c.Args["detail"] != e.Detail {
+			t.Errorf("event %d (%s): args.detail = %v, want %q", i, e.Name, c.Args["detail"], e.Detail)
+		}
+	}
+	// The server span's request id survives into the viewer's detail pane.
+	if got[len(got)-1].Args["detail"] != "req-41d8cd98" {
+		t.Errorf("server span lost its request id: %v", got[len(got)-1].Args)
+	}
+	// Monotonic file order is preserved: viewers sort by ts, but the
+	// writer must not reorder what tracers emit.
+	for i := 1; i < len(got); i++ {
+		if got[i].Name == got[i-1].Name && got[i].TS < got[i-1].TS {
+			t.Errorf("events %d/%d reordered", i-1, i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"llstar"
+)
+
+// This file is the server's introspection surface, mounted on the main
+// handler when Config.Debug is set and always available through
+// DebugHandler() for a private listener:
+//
+//	GET /debug/coverage              live per-grammar coverage (JSON)
+//	GET /debug/coverage?grammar=X    one grammar only
+//	GET /debug/coverage?format=html  self-contained HTML hotspot report
+//	GET /debug/vars                  expvar-style metrics JSON
+//	GET /debug/pprof/*               net/http/pprof (CPU, heap, ...)
+
+func (s *Server) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/coverage", s.handleCoverage)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// coverageResponse is the body of GET /debug/coverage: one live
+// snapshot per loaded grammar (grammars never parsed yet show zero
+// counters; grammars never loaded do not appear).
+type coverageResponse struct {
+	Grammars map[string]*llstar.CoverageSnapshot `json:"grammars"`
+}
+
+// handleCoverage serves the live coverage profiles accumulated by every
+// pooled parse since load (or the last unchanged-fingerprint reload,
+// which keeps the profile). ?grammar= restricts to one grammar (404 if
+// it is not loaded); ?format=html renders the hotspot report instead of
+// JSON and requires the grammar to be unambiguous — either ?grammar= or
+// exactly one loaded grammar.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.cfg.DisableCoverage {
+		writeError(w, http.StatusNotFound, "coverage profiling disabled (Config.DisableCoverage)")
+		return
+	}
+	entries := s.reg.LoadedEntries()
+	if name := r.URL.Query().Get("grammar"); name != "" {
+		var hit []*Entry
+		for _, e := range entries {
+			if e.Name == name {
+				hit = append(hit, e)
+				break
+			}
+		}
+		if len(hit) == 0 {
+			writeError(w, http.StatusNotFound, "grammar not loaded: "+name)
+			return
+		}
+		entries = hit
+	}
+	if r.URL.Query().Get("format") == "html" {
+		if len(entries) != 1 || entries[0].Cov == nil {
+			writeError(w, http.StatusBadRequest,
+				"format=html needs one grammar: pass ?grammar=<name>")
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := entries[0].Cov.Snapshot().WriteHTML(w); err != nil {
+			s.countError("coverage", "write")
+		}
+		return
+	}
+	resp := coverageResponse{Grammars: map[string]*llstar.CoverageSnapshot{}}
+	for _, e := range entries {
+		if e.Cov != nil {
+			resp.Grammars[e.Name] = e.Cov.Snapshot()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleVars serves the metrics registry as one expvar-style JSON
+// object — the same series as /metrics, for JSON-speaking collectors
+// and humans with jq.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.mx.WriteJSON(w); err != nil {
+		s.countError("vars", "write")
+	}
+}

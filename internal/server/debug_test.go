@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"llstar"
+)
+
+// coverageBody mirrors the /debug/coverage response for decoding.
+type coverageBody struct {
+	Grammars map[string]*llstar.CoverageSnapshot `json:"grammars"`
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDebugCoverageAfterTraffic(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true, Preload: []string{"expr"}},
+		map[string]string{"expr": exprGrammar, "json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, input := range []string{"x = 1 ;", "y = ( a ) ;", "z = 2 ;"} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/parse", parseRequest{Grammar: "expr", Input: input})
+		if resp.StatusCode != 200 {
+			t.Fatalf("parse: %d %s", resp.StatusCode, body)
+		}
+	}
+
+	code, body := getBody(t, ts.URL+"/debug/coverage")
+	if code != 200 {
+		t.Fatalf("/debug/coverage = %d %s", code, body)
+	}
+	var cov coverageBody
+	if err := json.Unmarshal(body, &cov); err != nil {
+		t.Fatalf("bad coverage JSON: %v\n%s", err, body)
+	}
+	snap := cov.Grammars["expr"]
+	if snap == nil {
+		t.Fatalf("no expr snapshot in %s", body)
+	}
+	if snap.Parses != 3 {
+		t.Errorf("expr parses = %d, want 3", snap.Parses)
+	}
+	if snap.TotalPredictions() == 0 {
+		t.Error("expr snapshot has no prediction events after traffic")
+	}
+	// json was never loaded, so it must not appear (no phantom rows).
+	if _, ok := cov.Grammars["json"]; ok {
+		t.Error("unloaded grammar appears in coverage response")
+	}
+
+	// Single-grammar filter and HTML rendering.
+	code, body = getBody(t, ts.URL+"/debug/coverage?grammar=expr&format=html")
+	if code != 200 || !strings.Contains(string(body), "<html") {
+		t.Errorf("html report = %d %.80s", code, body)
+	}
+	if code, _ = getBody(t, ts.URL+"/debug/coverage?grammar=nope"); code != 404 {
+		t.Errorf("unknown grammar filter = %d, want 404", code)
+	}
+
+	// /debug/vars serves the same registry as /metrics, as JSON.
+	code, body = getBody(t, ts.URL+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("bad vars JSON: %v\n%s", err, body)
+	}
+	found := false
+	for k := range vars {
+		if strings.HasPrefix(k, "llstar_server_requests_total") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vars missing request counter: %s", body)
+	}
+
+	// pprof is mounted too.
+	if code, _ = getBody(t, ts.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestDebugHandlerSeparateFromMain(t *testing.T) {
+	// Debug off: the main handler hides /debug/*, but DebugHandler still
+	// serves it (the private-listener deployment).
+	s, _ := newTestServer(t, Config{}, map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	main := httptest.NewServer(s.Handler())
+	defer main.Close()
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	if code, _ := getBody(t, main.URL+"/debug/coverage"); code != 404 {
+		t.Errorf("main handler /debug/coverage with Debug off = %d, want 404", code)
+	}
+	code, body := getBody(t, dbg.URL+"/debug/coverage")
+	if code != 200 {
+		t.Errorf("DebugHandler /debug/coverage = %d %s", code, body)
+	}
+}
+
+func TestDebugCoverageDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true, DisableCoverage: true},
+		map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, body := getBody(t, ts.URL+"/debug/coverage")
+	if code != 404 || !strings.Contains(string(body), "disabled") {
+		t.Errorf("disabled coverage = %d %s", code, body)
+	}
+}
+
+func TestRequestIDEchoAndErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"expr": exprGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Client-supplied id: echoed verbatim on the response and inside the
+	// error body.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/parse", strings.NewReader(`{"input":"x"}`))
+	req.Header.Set("X-Request-Id", "client-id-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("missing-grammar parse = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "client-id-42" {
+		t.Errorf("echoed id = %q, want client-id-42", got)
+	}
+	var eresp errorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if eresp.Error.RequestID != "client-id-42" {
+		t.Errorf("error JSON request_id = %q, want client-id-42", eresp.Error.RequestID)
+	}
+
+	// No id supplied: the server generates a 16-hex-digit one.
+	resp2, _ := postJSON(t, ts.Client(), ts.URL+"/v1/parse", parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	id := resp2.Header.Get("X-Request-Id")
+	if len(id) != 16 {
+		t.Errorf("generated id = %q, want 16 hex digits", id)
+	}
+
+	// A hostile id (header/log-unsafe) is replaced, not echoed.
+	req3, _ := http.NewRequest("GET", ts.URL+"/v1/grammars", nil)
+	req3.Header.Set("X-Request-Id", "bad id\twith spaces")
+	resp3, err := ts.Client().Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-Id"); strings.Contains(got, " ") || len(got) != 16 {
+		t.Errorf("hostile id not replaced: %q", got)
+	}
+}
+
+func TestReloadErrorSurfacedInListing(t *testing.T) {
+	s, dir := newTestServer(t, Config{}, map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	listing := func() Listing {
+		t.Helper()
+		code, body := getBody(t, ts.URL+"/v1/grammars")
+		if code != 200 {
+			t.Fatalf("/v1/grammars = %d", code)
+		}
+		var out struct {
+			Grammars []Listing `json:"grammars"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range out.Grammars {
+			if l.Name == "expr" {
+				return l
+			}
+		}
+		t.Fatal("expr missing from listing")
+		return Listing{}
+	}
+	if l := listing(); l.LastError != "" {
+		t.Fatalf("fresh grammar has last_error %q", l.LastError)
+	}
+
+	// Break the file (different size + future mtime forces the reload
+	// path regardless of filesystem timestamp granularity).
+	path := filepath.Join(dir, "expr.g")
+	if err := os.WriteFile(path, []byte("grammar Broken; s : ; ;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	// The broken reload is absorbed: requests keep hitting the stale
+	// grammar instead of failing.
+	if _, err := s.Registry().Get("expr"); err != nil {
+		t.Fatalf("broken reload must serve the stale grammar: %v", err)
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/parse", parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse during broken reload = %d %s", resp.StatusCode, body)
+	}
+	l := listing()
+	if l.LastError == "" {
+		t.Error("broken reload not surfaced in last_error")
+	}
+	if !l.Loaded {
+		t.Error("stale entry should still be listed as loaded")
+	}
+	if got := s.Metrics().Counter("llstar_server_reload_errors_total").Value(); got < 1 {
+		t.Errorf("reload_errors_total = %d, want >= 1", got)
+	}
+
+	// Fix the file: the next load succeeds and clears the error.
+	if err := os.WriteFile(path, []byte(exprGrammar), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	later := future.Add(2 * time.Second)
+	if err := os.Chtimes(path, later, later); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Get("expr"); err != nil {
+		t.Fatalf("fixed grammar failed to reload: %v", err)
+	}
+	if l := listing(); l.LastError != "" {
+		t.Errorf("last_error survives a successful reload: %q", l.LastError)
+	}
+}

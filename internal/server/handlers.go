@@ -240,8 +240,14 @@ func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
 	var tree *llstar.Tree
 	var perr error
 	if req.Recover {
-		// Recovery changes parser behavior, so it bypasses the pool.
-		p := e.G.NewParser(llstar.WithTree(), llstar.WithStats(), llstar.WithRecovery(0))
+		// Recovery changes parser behavior, so it bypasses the pool —
+		// but still feeds the shared coverage profile (resyncs are some
+		// of the most interesting events it records).
+		popts := []llstar.ParserOption{llstar.WithTree(), llstar.WithStats(), llstar.WithRecovery(0)}
+		if e.Cov != nil {
+			popts = append(popts, llstar.WithCoverage(e.Cov))
+		}
+		p := e.G.NewParser(popts...)
 		tree, perr = p.Parse(req.Rule, req.Input)
 		if req.Stats {
 			resp.Stats = toStatsJSON(p.Stats())

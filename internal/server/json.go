@@ -64,6 +64,9 @@ type errorJSON struct {
 	Token     string `json:"token,omitempty"`
 	TokenType int    `json:"token_type,omitempty"`
 	TokenName string `json:"token_name,omitempty"`
+	// RequestID correlates error responses with server logs and trace
+	// spans; it echoes the request's X-Request-Id (top-level errors only).
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // statsJSON summarizes runtime.ParseStats for one parse.
@@ -174,9 +177,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the connection is the only failure mode left
 }
 
-// writeError writes a JSON error body with the given status.
+// writeError writes a JSON error body with the given status. The
+// request-id middleware stamps X-Request-Id on the response header
+// before any handler runs, so the id is read back from there.
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: errorJSON{Msg: msg}})
+	writeJSON(w, code, errorResponse{
+		Error: errorJSON{Msg: msg, RequestID: w.Header().Get(requestIDHeader)},
+	})
 }
 
 // decodeJSON decodes a request body, mapping oversized bodies to a

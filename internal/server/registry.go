@@ -42,15 +42,24 @@ var grammarName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 // rest wait for it. Loaded grammars hot-reload: every hit re-stats the
 // backing file, and a changed mtime/size triggers a reload; if the
 // reloaded fingerprint is unchanged (e.g. a touch) the warm entry and
-// its parser pool are kept.
+// its parser pool are kept. A reload that fails — the file was broken,
+// or read mid-write — keeps serving the last good grammar while the
+// failure is surfaced through Listing.LastError and the
+// llstar_server_reload_errors_total counter.
 type Registry struct {
 	dir  string
 	opts llstar.LoadOptions
 	mx   *obs.Metrics
 
+	// DisableCoverage skips creating the per-entry coverage profile that
+	// backs /debug/coverage. Set it before the first Get; the server
+	// wires Config.DisableCoverage here.
+	DisableCoverage bool
+
 	mu      sync.Mutex
 	entries map[string]*Entry
 	loads   map[string]*loadCall
+	lastErr map[string]string // last load failure per name, cleared on success
 }
 
 // Entry is one resolved grammar: the immutable Grammar, the parser
@@ -64,6 +73,11 @@ type Entry struct {
 	Pool     *llstar.ParserPool
 	Digest   string // Grammar.AnalysisDigest, computed once at load
 	LoadedAt time.Time
+	// Cov accumulates runtime coverage from every pooled (and recovery)
+	// parse of this grammar; nil when Registry.DisableCoverage is set.
+	// An unchanged-fingerprint reload keeps the old profile, so counters
+	// survive file touches.
+	Cov *llstar.CoverageProfile
 
 	mtime time.Time
 	size  int64
@@ -86,6 +100,7 @@ func NewRegistry(dir string, opts llstar.LoadOptions, mx *obs.Metrics) *Registry
 		mx:      mx,
 		entries: map[string]*Entry{},
 		loads:   map[string]*loadCall{},
+		lastErr: map[string]string{},
 	}
 }
 
@@ -115,6 +130,18 @@ func (r *Registry) Get(name string) (*Entry, error) {
 	delete(r.loads, name)
 	if err == nil {
 		r.entries[name] = e
+		delete(r.lastErr, name)
+	} else {
+		r.lastErr[name] = err.Error()
+		if old != nil {
+			// A grammar that served before now fails to load — someone
+			// broke the file (or we read it mid-write). Keep serving the
+			// last good grammar, as for a vanished file; the failure is
+			// surfaced through Listing.LastError and the counter, and
+			// the next Get retries the load.
+			r.countReloadError()
+			e, err = old, nil
+		}
 	}
 	r.mu.Unlock()
 	c.e, c.err = e, err
@@ -189,6 +216,11 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 	if r.mx != nil {
 		popts = append(popts, llstar.WithMetrics(r.mx))
 	}
+	var cov *llstar.CoverageProfile
+	if !r.DisableCoverage {
+		cov = g.NewCoverage()
+		popts = append(popts, llstar.WithCoverage(cov))
+	}
 	return &Entry{
 		Name:     name,
 		Path:     path,
@@ -197,6 +229,7 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 		Pool:     g.NewParserPool(popts...),
 		Digest:   g.AnalysisDigest(),
 		LoadedAt: time.Now(),
+		Cov:      cov,
 		mtime:    st.ModTime(),
 		size:     st.Size(),
 	}, nil
@@ -205,6 +238,12 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 func (r *Registry) count(result string) {
 	if r.mx != nil {
 		r.mx.Counter(obs.Label("llstar_server_grammar_loads_total", "result", result)).Inc()
+	}
+}
+
+func (r *Registry) countReloadError() {
+	if r.mx != nil {
+		r.mx.Counter("llstar_server_reload_errors_total").Inc()
 	}
 }
 
@@ -220,6 +259,10 @@ type Listing struct {
 	Decisions   int    `json:"decisions,omitempty"`
 	Warnings    int    `json:"warnings,omitempty"`
 	FromCache   bool   `json:"loaded_from_cache,omitempty"`
+	// LastError is the most recent load failure for this name, kept
+	// until a load succeeds. A loaded grammar with a LastError is
+	// serving a stale version: its file changed but no longer loads.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // Names returns every grammar name the directory offers, sorted.
@@ -264,7 +307,8 @@ func (r *Registry) List() ([]Listing, error) {
 		if err != nil {
 			continue // raced with a deletion
 		}
-		l := Listing{Name: name, File: filepath.Base(path), Compiled: compiled}
+		l := Listing{Name: name, File: filepath.Base(path), Compiled: compiled,
+			LastError: r.lastErr[name]}
 		if e, ok := r.entries[name]; ok {
 			l.Loaded = true
 			l.Fingerprint = e.G.Fingerprint()
@@ -276,6 +320,19 @@ func (r *Registry) List() ([]Listing, error) {
 		out = append(out, l)
 	}
 	return out, nil
+}
+
+// LoadedEntries returns the currently loaded entries, sorted by name.
+// The debug endpoints read their coverage profiles.
+func (r *Registry) LoadedEntries() []*Entry {
+	r.mu.Lock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Preload loads the named grammars (or, for the single name "all" or

@@ -130,15 +130,23 @@ func TestRegistryHotReload(t *testing.T) {
 		t.Errorf("reload count: %d", loadCount(mx, "reload"))
 	}
 
-	// A reload that breaks the grammar fails the Get...
+	// A reload that breaks the grammar keeps serving the last good
+	// grammar, recording the failure.
 	if err := os.WriteFile(path, []byte("grammar Broken; s : ; ;"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Chtimes(path, time.Time{}, time.Now().Add(3*time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Get("expr"); err == nil {
-		t.Error("broken reload did not error")
+	eb, err := r.Get("expr")
+	if err != nil {
+		t.Fatalf("broken reload must serve the stale grammar: %v", err)
+	}
+	if eb.G != e4.G {
+		t.Error("broken reload did not serve last good grammar")
+	}
+	if got := mx.Counter("llstar_server_reload_errors_total").Value(); got < 1 {
+		t.Errorf("reload_errors_total = %d, want >= 1", got)
 	}
 	// ...and a vanished file keeps serving the last good grammar.
 	if err := os.WriteFile(path, []byte(changed), 0o644); err != nil {

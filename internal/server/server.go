@@ -12,6 +12,17 @@
 //	GET  /readyz       readiness (200 only after preloads, 503 draining)
 //	GET  /metrics      Prometheus text exposition
 //
+// Introspection (Config.Debug on the main handler, or DebugHandler()
+// on a private listener):
+//
+//	GET /debug/coverage   live per-grammar coverage/hotspot profiles (JSON or ?format=html)
+//	GET /debug/vars       expvar-style metrics JSON
+//	GET /debug/pprof/*    net/http/pprof
+//
+// Every request carries an X-Request-Id (client-supplied or generated):
+// echoed on the response, embedded in error JSON, attached to the
+// server.<endpoint> trace span, and printed with panic logs.
+//
 // Robustness: a global in-flight limiter sheds load with 429 +
 // Retry-After once MaxInFlight parses are running and the queue wait is
 // exhausted; request bodies are capped; every parse runs under a
@@ -22,7 +33,10 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"runtime"
@@ -71,6 +85,17 @@ type Config struct {
 	BatchWorkers int
 	// MaxBatchItems caps inputs per batch request (default 256).
 	MaxBatchItems int
+
+	// Debug mounts the introspection endpoints (/debug/coverage,
+	// /debug/vars, /debug/pprof/*) on the main handler. Regardless of
+	// this flag they are always reachable through DebugHandler(), which
+	// a deployment can bind to a private listener.
+	Debug bool
+	// DisableCoverage turns off the per-grammar coverage profiler
+	// behind /debug/coverage. The zero value keeps it on: the recorder
+	// costs a few percent of parse time and makes every served grammar
+	// introspectable.
+	DisableCoverage bool
 
 	// Metrics receives llstar_server_* series plus everything the
 	// facade records (pool, cache, runtime counters). Created if nil.
@@ -124,6 +149,7 @@ type Server struct {
 	ready   atomic.Bool
 	drain   atomic.Bool
 	handler http.Handler
+	debug   http.Handler
 }
 
 // New validates cfg and builds a Server. The server is not ready until
@@ -155,9 +181,11 @@ func New(cfg Config) (*Server, error) {
 		mx:  cfg.Metrics,
 		tr:  obs.Active(cfg.Tracer),
 	}
+	s.reg.DisableCoverage = cfg.DisableCoverage
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
+	s.debug = s.debugMux()
 	s.handler = s.routes()
 	return s, nil
 }
@@ -170,6 +198,12 @@ func (s *Server) Metrics() *obs.Metrics { return s.mx }
 
 // Handler returns the root handler (all endpoints plus middleware).
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// DebugHandler returns just the introspection endpoints
+// (/debug/coverage, /debug/vars, /debug/pprof/*), for serving on a
+// separate — typically private — listener. It is available even when
+// Config.Debug left them off the main handler.
+func (s *Server) DebugHandler() http.Handler { return s.debug }
 
 // Preload loads cfg.Preload (plus any extra names) and then marks the
 // server ready. It is the readiness gate: call it even with nothing to
@@ -212,7 +246,10 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("/v1/parse", s.instrument("parse", true, s.handleParse))
 	mux.Handle("/v1/batch", s.instrument("batch", true, s.handleBatch))
 	mux.Handle("/v1/grammars", s.instrument("grammars", false, s.handleGrammars))
-	return s.recoverPanics(mux)
+	if s.cfg.Debug {
+		mux.Handle("/debug/", s.debug)
+	}
+	return s.requestID(s.recoverPanics(mux))
 }
 
 // statusWriter captures the response code for metrics and tracing.
@@ -284,6 +321,7 @@ func (s *Server) finish(endpoint string, rec *statusWriter, start time.Time, ts0
 			Name: "server." + endpoint, Cat: obs.PhaseServer, Ph: obs.PhSpan,
 			TS: ts0, Dur: s.tr.Now() - ts0, Decision: -1,
 			OK: code < 400, N: int64(code),
+			Detail: rec.Header().Get(requestIDHeader),
 		})
 	}
 }
@@ -334,11 +372,69 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.countError(r.URL.Path, "panic")
+				log.Printf("server: panic serving %s %s (request_id=%s): %v\n%s",
+					r.Method, r.URL.Path, w.Header().Get(requestIDHeader), v, debugStack())
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// debugStack trims the recover frames off a stack dump so the panic
+// site leads.
+func debugStack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// requestIDHeader carries the correlation id: clients may supply one;
+// the server generates one otherwise, echoes it on every response, and
+// threads it through trace spans, error JSON, and panic logs.
+const requestIDHeader = "X-Request-Id"
+
+// requestID is the outermost middleware: it stamps the sanitized (or
+// generated) id on both the request and the response header before any
+// handler — including the panic recoverer — can write, so every error
+// path sees it.
+func (s *Server) requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		r.Header.Set(requestIDHeader, id)
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sanitizeRequestID accepts client-supplied ids only when they are
+// short and header/log-safe; anything else is discarded so a hostile
+// id cannot smuggle bytes into logs or responses.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-digit id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // rand failure: correlate as "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ import (
 
 	"llstar/internal/codegen"
 	"llstar/internal/core"
+	"llstar/internal/cover"
 	"llstar/internal/grammar"
 	"llstar/internal/interp"
 	"llstar/internal/meta"
@@ -65,6 +66,24 @@ type (
 	// Metrics is a registry of counters, gauges, and histograms.
 	Metrics = obs.Metrics
 )
+
+// Re-exported coverage types. A CoverageProfile is the mergeable
+// aggregate of decision-level runtime counters behind WithCoverage;
+// CoverageSnapshot is an immutable copy with text/HTML report
+// renderers. See docs/observability.md.
+type (
+	// CoverageProfile accumulates per-rule/per-decision/per-alternative
+	// runtime counters; safe for concurrent flush and snapshot.
+	CoverageProfile = cover.Profile
+	// CoverageSnapshot is an immutable copy of a profile's counters
+	// with WriteReport/WriteHotspots/WriteHTML renderers.
+	CoverageSnapshot = cover.Snapshot
+)
+
+// CoverageStrategy names the prediction-strategy index i of
+// CoverageSnapshot.StrategyTotals: "LL(1)", "LL(k)", "cyclic",
+// "backtrack".
+func CoverageStrategy(i int) string { return cover.Strategy(i).String() }
 
 // NewJSONLTracer returns a tracer writing one JSON object per line to w.
 // Close it after the last parse to flush.
@@ -111,9 +130,11 @@ type Grammar struct {
 	fromCache bool
 
 	// concOnce/concPool lazily initialize the default pool behind
-	// ParseConcurrent.
+	// ParseConcurrent; concCov optionally instruments that pool with a
+	// coverage profile (SetConcurrentCoverage).
 	concOnce sync.Once
 	concPool *ParserPool
+	concCov  *cover.Profile
 }
 
 // LoadOptions tune Load.
@@ -367,6 +388,30 @@ func (g *Grammar) AnalysisProfile() []DecisionProfile {
 	return out
 }
 
+// NewCoverage returns an empty coverage profile shaped for this
+// grammar: one slot per parsing decision (with its alternative count
+// and DFA size) and per parser rule. Pass it to WithCoverage on any
+// number of parsers or pools; decision and DFA state IDs are stable
+// across loads of the same source, so profiles from different
+// processes are directly comparable and mergeable.
+func (g *Grammar) NewCoverage() *CoverageProfile {
+	meta := cover.Meta{Grammar: g.Name()}
+	for _, r := range g.res.Grammar.Rules {
+		meta.Rules = append(meta.Rules, r.Name)
+	}
+	for _, di := range g.res.Decisions {
+		meta.Decisions = append(meta.Decisions, cover.DecisionMeta{
+			ID:        di.Decision.ID,
+			Rule:      di.Decision.Rule.Name,
+			Desc:      di.Decision.Desc,
+			Class:     di.Class.String(),
+			NAlts:     di.Decision.NAlts,
+			DFAStates: di.DFA.NumStates(),
+		})
+	}
+	return cover.NewProfile(meta)
+}
+
 // Summary renders a one-line analysis summary (the Table 1 row for this
 // grammar).
 func (g *Grammar) Summary() string {
@@ -454,6 +499,15 @@ func WithTracer(t Tracer) ParserOption { return func(o *interp.Options) { o.Trac
 // WithMetrics accumulates runtime counters and histograms into m; one
 // registry may be shared across parsers and with LoadOptions.Metrics.
 func WithMetrics(m *Metrics) ParserOption { return func(o *interp.Options) { o.Metrics = m } }
+
+// WithCoverage accumulates decision-level coverage and hotspot
+// counters into p (create one with Grammar.NewCoverage). The parser
+// records into a private recorder and merges once per parse, so one
+// profile may be shared across parsers, pools, and goroutines. Nil
+// disables coverage at nil-check cost.
+func WithCoverage(p *CoverageProfile) ParserOption {
+	return func(o *interp.Options) { o.Coverage = p }
+}
 
 // WithApproxLLK switches to ANTLR-v2-style linear approximate LL(k)
 // prediction (the Section 6.2 baseline).

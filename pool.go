@@ -96,7 +96,17 @@ func (pp *ParserPool) Parse(startRule, input string) (*Tree, error) {
 // NewParserPool instead.
 func (g *Grammar) ParseConcurrent(startRule, input string) (*Tree, error) {
 	g.concOnce.Do(func() {
-		g.concPool = g.NewParserPool(WithTree())
+		opts := []ParserOption{WithTree()}
+		if g.concCov != nil {
+			opts = append(opts, WithCoverage(g.concCov))
+		}
+		g.concPool = g.NewParserPool(opts...)
 	})
 	return g.concPool.Parse(startRule, input)
 }
+
+// SetConcurrentCoverage instruments the shared pool behind
+// ParseConcurrent with a coverage profile. Call it before the first
+// ParseConcurrent on this Grammar — the pool is built once, so later
+// calls do not take effect.
+func (g *Grammar) SetConcurrentCoverage(p *CoverageProfile) { g.concCov = p }
