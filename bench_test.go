@@ -271,6 +271,53 @@ func BenchmarkCoverageOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkFlightOverhead guards the flight recorder's cost contract
+// alongside BenchmarkTracerOverhead and BenchmarkCoverageOverhead:
+// with no recorder (or after detach) the parser is back to a single
+// nil-tracer check, and the enabled cost — one ring-slot store per
+// event, no allocation — is reported for tracking. The "detached" case
+// is the server's pooled-parser steady state between requests.
+func BenchmarkFlightOverhead(b *testing.B) {
+	w, err := bench.ByName("Java1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1, 500)
+	run := func(b *testing.B, prep func(*llstar.Parser)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := g.NewParser()
+			if prep != nil {
+				prep(p)
+			}
+			if _, err := p.Parse(w.Start, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("nil", func(b *testing.B) {
+		run(b, func(p *llstar.Parser) { p.SetFlightRecorder(nil) })
+	})
+	b.Run("detached", func(b *testing.B) {
+		run(b, func(p *llstar.Parser) {
+			p.SetFlightRecorder(llstar.NewFlightRecorder(256))
+			p.SetFlightRecorder(nil)
+		})
+	})
+	rec := llstar.NewFlightRecorder(256)
+	b.Run("flight", func(b *testing.B) {
+		run(b, func(p *llstar.Parser) {
+			rec.Reset()
+			p.SetFlightRecorder(rec)
+		})
+	})
+}
+
 // BenchmarkGovernorM (ablation) varies the recursion governor m on the
 // Figure 2 grammar: larger m means deeper DFA exploration before failover.
 func BenchmarkGovernorM(b *testing.B) {

@@ -8,6 +8,7 @@
 //	llstar-parse -metrics grammar.g input.txt
 //	llstar-parse -cover -hotspots grammar.g input.txt
 //	llstar-parse -cover-html report.html grammar.g input.txt
+//	llstar-parse -flight capture.json -flight-slow 100ms grammar.g input.txt
 //	echo '1+2*3' | llstar-parse grammar.g -
 //
 // Two warm-start modes skip grammar analysis on startup:
@@ -57,6 +58,9 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm loads skip analysis)")
 	compiled := flag.String("compiled", "", "load this precompiled .llsc artifact instead of a grammar file")
 	serverURL := flag.String("server", "", "parse on this llstar-serve instance (the grammar argument becomes a server-side name)")
+	flightFile := flag.String("flight", "", "ride a flight recorder and write its JSON capture to this file (see -flight-slow for when)")
+	flightEvents := flag.Int("flight-events", 0, "flight ring capacity: the last N events kept (0 = default 256)")
+	flightSlow := flag.Duration("flight-slow", 0, "with -flight, capture only a failed or at-least-this-slow parse (0 = always capture)")
 	flag.Parse()
 
 	wantArgs, usage := 2, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)"
@@ -131,7 +135,7 @@ func main() {
 	}
 
 	opts := []llstar.ParserOption{llstar.WithTree()}
-	if *stats {
+	if *stats || *flightFile != "" {
 		opts = append(opts, llstar.WithStats())
 	}
 	var prof *llstar.CoverageProfile
@@ -145,8 +149,18 @@ func main() {
 	if reg != nil {
 		opts = append(opts, llstar.WithMetrics(reg))
 	}
+	var frec *llstar.FlightRecorder
+	if *flightFile != "" {
+		frec = llstar.NewFlightRecorder(*flightEvents)
+		opts = append(opts, llstar.WithFlightRecorder(frec))
+	}
 	p := g.NewParser(opts...)
+	parseStart := time.Now()
 	tree, perr := p.Parse(*rule, string(input))
+	if frec != nil {
+		writeFlight(*flightFile, frec, flag.Arg(0), *rule, p.Stats(),
+			time.Since(parseStart), *flightSlow, perr)
+	}
 	if tracer != nil {
 		// Finalize the trace even when the parse failed: the events up
 		// to the failure are exactly what a trace is for.
@@ -173,6 +187,63 @@ func main() {
 		printMetrics(reg, *metricsJSON)
 	}
 	printCoverage(prof, *coverFlag, *hotspots, *hotspotTop, *coverHTML)
+}
+
+// writeFlight persists the parse's flight recording as a JSON capture
+// (the same shape GET /debug/flight/{id} serves). slow selects when:
+// 0 writes every parse; otherwise only a failed parse or one that took
+// at least that long is written, so a batch driver can fan -flight
+// across a corpus and keep captures only for the anomalies.
+func writeFlight(path string, rec *llstar.FlightRecorder, grammar, rule string,
+	st *llstar.Stats, elapsed, slow time.Duration, perr error) {
+	trigger := "manual"
+	switch {
+	case perr != nil:
+		trigger = "error"
+	case slow > 0 && elapsed >= slow:
+		trigger = "slow"
+	case slow > 0:
+		return // armed, and the parse was fast and clean
+	}
+	events, dropped := rec.Snapshot()
+	c := llstar.FlightCapture{
+		ID:         "cli",
+		Grammar:    grammar,
+		Rule:       rule,
+		Trigger:    trigger,
+		Time:       time.Now(),
+		DurUS:      elapsed.Microseconds(),
+		Stats:      flightStats(st),
+		EventCount: len(events),
+		Dropped:    dropped,
+		Events:     events,
+	}
+	data, err := json.MarshalIndent(&c, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llstar-parse: flight:", err)
+	}
+}
+
+// flightStats summarizes the runtime profile into the capture's stats
+// block.
+func flightStats(st *llstar.Stats) llstar.FlightStats {
+	if st == nil {
+		return llstar.FlightStats{}
+	}
+	out := llstar.FlightStats{MemoHits: st.MemoHits, MemoMisses: st.MemoMisses}
+	for i := range st.Decisions {
+		d := &st.Decisions[i]
+		out.PredictEvents += d.Events
+		if d.MaxK > out.MaxLookahead {
+			out.MaxLookahead = d.MaxK
+		}
+		out.BacktrackEvents += d.BacktrackEvents
+		out.BacktrackTokens += d.SumBacktrackK
+	}
+	return out
 }
 
 // printCoverage renders the coverage profile of the parse: the full

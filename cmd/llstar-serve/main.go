@@ -7,13 +7,20 @@
 //	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/parse -d '{"grammar":"json","input":"[1,2]"}'
 //	curl -s localhost:8080/debug/coverage | jq .
+//	curl -s localhost:8080/debug/flight | jq .
 //	curl -s 'localhost:8080/debug/coverage?grammar=json&format=html' > cov.html
 //
 // Introspection (/debug/coverage live per-grammar coverage profiles,
-// /debug/vars metrics JSON, /debug/pprof) is on the main listener by
-// default (-debug=false removes it) and can additionally be bound to a
-// private -debug-addr. Every response carries an X-Request-Id for log
-// and trace correlation.
+// /debug/flight anomaly captures, /debug/vars metrics JSON,
+// /debug/pprof) is on the main listener by default (-debug=false
+// removes it) and can additionally be bound to a private -debug-addr.
+// Every response carries an X-Request-Id and a W3C Traceparent for
+// log and trace correlation.
+//
+// The process logs structured JSON (log/slog) to stdout — one access
+// line per request carrying endpoint, status, dur_ms, request_id,
+// trace_id, and grammar, plus lifecycle, panic, and flight-capture
+// records — so `llstar-serve | jq` works out of the box.
 //
 // The server preloads -preload (default: every grammar in the
 // directory) before /readyz reports ready, so a rollout behind a load
@@ -26,7 +33,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,9 +47,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	log.SetPrefix("llstar-serve: ")
-
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts with -addr :0)")
 	grammars := flag.String("grammars", "grammars", "directory of .g / .llsc grammar files served by name")
@@ -59,25 +63,48 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 	trace := flag.String("trace", "", "write a structured trace of loads and parses to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
-	debug := flag.Bool("debug", true, "mount the introspection endpoints (/debug/coverage, /debug/vars, /debug/pprof) on the main listener")
+	debug := flag.Bool("debug", true, "mount the introspection endpoints (/debug/coverage, /debug/flight, /debug/vars, /debug/pprof) on the main listener")
 	debugAddr := flag.String("debug-addr", "", "additionally serve only the /debug endpoints on this separate (private) listener")
 	noCoverage := flag.Bool("no-coverage", false, "disable the per-grammar coverage profiler behind /debug/coverage")
+	flight := flag.Bool("flight", true, "record per-request flight timelines and capture anomalies at /debug/flight")
+	flightSlow := flag.Duration("flight-slow", 500*time.Millisecond, "latency threshold that triggers a flight capture (<0 disarms)")
+	flightEvents := flag.Int("flight-events", 0, "per-request flight ring capacity (0 = default 256)")
+	flightCaptures := flag.Int("flight-captures", 0, "server-wide capture store bound (0 = default 64)")
+	flightWasted := flag.Int64("flight-wasted", 0, "backtrack-token budget that triggers a flight capture (0 disarms)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		slog.Error("startup", "err", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	cfg := server.Config{
-		GrammarDir:           *grammars,
-		CacheDir:             *cacheDir,
-		CacheMaxBytes:        *cacheMax,
-		RewriteLeftRecursion: *leftrec,
-		AnalysisWorkers:      *workers,
-		MaxInFlight:          *maxInFlight,
-		QueueWait:            *queueWait,
-		MaxBodyBytes:         *maxBody,
-		RequestTimeout:       *timeout,
-		BatchWorkers:         *batchWorkers,
-		Debug:                *debug,
-		DisableCoverage:      *noCoverage,
-		Metrics:              llstar.NewMetrics(),
+		GrammarDir:            *grammars,
+		CacheDir:              *cacheDir,
+		CacheMaxBytes:         *cacheMax,
+		RewriteLeftRecursion:  *leftrec,
+		AnalysisWorkers:       *workers,
+		MaxInFlight:           *maxInFlight,
+		QueueWait:             *queueWait,
+		MaxBodyBytes:          *maxBody,
+		RequestTimeout:        *timeout,
+		BatchWorkers:          *batchWorkers,
+		Debug:                 *debug,
+		DisableCoverage:       *noCoverage,
+		DisableFlight:         !*flight,
+		FlightSlow:            *flightSlow,
+		FlightEvents:          *flightEvents,
+		FlightCaptures:        *flightCaptures,
+		FlightBacktrackTokens: *flightWasted,
+		Logger:                logger,
+		Metrics:               llstar.NewMetrics(),
 	}
 	if p := strings.TrimSpace(*preload); p != "" {
 		cfg.Preload = strings.Split(p, ",")
@@ -87,7 +114,7 @@ func main() {
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
-			log.Fatal(err)
+			fatal("trace file", err)
 		}
 		defer f.Close()
 		switch *traceFormat {
@@ -96,7 +123,7 @@ func main() {
 		case "chrome":
 			tw = llstar.NewChromeTracer(f)
 		default:
-			log.Fatalf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat)
+			fatal("trace format", errors.New("unknown -trace-format "+*traceFormat+" (want jsonl or chrome)"))
 		}
 		defer tw.Close()
 		cfg.Tracer = tw
@@ -104,17 +131,17 @@ func main() {
 
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
-	log.Printf("listening on %s (grammars: %s)", ln.Addr(), *grammars)
+	logger.Info("listening", "addr", ln.Addr().String(), "grammars", *grammars)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			log.Fatal(err)
+			fatal("addr file", err)
 		}
 	}
 
@@ -125,13 +152,13 @@ func main() {
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("debug listen", err)
 		}
-		log.Printf("debug endpoints on %s", dln.Addr())
+		logger.Info("debug listening", "addr", dln.Addr().String())
 		dhs := &http.Server{Handler: s.DebugHandler()}
 		go func() {
 			if err := dhs.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug listener: %v", err)
+				logger.Error("debug listener", "err", err)
 			}
 		}()
 		defer dhs.Close()
@@ -141,7 +168,7 @@ func main() {
 	// and /readyz flips only once every preload has completed.
 	warm := time.Now()
 	if err := s.Preload(); err != nil {
-		log.Fatal(err)
+		fatal("preload", err)
 	}
 	list, _ := s.Registry().List()
 	loaded := 0
@@ -150,24 +177,47 @@ func main() {
 			loaded++
 		}
 	}
-	log.Printf("ready in %v (%d grammars available, %d preloaded)",
-		time.Since(warm).Round(time.Millisecond), len(list), loaded)
+	logger.Info("ready",
+		"warmup_ms", float64(time.Since(warm))/float64(time.Millisecond),
+		"grammars_available", len(list), "grammars_preloaded", loaded)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
-		log.Printf("%s: draining (in flight: %d, timeout %v)", got, s.InFlight(), *drainTimeout)
+		logger.Info("draining",
+			"signal", got.String(), "in_flight", s.InFlight(),
+			"drain_timeout", drainTimeout.String())
 		s.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Fatalf("drain incomplete: %v", err)
+			fatal("drain incomplete", err)
 		}
-		log.Print("drained, exiting")
+		logger.Info("drained")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal("serve", err)
 		}
 	}
+}
+
+// newLogger builds the process logger: JSON records on stdout, so
+// `llstar-serve | jq` consumes the access log directly.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, errors.New("unknown -log-level " + level + " (want debug, info, warn, or error)")
+	}
+	h := slog.NewJSONHandler(os.Stdout, &slog.HandlerOptions{Level: lv})
+	return slog.New(h).With("app", "llstar-serve"), nil
 }

@@ -27,6 +27,14 @@ type ResultSet struct {
 	GoOS    string `json:"goos"`
 	GoArch  string `json:"goarch"`
 
+	// Run metadata: which toolchain and host shape produced the
+	// numbers. Informational only — Compare never reads it — but it
+	// lets a BENCH_*.json trajectory answer "did the toolchain change
+	// between these two points?" without archaeology.
+	GoVersion  string `json:"go_version,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+	Timestamp  string `json:"timestamp_utc,omitempty"`
+
 	Workloads []WorkloadResult `json:"workloads"`
 }
 
@@ -70,6 +78,9 @@ func RunResultSet(seed int64, lines, runs int) (*ResultSet, error) {
 		Version: ResultVersion,
 		Seed:    seed, Lines: lines, Runs: runs,
 		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, w := range Workloads {
 		g, err := w.Load()

@@ -54,6 +54,11 @@ type Options struct {
 	// speculation spans, predicate evaluations, memo hits/misses, and
 	// error-recovery resyncs. Nil (or obs.Nop) costs nothing.
 	Tracer obs.Tracer
+	// Flight, if set, is teed with Tracer: a second, typically
+	// request-scoped event sink (the flight recorder's ring buffer).
+	// Nil costs nothing — with neither Tracer nor Flight the runtime
+	// tracer is nil and every emission site is one nil check.
+	Flight obs.Tracer
 	// Metrics, if set, accumulates runtime counters and histograms
 	// (prediction events by throttle level, lookahead-depth
 	// distributions, speculation and memo activity).
@@ -98,8 +103,11 @@ type Parser struct {
 
 	// tr is the normalized tracer (nil when tracing is off — the hot
 	// path gates on this single nil check) and mx the metrics registry.
-	tr obs.Tracer
-	mx *obs.Metrics
+	// base is the construction-time tracer AttachTracer restores when a
+	// per-parse auxiliary sink detaches.
+	tr   obs.Tracer
+	base obs.Tracer
+	mx   *obs.Metrics
 	// cov is this parser's private coverage recorder (nil when coverage
 	// is off), flushed into Options.Coverage once per parse.
 	cov *cover.Recorder
@@ -125,19 +133,41 @@ func New(res *core.Result, opts Options) *Parser {
 			}
 		}
 	}
-	p.tr = obs.Active(opts.Tracer)
+	p.base = obs.Tee(opts.Tracer, opts.Flight)
+	p.tr = p.base
 	p.mx = opts.Metrics
 	if opts.Coverage != nil {
 		p.cov = opts.Coverage.NewRecorder()
 	}
 	p.measureK = p.stats != nil || p.tr != nil || p.mx != nil || p.cov != nil
 	if p.tr != nil || p.mx != nil {
-		p.throttle = make([]string, len(res.DFAs))
-		for _, di := range res.Decisions {
-			p.throttle[di.Decision.ID] = di.Class.String()
-		}
+		p.buildThrottle()
 	}
 	return p
+}
+
+// buildThrottle caches each decision's static class name for event
+// labeling.
+func (p *Parser) buildThrottle() {
+	p.throttle = make([]string, len(p.res.DFAs))
+	for _, di := range p.res.Decisions {
+		p.throttle[di.Decision.ID] = di.Class.String()
+	}
+}
+
+// AttachTracer tees a per-parse auxiliary event sink (typically a
+// flight recorder ring) with the parser's construction-time tracer;
+// AttachTracer(nil) detaches it, restoring construction-time behavior
+// exactly — including the nil-tracer fast path. The server attaches a
+// request's recorder to a pooled parser this way and detaches before
+// returning it. Call only between parses: the tracer must not change
+// mid-parse.
+func (p *Parser) AttachTracer(aux obs.Tracer) {
+	p.tr = obs.Tee(p.base, aux)
+	if p.tr != nil && p.throttle == nil {
+		p.buildThrottle()
+	}
+	p.measureK = p.stats != nil || p.tr != nil || p.mx != nil || p.cov != nil
 }
 
 // Stats returns the profile of the most recent parse (nil unless

@@ -1,0 +1,460 @@
+// Package flight is the request-scoped flight recorder of the
+// observability layer: a bounded, allocation-free ring buffer that
+// keeps the last N trace events of one parse, plus an anomaly trigger
+// and a server-wide bounded capture store, so the full event timeline
+// of "the one slow request" is retrievable after the fact without
+// paying for always-on full tracing.
+//
+// The design follows the paper's operational reality: LL(*) prediction
+// is adaptive (Sections 4–5), so a production parse can silently
+// degrade from LL(1) to cyclic-DFA scanning to full backtracking.
+// Aggregate metrics and coverage profiles show that a fleet degrades;
+// only a per-request capture shows *which* request degraded and at
+// which decisions. A Recorder rides along every request cheaply
+// (single-writer, fixed capacity, no locks, no allocation after
+// construction); when the request turns out anomalous — too slow, a
+// 5xx, a panic, or over its speculation budget — the ring is frozen
+// into a Capture and persisted in a Store for the /debug/flight
+// endpoints.
+//
+// The cost contract matches the tracer and coverage profiler: with no
+// recorder installed the parser's instrumentation sites reduce to one
+// nil check (obs.Active semantics), so a disabled flight recorder is
+// indistinguishable from no observability at all.
+package flight
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llstar/internal/obs"
+)
+
+// DefaultEvents is the ring capacity used when a Recorder is created
+// with a non-positive capacity: enough to hold the prediction tail of
+// a degraded parse without dominating request memory.
+const DefaultEvents = 256
+
+// Recorder is a bounded ring-buffer obs.Tracer for one request (or one
+// CLI parse). It is single-writer — exactly like the parser that owns
+// it — and never allocates after construction: Emit overwrites the
+// oldest slot once the ring is full. Reset rearms it for reuse from a
+// sync.Pool.
+type Recorder struct {
+	epoch time.Time
+	buf   []obs.Event
+	n     int // events emitted since Reset (may exceed len(buf))
+}
+
+// NewRecorder returns a recorder holding the last capacity events
+// (DefaultEvents if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultEvents
+	}
+	return &Recorder{epoch: time.Now(), buf: make([]obs.Event, capacity)}
+}
+
+// Emit implements obs.Tracer: store the event, overwriting the oldest
+// once the ring is full.
+func (r *Recorder) Emit(e obs.Event) {
+	r.buf[r.n%len(r.buf)] = e
+	r.n++
+}
+
+// Now implements obs.Tracer: time since the recorder's epoch (the last
+// Reset), so a pooled recorder timestamps events relative to request
+// start.
+func (r *Recorder) Now() time.Duration { return time.Since(r.epoch) }
+
+// Reset clears the ring and restarts the clock, making the recorder
+// ready for the next request.
+func (r *Recorder) Reset() {
+	r.n = 0
+	r.epoch = time.Now()
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Recorder) Len() int {
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// Dropped reports how many events were overwritten since Reset.
+func (r *Recorder) Dropped() int {
+	if r.n <= len(r.buf) {
+		return 0
+	}
+	return r.n - len(r.buf)
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (r *Recorder) Events() []obs.Event {
+	out := make([]obs.Event, 0, r.Len())
+	start := 0
+	if r.n > len(r.buf) {
+		start = r.n - len(r.buf)
+	}
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%len(r.buf)])
+	}
+	return out
+}
+
+// EventRecord is the JSON shape of one captured event, matching the
+// JSONL trace schema (docs/observability.md) so captures and trace
+// files jq the same way.
+type EventRecord struct {
+	TSUS        int64  `json:"ts_us"`
+	DurUS       int64  `json:"dur_us,omitempty"`
+	Ph          string `json:"ph"`
+	Cat         string `json:"cat"`
+	Name        string `json:"name"`
+	Decision    *int   `json:"decision,omitempty"`
+	Rule        string `json:"rule,omitempty"`
+	Alt         int    `json:"alt,omitempty"`
+	K           int    `json:"k,omitempty"`
+	Depth       int    `json:"depth,omitempty"`
+	Throttle    string `json:"throttle,omitempty"`
+	Backtracked bool   `json:"backtracked,omitempty"`
+	OK          bool   `json:"ok"`
+	N           int64  `json:"n,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// toRecord converts one live event into its capture shape.
+func toRecord(e obs.Event) EventRecord {
+	rec := EventRecord{
+		TSUS:        e.TS.Microseconds(),
+		Ph:          string(e.Ph),
+		Cat:         string(e.Cat),
+		Name:        e.Name,
+		Rule:        e.Rule,
+		Alt:         e.Alt,
+		K:           e.K,
+		Depth:       e.Depth,
+		Throttle:    e.Throttle,
+		Backtracked: e.Backtracked,
+		OK:          e.OK,
+		N:           e.N,
+		Detail:      e.Detail,
+	}
+	if e.Ph == obs.PhSpan {
+		rec.DurUS = e.Dur.Microseconds()
+	}
+	if e.Decision >= 0 {
+		d := e.Decision
+		rec.Decision = &d
+	}
+	return rec
+}
+
+// toEvent reconstructs a live event from its capture shape (for
+// replaying a capture through the Chrome trace_event writer).
+func toEvent(rec EventRecord) obs.Event {
+	e := obs.Event{
+		TS:          time.Duration(rec.TSUS) * time.Microsecond,
+		Dur:         time.Duration(rec.DurUS) * time.Microsecond,
+		Cat:         obs.Phase(rec.Cat),
+		Name:        rec.Name,
+		Decision:    -1,
+		Rule:        rec.Rule,
+		Alt:         rec.Alt,
+		K:           rec.K,
+		Depth:       rec.Depth,
+		Throttle:    rec.Throttle,
+		Backtracked: rec.Backtracked,
+		OK:          rec.OK,
+		N:           rec.N,
+		Detail:      rec.Detail,
+	}
+	if rec.Ph != "" {
+		e.Ph = rec.Ph[0]
+	}
+	if rec.Decision != nil {
+		e.Decision = *rec.Decision
+	}
+	return e
+}
+
+// Stats summarizes the runtime profile of the captured parse: the
+// trigger inputs (backtrack activity, wasted speculation tokens) plus
+// enough context to read the event tail without the full ParseStats.
+type Stats struct {
+	Tokens          int64 `json:"tokens,omitempty"`
+	PredictEvents   int   `json:"predict_events,omitempty"`
+	MaxLookahead    int   `json:"max_lookahead,omitempty"`
+	BacktrackEvents int   `json:"backtrack_events,omitempty"`
+	BacktrackTokens int64 `json:"backtrack_tokens,omitempty"`
+	MemoHits        int   `json:"memo_hits,omitempty"`
+	MemoMisses      int   `json:"memo_misses,omitempty"`
+}
+
+// Capture is one persisted flight recording: the identity of the
+// request (request id and W3C trace id, correlating it with log lines
+// and server.<endpoint> spans), what was parsed, how the request
+// ended, why it was captured, and the last-N event timeline.
+type Capture struct {
+	// ID is the store-assigned capture id (stable, monotonic); the
+	// /debug/flight/{id} endpoint resolves it, or the RequestID.
+	ID        string `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+	Endpoint  string `json:"endpoint,omitempty"`
+	Grammar   string `json:"grammar,omitempty"`
+	Rule      string `json:"rule,omitempty"`
+	// Status is the HTTP status the request answered (0 for CLI captures).
+	Status int `json:"status,omitempty"`
+	// Trigger names the anomaly that fired: "slow", "status", "panic",
+	// "backtrack", "wasted", "error" (CLI parse failure), or "manual".
+	Trigger string    `json:"trigger"`
+	Time    time.Time `json:"time"`
+	DurUS   int64     `json:"dur_us"`
+	Stats   Stats     `json:"stats"`
+	// EventCount and Dropped size the timeline: events retained, and
+	// older events the ring overwrote.
+	EventCount int           `json:"event_count"`
+	Dropped    int           `json:"dropped_events,omitempty"`
+	Events     []EventRecord `json:"events,omitempty"`
+}
+
+// Snapshot freezes the recorder's current ring into capture form.
+func (r *Recorder) Snapshot() ([]EventRecord, int) {
+	evs := r.Events()
+	out := make([]EventRecord, len(evs))
+	for i, e := range evs {
+		out[i] = toRecord(e)
+	}
+	return out, r.Dropped()
+}
+
+// Summary returns the capture without its event timeline, for listings.
+func (c *Capture) Summary() Capture {
+	s := *c
+	s.Events = nil
+	return s
+}
+
+// WriteChrome replays the capture through the Chrome trace_event
+// writer, producing a JSON array loadable by chrome://tracing and
+// Perfetto — the same renderer the -trace-format=chrome flag uses.
+func (c *Capture) WriteChrome(w io.Writer) error {
+	tw := obs.NewChrome(w)
+	for _, rec := range c.Events {
+		tw.Emit(toEvent(rec))
+	}
+	return tw.Close()
+}
+
+// Trigger decides which finished requests deserve a persisted capture.
+// The zero value never fires; each field arms one condition.
+type Trigger struct {
+	// Slow fires when the request took at least this long.
+	Slow time.Duration
+	// MinStatus fires on a final HTTP status >= this (500 captures all
+	// server errors including the 504 deadline path).
+	MinStatus int
+	// BacktrackEvents fires when the parse speculated at least this
+	// many times.
+	BacktrackEvents int
+	// BacktrackTokens fires when speculation consumed (and rewound) at
+	// least this many tokens — the wasted-work budget.
+	BacktrackTokens int64
+}
+
+// Eval names the first armed condition the request crossed, or "".
+func (t Trigger) Eval(status int, dur time.Duration, st Stats) string {
+	switch {
+	case t.MinStatus > 0 && status >= t.MinStatus:
+		return "status"
+	case t.Slow > 0 && dur >= t.Slow:
+		return "slow"
+	case t.BacktrackEvents > 0 && st.BacktrackEvents >= t.BacktrackEvents:
+		return "backtrack"
+	case t.BacktrackTokens > 0 && st.BacktrackTokens >= t.BacktrackTokens:
+		return "wasted"
+	}
+	return ""
+}
+
+// DefaultCaptures bounds the Store when constructed with a
+// non-positive capacity.
+const DefaultCaptures = 64
+
+// Store is the server-wide bounded capture store: the newest N
+// captures, evicting the oldest. It is safe for concurrent use — any
+// number of request goroutines Add while the debug endpoints List/Get.
+type Store struct {
+	mu   sync.Mutex
+	max  int
+	seq  int
+	caps []*Capture // oldest first
+}
+
+// NewStore returns a store retaining the newest max captures
+// (DefaultCaptures if max <= 0).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultCaptures
+	}
+	return &Store{max: max}
+}
+
+// Add assigns the capture its store id, persists it, and evicts the
+// oldest capture beyond the bound. It returns the assigned id.
+func (s *Store) Add(c *Capture) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	c.ID = fmt.Sprintf("f%06d", s.seq)
+	c.EventCount = len(c.Events)
+	s.caps = append(s.caps, c)
+	if len(s.caps) > s.max {
+		s.caps = append(s.caps[:0], s.caps[len(s.caps)-s.max:]...)
+	}
+	return c.ID
+}
+
+// List returns capture summaries (no event timelines), newest first.
+func (s *Store) List() []Capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Capture, 0, len(s.caps))
+	for i := len(s.caps) - 1; i >= 0; i-- {
+		out = append(out, s.caps[i].Summary())
+	}
+	return out
+}
+
+// Get resolves a capture by store id, or — so an operator can go
+// straight from a logged request_id to its timeline — by request id
+// (newest match wins).
+func (s *Store) Get(id string) (*Capture, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.caps) - 1; i >= 0; i-- {
+		if c := s.caps[i]; c.ID == id || (c.RequestID != "" && c.RequestID == id) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports how many captures the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.caps)
+}
+
+// htmlTmpl renders a capture as a self-contained timeline page: the
+// request header block, then one row per event with an offset bar
+// scaled to the capture window — the flight-recorder counterpart of
+// the coverage profiler's WriteHTML.
+var htmlTmpl = template.Must(template.New("flight").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>flight {{.C.ID}}</title>
+<style>
+body { font: 13px/1.45 -apple-system, system-ui, sans-serif; margin: 1.5em; color: #1a1a2e; }
+h1 { font-size: 1.2em; } code { background: #f0f0f5; padding: 0 3px; border-radius: 3px; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 2px 8px; font: 12px ui-monospace, monospace; white-space: nowrap; }
+th { border-bottom: 1px solid #ccc; }
+tr:hover { background: #f5f7ff; }
+.meta td { font-family: inherit; }
+.bar { position: relative; width: 320px; height: 10px; background: #eef; }
+.bar span { position: absolute; top: 0; height: 10px; background: #4464d0; min-width: 1px; }
+.i .bar span { background: #d08a44; }
+.bad td.name { color: #b0303c; }
+.dim { color: #777; }
+</style></head><body>
+<h1>flight capture <code>{{.C.ID}}</code> — {{.C.Grammar}}{{if .C.Rule}} / {{.C.Rule}}{{end}}</h1>
+<table class="meta">
+<tr><td>trigger</td><td><b>{{.C.Trigger}}</b></td><td>status</td><td>{{.C.Status}}</td></tr>
+<tr><td>request_id</td><td><code>{{.C.RequestID}}</code></td><td>trace_id</td><td><code>{{.C.TraceID}}</code></td></tr>
+<tr><td>endpoint</td><td>{{.C.Endpoint}}</td><td>duration</td><td>{{.C.DurUS}}&micro;s</td></tr>
+<tr><td>events</td><td>{{.C.EventCount}}{{if .C.Dropped}} (+{{.C.Dropped}} dropped){{end}}</td>
+<td>backtracks</td><td>{{.C.Stats.BacktrackEvents}} ({{.C.Stats.BacktrackTokens}} tokens wasted)</td></tr>
+</table>
+<p class="dim">window {{.Span}}&micro;s &mdash; bars show each event's offset and duration within the capture.</p>
+<table>
+<tr><th>ts&micro;s</th><th>dur&micro;s</th><th>timeline</th><th>event</th><th>rule</th><th>dec</th><th>alt</th><th>k</th><th>throttle</th><th>detail</th></tr>
+{{range .Rows}}<tr class="{{.Class}}"><td>{{.TS}}</td><td>{{.Dur}}</td>
+<td><div class="bar"><span style="left:{{.Left}}%;width:{{.Width}}%"></span></div></td>
+<td class="name">{{.Name}}</td><td>{{.Rule}}</td><td>{{.Dec}}</td><td>{{.Alt}}</td><td>{{.K}}</td><td>{{.Throttle}}</td><td>{{.Detail}}</td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+type htmlRow struct {
+	TS, Dur               int64
+	Left, Width           float64
+	Class                 string
+	Name, Rule, Detail    string
+	Dec, Alt, K, Throttle string
+}
+
+// WriteHTML renders the capture as a self-contained HTML timeline.
+func (c *Capture) WriteHTML(w io.Writer) error {
+	lo, hi := int64(0), int64(1)
+	if len(c.Events) > 0 {
+		lo = c.Events[0].TSUS
+		hi = lo
+		for _, e := range c.Events {
+			if e.TSUS < lo {
+				lo = e.TSUS
+			}
+			if end := e.TSUS + e.DurUS; end > hi {
+				hi = end
+			}
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+	}
+	span := hi - lo
+	rows := make([]htmlRow, 0, len(c.Events))
+	for _, e := range c.Events {
+		row := htmlRow{
+			TS:       e.TSUS - lo,
+			Dur:      e.DurUS,
+			Left:     100 * float64(e.TSUS-lo) / float64(span),
+			Width:    100 * float64(e.DurUS) / float64(span),
+			Name:     e.Name,
+			Rule:     e.Rule,
+			Throttle: e.Throttle,
+			Detail:   e.Detail,
+		}
+		if row.Width < 0.3 {
+			row.Width = 0.3
+		}
+		if e.Ph == string(obs.PhInstant) {
+			row.Class = "i"
+		}
+		if !e.OK && (e.Name == "parse" || e.Name == "predict" || e.Name == "error") {
+			row.Class = strings.TrimSpace(row.Class + " bad")
+		}
+		if e.Decision != nil {
+			row.Dec = fmt.Sprint(*e.Decision)
+		}
+		if e.Alt != 0 {
+			row.Alt = fmt.Sprint(e.Alt)
+		}
+		if e.K != 0 {
+			row.K = fmt.Sprint(e.K)
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].TS < rows[j].TS })
+	return htmlTmpl.Execute(w, struct {
+		C    *Capture
+		Span int64
+		Rows []htmlRow
+	}{c, span, rows})
+}

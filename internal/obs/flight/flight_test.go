@@ -1,0 +1,211 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"llstar/internal/obs"
+)
+
+func ev(name string, ts time.Duration, n int64) obs.Event {
+	return obs.Event{
+		Name: name, Cat: obs.PhaseRuntime, Ph: obs.PhInstant,
+		TS: ts, Decision: -1, N: n,
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(4)
+	if got := r.Len(); got != 0 {
+		t.Fatalf("empty Len = %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.Emit(ev("e", time.Duration(i), int64(i)))
+	}
+	if got := r.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	// Oldest first: the last 4 of 10 emissions are 6,7,8,9.
+	for i, e := range evs {
+		if want := int64(6 + i); e.N != want {
+			t.Errorf("event %d: N = %d, want %d", i, e.N, want)
+		}
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		r.Emit(ev("e", 0, int64(i)))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("after Reset: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	r.Emit(ev("fresh", 0, 42))
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].N != 42 {
+		t.Errorf("after Reset events = %+v", evs)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if got := len(r.buf); got != DefaultEvents {
+		t.Errorf("default capacity = %d, want %d", got, DefaultEvents)
+	}
+}
+
+func TestEventRecordRoundTrip(t *testing.T) {
+	in := obs.Event{
+		Name: "predict", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+		TS: 1500 * time.Microsecond, Dur: 250 * time.Microsecond,
+		Decision: 7, Rule: "expr", Alt: 2, K: 3, Depth: 1,
+		Throttle: "cyclic", Backtracked: true, OK: true, N: 9,
+		Detail: "d",
+	}
+	out := toEvent(toRecord(in))
+	if out != in {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+
+	// Decision -1 must survive as "no decision", not become 0.
+	noDec := obs.Event{Name: "i", Ph: obs.PhInstant, Decision: -1}
+	rec := toRecord(noDec)
+	if rec.Decision != nil {
+		t.Errorf("decision -1 serialized as %v", *rec.Decision)
+	}
+	if got := toEvent(rec).Decision; got != -1 {
+		t.Errorf("decision round trip = %d, want -1", got)
+	}
+	data, _ := json.Marshal(rec)
+	if strings.Contains(string(data), "decision") {
+		t.Errorf("decision key leaked into JSON: %s", data)
+	}
+}
+
+func TestTriggerEval(t *testing.T) {
+	tr := Trigger{Slow: 100 * time.Millisecond, MinStatus: 500, BacktrackTokens: 1000}
+	cases := []struct {
+		status int
+		dur    time.Duration
+		st     Stats
+		want   string
+	}{
+		{200, time.Millisecond, Stats{}, ""},
+		{422, time.Millisecond, Stats{}, ""},
+		{500, time.Millisecond, Stats{}, "status"},
+		{504, time.Millisecond, Stats{}, "status"},
+		{200, 100 * time.Millisecond, Stats{}, "slow"},
+		{200, time.Millisecond, Stats{BacktrackTokens: 1000}, "wasted"},
+		// status outranks slow.
+		{500, time.Second, Stats{}, "status"},
+	}
+	for i, c := range cases {
+		if got := tr.Eval(c.status, c.dur, c.st); got != c.want {
+			t.Errorf("case %d: Eval = %q, want %q", i, got, c.want)
+		}
+	}
+	// Disarmed trigger never fires.
+	if got := (Trigger{}).Eval(500, time.Hour, Stats{BacktrackTokens: 1 << 40}); got != "" {
+		t.Errorf("zero trigger fired: %q", got)
+	}
+	// BacktrackEvents arm.
+	be := Trigger{BacktrackEvents: 3}
+	if got := be.Eval(200, 0, Stats{BacktrackEvents: 3}); got != "backtrack" {
+		t.Errorf("backtrack trigger = %q", got)
+	}
+}
+
+func TestStoreBoundAndLookup(t *testing.T) {
+	s := NewStore(3)
+	var lastID string
+	for i := 0; i < 5; i++ {
+		lastID = s.Add(&Capture{RequestID: "req" + string(rune('a'+i)), Trigger: "slow"})
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	list := s.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	// Newest first, and ids keep climbing past evictions.
+	if list[0].ID != lastID || lastID != "f000005" {
+		t.Errorf("newest = %q, want f000005", list[0].ID)
+	}
+	// Evicted captures are gone; retained ones resolve by store id and
+	// by request id.
+	if _, ok := s.Get("f000001"); ok {
+		t.Error("evicted capture still resolvable")
+	}
+	if c, ok := s.Get("f000004"); !ok || c.RequestID != "reqd" {
+		t.Errorf("Get by id = %+v, %v", c, ok)
+	}
+	if c, ok := s.Get("reqe"); !ok || c.ID != "f000005" {
+		t.Errorf("Get by request id = %+v, %v", c, ok)
+	}
+	// Listings carry no timelines.
+	for _, c := range list {
+		if c.Events != nil {
+			t.Error("List leaked event timeline")
+		}
+	}
+}
+
+func TestCaptureWriters(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(obs.Event{Name: "predict", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,
+		TS: 10 * time.Microsecond, Dur: 5 * time.Microsecond, Decision: 1, Rule: "e", Alt: 2, K: 1})
+	r.Emit(obs.Event{Name: "memo.hit", Cat: obs.PhaseRuntime, Ph: obs.PhInstant,
+		TS: 20 * time.Microsecond, Decision: -1, Rule: "e", N: 7})
+	events, dropped := r.Snapshot()
+	c := &Capture{
+		ID: "f000001", RequestID: "rid1", TraceID: "0123456789abcdef0123456789abcdef",
+		Endpoint: "parse", Grammar: "expr", Rule: "e", Status: 504, Trigger: "status",
+		Time: time.Now(), DurUS: 1234, EventCount: len(events), Dropped: dropped,
+		Events: events,
+	}
+
+	var html bytes.Buffer
+	if err := c.WriteHTML(&html); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	for _, want := range []string{"rid1", "0123456789abcdef0123456789abcdef", "predict", "memo.hit", "expr"} {
+		if !strings.Contains(html.String(), want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+
+	var chrome bytes.Buffer
+	if err := c.WriteChrome(&chrome); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &arr); err != nil {
+		t.Fatalf("chrome output not a JSON array: %v\n%s", err, chrome.String())
+	}
+	if len(arr) == 0 {
+		t.Error("chrome output empty")
+	}
+}
+
+func TestRecorderIsObsTracer(t *testing.T) {
+	var tr obs.Tracer = NewRecorder(4)
+	if obs.Active(tr) == nil {
+		t.Error("recorder normalized away by Active")
+	}
+	if tr.Now() < 0 {
+		t.Error("Now went backwards")
+	}
+}

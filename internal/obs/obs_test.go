@@ -149,3 +149,46 @@ func TestWriterAfterClose(t *testing.T) {
 		t.Error("double close must be idempotent")
 	}
 }
+
+// collector is a minimal Tracer for Tee tests with a fixed clock.
+type collector struct {
+	events []Event
+	now    time.Duration
+}
+
+func (c *collector) Emit(e Event)       { c.events = append(c.events, e) }
+func (c *collector) Now() time.Duration { return c.now }
+
+func TestTee(t *testing.T) {
+	a := &collector{now: 100}
+	b := &collector{now: 200}
+
+	// Both sides active: events fan out, the primary's clock wins.
+	tee := Tee(a, b)
+	tee.Emit(Event{Name: "x"})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Errorf("fan-out: a=%d b=%d", len(a.events), len(b.events))
+	}
+	if tee.Now() != 100 {
+		t.Errorf("Now = %v, want primary's 100", tee.Now())
+	}
+
+	// One side nil or Nop: the other is returned unwrapped.
+	if got := Tee(a, nil); got != Tracer(a) {
+		t.Errorf("Tee(a, nil) = %T, want a itself", got)
+	}
+	if got := Tee(nil, b); got != Tracer(b) {
+		t.Errorf("Tee(nil, b) = %T, want b itself", got)
+	}
+	if got := Tee(a, Nop); got != Tracer(a) {
+		t.Errorf("Tee(a, Nop) = %T, want a itself", got)
+	}
+
+	// Neither active: nil, preserving hot-path nil-check gating.
+	if got := Tee(nil, nil); got != nil {
+		t.Errorf("Tee(nil, nil) = %v, want nil", got)
+	}
+	if got := Tee(Nop, Nop); got != nil {
+		t.Errorf("Tee(Nop, Nop) = %v, want nil", got)
+	}
+}

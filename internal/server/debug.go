@@ -3,8 +3,10 @@ package server
 import (
 	"net/http"
 	"net/http/pprof"
+	"strings"
 
 	"llstar"
+	"llstar/internal/obs/flight"
 )
 
 // This file is the server's introspection surface, mounted on the main
@@ -14,12 +16,18 @@ import (
 //	GET /debug/coverage              live per-grammar coverage (JSON)
 //	GET /debug/coverage?grammar=X    one grammar only
 //	GET /debug/coverage?format=html  self-contained HTML hotspot report
+//	GET /debug/flight                flight-capture listing (JSON, newest first)
+//	GET /debug/flight/{id}           one capture with its event timeline
+//	                                 (?format=html timeline page, ?format=chrome
+//	                                 trace_event JSON; id may be a request id)
 //	GET /debug/vars                  expvar-style metrics JSON
 //	GET /debug/pprof/*               net/http/pprof (CPU, heap, ...)
 
 func (s *Server) debugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/coverage", s.handleCoverage)
+	mux.HandleFunc("/debug/flight", s.handleFlightList)
+	mux.HandleFunc("/debug/flight/", s.handleFlightGet)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -27,6 +35,64 @@ func (s *Server) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// flightListResponse is the body of GET /debug/flight: capture
+// summaries (no event timelines), newest first.
+type flightListResponse struct {
+	Captures []flight.Capture `json:"captures"`
+}
+
+// handleFlightList serves the capture store index.
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled (Config.DisableFlight)")
+		return
+	}
+	writeJSON(w, http.StatusOK, flightListResponse{Captures: s.flight.List()})
+}
+
+// handleFlightGet serves one capture with its full event timeline. The
+// id is the store id ("f000003") or the request's X-Request-Id.
+// ?format=html renders the self-contained timeline page; ?format=chrome
+// emits Chrome trace_event JSON for chrome://tracing and Perfetto.
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled (Config.DisableFlight)")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/flight/")
+	if id == "" {
+		s.handleFlightList(w, r)
+		return
+	}
+	c, ok := s.flight.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such capture: "+id)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := c.WriteHTML(w); err != nil {
+			s.countError("flight", "write")
+		}
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.WriteChrome(w); err != nil {
+			s.countError("flight", "write")
+		}
+	default:
+		writeJSON(w, http.StatusOK, c)
+	}
 }
 
 // coverageResponse is the body of GET /debug/coverage: one live

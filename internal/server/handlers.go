@@ -4,12 +4,109 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"llstar"
+	"llstar/internal/obs/flight"
 )
+
+// flightRun carries one request's flight recording: the pooled event
+// ring plus the correlation identity a capture needs if the anomaly
+// trigger fires. It lives on the parse goroutine only (the ring is
+// single-writer), so /v1/batch — whose items fan out across workers —
+// does not record.
+type flightRun struct {
+	rec      *flight.Recorder
+	endpoint string
+	grammar  string
+	rule     string
+	reqID    string
+	traceID  string
+	start    time.Time
+	stats    flight.Stats
+}
+
+// newFlightRun checks a recorder out of the pool for one request, or
+// returns nil when the flight recorder is disabled.
+func (s *Server) newFlightRun(w http.ResponseWriter, endpoint, grammar string) *flightRun {
+	if s.flight == nil {
+		return nil
+	}
+	rec := s.fpool.Get().(*flight.Recorder)
+	rec.Reset()
+	return &flightRun{
+		rec:      rec,
+		endpoint: endpoint,
+		grammar:  grammar,
+		reqID:    w.Header().Get(requestIDHeader),
+		traceID:  traceIDFrom(w.Header().Get(traceparentHeader)),
+		start:    time.Now(),
+	}
+}
+
+// finishFlight evaluates the anomaly trigger for one completed parse
+// and persists a capture when it fires. It runs on the parse goroutine
+// before the response is handed back — and after the handler gave up,
+// for a 504-abandoned parse — so it is the single finalizer: the ring
+// is quiescent and ctx's deadline state tells us whether the client
+// ever saw the result. forced names a trigger that already fired
+// ("panic"); when it is set the recorder is not returned to the pool.
+func (s *Server) finishFlight(ctx context.Context, fr *flightRun, resp parseResponse, forced string) {
+	if fr == nil {
+		return
+	}
+	dur := time.Since(fr.start)
+	status := http.StatusOK
+	switch {
+	case resp.internalErr:
+		status = http.StatusInternalServerError
+	case !resp.OK:
+		status = http.StatusUnprocessableEntity
+	}
+	if ctx.Err() != nil {
+		status = http.StatusGatewayTimeout
+	}
+	trigger := forced
+	if trigger == "" {
+		trigger = s.ftrig.Eval(status, dur, fr.stats)
+	}
+	if trigger == "" {
+		s.fpool.Put(fr.rec)
+		return
+	}
+	events, dropped := fr.rec.Snapshot()
+	c := &flight.Capture{
+		RequestID: fr.reqID,
+		TraceID:   fr.traceID,
+		Endpoint:  fr.endpoint,
+		Grammar:   fr.grammar,
+		Rule:      fr.rule,
+		Status:    status,
+		Trigger:   trigger,
+		Time:      time.Now(),
+		DurUS:     dur.Microseconds(),
+		Stats:     fr.stats,
+		Dropped:   dropped,
+		Events:    events,
+	}
+	id := s.flight.Add(c)
+	s.log.LogAttrs(context.Background(), slog.LevelWarn, "flight_capture",
+		slog.String("capture_id", id),
+		slog.String("trigger", trigger),
+		slog.String("endpoint", fr.endpoint),
+		slog.Int("status", status),
+		slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("request_id", fr.reqID),
+		slog.String("trace_id", fr.traceID),
+		slog.String("grammar", fr.grammar),
+	)
+	if forced == "" {
+		s.fpool.Put(fr.rec)
+	}
+}
 
 // handleParse serves POST /v1/parse: one grammar, one input, one JSON
 // result. Successful parses answer 200; syntax errors answer 422 with
@@ -36,16 +133,24 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		s.grammarError(w, "parse", err)
 		return
 	}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.grammar = e.Name
+	}
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	resp, ok := s.parseWithDeadline(ctx, e, req)
+	fr := s.newFlightRun(w, "parse", e.Name)
+	resp, ok := s.parseWithDeadline(ctx, e, req, fr)
 	if !ok {
 		s.countError("parse", "timeout")
 		writeError(w, http.StatusGatewayTimeout, "parse deadline exceeded")
+		return
+	}
+	if resp.internalErr {
+		writeError(w, http.StatusInternalServerError, resp.Error.Msg)
 		return
 	}
 	code := http.StatusOK
@@ -117,6 +222,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch too large: %d items (max %d)", len(items), s.cfg.MaxBatchItems))
 		return
 	}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.grammar = req.Grammar // shared grammar; empty for mixed batches
+	}
 
 	// Resolve every distinct grammar up front so an unknown grammar
 	// fails the batch before any work runs.
@@ -166,7 +274,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					}
 					continue
 				}
-				results[i] = s.doParse(entries[it.Grammar], it)
+				results[i] = s.doParse(entries[it.Grammar], it, nil)
 			}
 		}()
 	}
@@ -181,12 +289,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ElapsedUS: time.Since(start).Microseconds(),
 		Results:   results,
 	}
+	rid := w.Header().Get(requestIDHeader)
 	for i := range results {
 		if results[i].OK {
 			resp.Succeeded++
-		} else {
-			resp.Failed++
-			s.countError("batch", "syntax")
+			continue
+		}
+		resp.Failed++
+		s.countError("batch", "syntax")
+		// Stamp the batch's request id on every failed item, so a
+		// client that fans results out to downstream consumers keeps
+		// each error correlatable with the server's logs and spans.
+		if results[i].Error != nil {
+			results[i].Error.RequestID = rid
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -211,11 +326,42 @@ func (s *Server) handleGrammars(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseWithDeadline runs one parse, giving up at ctx's deadline. The
-// abandoned goroutine completes the parse and returns its parser to
-// the pool; only the response is dropped.
-func (s *Server) parseWithDeadline(ctx context.Context, e *Entry, req parseRequest) (parseResponse, bool) {
+// abandoned goroutine completes the parse, returns its parser to the
+// pool, and finalizes the flight recording (so a 504 still yields a
+// capture); only the response is dropped. A panic on the parse
+// goroutine — which the recoverPanics middleware cannot see — is
+// recovered here into an internal-error response plus a "panic"
+// flight capture.
+func (s *Server) parseWithDeadline(ctx context.Context, e *Entry, req parseRequest, fr *flightRun) (parseResponse, bool) {
 	done := make(chan parseResponse, 1)
-	go func() { done <- s.doParse(e, req) }()
+	go func() {
+		var resp parseResponse
+		defer func() {
+			if v := recover(); v != nil {
+				s.countError("parse", "panic")
+				rid, tid := "", ""
+				if fr != nil {
+					rid, tid = fr.reqID, fr.traceID
+				}
+				s.log.LogAttrs(context.Background(), slog.LevelError, "panic",
+					slog.String("endpoint", "parse"),
+					slog.String("grammar", e.Name),
+					slog.String("request_id", rid),
+					slog.String("trace_id", tid),
+					slog.Any("panic", v),
+					slog.String("stack", string(debugStack())),
+				)
+				resp = parseResponse{
+					Grammar: e.Name, Rule: req.Rule, internalErr: true,
+					Error: &errorJSON{Msg: fmt.Sprintf("internal error: %v", v)},
+				}
+				s.finishFlight(ctx, fr, resp, "panic")
+			}
+			done <- resp
+		}()
+		resp = s.doParse(e, req, fr)
+		s.finishFlight(ctx, fr, resp, "")
+	}()
 	select {
 	case resp := <-done:
 		return resp, true
@@ -226,13 +372,19 @@ func (s *Server) parseWithDeadline(ctx context.Context, e *Entry, req parseReque
 
 // doParse is the parse core shared by /v1/parse and /v1/batch: check a
 // parser out of the entry's pool (or build a recovery parser), parse,
-// and render the response.
-func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
+// and render the response. When fr is non-nil the flight recorder is
+// attached for exactly the lifetime of the parse — pooled parsers get
+// it via SetFlightRecorder (detached before Put so the next checkout
+// is back to a nil-check hot path), recovery parsers via construction.
+func (s *Server) doParse(e *Entry, req parseRequest, fr *flightRun) parseResponse {
 	rule := req.Rule
 	if rule == "" {
 		if start := e.G.AnalysisResult().Grammar.Start(); start != nil {
 			rule = start.Name
 		}
+	}
+	if fr != nil {
+		fr.rule = rule
 	}
 	resp := parseResponse{Grammar: e.Name, Rule: rule}
 	start := time.Now()
@@ -247,8 +399,14 @@ func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
 		if e.Cov != nil {
 			popts = append(popts, llstar.WithCoverage(e.Cov))
 		}
+		if fr != nil {
+			popts = append(popts, llstar.WithFlightRecorder(fr.rec))
+		}
 		p := e.G.NewParser(popts...)
 		tree, perr = p.Parse(req.Rule, req.Input)
+		if fr != nil {
+			fr.stats = toFlightStats(p.Stats())
+		}
 		if req.Stats {
 			resp.Stats = toStatsJSON(p.Stats())
 		}
@@ -257,7 +415,14 @@ func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
 		}
 	} else {
 		p := e.Pool.Get()
+		if fr != nil {
+			p.SetFlightRecorder(fr.rec)
+		}
 		tree, perr = p.Parse(req.Rule, req.Input)
+		if fr != nil {
+			fr.stats = toFlightStats(p.Stats())
+			p.SetFlightRecorder(nil) // detach before Put
+		}
 		if req.Stats {
 			resp.Stats = toStatsJSON(p.Stats()) // summarize before Put
 		}
@@ -274,6 +439,9 @@ func (s *Server) doParse(e *Entry, req parseRequest) parseResponse {
 	resp.Text = tree.String()
 	resp.Nodes = tree.Count()
 	resp.Tokens = len(tree.Leaves())
+	if fr != nil {
+		fr.stats.Tokens = int64(resp.Tokens)
+	}
 	if req.Tree {
 		resp.Tree = toTreeNode(e.G, tree)
 	}

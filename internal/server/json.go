@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"llstar"
+	"llstar/internal/obs/flight"
 	"llstar/internal/token"
 )
 
@@ -51,6 +52,11 @@ type parseResponse struct {
 	Error *errorJSON `json:"error,omitempty"`
 	// Recovered lists syntax errors survived in recovery mode.
 	Recovered []errorJSON `json:"recovered,omitempty"`
+
+	// internalErr marks a response produced by a recovered parse panic:
+	// the handler answers 500 (not 422) and the flight trigger records
+	// the request as a server error. Never serialized.
+	internalErr bool
 }
 
 // errorJSON locates and names one error. For syntax errors the
@@ -151,6 +157,26 @@ func toStatsJSON(st *llstar.Stats) *statsJSON {
 		MemoMisses:  st.MemoMisses,
 		MemoEntries: st.MemoEntries,
 	}
+	for i := range st.Decisions {
+		d := &st.Decisions[i]
+		out.PredictEvents += d.Events
+		if d.MaxK > out.MaxLookahead {
+			out.MaxLookahead = d.MaxK
+		}
+		out.BacktrackEvents += d.BacktrackEvents
+		out.BacktrackTokens += d.SumBacktrackK
+	}
+	return out
+}
+
+// toFlightStats summarizes a runtime profile into the flight capture's
+// trigger inputs. Like toStatsJSON it must run before the parser
+// returns to its pool.
+func toFlightStats(st *llstar.Stats) flight.Stats {
+	if st == nil {
+		return flight.Stats{}
+	}
+	out := flight.Stats{MemoHits: st.MemoHits, MemoMisses: st.MemoMisses}
 	for i := range st.Decisions {
 		d := &st.Decisions[i]
 		out.PredictEvents += d.Events

@@ -36,16 +36,18 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"llstar"
 	"llstar/internal/obs"
+	"llstar/internal/obs/flight"
 )
 
 // Config tunes a Server. The zero value of every limit picks a
@@ -87,15 +89,41 @@ type Config struct {
 	MaxBatchItems int
 
 	// Debug mounts the introspection endpoints (/debug/coverage,
-	// /debug/vars, /debug/pprof/*) on the main handler. Regardless of
-	// this flag they are always reachable through DebugHandler(), which
-	// a deployment can bind to a private listener.
+	// /debug/flight, /debug/vars, /debug/pprof/*) on the main handler.
+	// Regardless of this flag they are always reachable through
+	// DebugHandler(), which a deployment can bind to a private listener.
 	Debug bool
 	// DisableCoverage turns off the per-grammar coverage profiler
 	// behind /debug/coverage. The zero value keeps it on: the recorder
 	// costs a few percent of parse time and makes every served grammar
 	// introspectable.
 	DisableCoverage bool
+
+	// DisableFlight turns off the per-request flight recorder. The zero
+	// value keeps it on: every /v1/parse rides a bounded last-N-events
+	// ring, and an anomalous request (slow, 5xx/504, panicked, or over
+	// its speculation budget) persists its full timeline to a bounded
+	// capture store served at /debug/flight. With the recorder off the
+	// parse hot path is back to a single nil-tracer check.
+	DisableFlight bool
+	// FlightSlow is the latency anomaly threshold (default 500ms; < 0
+	// disarms the latency trigger entirely).
+	FlightSlow time.Duration
+	// FlightEvents is the per-request ring capacity (default 256).
+	FlightEvents int
+	// FlightCaptures bounds the server-wide capture store (default 64).
+	FlightCaptures int
+	// FlightBacktrackTokens arms the wasted-work trigger: a parse whose
+	// speculation consumed (and rewound) at least this many tokens is
+	// captured even if it finished fast and 200. 0 leaves it disarmed.
+	FlightBacktrackTokens int64
+
+	// Logger receives the server's structured log records (one
+	// per-request access line plus panics, flight captures, and
+	// lifecycle events), each carrying request_id, trace_id, grammar,
+	// endpoint, status, and dur_ms where applicable. Nil means
+	// slog.Default().
+	Logger *slog.Logger
 
 	// Metrics receives llstar_server_* series plus everything the
 	// facade records (pool, cache, runtime counters). Created if nil.
@@ -124,6 +152,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems == 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.FlightSlow == 0 {
+		c.FlightSlow = 500 * time.Millisecond
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = flight.DefaultEvents
+	}
+	if c.FlightCaptures <= 0 {
+		c.FlightCaptures = flight.DefaultCaptures
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
@@ -145,11 +185,19 @@ type Server struct {
 	reg     *Registry
 	mx      *obs.Metrics
 	tr      obs.Tracer
+	log     *slog.Logger
 	slots   chan struct{}
 	ready   atomic.Bool
 	drain   atomic.Bool
 	handler http.Handler
 	debug   http.Handler
+
+	// flight is the bounded capture store behind /debug/flight (nil
+	// when Config.DisableFlight); ftrig decides which requests persist
+	// a capture, and fpool recycles the per-request event rings.
+	flight *flight.Store
+	ftrig  flight.Trigger
+	fpool  sync.Pool
 }
 
 // New validates cfg and builds a Server. The server is not ready until
@@ -180,10 +228,23 @@ func New(cfg Config) (*Server, error) {
 		reg: NewRegistry(cfg.GrammarDir, lopts, cfg.Metrics),
 		mx:  cfg.Metrics,
 		tr:  obs.Active(cfg.Tracer),
+		log: cfg.Logger,
 	}
 	s.reg.DisableCoverage = cfg.DisableCoverage
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	if !cfg.DisableFlight {
+		s.flight = flight.NewStore(cfg.FlightCaptures)
+		s.ftrig = flight.Trigger{
+			Slow:            cfg.FlightSlow,
+			MinStatus:       http.StatusInternalServerError,
+			BacktrackTokens: cfg.FlightBacktrackTokens,
+		}
+		if cfg.FlightSlow < 0 {
+			s.ftrig.Slow = 0
+		}
+		s.fpool.New = func() any { return flight.NewRecorder(cfg.FlightEvents) }
 	}
 	s.debug = s.debugMux()
 	s.handler = s.routes()
@@ -195,6 +256,10 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *obs.Metrics { return s.mx }
+
+// FlightStore returns the anomaly capture store behind /debug/flight,
+// or nil when Config.DisableFlight turned the recorder off.
+func (s *Server) FlightStore() *flight.Store { return s.flight }
 
 // Handler returns the root handler (all endpoints plus middleware).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -252,10 +317,15 @@ func (s *Server) routes() http.Handler {
 	return s.requestID(s.recoverPanics(mux))
 }
 
-// statusWriter captures the response code for metrics and tracing.
+// statusWriter captures the response code for metrics and tracing,
+// plus per-request correlation fields the access log needs (the
+// handler fills grammar in as soon as it decodes the request body).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	grammar string
+	reqID   string
+	traceID string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -282,7 +352,11 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 		if s.tr != nil {
 			ts0 = s.tr.Now()
 		}
-		rec := &statusWriter{ResponseWriter: w}
+		rec := &statusWriter{
+			ResponseWriter: w,
+			reqID:          w.Header().Get(requestIDHeader),
+			traceID:        traceIDFrom(w.Header().Get(traceparentHeader)),
+		}
 		if limited {
 			wait, ok := s.acquire(r.Context())
 			if !ok {
@@ -306,7 +380,10 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 	})
 }
 
-// finish records the per-request metrics and trace span.
+// finish records the per-request metrics, trace span, and structured
+// access-log line. The span Detail and the log line carry the same
+// request_id / trace_id pair the response headers echo, so a timeline
+// span, a log record, and a flight capture can be joined on either.
 func (s *Server) finish(endpoint string, rec *statusWriter, start time.Time, ts0 time.Duration) {
 	code := rec.code
 	if code == 0 {
@@ -321,9 +398,17 @@ func (s *Server) finish(endpoint string, rec *statusWriter, start time.Time, ts0
 			Name: "server." + endpoint, Cat: obs.PhaseServer, Ph: obs.PhSpan,
 			TS: ts0, Dur: s.tr.Now() - ts0, Decision: -1,
 			OK: code < 400, N: int64(code),
-			Detail: rec.Header().Get(requestIDHeader),
+			Detail: rec.reqID + " " + rec.traceID,
 		})
 	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("endpoint", endpoint),
+		slog.Int("status", code),
+		slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("request_id", rec.reqID),
+		slog.String("trace_id", rec.traceID),
+		slog.String("grammar", rec.grammar),
+	)
 }
 
 func (s *Server) countError(endpoint, kind string) {
@@ -372,8 +457,14 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.countError(r.URL.Path, "panic")
-				log.Printf("server: panic serving %s %s (request_id=%s): %v\n%s",
-					r.Method, r.URL.Path, w.Header().Get(requestIDHeader), v, debugStack())
+				s.log.LogAttrs(r.Context(), slog.LevelError, "panic",
+					slog.String("endpoint", r.URL.Path),
+					slog.String("method", r.Method),
+					slog.String("request_id", w.Header().Get(requestIDHeader)),
+					slog.String("trace_id", traceIDFrom(w.Header().Get(traceparentHeader))),
+					slog.Any("panic", v),
+					slog.String("stack", string(debugStack())),
+				)
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -393,10 +484,17 @@ func debugStack() []byte {
 // threads it through trace spans, error JSON, and panic logs.
 const requestIDHeader = "X-Request-Id"
 
+// traceparentHeader is the W3C Trace Context header
+// (https://www.w3.org/TR/trace-context/): version-traceid-parentid-flags.
+// The server accepts a valid incoming traceparent, generates one
+// otherwise, and echoes it so callers and downstream systems correlate
+// on the same trace id.
+const traceparentHeader = "Traceparent"
+
 // requestID is the outermost middleware: it stamps the sanitized (or
-// generated) id on both the request and the response header before any
-// handler — including the panic recoverer — can write, so every error
-// path sees it.
+// generated) id — and a W3C traceparent — on both the request and the
+// response header before any handler, including the panic recoverer,
+// can write, so every error path sees them.
 func (s *Server) requestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeRequestID(r.Header.Get(requestIDHeader))
@@ -405,8 +503,74 @@ func (s *Server) requestID(next http.Handler) http.Handler {
 		}
 		r.Header.Set(requestIDHeader, id)
 		w.Header().Set(requestIDHeader, id)
+
+		traceID, ok := parseTraceparent(r.Header.Get(traceparentHeader))
+		var tp string
+		if ok {
+			// Inbound context is valid: keep its trace id, mint a new
+			// parent id for the server's own span in that trace.
+			tp = "00-" + traceID + "-" + randHex(16) + "-01"
+		} else {
+			// Missing or malformed: start a fresh trace.
+			traceID = randHex(32)
+			tp = "00-" + traceID + "-" + randHex(16) + "-01"
+		}
+		r.Header.Set(traceparentHeader, tp)
+		w.Header().Set(traceparentHeader, tp)
 		next.ServeHTTP(w, r)
 	})
+}
+
+// parseTraceparent validates a W3C traceparent header and extracts its
+// 32-hex-digit trace id. Invalid input — wrong shape, non-hex digits,
+// all-zero trace or parent id, or the reserved version ff — reports
+// !ok so the caller falls back to generating a fresh trace.
+func parseTraceparent(h string) (traceID string, ok bool) {
+	// 00-{32 hex traceid}-{16 hex parentid}-{2 hex flags} = 55 bytes.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	for i := 0; i < len(h); i++ {
+		if i == 2 || i == 35 || i == 52 {
+			continue
+		}
+		c := h[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return "", false
+		}
+	}
+	if h[0] == 'f' && h[1] == 'f' {
+		return "", false
+	}
+	traceID = h[3:35]
+	if traceID == "00000000000000000000000000000000" {
+		return "", false
+	}
+	if h[36:52] == "0000000000000000" {
+		return "", false
+	}
+	return traceID, true
+}
+
+// traceIDFrom extracts the trace id from an already-normalized
+// traceparent header (one the middleware wrote); it returns "" for
+// anything else.
+func traceIDFrom(h string) string {
+	if len(h) != 55 {
+		return ""
+	}
+	return h[3:35]
+}
+
+// randHex returns n lowercase hex digits of cryptographic randomness
+// (n must be even). On rand failure it degrades to all-zero digits —
+// never to a panic on the request path.
+func randHex(n int) string {
+	b := make([]byte, n/2)
+	if _, err := rand.Read(b); err != nil {
+		return hex.EncodeToString(b) // zeroed: correlate as "unknown"
+	}
+	return hex.EncodeToString(b)
 }
 
 // sanitizeRequestID accepts client-supplied ids only when they are

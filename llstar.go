@@ -31,6 +31,7 @@ import (
 	"llstar/internal/interp"
 	"llstar/internal/meta"
 	"llstar/internal/obs"
+	"llstar/internal/obs/flight"
 	"llstar/internal/runtime"
 	"llstar/internal/serde"
 	"llstar/internal/token"
@@ -84,6 +85,33 @@ type (
 // CoverageSnapshot.StrategyTotals: "LL(1)", "LL(k)", "cyclic",
 // "backtrack".
 func CoverageStrategy(i int) string { return cover.Strategy(i).String() }
+
+// Re-exported flight-recorder types. A FlightRecorder is a bounded
+// ring-buffer trace sink holding the last N runtime events of one
+// parse; a FlightCapture freezes that ring (plus request identity and
+// a stats summary) when an anomaly trigger fires; a FlightStore is the
+// bounded server-wide archive behind GET /debug/flight. See
+// docs/observability.md.
+type (
+	// FlightRecorder is a per-request (or per-parse) bounded event ring.
+	FlightRecorder = flight.Recorder
+	// FlightCapture is one persisted flight recording.
+	FlightCapture = flight.Capture
+	// FlightStore is a bounded, concurrency-safe capture archive.
+	FlightStore = flight.Store
+	// FlightStats is the captured parse's runtime summary.
+	FlightStats = flight.Stats
+)
+
+// NewFlightRecorder returns a flight recorder retaining the last
+// capacity events (a production-sized default if capacity <= 0). Pass
+// it to WithFlightRecorder, or attach it to an existing parser between
+// parses with Parser.SetFlightRecorder.
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.NewRecorder(capacity) }
+
+// NewFlightStore returns a capture store retaining the newest max
+// captures (a production-sized default if max <= 0).
+func NewFlightStore(max int) *FlightStore { return flight.NewStore(max) }
 
 // NewJSONLTracer returns a tracer writing one JSON object per line to w.
 // Close it after the last parse to flush.
@@ -500,6 +528,19 @@ func WithTracer(t Tracer) ParserOption { return func(o *interp.Options) { o.Trac
 // registry may be shared across parsers and with LoadOptions.Metrics.
 func WithMetrics(m *Metrics) ParserOption { return func(o *interp.Options) { o.Metrics = m } }
 
+// WithFlightRecorder tees r — a bounded last-N-events ring — with any
+// tracer the parser has, composing with WithTracer in either order.
+// Passing nil installs nothing: the disabled flight recorder costs
+// exactly the nil-tracer fast path (a single nil check per
+// instrumentation site).
+func WithFlightRecorder(r *FlightRecorder) ParserOption {
+	return func(o *interp.Options) {
+		if r != nil {
+			o.Flight = r
+		}
+	}
+}
+
 // WithCoverage accumulates decision-level coverage and hotspot
 // counters into p (create one with Grammar.NewCoverage). The parser
 // records into a private recorder and merges once per parse, so one
@@ -550,6 +591,20 @@ func (p *Parser) Parse(startRule, input string) (*Tree, error) {
 		startRule = start.Name
 	}
 	return p.ip.ParseString(startRule, input)
+}
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder between parses, teeing it with the parser's
+// construction-time tracer. This is how the parse service rides a
+// request-scoped ring on a pooled parser: attach after checkout,
+// detach before returning the parser to its pool. Detached, the
+// parser's cost profile is exactly its construction-time one.
+func (p *Parser) SetFlightRecorder(r *FlightRecorder) {
+	if r == nil {
+		p.ip.AttachTracer(nil)
+		return
+	}
+	p.ip.AttachTracer(r)
 }
 
 // Errors returns the syntax errors recovered during the most recent
