@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet check serve cover-report benchdiff
+.PHONY: all build test race bench fuzz fmt vet check serve cover-report benchdiff generate
 
 all: check
 
@@ -21,6 +21,14 @@ fuzz:
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzMetaParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/meta -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME)
 	$(GO) test . -run='^$$' -fuzz=FuzzUnmarshalAnalysis -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/genrun -run='^$$' -fuzz=FuzzGeneratedParser -fuzztime=$(FUZZTIME)
+
+# Regenerate the checked-in generated parsers under examples/gen/ from
+# the repo grammars (CI fails if this leaves a diff).
+generate:
+	$(GO) run ./cmd/llstar gen -o examples/gen \
+		grammars/figure1.g grammars/figure2.g grammars/json.g
+	$(GO) run ./cmd/llstar gen -o examples/gen -leftrec grammars/calc.g
 
 SERVE_ADDR ?= 127.0.0.1:8080
 serve:
@@ -36,7 +44,7 @@ cover-report:
 # fail on counter drift (timings are compared only on matching hardware;
 # see scripts/benchdiff).
 benchdiff:
-	scripts/benchdiff -no-timing BENCH_5.json
+	scripts/benchdiff -no-timing BENCH_7.json
 
 fmt:
 	gofmt -l .

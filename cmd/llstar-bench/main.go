@@ -12,6 +12,8 @@
 //	llstar-bench -coldwarm        # cold analysis vs. cache-hit load table
 //	llstar-bench -serve           # llstar-serve load test (latency/throughput)
 //	llstar-bench -serve -serve-url http://host:8080   # against a running server
+//	llstar-bench -compiled        # interpreter vs generated-parser throughput table
+//	llstar-bench -compiled -json BENCH.json   # persist the generated-parser counters too
 //	llstar-bench -json BENCH.json # machine-readable result set (the bench trajectory)
 //	llstar-bench -compare BENCH_5.json   # rerun at the baseline's config and diff;
 //	                                     # exit 1 on counter drift or >15% timing loss
@@ -26,7 +28,39 @@ import (
 	"time"
 
 	"llstar/internal/bench"
+	"llstar/internal/genrun"
 )
+
+// compiledRunner backs bench.AddCompiled with internal/genrun: generate
+// the workload's parser, compile it with the Go toolchain, and time
+// tokenize+parse in the driver's bench mode (best of runs).
+func compiledRunner(w bench.Workload, input string, runs int) (int64, int, error) {
+	g, err := w.Load()
+	if err != nil {
+		return 0, 0, err
+	}
+	dir, err := os.MkdirTemp("", "llstar-gen-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	r, err := genrun.Build(g, dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	if runs < 2 {
+		runs = 2
+	}
+	resp, err := r.Do(genrun.Request{Rule: w.Start, Input: input, Bench: runs})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !resp.OK {
+		return 0, 0, fmt.Errorf("generated parser rejected the bench input: %s", resp.Msg)
+	}
+	return resp.NS, resp.Tokens, nil
+}
 
 func main() {
 	table := flag.Int("table", 0, "table to print (1-4); 0 prints all")
@@ -43,6 +77,7 @@ func main() {
 	serveConcurrency := flag.Int("serve-concurrency", 16, "closed-loop clients for -serve")
 	serveDuration := flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
 	serveLines := flag.Int("serve-lines", 200, "approximate generated input size in lines for -serve")
+	compiled := flag.Bool("compiled", false, "also build and time the generated parsers and print the interpreter-vs-generated table")
 	jsonOut := flag.String("json", "", "write a machine-readable result set (counters + timings) to this file")
 	compare := flag.String("compare", "", "rerun at the baseline file's seed/lines and diff against it; exit 1 on regression")
 	compareThreshold := flag.Float64("compare-threshold", 0.15, "tolerated fractional lines/sec regression for -compare")
@@ -59,11 +94,22 @@ func main() {
 		}
 		return
 	}
-	if *jsonOut != "" {
+	if *compiled || *jsonOut != "" {
 		rs, err := bench.RunResultSet(*seed, *lines, *runs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *compiled {
+			if err := rs.AddCompiled(compiledRunner); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("== Interpreter vs generated parser ==")
+			bench.CompiledTable(os.Stdout, rs)
+		}
+		if *jsonOut == "" {
+			return
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -195,6 +241,16 @@ func runCompare(path string, threshold float64, timing bool, runs int) error {
 	cur, err := bench.RunResultSet(baseline.Seed, baseline.Lines, runs)
 	if err != nil {
 		return err
+	}
+	// A baseline recorded with -compiled gates the generated engine
+	// too, so the rerun must build and time it as well.
+	for _, w := range baseline.Workloads {
+		if w.GenTokens != 0 {
+			if err := cur.AddCompiled(compiledRunner); err != nil {
+				return err
+			}
+			break
+		}
 	}
 	if !bench.Compare(os.Stdout, baseline, cur, bench.CompareOptions{Threshold: threshold, Timing: timing}) {
 		return fmt.Errorf("bench regressions against %s", path)

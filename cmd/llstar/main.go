@@ -17,12 +17,20 @@
 //	llstar compile grammar.g                  # writes grammar.llsc
 //	llstar compile -o build/g.llsc grammar.g  # explicit output path
 //	llstar compile -check grammar.g           # also reload + verify round trip
+//
+// The gen subcommand writes generated parsers as one Go package per
+// grammar (the layout examples/gen/ and make generate use):
+//
+//	llstar gen grammar.g                      # writes ./<name>/parser.go
+//	llstar gen -o examples/gen a.g b.g        # one package per grammar
+//	llstar gen -pkg myparser grammar.g        # override the package name
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"llstar"
@@ -31,6 +39,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compile" {
 		compile(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		gen(os.Args[2:])
 		return
 	}
 	decisions := flag.Bool("decisions", false, "print per-decision analysis detail")
@@ -172,6 +184,77 @@ func compile(args []string) {
 		}
 		fmt.Printf("check ok: analysis digest %s\n", live)
 	}
+}
+
+// gen writes generated parsers to disk, one package directory per
+// grammar: <out>/<package>/parser.go.
+func gen(args []string) {
+	fs := flag.NewFlagSet("llstar gen", flag.ExitOnError)
+	out := fs.String("o", ".", "output directory (one package subdirectory per grammar)")
+	pkg := fs.String("pkg", "", "package name (single grammar only; default: grammar file base name)")
+	leftrec := fs.Bool("leftrec", false, "rewrite immediately left-recursive rules to predicated precedence loops")
+	m := fs.Int("m", 0, "recursion governor m (0 = grammar option / default 1)")
+	k := fs.Int("k", 0, "fixed lookahead cap k (0 = unbounded LL(*))")
+	fs.Parse(args)
+
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: llstar gen [flags] grammar.g...")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *pkg != "" && fs.NArg() > 1 {
+		fatal(fmt.Errorf("gen: -pkg applies to a single grammar, got %d", fs.NArg()))
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := llstar.LoadWith(path, string(data), llstar.LoadOptions{
+			RewriteLeftRecursion: *leftrec,
+			AnalysisM:            *m,
+			MaxK:                 *k,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range g.Warnings() {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+		name := *pkg
+		if name == "" {
+			name = packageName(path)
+		}
+		src, err := g.GenerateGo(name)
+		if err != nil {
+			fatal(err)
+		}
+		dir := filepath.Join(*out, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		dst := filepath.Join(dir, "parser.go")
+		if err := os.WriteFile(dst, src, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d decisions, %d bytes -> %s\n", g.Name(), len(g.Decisions()), len(src), dst)
+	}
+}
+
+// packageName derives a Go package name from a grammar path: the base
+// name without extension, lowercased, non-alphanumerics dropped.
+func packageName(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".g")
+	var b strings.Builder
+	for _, r := range strings.ToLower(base) {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9' && b.Len() > 0) {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "parser"
+	}
+	return b.String()
 }
 
 func fatal(err error) {

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompiledRunner measures one generated parser: it builds (or reuses) a
+// compiled parser for the workload grammar, runs tokenize+parse over
+// input `runs` times, and reports the best wall time plus the token
+// count. The concrete implementation lives with the caller
+// (cmd/llstar-bench wires internal/genrun) so this package stays
+// import-cycle-free with genrun's test harness.
+type CompiledRunner func(w Workload, input string, runs int) (ns int64, tokens int, err error)
+
+// AddCompiled fills the generated-parser columns of an already-run
+// result set: for each workload it regenerates the same seeded input
+// and times the compiled parser with the given runner.
+func (rs *ResultSet) AddCompiled(run CompiledRunner) error {
+	for i := range rs.Workloads {
+		wr := &rs.Workloads[i]
+		w, err := ByName(wr.Name)
+		if err != nil {
+			return err
+		}
+		input := w.Input(rs.Seed, rs.Lines)
+		ns, tokens, err := run(w, input, rs.Runs)
+		if err != nil {
+			return fmt.Errorf("%s: compiled run: %w", wr.Name, err)
+		}
+		wr.GenTokens = tokens
+		wr.GenParseNanos = ns
+		if ns > 0 {
+			wr.GenLinesPerSec = float64(wr.InputLines) / (float64(ns) / 1e9)
+		}
+	}
+	return nil
+}
+
+// CompiledTable prints the interpreter-vs-generated throughput
+// comparison from a result set populated by AddCompiled.
+func CompiledTable(out io.Writer, rs *ResultSet) {
+	fmt.Fprintf(out, "%-10s %8s %8s %14s %14s %9s\n",
+		"grammar", "lines", "tokens", "interp l/s", "generated l/s", "speedup")
+	for _, w := range rs.Workloads {
+		speedup := "-"
+		if w.LinesPerSec > 0 && w.GenLinesPerSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", w.GenLinesPerSec/w.LinesPerSec)
+		}
+		fmt.Fprintf(out, "%-10s %8d %8d %14.0f %14.0f %9s\n",
+			w.Name, w.InputLines, w.GenTokens, w.LinesPerSec, w.GenLinesPerSec, speedup)
+	}
+}

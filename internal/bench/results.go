@@ -65,6 +65,14 @@ type WorkloadResult struct {
 	// Timing (noisy; best of Runs).
 	ParseNanos  int64   `json:"parse_nanos"`
 	LinesPerSec float64 `json:"lines_per_sec"`
+
+	// Generated-parser columns, filled by AddCompiled when the run
+	// includes the compiled engine (-compiled). GenTokens is
+	// deterministic; the timings are noisy like ParseNanos. All zero on
+	// interpreter-only runs — Compare tolerates baselines either way.
+	GenTokens      int     `json:"gen_tokens,omitempty"`
+	GenParseNanos  int64   `json:"gen_parse_nanos,omitempty"`
+	GenLinesPerSec float64 `json:"gen_lines_per_sec,omitempty"`
 }
 
 // RunResultSet runs every workload at the given seed and input size,
@@ -230,6 +238,17 @@ func Compare(out io.Writer, baseline, cur *ResultSet, opts CompareOptions) bool 
 		if math.Abs(b.AvgK-w.AvgK) > 1e-9 {
 			fail("%s: avg_k changed %.6f -> %.6f", w.Name, b.AvgK, w.AvgK)
 		}
+		// Generated-parser data is compared only when the baseline has
+		// it: an interpreter-only baseline predates the compiled engine
+		// and stays valid.
+		if b.GenTokens != 0 {
+			if w.GenTokens == 0 {
+				fail("%s: baseline has generated-parser counters but current run does not (rerun with -compiled)", w.Name)
+			} else if b.GenTokens != w.GenTokens {
+				fail("%s: gen_tokens changed %d -> %d (deterministic counter; regenerate the baseline if intended)",
+					w.Name, b.GenTokens, w.GenTokens)
+			}
+		}
 		countersOK := ok || failedBefore // no new failure since this workload started
 		if opts.Timing && b.LinesPerSec > 0 {
 			drop := (b.LinesPerSec - w.LinesPerSec) / b.LinesPerSec
@@ -239,6 +258,13 @@ func Compare(out io.Writer, baseline, cur *ResultSet, opts CompareOptions) bool 
 			} else if countersOK {
 				fmt.Fprintf(out, "ok: %s timing %.0f -> %.0f lines/sec (%+.1f%%)\n",
 					w.Name, b.LinesPerSec, w.LinesPerSec, -100*drop)
+			}
+			if b.GenLinesPerSec > 0 && w.GenLinesPerSec > 0 {
+				genDrop := (b.GenLinesPerSec - w.GenLinesPerSec) / b.GenLinesPerSec
+				if genDrop > threshold {
+					fail("%s: generated lines/sec %.0f -> %.0f (-%.1f%%, threshold %.0f%%)",
+						w.Name, b.GenLinesPerSec, w.GenLinesPerSec, 100*genDrop, 100*threshold)
+				}
 			}
 		} else if countersOK {
 			fmt.Fprintf(out, "ok: %s counters match baseline\n", w.Name)

@@ -62,7 +62,8 @@ func TestGenerateFormats(t *testing.T) {
 		"func Tokenize(input string)",
 		"func (this *Parser) ParseRule(name string)",
 		"func (this *Parser) r_prog()",
-		"var dfaTables",
+		"var dfaStates = []int32{",
+		"var lexNext = []int32{",
 		"func (this *Parser) synpred(id int) bool",
 	} {
 		if !strings.Contains(string(src), want) {

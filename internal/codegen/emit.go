@@ -23,14 +23,24 @@ func (g *generator) emitRule(r *grammar.Rule) error {
 
 	// Wrapper.
 	g.pf("\n// r_%s parses rule: %s\n", r.Name, strings.ReplaceAll(r.RuleText(), "\n", " "))
+	// Rules opting out via options {memoize=false;} (and parameterized
+	// rules, whose result depends on the argument) are never memoized,
+	// mirroring the interpreter's gate.
+	memoizable := r.OptionBool("memoize", true)
 	if argName == "" {
 		g.pf("func (this *Parser) r_%s() error {\n", r.Name)
-		g.pf("\tif handled, err := this.memoGet(%d); handled {\n\t\treturn err\n\t}\n", r.Index)
+		if memoizable {
+			g.pf("\tif handled, err := this.memoGet(%d); handled {\n\t\treturn err\n\t}\n", r.Index)
+		}
 		g.pf("\tprev := this.enterRule(%q)\n", r.Name)
-		g.pf("\tstart := this.pos\n")
+		if memoizable {
+			g.pf("\tstart := this.pos\n")
+		}
 		g.pf("\terr := this.body_%s()\n", r.Name)
 		g.pf("\tthis.exitRule(prev)\n")
-		g.pf("\tthis.memoPut(%d, start, err)\n", r.Index)
+		if memoizable {
+			g.pf("\tthis.memoPut(%d, start, err)\n", r.Index)
+		}
 		g.pf("\treturn err\n}\n")
 		g.pf("\nfunc (this *Parser) body_%s() error {\n", r.Name)
 	} else {
@@ -71,7 +81,7 @@ func (g *generator) emitDispatch(dID, nAlts int, argName string, depth int) {
 		g.pf("%s\t\tif err := this.a%d_%d(%s); err != nil {\n%s\t\t\treturn err\n%s\t\t}\n",
 			ind, dID, i, argExpr(argName), ind, ind)
 	}
-	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d)\n", ind, ind, dID)
+	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d, this.pos)\n", ind, ind, dID)
 	g.pf("%s\t}\n%s}\n", ind, ind)
 }
 
@@ -250,7 +260,7 @@ func (g *generator) emitLoop(dID int, blk *grammar.Block, argName string, depth 
 		g.pf("%s\t\tif err := this.a%d_%d(%s); err != nil {\n%s\t\t\treturn err\n%s\t\t}\n",
 			ind, dID, i, argExpr(argName), ind, ind)
 	}
-	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d)\n", ind, ind, dID)
+	g.pf("%s\tdefault:\n%s\t\treturn this.noViable(%d, this.pos)\n", ind, ind, dID)
 	g.pf("%s\t}\n%s}\n", ind, ind)
 	g.queueAltFuncs(dID, blk.Alts, argName, fmt.Sprintf("loop subrule at %s", blk.Pos))
 }

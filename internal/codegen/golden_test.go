@@ -1,0 +1,125 @@
+package codegen
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llstar/internal/core"
+	"llstar/internal/grammar"
+	"llstar/internal/meta"
+)
+
+// goldenGrammars are the repo grammars with checked-in emitted-source
+// snapshots under testdata/. Regenerate after an intentional emitter
+// change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/codegen -run TestGoldenSource
+var goldenGrammars = []struct {
+	file    string
+	leftRec []string // rules to run the left-recursion rewrite on
+}{
+	{file: "figure1.g"},
+	{file: "figure2.g"},
+	{file: "calc.g", leftRec: []string{"e"}},
+}
+
+// generateRepoGrammar emits grammars/<file> exactly as `llstar gen`
+// does: meta-parse, optional left-recursion rewrite, validate, analyze
+// with default options, generate with the file base name as package.
+func generateRepoGrammar(t *testing.T, file string, leftRec []string) []byte {
+	t.Helper()
+	path := filepath.Join("..", "..", "grammars", file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := meta.Parse(path, string(data))
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	for _, rule := range leftRec {
+		if err := grammar.RewriteLeftRecursion(g, rule); err != nil {
+			t.Fatalf("leftrec %s: %v", rule, err)
+		}
+	}
+	if err := grammar.FirstFatal(grammar.Validate(g)); err != nil {
+		t.Fatalf("validate %s: %v", file, err)
+	}
+	res, err := core.Analyze(g, core.Options{})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", file, err)
+	}
+	pkg := strings.TrimSuffix(file, ".g")
+	src, err := Generate(res, Options{Package: pkg})
+	if err != nil {
+		t.Fatalf("generate %s: %v", file, err)
+	}
+	return src
+}
+
+// TestGoldenSource locks the emitted source byte-for-byte against the
+// testdata snapshots, so any emitter change shows up as a reviewable
+// golden diff rather than only as downstream behavior.
+func TestGoldenSource(t *testing.T) {
+	for _, gg := range goldenGrammars {
+		gg := gg
+		t.Run(gg.file, func(t *testing.T) {
+			got := generateRepoGrammar(t, gg.file, gg.leftRec)
+			golden := filepath.Join("testdata", strings.TrimSuffix(gg.file, ".g")+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", golden, len(got))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("emitted source for %s differs from %s; rerun with UPDATE_GOLDEN=1 and review the diff",
+					gg.file, golden)
+			}
+		})
+	}
+}
+
+// TestGoldenVetClean compiles each golden snapshot in a throwaway
+// module and requires `go vet` to pass — the emitted code must be not
+// just compilable but idiomatic enough to survive static analysis.
+func TestGoldenVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet in a temp module")
+	}
+	for _, gg := range goldenGrammars {
+		gg := gg
+		t.Run(gg.file, func(t *testing.T) {
+			t.Parallel()
+			name := strings.TrimSuffix(gg.file, ".g")
+			src, err := os.ReadFile(filepath.Join("testdata", name+".golden"))
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+			}
+			dir := t.TempDir()
+			writeFile := func(rel, content string) {
+				t.Helper()
+				if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			writeFile("go.mod", "module vetgolden\n\ngo 1.22\n")
+			writeFile("parser.go", string(src))
+			cmd := exec.Command("go", "vet", ".")
+			cmd.Dir = dir
+			cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("go vet on %s golden: %v\n%s", gg.file, err, out)
+			}
+		})
+	}
+}

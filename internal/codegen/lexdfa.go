@@ -1,0 +1,199 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llstar/internal/atn"
+)
+
+// maxLexDFAStates bounds ahead-of-time lexer subset construction; real
+// grammars stay far below it, so hitting the cap means a pathological
+// lexer and generation fails loudly rather than emitting a huge table.
+const maxLexDFAStates = 8192
+
+// lexDFA is the ahead-of-time determinization of a grammar's
+// character-level ATN: the subset construction the interpreter performs
+// lazily per input (lexrt) is run once at generation time over an
+// alphabet partitioned into equivalence classes, producing dense tables
+// the generated Tokenize walks with one array index per character.
+type lexDFA struct {
+	numClasses int
+	// asciiClass maps runes < 128 straight to their class.
+	asciiClass [128]uint16
+	// classLo/classID describe classes for runes >= 128 as sorted
+	// half-open intervals: the class of r is classID[i] for the last i
+	// with classLo[i] <= r.
+	classLo []int32
+	classID []uint16
+	// next is the dense transition table: next[state*numClasses+class],
+	// -1 for dead ends. accept[state] is the lowest-index accepting
+	// lexer rule, -1 for none. State 0 is the start state.
+	next   []int32
+	accept []int32
+}
+
+// buildLexDFA determinizes lm. A nil machine (no lexer rules) yields a
+// single dead state so the generated Tokenize rejects any input.
+func buildLexDFA(lm *atn.LexMachine) (*lexDFA, error) {
+	d := &lexDFA{}
+	if lm == nil {
+		d.numClasses = 1
+		d.next = []int32{-1}
+		d.accept = []int32{-1}
+		return d, nil
+	}
+
+	// Collect every non-epsilon character transition; their range
+	// boundaries partition the alphabet so that within one interval all
+	// transitions agree (wildcards and negated sets agree everywhere
+	// their underlying ranges do).
+	var trans []*atn.Trans
+	for _, s := range lm.States {
+		for _, tr := range s.Trans {
+			if tr.Kind != atn.TEpsilon {
+				trans = append(trans, tr)
+			}
+		}
+	}
+	const maxRune = 0x10FFFF
+	bounds := map[rune]bool{0: true}
+	for _, tr := range trans {
+		switch tr.Kind {
+		case atn.TChar:
+			bounds[tr.Lo] = true
+			if tr.Hi < maxRune {
+				bounds[tr.Hi+1] = true
+			}
+		case atn.TCharSet:
+			for _, rr := range tr.CharRanges {
+				bounds[rr.Lo] = true
+				if rr.Hi < maxRune {
+					bounds[rr.Hi+1] = true
+				}
+			}
+		}
+	}
+	starts := make([]rune, 0, len(bounds))
+	for r := range bounds {
+		if r >= 0 && r <= maxRune {
+			starts = append(starts, r)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	// Intern each interval's transition signature as a class; the
+	// representative rune of a class drives subset construction.
+	classOf := make(map[string]uint16)
+	var reprs []rune
+	intervalClass := make([]uint16, len(starts))
+	var sig strings.Builder
+	for i, lo := range starts {
+		sig.Reset()
+		for _, tr := range trans {
+			if tr.MatchesRune(lo) {
+				sig.WriteByte('1')
+			} else {
+				sig.WriteByte('0')
+			}
+		}
+		cls, ok := classOf[sig.String()]
+		if !ok {
+			cls = uint16(len(reprs))
+			classOf[sig.String()] = cls
+			reprs = append(reprs, lo)
+		}
+		intervalClass[i] = cls
+	}
+	d.numClasses = len(reprs)
+
+	// Fill the ASCII fast path and the interval table for the rest.
+	cls := func(r rune) uint16 {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] > r }) - 1
+		return intervalClass[i]
+	}
+	for r := rune(0); r < 128; r++ {
+		d.asciiClass[r] = cls(r)
+	}
+	for i, lo := range starts {
+		end := rune(maxRune)
+		if i+1 < len(starts) {
+			end = starts[i+1] - 1
+		}
+		if end < 128 {
+			continue
+		}
+		d.classLo = append(d.classLo, int32(lo))
+		d.classID = append(d.classID, intervalClass[i])
+	}
+	if len(d.classLo) == 0 { // all-ASCII alphabet: one catch-all interval
+		d.classLo = []int32{128}
+		d.classID = []uint16{cls(128)}
+	}
+
+	// Subset construction over the class alphabet.
+	type setState struct{ members []*atn.State }
+	intern := make(map[string]int32)
+	var sets []setState
+	key := func(members []*atn.State) string {
+		var b strings.Builder
+		for _, s := range members {
+			fmt.Fprintf(&b, "%d.", s.ID)
+		}
+		return b.String()
+	}
+	add := func(members []*atn.State) int32 {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		k := key(members)
+		if id, ok := intern[k]; ok {
+			return id
+		}
+		id := int32(len(sets))
+		intern[k] = id
+		sets = append(sets, setState{members: members})
+		return id
+	}
+	add(append([]*atn.State(nil), lm.Closure(lm.Start)...))
+
+	seen := make([]int, len(lm.States))
+	gen := 0
+	for si := 0; si < len(sets); si++ {
+		if len(sets) > maxLexDFAStates {
+			return nil, fmt.Errorf("codegen: lexer DFA exceeds %d states", maxLexDFAStates)
+		}
+		members := sets[si].members
+		best := -1
+		for _, s := range members {
+			if r := lm.AcceptRule(s); r >= 0 && (best < 0 || r < best) {
+				best = r
+			}
+		}
+		d.accept = append(d.accept, int32(best))
+		row := make([]int32, d.numClasses)
+		for c := 0; c < d.numClasses; c++ {
+			gen++
+			var move []*atn.State
+			for _, s := range members {
+				for _, tr := range s.Trans {
+					if tr.Kind == atn.TEpsilon || !tr.MatchesRune(reprs[c]) {
+						continue
+					}
+					for _, t := range lm.Closure(tr.To) {
+						if seen[t.ID] != gen {
+							seen[t.ID] = gen
+							move = append(move, t)
+						}
+					}
+				}
+			}
+			if len(move) == 0 {
+				row[c] = -1
+			} else {
+				row[c] = add(move)
+			}
+		}
+		d.next = append(d.next, row...)
+	}
+	return d, nil
+}

@@ -1,0 +1,50 @@
+package codegen
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// collideGrammar makes sanitize collide on purpose: the literal 'x2e'
+// keeps its letters verbatim, while '.' escapes to the same "x2e", so
+// both map to TLit_x2e before de-duplication.
+const collideGrammar = `
+grammar Collide;
+a : 'x2e' | '.' | '!' | 'x21' ;
+WS : (' '|'\t'|'\r'|'\n')+ { skip(); } ;
+`
+
+// TestTokenConstCollision asserts colliding token names get
+// deterministic numeric suffixes (first in vocabulary order keeps the
+// plain name, later ones get _2, _3, ...) instead of silently aliasing
+// two token types to one Go identifier.
+func TestTokenConstCollision(t *testing.T) {
+	res := analyzeGrammar(t, collideGrammar)
+	src, err := Generate(res, Options{Package: "collide"})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for _, pair := range [][2]string{
+		{"TLit_x2e", "TLit_x2e_2"}, // 'x2e' vs '.'
+		{"TLit_x21", "TLit_x21_2"}, // '!' vs 'x21'
+	} {
+		plain, suffixed := pair[0], pair[1]
+		// Each identifier must be declared exactly once.
+		for _, ident := range []string{plain, suffixed} {
+			decl := regexp.MustCompile(`(?m)^\t` + ident + `\s+= -?\d+`)
+			if n := len(decl.FindAll(src, -1)); n != 1 {
+				t.Errorf("token const %s declared %d times, want 1", ident, n)
+			}
+		}
+	}
+	// De-duplication must be deterministic: a second generation emits
+	// identical bytes.
+	again, err := Generate(analyzeGrammar(t, collideGrammar), Options{Package: "collide"})
+	if err != nil {
+		t.Fatalf("regenerate: %v", err)
+	}
+	if !bytes.Equal(src, again) {
+		t.Error("token-const de-duplication is not deterministic across generations")
+	}
+}

@@ -1,0 +1,277 @@
+package genrun
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llstar"
+	"llstar/internal/bench"
+	"llstar/internal/runtime"
+)
+
+// repoGrammar describes one checked-in grammar under grammars/ with its
+// start rule and differential corpus seeds.
+type repoGrammar struct {
+	File    string
+	Start   string
+	LeftRec bool
+	Valid   []string
+	Invalid []string
+}
+
+var repoGrammars = []repoGrammar{
+	{
+		File:  "figure1.g",
+		Start: "s",
+		Valid: []string{
+			"x",
+			"x = 3",
+			"unsigned int x",
+			"unsigned unsigned int x",
+			"unsigned unsigned x y",
+			"int x",
+			"x y",
+		},
+		Invalid: []string{
+			"",
+			"x =",
+			"= 3",
+			"unsigned",
+			"unsigned int",
+			"x y z",
+			"3",
+			"x @ y",
+		},
+	},
+	{
+		File:  "figure2.g",
+		Start: "t",
+		Valid: []string{
+			"x",
+			"-x",
+			"---abc",
+			"5",
+			"-5",
+			"--42",
+		},
+		Invalid: []string{
+			"",
+			"-",
+			"--",
+			"x-",
+			"5 5",
+			"x!",
+		},
+	},
+	{
+		File:  "json.g",
+		Start: "value",
+		Valid: []string{
+			`[1, {"a": true}]`,
+			`{"k": [1, 2.5e-3, "s"], "m": {}}`,
+			`"str"`,
+			`-0.5`,
+			`[[], [null, false]]`,
+		},
+		Invalid: []string{
+			"",
+			`[1,]`,
+			`{"a" 1}`,
+			`{a: 1}`,
+			`[1, 2`,
+			`tru`,
+			`[1] extra`,
+		},
+	},
+	{
+		File:    "calc.g",
+		Start:   "e",
+		LeftRec: true,
+		Valid: []string{
+			"1",
+			"1+2*3",
+			"(1+2)*3",
+			"1-2/3+4",
+			"((((5))))",
+			"1*2*3*4-5",
+		},
+		Invalid: []string{
+			"",
+			"1+",
+			"*3",
+			"(1+2",
+			"1 2",
+			"1+%",
+		},
+	},
+}
+
+// loadRepoGrammar loads grammars/<file> with the same options make
+// generate uses for the checked-in parsers.
+func loadRepoGrammar(t testing.TB, rg repoGrammar) *llstar.Grammar {
+	t.Helper()
+	path := filepath.Join("..", "..", "grammars", rg.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := llstar.LoadWith(path, string(data), llstar.LoadOptions{
+		RewriteLeftRecursion: rg.LeftRec,
+	})
+	if err != nil {
+		t.Fatalf("load %s: %v", rg.File, err)
+	}
+	return g
+}
+
+// corpus expands valid seeds with the differential mutations (truncate,
+// delete a mid-input byte) and appends explicit invalid inputs.
+func corpus(valid, invalid []string) map[string]string {
+	out := map[string]string{}
+	for i, v := range valid {
+		out[fmt.Sprintf("valid-%d", i)] = v
+		if len(v) > 4 {
+			out[fmt.Sprintf("trunc-%d", i)] = v[:len(v)*3/5]
+			mid := len(v) / 2
+			out[fmt.Sprintf("del-%d", i)] = v[:mid] + v[mid+1:]
+		}
+	}
+	for i, v := range invalid {
+		out[fmt.Sprintf("invalid-%d", i)] = v
+	}
+	return out
+}
+
+// interpVerdict runs the interpreter and normalizes its outcome into
+// the driver's response shape for comparison.
+type verdict struct {
+	ok         bool
+	tree       string
+	line, col  int
+	lexErr     bool
+	hasSyntax  bool
+	errMessage string
+}
+
+func interpVerdict(g *llstar.Grammar, start, input string) verdict {
+	p := g.NewParser(llstar.WithTree())
+	tree, err := p.Parse(start, input)
+	if err == nil {
+		return verdict{ok: true, tree: tree.String()}
+	}
+	switch e := err.(type) {
+	case *llstar.SyntaxError:
+		return verdict{line: e.Offending.Pos.Line, col: e.Offending.Pos.Col, hasSyntax: true, errMessage: e.Error()}
+	case *runtime.LexError:
+		return verdict{line: e.Pos.Line, col: e.Pos.Col, lexErr: true, errMessage: e.Error()}
+	default:
+		return verdict{errMessage: err.Error()}
+	}
+}
+
+// checkParity asserts one input's generated-parser response matches the
+// interpreter verdict: accept/reject, tree shape, and error positions.
+func checkParity(t *testing.T, label string, want verdict, got Response) {
+	t.Helper()
+	if want.ok != got.OK {
+		t.Errorf("%s: accept/reject mismatch: interp ok=%v (%s), generated ok=%v (%s)",
+			label, want.ok, want.errMessage, got.OK, got.Msg)
+		return
+	}
+	if want.ok {
+		if want.tree != got.Tree {
+			t.Errorf("%s: tree mismatch:\n  interp:    %s\n  generated: %s", label, want.tree, got.Tree)
+		}
+		return
+	}
+	// Both reject. When the engines fail in the same phase the error
+	// positions must agree exactly. A cross-phase disagreement (one
+	// reports a parse error, the other a lex error) can only happen
+	// because the generated lexer is eager while the interpreter lexes
+	// on demand, so positions are not comparable there.
+	if want.lexErr != got.LexErr {
+		if got.LexErr && want.hasSyntax {
+			return
+		}
+		t.Errorf("%s: error-phase mismatch: interp lexErr=%v (%s), generated lexErr=%v (%s)",
+			label, want.lexErr, want.errMessage, got.LexErr, got.Msg)
+		return
+	}
+	if want.line != got.Line || want.col != got.Col {
+		t.Errorf("%s: error position mismatch: interp %d:%d (%s), generated %d:%d (%s)",
+			label, want.line, want.col, want.errMessage, got.Line, got.Col, got.Msg)
+	}
+}
+
+// TestDifferentialRepoGrammars generates, builds, and runs the parser
+// for every checked-in grammar under grammars/, feeding the
+// differential corpus (valid + mutated + invalid inputs) and asserting
+// accept/reject, tree-shape, and error-position parity against the
+// interpreter.
+func TestDifferentialRepoGrammars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds Go modules")
+	}
+	for _, rg := range repoGrammars {
+		rg := rg
+		t.Run(rg.File, func(t *testing.T) {
+			t.Parallel()
+			g := loadRepoGrammar(t, rg)
+			r, err := Build(g, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for label, input := range corpus(rg.Valid, rg.Invalid) {
+				got, err := r.Do(Request{Rule: rg.Start, Input: input, Tree: true})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				checkParity(t, label+"/"+input, interpVerdict(g, rg.Start, input), got)
+			}
+		})
+	}
+}
+
+// TestDifferentialBenchGrammars runs the same parity suite over the six
+// benchmark grammars and their synthetic corpora — the grammars with
+// cyclic lookahead, PEG-mode backtracking, and syntactic predicates.
+func TestDifferentialBenchGrammars(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds Go modules")
+	}
+	for _, w := range bench.Workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := w.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Build(g, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for seed := int64(1); seed <= 2; seed++ {
+				valid := w.Input(seed, 20)
+				inputs := map[string]string{"valid": valid}
+				if len(valid) > 4 {
+					inputs["truncated"] = valid[:len(valid)*3/5]
+					mid := len(valid) / 2
+					inputs["deleted-byte"] = valid[:mid] + valid[mid+1:]
+				}
+				for label, input := range inputs {
+					got, err := r.Do(Request{Rule: w.Start, Input: input, Tree: true})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					checkParity(t, fmt.Sprintf("seed=%d/%s", seed, label),
+						interpVerdict(g, w.Start, input), got)
+				}
+			}
+		})
+	}
+}

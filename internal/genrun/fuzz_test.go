@@ -1,0 +1,47 @@
+package genrun
+
+import (
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+// FuzzGeneratedParser is the differential fuzz target: every input is
+// fed to the interpreter and to the checked-in generated calc and
+// figure2 parsers (the two grammars that exercise precedence loops and
+// PEG-mode speculation), and any divergence in accept/reject, tree
+// shape, or error position fails. Runs in-process so `go test -fuzz`
+// iterates at full speed with no subprocess round trips.
+func FuzzGeneratedParser(f *testing.F) {
+	type target struct {
+		rg  repoGrammar
+		g   *llstar.Grammar
+		run runFunc
+	}
+	var targets []target
+	for _, rg := range repoGrammars {
+		if rg.File != "calc.g" && rg.File != "figure2.g" {
+			continue
+		}
+		targets = append(targets, target{rg, loadRepoGrammar(f, rg), checkedIn[strings.TrimSuffix(rg.File, ".g")]})
+		for _, s := range rg.Valid {
+			f.Add(s)
+		}
+		for _, s := range rg.Invalid {
+			f.Add(s)
+		}
+	}
+	f.Add("((1+2)*3)-4/5")
+	f.Add("----x")
+	f.Add(strings.Repeat("(", 50) + "1")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<12 {
+			t.Skip("input too large")
+		}
+		for _, tg := range targets {
+			got := tg.run(tg.rg.Start, input, nil, true)
+			checkParity(t, tg.rg.File, interpVerdict(tg.g, tg.rg.Start, input), got)
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package genrun builds and executes generated parsers as real Go
+// programs: it emits a grammar's parser with internal/codegen, wraps it
+// in a small JSON-line driver, compiles the result with the Go
+// toolchain, and exposes request/response parsing over the running
+// binary. The test harness uses it to prove every checked-in grammar's
+// generated parser agrees with the interpreter on accept/reject, parse
+// trees, and error positions; the benchmark harness uses the same
+// driver's bench mode for interpreter-vs-generated throughput.
+package genrun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"llstar"
+)
+
+// Request is one parse request to a generated-parser driver.
+type Request struct {
+	// Rule is the start rule.
+	Rule string `json:"rule"`
+	// Input is the text to lex and parse.
+	Input string `json:"input"`
+	// Memoize, when non-nil, overrides the grammar's memoize option.
+	Memoize *bool `json:"memoize,omitempty"`
+	// Tree requests the parse tree rendered as an s-expression.
+	Tree bool `json:"tree"`
+	// Bench, when > 1, re-runs tokenize+parse that many times and
+	// reports the best wall time instead of a tree.
+	Bench int `json:"bench,omitempty"`
+}
+
+// Response is the driver's answer.
+type Response struct {
+	OK     bool   `json:"ok"`
+	Tree   string `json:"tree,omitempty"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Msg    string `json:"msg,omitempty"`
+	LexErr bool   `json:"lex_err,omitempty"`
+	Tokens int    `json:"tokens"`
+	// NS is the best-of-Bench wall time in nanoseconds (bench mode).
+	NS int64 `json:"ns,omitempty"`
+}
+
+// Runner drives one generated-parser binary over a JSON-line pipe.
+type Runner struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out *bufio.Scanner
+}
+
+// Build generates the parser for g, writes a self-contained Go module
+// (parser + driver) under dir, compiles it, and starts the driver.
+// Callers own dir (use t.TempDir in tests) and must Close the runner.
+func Build(g *llstar.Grammar, dir string) (*Runner, error) {
+	src, err := g.GenerateGo("main")
+	if err != nil {
+		return nil, fmt.Errorf("genrun: generate: %w", err)
+	}
+	files := map[string]string{
+		"go.mod":    "module genrun_parser\n\ngo 1.22\n",
+		"parser.go": string(src),
+		"main.go":   driverSource,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	bin := filepath.Join(dir, "parser.bin")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Dir = dir
+	build.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("genrun: go build: %v\n%s", err, out)
+	}
+	return Start(bin)
+}
+
+// Start launches an already-built driver binary.
+func Start(bin string) (*Runner, error) {
+	cmd := exec.Command(bin)
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	return &Runner{cmd: cmd, in: in, out: sc}, nil
+}
+
+// Do sends one request and reads its response.
+func (r *Runner) Do(rq Request) (Response, error) {
+	b, err := json.Marshal(rq)
+	if err != nil {
+		return Response{}, err
+	}
+	if _, err := r.in.Write(append(b, '\n')); err != nil {
+		return Response{}, fmt.Errorf("genrun: driver write: %w", err)
+	}
+	if !r.out.Scan() {
+		if err := r.out.Err(); err != nil {
+			return Response{}, fmt.Errorf("genrun: driver read: %w", err)
+		}
+		return Response{}, fmt.Errorf("genrun: driver exited early")
+	}
+	var resp Response
+	if err := json.Unmarshal(r.out.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("genrun: bad driver response %q: %w", r.out.Text(), err)
+	}
+	return resp, nil
+}
+
+// Close shuts the driver down and reaps the process.
+func (r *Runner) Close() error {
+	r.in.Close()
+	return r.cmd.Wait()
+}
+
+// driverSource is the JSON-line driver compiled next to every generated
+// parser: one request per stdin line, one response per stdout line.
+const driverSource = `package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"time"
+)
+
+type request struct {
+	Rule    string ` + "`json:\"rule\"`" + `
+	Input   string ` + "`json:\"input\"`" + `
+	Memoize *bool  ` + "`json:\"memoize,omitempty\"`" + `
+	Tree    bool   ` + "`json:\"tree\"`" + `
+	Bench   int    ` + "`json:\"bench,omitempty\"`" + `
+}
+
+type response struct {
+	OK     bool   ` + "`json:\"ok\"`" + `
+	Tree   string ` + "`json:\"tree,omitempty\"`" + `
+	Line   int    ` + "`json:\"line\"`" + `
+	Col    int    ` + "`json:\"col\"`" + `
+	Msg    string ` + "`json:\"msg,omitempty\"`" + `
+	LexErr bool   ` + "`json:\"lex_err,omitempty\"`" + `
+	Tokens int    ` + "`json:\"tokens\"`" + `
+	NS     int64  ` + "`json:\"ns,omitempty\"`" + `
+}
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
+	var p *Parser
+	for in.Scan() {
+		var rq request
+		if err := json.Unmarshal(in.Bytes(), &rq); err != nil {
+			enc.Encode(response{Msg: "bad request: " + err.Error()})
+			out.Flush()
+			continue
+		}
+		enc.Encode(serve(&p, rq))
+		out.Flush()
+	}
+}
+
+// reset readies the shared parser for toks under rq's options.
+func reset(pp **Parser, rq request, toks []Token) *Parser {
+	if *pp == nil {
+		*pp = NewParser(toks)
+	} else {
+		(*pp).Reset(toks)
+	}
+	p := *pp
+	p.BuildTree = rq.Tree
+	p.Memoize = defaultMemoize
+	if rq.Memoize != nil {
+		p.Memoize = *rq.Memoize
+	}
+	return p
+}
+
+func serve(pp **Parser, rq request) response {
+	if rq.Bench > 1 {
+		return bench(pp, rq)
+	}
+	toks, err := Tokenize(rq.Input)
+	if err != nil {
+		se := err.(*SyntaxError)
+		return response{LexErr: true, Line: se.Line, Col: se.Col, Msg: se.Msg, Tokens: len(toks)}
+	}
+	p := reset(pp, rq, toks)
+	tree, err := p.ParseRule(rq.Rule)
+	if err != nil {
+		if se, ok := err.(*SyntaxError); ok {
+			return response{Line: se.Line, Col: se.Col, Msg: se.Msg, Tokens: len(toks)}
+		}
+		return response{Msg: err.Error(), Tokens: len(toks)}
+	}
+	out := response{OK: true, Tokens: len(toks)}
+	if rq.Tree {
+		out.Tree = tree.String()
+	}
+	return out
+}
+
+// bench measures tokenize+parse end to end, best of rq.Bench runs.
+func bench(pp **Parser, rq request) response {
+	var out response
+	best := int64(-1)
+	for i := 0; i < rq.Bench; i++ {
+		t0 := time.Now()
+		toks, err := Tokenize(rq.Input)
+		var perr error
+		if err == nil {
+			p := reset(pp, rq, toks)
+			_, perr = p.ParseRule(rq.Rule)
+		} else {
+			perr = err
+		}
+		d := time.Since(t0).Nanoseconds()
+		if best < 0 || d < best {
+			best = d
+		}
+		out.OK = perr == nil
+		out.Tokens = len(toks)
+	}
+	out.NS = best
+	return out
+}
+`

@@ -1,0 +1,165 @@
+package genrun
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llstar/examples/gen/calc"
+	"llstar/examples/gen/figure1"
+	"llstar/examples/gen/figure2"
+	"llstar/examples/gen/json"
+)
+
+// runFunc adapts one checked-in generated package to the driver's
+// Response shape so the parity assertions can be shared. Each generated
+// package defines its own (structurally identical) types, so the
+// adapters are per-package closures.
+type runFunc func(rule, input string, memoize *bool, tree bool) Response
+
+var checkedIn = map[string]runFunc{
+	"figure1": func(rule, input string, memoize *bool, tree bool) Response {
+		toks, err := figure1.Tokenize(input)
+		if err != nil {
+			se := err.(*figure1.SyntaxError)
+			return Response{LexErr: true, Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		p := figure1.NewParser(toks)
+		p.BuildTree = tree
+		if memoize != nil {
+			p.Memoize = *memoize
+		}
+		tr, err := p.ParseRule(rule)
+		if err != nil {
+			se := err.(*figure1.SyntaxError)
+			return Response{Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		out := Response{OK: true}
+		if tree {
+			out.Tree = tr.String()
+		}
+		return out
+	},
+	"figure2": func(rule, input string, memoize *bool, tree bool) Response {
+		toks, err := figure2.Tokenize(input)
+		if err != nil {
+			se := err.(*figure2.SyntaxError)
+			return Response{LexErr: true, Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		p := figure2.NewParser(toks)
+		p.BuildTree = tree
+		if memoize != nil {
+			p.Memoize = *memoize
+		}
+		tr, err := p.ParseRule(rule)
+		if err != nil {
+			se := err.(*figure2.SyntaxError)
+			return Response{Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		out := Response{OK: true}
+		if tree {
+			out.Tree = tr.String()
+		}
+		return out
+	},
+	"json": func(rule, input string, memoize *bool, tree bool) Response {
+		toks, err := json.Tokenize(input)
+		if err != nil {
+			se := err.(*json.SyntaxError)
+			return Response{LexErr: true, Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		p := json.NewParser(toks)
+		p.BuildTree = tree
+		if memoize != nil {
+			p.Memoize = *memoize
+		}
+		tr, err := p.ParseRule(rule)
+		if err != nil {
+			se := err.(*json.SyntaxError)
+			return Response{Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		out := Response{OK: true}
+		if tree {
+			out.Tree = tr.String()
+		}
+		return out
+	},
+	"calc": func(rule, input string, memoize *bool, tree bool) Response {
+		toks, err := calc.Tokenize(input)
+		if err != nil {
+			se := err.(*calc.SyntaxError)
+			return Response{LexErr: true, Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		p := calc.NewParser(toks)
+		p.BuildTree = tree
+		if memoize != nil {
+			p.Memoize = *memoize
+		}
+		tr, err := p.ParseRule(rule)
+		if err != nil {
+			se := err.(*calc.SyntaxError)
+			return Response{Line: se.Line, Col: se.Col, Msg: se.Msg}
+		}
+		out := Response{OK: true}
+		if tree {
+			out.Tree = tr.String()
+		}
+		return out
+	},
+}
+
+// pkgFor maps a grammar file to its checked-in package adapter.
+func pkgFor(t *testing.T, file string) runFunc {
+	t.Helper()
+	name := file[:len(file)-len(".g")]
+	run, ok := checkedIn[name]
+	if !ok {
+		t.Fatalf("no checked-in generated package for %s", file)
+	}
+	return run
+}
+
+// TestCheckedInParsersMatchInterp runs the checked-in generated
+// packages under examples/gen/ (linked into this test binary, so the CI
+// -race run executes them) over the full differential corpus and
+// asserts parity with the interpreter.
+func TestCheckedInParsersMatchInterp(t *testing.T) {
+	for _, rg := range repoGrammars {
+		rg := rg
+		t.Run(rg.File, func(t *testing.T) {
+			g := loadRepoGrammar(t, rg)
+			run := pkgFor(t, rg.File)
+			for label, input := range corpus(rg.Valid, rg.Invalid) {
+				got := run(rg.Start, input, nil, true)
+				checkParity(t, label+"/"+input, interpVerdict(g, rg.Start, input), got)
+			}
+		})
+	}
+}
+
+// TestCheckedInParsersFresh regenerates each checked-in parser with the
+// same options make generate uses and requires the bytes on disk to
+// match — the in-test version of CI's `make generate && git diff
+// --exit-code` staleness gate.
+func TestCheckedInParsersFresh(t *testing.T) {
+	for _, rg := range repoGrammars {
+		rg := rg
+		t.Run(rg.File, func(t *testing.T) {
+			g := loadRepoGrammar(t, rg)
+			name := rg.File[:len(rg.File)-len(".g")]
+			want, err := g.GenerateGo(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("..", "..", "examples", "gen", name, "parser.go")
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s is stale: regenerate with `make generate`", path)
+			}
+		})
+	}
+}
