@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt vet check serve cover-report benchdiff generate
+.PHONY: all build test race bench fuzz fmt vet check serve cover-report benchdiff generate stream-bench
 
 all: check
 
@@ -44,7 +44,13 @@ cover-report:
 # fail on counter drift (timings are compared only on matching hardware;
 # see scripts/benchdiff).
 benchdiff:
-	scripts/benchdiff -no-timing BENCH_7.json
+	scripts/benchdiff -no-timing BENCH_8.json
+
+# Streaming sessions: per-grammar streamed throughput and window peaks,
+# the ~100MB bounded-memory demonstration, and the incremental
+# edit-latency benchmark (docs/streaming.md).
+stream-bench:
+	$(GO) run ./cmd/llstar-bench -stream -seed 1 -lines 300
 
 fmt:
 	gofmt -l .

@@ -13,6 +13,7 @@
 //	llstar-bench -serve           # llstar-serve load test (latency/throughput)
 //	llstar-bench -serve -serve-url http://host:8080   # against a running server
 //	llstar-bench -compiled        # interpreter vs generated-parser throughput table
+//	llstar-bench -stream          # streaming sessions: throughput, bounded memory, edit latency
 //	llstar-bench -compiled -json BENCH.json   # persist the generated-parser counters too
 //	llstar-bench -json BENCH.json # machine-readable result set (the bench trajectory)
 //	llstar-bench -compare BENCH_5.json   # rerun at the baseline's config and diff;
@@ -78,6 +79,7 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
 	serveLines := flag.Int("serve-lines", 200, "approximate generated input size in lines for -serve")
 	compiled := flag.Bool("compiled", false, "also build and time the generated parsers and print the interpreter-vs-generated table")
+	stream := flag.Bool("stream", false, "print the streaming table (throughput, bounded memory, incremental edit latency); with -json, persist the stream counters too")
 	jsonOut := flag.String("json", "", "write a machine-readable result set (counters + timings) to this file")
 	compare := flag.String("compare", "", "rerun at the baseline file's seed/lines and diff against it; exit 1 on regression")
 	compareThreshold := flag.Float64("compare-threshold", 0.15, "tolerated fractional lines/sec regression for -compare")
@@ -107,6 +109,12 @@ func main() {
 			}
 			fmt.Println("== Interpreter vs generated parser ==")
 			bench.CompiledTable(os.Stdout, rs)
+		}
+		if *stream {
+			if err := rs.AddStream(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		if *jsonOut == "" {
 			return
@@ -148,6 +156,14 @@ func main() {
 		return
 	}
 
+	if *stream {
+		fmt.Println("== Streaming parse sessions ==")
+		if err := bench.StreamTable(os.Stdout, *seed, *lines); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
 		fmt.Println("== llstar-serve load test ==")
 		err := bench.ServeLoad(os.Stdout, bench.ServeLoadOptions{
@@ -250,6 +266,21 @@ func runCompare(path string, threshold float64, timing bool, runs int) error {
 				return err
 			}
 			break
+		}
+	}
+	// Same for a baseline recorded with -stream.
+	if baseline.Stream != nil {
+		if err := cur.AddStream(); err != nil {
+			return err
+		}
+	} else {
+		for _, w := range baseline.Workloads {
+			if w.StreamEvents != 0 {
+				if err := cur.AddStream(); err != nil {
+					return err
+				}
+				break
+			}
 		}
 	}
 	if !bench.Compare(os.Stdout, baseline, cur, bench.CompareOptions{Threshold: threshold, Timing: timing}) {

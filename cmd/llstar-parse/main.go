@@ -11,6 +11,13 @@
 //	llstar-parse -flight capture.json -flight-slow 100ms grammar.g input.txt
 //	echo '1+2*3' | llstar-parse grammar.g -
 //
+// -stream feeds the input through a streaming parse session in chunks
+// (memory stays bounded by grammar depth + lookahead, not input size);
+// -events additionally prints each SAX event as one NDJSON line:
+//
+//	llstar-parse -stream grammar.g big-input.txt
+//	tail -f log.txt | llstar-parse -stream -events grammar.g -
+//
 // Two warm-start modes skip grammar analysis on startup:
 //
 //	llstar-parse -cache ~/.cache/llstar grammar.g input.txt  # persistent analysis cache
@@ -29,6 +36,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -61,6 +69,9 @@ func main() {
 	flightFile := flag.String("flight", "", "ride a flight recorder and write its JSON capture to this file (see -flight-slow for when)")
 	flightEvents := flag.Int("flight-events", 0, "flight ring capacity: the last N events kept (0 = default 256)")
 	flightSlow := flag.Duration("flight-slow", 0, "with -flight, capture only a failed or at-least-this-slow parse (0 = always capture)")
+	streamFlag := flag.Bool("stream", false, "feed the input through a streaming parse session in chunks (bounded memory; no tree)")
+	eventsFlag := flag.Bool("events", false, "with -stream, print each SAX event as one NDJSON line on stdout")
+	chunkSize := flag.Int("chunk", 64<<10, "with -stream, feed chunk size in bytes")
 	flag.Parse()
 
 	wantArgs, usage := 2, "usage: llstar-parse [flags] grammar.g input.txt   ('-' reads stdin)"
@@ -77,17 +88,37 @@ func main() {
 	}
 	inputArg := flag.Arg(wantArgs - 1)
 	var input []byte
+	var in io.Reader
 	var err error
-	if inputArg == "-" {
-		input, err = io.ReadAll(os.Stdin)
+	if *streamFlag {
+		// Streaming mode never materializes the input: the reader is
+		// pumped chunk by chunk.
+		if inputArg == "-" {
+			in = os.Stdin
+		} else {
+			f, err := os.Open(inputArg)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
 	} else {
-		input, err = os.ReadFile(inputArg)
-	}
-	if err != nil {
-		fatal(err)
+		if inputArg == "-" {
+			input, err = io.ReadAll(os.Stdin)
+		} else {
+			input, err = os.ReadFile(inputArg)
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if *serverURL != "" {
+		if *streamFlag {
+			remoteStream(*serverURL, flag.Arg(0), *rule, in, *eventsFlag)
+			return
+		}
 		remoteParse(*serverURL, flag.Arg(0), *rule, string(input), *stats, *noTree)
 		return
 	}
@@ -132,6 +163,22 @@ func main() {
 	}
 	for _, w := range g.Warnings() {
 		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	if *streamFlag {
+		perr := streamParse(g, *rule, in, *chunkSize, *eventsFlag, *stats, tracer, reg)
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "llstar-parse: trace:", err)
+			}
+		}
+		if reg != nil {
+			printMetrics(reg, *metricsJSON)
+		}
+		if perr != nil {
+			fatal(perr)
+		}
+		return
 	}
 
 	opts := []llstar.ParserOption{llstar.WithTree()}
@@ -187,6 +234,152 @@ func main() {
 		printMetrics(reg, *metricsJSON)
 	}
 	printCoverage(prof, *coverFlag, *hotspots, *hotspotTop, *coverHTML)
+}
+
+// cliStreamEvent is the CLI's NDJSON event line (the same shape the
+// server's ?stream=events endpoint emits).
+type cliStreamEvent struct {
+	Kind  string `json:"kind"`
+	Rule  string `json:"rule,omitempty"`
+	Token string `json:"token,omitempty"`
+	Type  int    `json:"type,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+}
+
+// streamParse pumps the reader through a streaming session, chunk by
+// chunk, optionally printing NDJSON events and a summary.
+func streamParse(g *llstar.Grammar, rule string, in io.Reader, chunk int,
+	events, stats bool, tracer *llstar.TraceWriter, reg *llstar.Metrics) error {
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	enc := json.NewEncoder(os.Stdout)
+	opts := []llstar.SessionOption{}
+	if rule != "" {
+		opts = append(opts, llstar.WithStartRule(rule))
+	}
+	if events {
+		opts = append(opts, llstar.WithEvents(func(ev llstar.StreamEvent) {
+			out := cliStreamEvent{Kind: ev.Kind.String()}
+			switch ev.Kind {
+			case llstar.StreamRuleEnter, llstar.StreamRuleExit:
+				out.Rule = ev.Rule
+			case llstar.StreamToken:
+				out.Token = ev.Token.Text
+				out.Type = int(ev.Token.Type)
+				out.Name = g.TokenName(int(ev.Token.Type))
+				out.Line = ev.Token.Pos.Line
+				out.Col = ev.Token.Pos.Col
+			case llstar.StreamSyntaxError:
+				out.Rule = ev.Err.Rule
+				out.Msg = ev.Err.Msg
+				out.Token = ev.Err.Offending.Text
+				out.Line = ev.Err.Offending.Pos.Line
+				out.Col = ev.Err.Offending.Pos.Col
+			}
+			_ = enc.Encode(out)
+		}))
+	}
+	if tracer != nil {
+		opts = append(opts, llstar.WithSessionTracer(tracer))
+	}
+	if reg != nil {
+		opts = append(opts, llstar.WithSessionMetrics(reg))
+	}
+	start := time.Now()
+	sess, err := g.NewSession(opts...)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, chunk)
+	var perr error
+	for perr == nil {
+		n, rerr := in.Read(buf)
+		if n > 0 {
+			perr = sess.Feed(buf[:n])
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			sess.Close()
+			return rerr
+		}
+	}
+	if perr == nil {
+		perr = sess.Finish()
+	} else {
+		sess.Close()
+	}
+	st := sess.Stats()
+	if stats || !events {
+		fmt.Fprintf(os.Stderr,
+			"streamed %d bytes in %d chunks: %d tokens, %d events, peak window %d, maxk %d, %v\n",
+			st.BytesFed, st.Chunks, st.Tokens, st.Events, st.PeakWindow, st.MaxK,
+			time.Since(start).Round(time.Millisecond))
+	}
+	return perr
+}
+
+// remoteStream pipes the reader to a llstar-serve instance's
+// /v1/parse?stream=events endpoint with a chunked request body and
+// relays the NDJSON response: event lines to stdout (with -events),
+// the terminal end line deciding the exit status.
+func remoteStream(base, grammar, rule string, in io.Reader, events bool) {
+	u := strings.TrimRight(base, "/") + "/v1/parse?stream=events&grammar=" + grammar
+	if rule != "" {
+		u += "&rule=" + rule
+	}
+	resp, err := http.Post(u, "text/plain", io.NopCloser(in))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	var last string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if events {
+			fmt.Println(line)
+		}
+		last = line
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	var end struct {
+		Kind   string `json:"kind"`
+		OK     bool   `json:"ok"`
+		Tokens int    `json:"tokens"`
+		Events int64  `json:"events"`
+		Window int    `json:"peak_window"`
+		Error  *struct {
+			Msg   string `json:"msg"`
+			Line  int    `json:"line"`
+			Col   int    `json:"col"`
+			Token string `json:"token"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &end); err != nil || end.Kind != "end" {
+		fatal(fmt.Errorf("%s: HTTP %d: %s", u, resp.StatusCode, last))
+	}
+	if !events {
+		fmt.Fprintf(os.Stderr, "server stream: %d tokens, %d events, peak window %d\n",
+			end.Tokens, end.Events, end.Window)
+	}
+	if !end.OK {
+		if end.Error != nil && end.Error.Line > 0 {
+			fatal(fmt.Errorf("%d:%d: %s (at %q)", end.Error.Line, end.Error.Col, end.Error.Msg, end.Error.Token))
+		}
+		fatal(fmt.Errorf("stream parse failed"))
+	}
 }
 
 // writeFlight persists the parse's flight recording as a JSON capture

@@ -1,11 +1,17 @@
 // Command llstar-serve runs the llstar parse service: an HTTP server
 // exposing every grammar in a directory over a JSON API, with parser
 // pooling, a persistent analysis cache, backpressure, and Prometheus
-// metrics. See docs/server.md for the API.
+// metrics. Streaming requests (/v1/parse?stream=events) parse chunked
+// bodies in bounded memory and answer NDJSON SAX events; parse
+// sessions (/v1/sessions) retain a document server-side and re-parse
+// incrementally on edits. See docs/server.md and docs/streaming.md
+// for the API.
 //
 //	llstar-serve -grammars grammars -cache ~/.cache/llstar
 //	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/parse -d '{"grammar":"json","input":"[1,2]"}'
+//	curl -sN 'localhost:8080/v1/parse?stream=events&grammar=json' --data-binary @big.json
+//	curl -s localhost:8080/v1/sessions -d '{"grammar":"json","input":"[1,2]"}'
 //	curl -s localhost:8080/debug/coverage | jq .
 //	curl -s localhost:8080/debug/flight | jq .
 //	curl -s 'localhost:8080/debug/coverage?grammar=json&format=html' > cov.html
@@ -58,6 +64,10 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 64, "max concurrently executing parse requests (-1 disables the limiter)")
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for a slot before 429")
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes (413 beyond)")
+	maxStream := flag.Int64("max-stream", 64<<20, "max body bytes for /v1/parse?stream=events (413 beyond)")
+	maxSessions := flag.Int("max-sessions", 64, "max live parse sessions (429 beyond once no idle session is evictable)")
+	sessionIdle := flag.Duration("session-idle", 5*time.Minute, "idle age past which a session may be evicted for a new one")
+	maxSessionBytes := flag.Int64("max-session-bytes", 4<<20, "max retained document bytes per session (413 beyond)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request parse deadline (504 beyond)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool size per /v1/batch request (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
@@ -94,6 +104,10 @@ func main() {
 		MaxInFlight:           *maxInFlight,
 		QueueWait:             *queueWait,
 		MaxBodyBytes:          *maxBody,
+		MaxStreamBytes:        *maxStream,
+		MaxSessions:           *maxSessions,
+		SessionIdle:           *sessionIdle,
+		MaxSessionBytes:       *maxSessionBytes,
 		RequestTimeout:        *timeout,
 		BatchWorkers:          *batchWorkers,
 		Debug:                 *debug,

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+// BenchmarkIncrementalEdit measures one single-token edit on a
+// 10k-element JSON document — the latency the streaming acceptance bar
+// compares against a full reparse.
+func BenchmarkIncrementalEdit(b *testing.B) {
+	g, err := loadStreamJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := feedAll(s, genStreamJSON(10000)); err != nil {
+		b.Fatal(err)
+	}
+	idx := strings.Index(string(s.Text()), `"id": 5000,`) + len(`"id": `)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := "5001"
+		if i%2 == 1 {
+			v = "5000"
+		}
+		if err := s.Edit(llstar.Edit{Offset: idx, OldLen: 4, NewText: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

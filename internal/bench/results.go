@@ -36,6 +36,11 @@ type ResultSet struct {
 	Timestamp  string `json:"timestamp_utc,omitempty"`
 
 	Workloads []WorkloadResult `json:"workloads"`
+
+	// Stream is the streaming/incremental section, filled by AddStream
+	// when the run includes the streaming engine (-stream). Nil on
+	// older baselines — Compare tolerates either way.
+	Stream *StreamResult `json:"stream,omitempty"`
 }
 
 // WorkloadResult is one grammar's row: the static analysis shape, the
@@ -73,6 +78,13 @@ type WorkloadResult struct {
 	GenTokens      int     `json:"gen_tokens,omitempty"`
 	GenParseNanos  int64   `json:"gen_parse_nanos,omitempty"`
 	GenLinesPerSec float64 `json:"gen_lines_per_sec,omitempty"`
+
+	// Streaming columns, filled by AddStream when the run includes the
+	// streaming engine (-stream). StreamEvents (SAX events emitted) and
+	// StreamPeakWindow (peak buffered tokens) are deterministic; zero on
+	// non-streaming runs — Compare tolerates baselines either way.
+	StreamEvents     int `json:"stream_events,omitempty"`
+	StreamPeakWindow int `json:"stream_peak_window,omitempty"`
 }
 
 // RunResultSet runs every workload at the given seed and input size,
@@ -249,6 +261,21 @@ func Compare(out io.Writer, baseline, cur *ResultSet, opts CompareOptions) bool 
 					w.Name, b.GenTokens, w.GenTokens)
 			}
 		}
+		// Streaming data likewise gates on baseline presence.
+		if b.StreamEvents != 0 {
+			if w.StreamEvents == 0 {
+				fail("%s: baseline has streaming counters but current run does not (rerun with -stream)", w.Name)
+			} else {
+				if b.StreamEvents != w.StreamEvents {
+					fail("%s: stream_events changed %d -> %d (deterministic counter; regenerate the baseline if intended)",
+						w.Name, b.StreamEvents, w.StreamEvents)
+				}
+				if b.StreamPeakWindow != w.StreamPeakWindow {
+					fail("%s: stream_peak_window changed %d -> %d (deterministic counter; regenerate the baseline if intended)",
+						w.Name, b.StreamPeakWindow, w.StreamPeakWindow)
+				}
+			}
+		}
 		countersOK := ok || failedBefore // no new failure since this workload started
 		if opts.Timing && b.LinesPerSec > 0 {
 			drop := (b.LinesPerSec - w.LinesPerSec) / b.LinesPerSec
@@ -272,6 +299,22 @@ func Compare(out io.Writer, baseline, cur *ResultSet, opts CompareOptions) bool 
 	}
 	for name := range base {
 		fail("%s: missing from current results", name)
+	}
+	// The incremental edit benchmark compares only when the baseline
+	// recorded one: token count and reuse percentage are deterministic.
+	if baseline.Stream != nil {
+		switch {
+		case cur.Stream == nil:
+			fail("baseline has a stream section but current run does not (rerun with -stream)")
+		case baseline.Stream.EditLines != cur.Stream.EditLines,
+			baseline.Stream.EditTokens != cur.Stream.EditTokens:
+			fail("stream: edit bench shape changed (%d lines/%d tokens -> %d/%d)",
+				baseline.Stream.EditLines, baseline.Stream.EditTokens,
+				cur.Stream.EditLines, cur.Stream.EditTokens)
+		case math.Abs(baseline.Stream.EditReusedTokensPct-cur.Stream.EditReusedTokensPct) > 1e-9:
+			fail("stream: edit_reused_tokens_pct changed %.2f -> %.2f",
+				baseline.Stream.EditReusedTokensPct, cur.Stream.EditReusedTokensPct)
+		}
 	}
 	return ok
 }

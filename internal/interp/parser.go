@@ -69,6 +69,16 @@ type Options struct {
 	// concurrent parsers accumulate into one aggregate. Nil costs one
 	// pointer check per instrumentation site.
 	Coverage *cover.Profile
+	// Listener, if set, receives SAX-style events (rule enter/exit,
+	// committed tokens) exactly where tree nodes are (or would be)
+	// built. Streaming sessions use it in place of BuildTree. Nil costs
+	// one pointer check per site.
+	Listener runtime.ParseListener
+	// Window enables sliding-window token retention: the stream drops
+	// retired tokens (and the memo table their verdicts) as the parse
+	// commits past them, bounding memory by grammar depth + lookahead
+	// instead of input length. Requires BuildTree to be off.
+	Window bool
 }
 
 // Parser interprets an analyzed grammar. A Parser is reusable: every
@@ -111,6 +121,8 @@ type Parser struct {
 	// cov is this parser's private coverage recorder (nil when coverage
 	// is off), flushed into Options.Coverage once per parse.
 	cov *cover.Recorder
+	// lsn is the SAX listener (nil when off — one nil check per site).
+	lsn runtime.ParseListener
 	// measureK enables the lookahead watermark bookkeeping in predict;
 	// set when any of stats, tracer, or metrics needs depth data.
 	measureK bool
@@ -136,6 +148,7 @@ func New(res *core.Result, opts Options) *Parser {
 	p.base = obs.Tee(opts.Tracer, opts.Flight)
 	p.tr = p.base
 	p.mx = opts.Metrics
+	p.lsn = opts.Listener
 	if opts.Coverage != nil {
 		p.cov = opts.Coverage.NewRecorder()
 	}
@@ -241,6 +254,9 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 	if p.memoEnabled() {
 		p.memo = runtime.NewMemoTable(len(p.res.Grammar.Rules))
 	}
+	if p.opts.Window && !p.opts.BuildTree {
+		stream.EnableWindow()
+	}
 	p.spec = 0
 	p.deepestIdx = -1
 	p.deepestErr = nil
@@ -326,6 +342,52 @@ func (p *Parser) ParseTokens(startRule string, stream *runtime.TokenStream) (*No
 	return root, nil
 }
 
+// Memo returns the memo table of the most recent parse (nil when
+// memoization is off). Incremental sessions retain it across edits.
+func (p *Parser) Memo() *runtime.MemoTable { return p.memo }
+
+// ParseFragment parses a single invocation of startRule over stream,
+// without requiring the input to be consumed to EOF, and returns the
+// tree (when BuildTree is on) and the stream position after the rule.
+// memo, which may be nil, is used as the speculation cache — incremental
+// reparse passes a rebased table from a prior parse so verdicts outside
+// the damaged region are reused. The SAX listener is suppressed for the
+// duration: fragment reparses repair state, they do not replay events.
+func (p *Parser) ParseFragment(startRule string, stream *runtime.TokenStream, memo *runtime.MemoTable) (*Node, int, error) {
+	idx := p.m.RuleIndexByName(startRule)
+	if idx < 0 {
+		return nil, 0, fmt.Errorf("interp: no parser rule %s", startRule)
+	}
+	p.stream = stream
+	p.memo = memo
+	p.spec = 0
+	p.deepestIdx = -1
+	p.deepestErr = nil
+	p.errors = nil
+	p.stats.Reset()
+	p.ctx = runtime.Context{Stream: stream, State: p.opts.State}
+	savedLsn := p.lsn
+	p.lsn = nil
+	var holder *Node
+	if p.opts.BuildTree {
+		holder = &Node{}
+	}
+	err := p.parseRule(idx, 0, holder)
+	p.lsn = savedLsn
+	stop := stream.Index()
+	if err != nil {
+		return nil, stop, err
+	}
+	if lexErr := stream.Err(); lexErr != nil {
+		return nil, stop, lexErr
+	}
+	var root *Node
+	if holder != nil && len(holder.Children) > 0 {
+		root = holder.Children[0]
+	}
+	return root, stop, nil
+}
+
 func (p *Parser) syntaxErr(at token.Token, rule, msg string) *runtime.SyntaxError {
 	return &runtime.SyntaxError{Offending: at, Rule: rule, Msg: msg}
 }
@@ -378,8 +440,17 @@ func (p *Parser) parseRule(idx, arg int, parent *Node) error {
 		node = &Node{Rule: r.Name}
 		parent.Children = append(parent.Children, node)
 	}
+	// The listener mirrors tree construction: at spec==0 a node is
+	// always built when BuildTree is on, so firing on spec==0 alone
+	// yields the identical rule structure with trees off.
+	if p.lsn != nil && p.spec == 0 {
+		p.lsn.EnterRule(r.Name)
+	}
 
 	err := p.walk(p.m.RuleStart[idx], p.m.RuleStop[idx], &frame{rule: r, arg: arg, node: node})
+	if p.lsn != nil && p.spec == 0 {
+		p.lsn.ExitRule(r.Name)
+	}
 	if memoizable {
 		if err != nil {
 			p.memo.Put(idx, start, runtime.MemoFailed)

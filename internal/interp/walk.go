@@ -165,8 +165,18 @@ func (p *Parser) consume(t token.Token, fr *frame) {
 	p.stream.Consume()
 	tok := t
 	p.ctx.LastToken = &tok
-	if p.spec == 0 && fr.node != nil {
-		fr.node.Children = append(fr.node.Children, &Node{Token: &tok})
+	if p.spec == 0 {
+		if fr.node != nil {
+			fr.node.Children = append(fr.node.Children, &Node{Token: &tok})
+		}
+		if p.lsn != nil {
+			p.lsn.Token(tok)
+		}
+		// Committed past this token: in windowed mode release the
+		// retired prefix and its now-unreachable memo verdicts.
+		if newBase := p.stream.TrimTo(p.stream.Index()); newBase >= 0 && p.memo != nil {
+			p.memo.PruneBelow(newBase)
+		}
 	}
 }
 

@@ -9,12 +9,17 @@
 // configuration sets are interned as DFA states and transitions are
 // memoized per rune, so steady-state lexing costs one map lookup per
 // character (the same trick ANTLR's lexers use).
+//
+// Two drivers share the engine: Lexer tokenizes a whole in-memory
+// string, and ChunkLexer (chunk.go) tokenizes byte chunks arriving
+// incrementally, suspending mid-token at buffer boundaries.
 package lexrt
 
 import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"llstar/internal/atn"
 	"llstar/internal/runtime"
@@ -30,15 +35,11 @@ type dfaState struct {
 	edges  map[rune]*dfaState // nil target = dead end, also memoized
 }
 
-// Lexer tokenizes an input string using a LexMachine. It implements
-// runtime.TokenSource.
-type Lexer struct {
-	lm    *atn.LexMachine
-	input []rune
-	pos   int
-	line  int
-	col   int
-
+// engine holds the on-the-fly subset construction shared by the batch
+// Lexer and the streaming ChunkLexer: the interned DFA states and the
+// scratch buffers for uncached transitions. Not safe for concurrent use.
+type engine struct {
+	lm       *atn.LexMachine
 	start    *dfaState
 	interned map[string]*dfaState
 
@@ -48,72 +49,87 @@ type Lexer struct {
 	gen  int
 }
 
-var _ runtime.TokenSource = (*Lexer)(nil)
-
-// New returns a lexer over input.
-func New(lm *atn.LexMachine, input string) *Lexer {
-	lx := &Lexer{
-		lm:       lm,
-		input:    []rune(input),
-		line:     1,
-		col:      1,
-		interned: make(map[string]*dfaState),
-		seen:     make([]int, len(lm.States)),
-	}
+func (e *engine) init(lm *atn.LexMachine) {
+	e.lm = lm
+	e.interned = make(map[string]*dfaState)
+	e.seen = make([]int, len(lm.States))
 	// Copy the shared precomputed closure: intern sorts its argument in
 	// place, and concurrent lexers share one LexMachine.
-	lx.start = lx.intern(append([]*atn.State(nil), lm.Closure(lm.Start)...))
-	return lx
+	e.start = e.intern(append([]*atn.State(nil), lm.Closure(lm.Start)...))
 }
 
 // intern canonicalizes a configuration set into a shared dfaState.
-func (l *Lexer) intern(states []*atn.State) *dfaState {
+func (e *engine) intern(states []*atn.State) *dfaState {
 	sort.Slice(states, func(i, j int) bool { return states[i].ID < states[j].ID })
 	var key strings.Builder
 	for _, s := range states {
 		key.WriteString(strconv.Itoa(s.ID))
 		key.WriteByte('.')
 	}
-	if d, ok := l.interned[key.String()]; ok {
+	if d, ok := e.interned[key.String()]; ok {
 		return d
 	}
 	accept := -1
 	for _, s := range states {
-		if r := l.lm.AcceptRule(s); r >= 0 && (accept < 0 || r < accept) {
+		if r := e.lm.AcceptRule(s); r >= 0 && (accept < 0 || r < accept) {
 			accept = r
 		}
 	}
 	d := &dfaState{states: states, accept: accept, edges: make(map[rune]*dfaState)}
-	l.interned[key.String()] = d
+	e.interned[key.String()] = d
 	return d
 }
 
 // step computes (and memoizes) the successor of d on rune r.
-func (l *Lexer) step(d *dfaState, r rune) *dfaState {
+func (e *engine) step(d *dfaState, r rune) *dfaState {
 	if next, ok := d.edges[r]; ok {
 		return next
 	}
-	l.gen++
-	l.next = l.next[:0]
+	e.gen++
+	e.next = e.next[:0]
 	for _, s := range d.states {
 		for _, tr := range s.Trans {
 			if tr.Kind == atn.TEpsilon || !tr.MatchesRune(r) {
 				continue
 			}
-			for _, c := range l.lm.Closure(tr.To) {
-				if l.seen[c.ID] != l.gen {
-					l.seen[c.ID] = l.gen
-					l.next = append(l.next, c)
+			for _, c := range e.lm.Closure(tr.To) {
+				if e.seen[c.ID] != e.gen {
+					e.seen[c.ID] = e.gen
+					e.next = append(e.next, c)
 				}
 			}
 		}
 	}
 	var next *dfaState
-	if len(l.next) > 0 {
-		next = l.intern(append([]*atn.State(nil), l.next...))
+	if len(e.next) > 0 {
+		next = e.intern(append([]*atn.State(nil), e.next...))
 	}
 	d.edges[r] = next
 	return next
+}
+
+// Lexer tokenizes an input string using a LexMachine. It implements
+// runtime.TokenSource.
+type Lexer struct {
+	engine
+	input []rune
+	pos   int
+	line  int
+	col   int
+	off   int // byte offset of input[pos] in the original string
+}
+
+var _ runtime.TokenSource = (*Lexer)(nil)
+
+// New returns a lexer over input.
+func New(lm *atn.LexMachine, input string) *Lexer {
+	lx := &Lexer{
+		input: []rune(input),
+		line:  1,
+		col:   1,
+	}
+	lx.engine.init(lm)
+	return lx
 }
 
 // NextToken implements runtime.TokenSource: it returns the next token on
@@ -122,7 +138,7 @@ func (l *Lexer) step(d *dfaState, r rune) *dfaState {
 func (l *Lexer) NextToken() (token.Token, error) {
 	for {
 		if l.pos >= len(l.input) {
-			return token.Token{Type: token.EOF, Pos: token.Pos{Line: l.line, Col: l.col}}, nil
+			return token.Token{Type: token.EOF, Pos: token.Pos{Line: l.line, Col: l.col}, Off: l.off}, nil
 		}
 		tok, skip, err := l.match()
 		if err != nil {
@@ -139,6 +155,7 @@ func (l *Lexer) NextToken() (token.Token, error) {
 func (l *Lexer) match() (token.Token, bool, error) {
 	start := l.pos
 	startPos := token.Pos{Line: l.line, Col: l.col}
+	startOff := l.off
 
 	d := l.start
 	bestEnd, bestRule := -1, -1
@@ -164,10 +181,10 @@ func (l *Lexer) match() (token.Token, bool, error) {
 	if info.Skip {
 		return token.Token{}, true, nil
 	}
-	return token.Token{Type: info.Type, Text: text, Pos: startPos, Channel: info.Channel}, false, nil
+	return token.Token{Type: info.Type, Text: text, Pos: startPos, Off: startOff, Channel: info.Channel}, false, nil
 }
 
-// advance updates line/col over input[start:end) and moves the cursor.
+// advance updates line/col/off over input[start:end) and moves the cursor.
 func (l *Lexer) advance(start, end int) {
 	for i := start; i < end; i++ {
 		if l.input[i] == '\n' {
@@ -176,6 +193,7 @@ func (l *Lexer) advance(start, end int) {
 		} else {
 			l.col++
 		}
+		l.off += utf8.RuneLen(l.input[i])
 	}
 	l.pos = end
 }

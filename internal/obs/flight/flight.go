@@ -210,6 +210,9 @@ type Capture struct {
 	Endpoint  string `json:"endpoint,omitempty"`
 	Grammar   string `json:"grammar,omitempty"`
 	Rule      string `json:"rule,omitempty"`
+	// SessionID correlates captures from streaming sessions: every
+	// capture taken for the same /v1/sessions session carries its id.
+	SessionID string `json:"session_id,omitempty"`
 	// Status is the HTTP status the request answered (0 for CLI captures).
 	Status int `json:"status,omitempty"`
 	// Trigger names the anomaly that fired: "slow", "status", "panic",

@@ -136,11 +136,14 @@ func TestWriteJSON(t *testing.T) {
 func populateMixed(m *Metrics) {
 	m.Gauge("z_gauge").Set(1)
 	m.Counter(Label("b_total", "k", "2")).Inc()
+	m.Counter("llstar_stream_events_total").Add(12)
 	m.Histogram("m_hist", 1, 4).Observe(3)
 	m.Counter(Label("b_total", "k", "1")).Add(7)
 	m.Counter("a_total").Inc()
+	m.Counter("llstar_stream_bytes_total").Add(4096)
 	m.Gauge("c_gauge").Set(-3)
 	m.Histogram(Label("m_hist", "d", "9"), 2).Observe(1)
+	m.Counter("llstar_stream_sessions_total").Inc()
 }
 
 func TestExportersDeterministic(t *testing.T) {
@@ -149,13 +152,16 @@ func TestExportersDeterministic(t *testing.T) {
 	m1 := NewMetrics()
 	populateMixed(m1)
 	m2 := NewMetrics()
+	m2.Counter("llstar_stream_sessions_total").Inc()
 	m2.Counter("a_total").Inc()
 	m2.Histogram(Label("m_hist", "d", "9"), 2).Observe(1)
 	m2.Gauge("c_gauge").Set(-3)
+	m2.Counter("llstar_stream_bytes_total").Add(4096)
 	m2.Counter(Label("b_total", "k", "1")).Add(7)
 	m2.Counter(Label("b_total", "k", "2")).Inc()
 	m2.Gauge("z_gauge").Set(1)
 	m2.Histogram("m_hist", 1, 4).Observe(3)
+	m2.Counter("llstar_stream_events_total").Add(12)
 
 	render := func(m *Metrics, f func(*Metrics, *bytes.Buffer) error) string {
 		var buf bytes.Buffer

@@ -27,6 +27,10 @@ const (
 	// PhaseServer covers the HTTP parse service: per-request spans from
 	// llstar-serve (see docs/server.md).
 	PhaseServer Phase = "server"
+	// PhaseStream covers streaming parse sessions: chunk feeds
+	// (stream.feed), the suspendable parse loop (stream.parse), and
+	// incremental reparse (stream.edit). See docs/streaming.md.
+	PhaseStream Phase = "stream"
 )
 
 // Event phase types (the Ph field), following the Chrome trace_event

@@ -1,0 +1,23 @@
+package runtime
+
+import "llstar/internal/token"
+
+// ParseListener receives SAX-style parse events as the interpreter
+// commits them. Callbacks fire only for non-speculative work — exactly
+// where tree nodes would be created — so a listener that builds a tree
+// reproduces the batch parse tree node for node. Callbacks run
+// synchronously on the parsing goroutine; they must not call back into
+// the parser.
+type ParseListener interface {
+	// EnterRule fires when a committed rule invocation begins. The root
+	// rule of a parse is included.
+	EnterRule(rule string)
+	// ExitRule fires when that invocation ends, including when it
+	// unwinds on a syntax error (every EnterRule gets a matching
+	// ExitRule).
+	ExitRule(rule string)
+	// Token fires for each committed, consumed on-channel token, in
+	// input order. Error-recovery insertions (match of a missing token)
+	// do not fire; recovery deletions skip the deleted token.
+	Token(t token.Token)
+}

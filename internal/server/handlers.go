@@ -23,10 +23,14 @@ type flightRun struct {
 	endpoint string
 	grammar  string
 	rule     string
+	session  string
 	reqID    string
 	traceID  string
 	start    time.Time
 	stats    flight.Stats
+	// pooled marks a recorder checked out of fpool: returned on finish.
+	// Session-owned recorders (which outlive the request) are not.
+	pooled bool
 }
 
 // newFlightRun checks a recorder out of the pool for one request, or
@@ -44,6 +48,7 @@ func (s *Server) newFlightRun(w http.ResponseWriter, endpoint, grammar string) *
 		reqID:    w.Header().Get(requestIDHeader),
 		traceID:  traceIDFrom(w.Header().Get(traceparentHeader)),
 		start:    time.Now(),
+		pooled:   true,
 	}
 }
 
@@ -74,7 +79,9 @@ func (s *Server) finishFlight(ctx context.Context, fr *flightRun, resp parseResp
 		trigger = s.ftrig.Eval(status, dur, fr.stats)
 	}
 	if trigger == "" {
-		s.fpool.Put(fr.rec)
+		if fr.pooled {
+			s.fpool.Put(fr.rec)
+		}
 		return
 	}
 	events, dropped := fr.rec.Snapshot()
@@ -84,6 +91,7 @@ func (s *Server) finishFlight(ctx context.Context, fr *flightRun, resp parseResp
 		Endpoint:  fr.endpoint,
 		Grammar:   fr.grammar,
 		Rule:      fr.rule,
+		SessionID: fr.session,
 		Status:    status,
 		Trigger:   trigger,
 		Time:      time.Now(),
@@ -102,8 +110,9 @@ func (s *Server) finishFlight(ctx context.Context, fr *flightRun, resp parseResp
 		slog.String("request_id", fr.reqID),
 		slog.String("trace_id", fr.traceID),
 		slog.String("grammar", fr.grammar),
+		slog.String("session_id", fr.session),
 	)
-	if forced == "" {
+	if forced == "" && fr.pooled {
 		s.fpool.Put(fr.rec)
 	}
 }

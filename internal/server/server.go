@@ -5,12 +5,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/parse     parse one input           (JSON in/out)
-//	POST /v1/batch     parse many inputs         (bounded worker fan-out)
-//	GET  /v1/grammars  registry listing with analysis digests
-//	GET  /healthz      liveness (always 200 while the process serves)
-//	GET  /readyz       readiness (200 only after preloads, 503 draining)
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/parse                   parse one input           (JSON in/out)
+//	POST /v1/parse?stream=events     streaming parse: raw body in, NDJSON SAX events out
+//	POST /v1/batch                   parse many inputs         (bounded worker fan-out)
+//	POST /v1/sessions                create an incremental parse session
+//	GET/DELETE /v1/sessions/{id}     inspect / close a session
+//	POST /v1/sessions/{id}/edit      apply a text edit, incremental reparse
+//	GET  /v1/grammars                registry listing with analysis digests
+//	GET  /healthz                    liveness (always 200 while the process serves)
+//	GET  /readyz                     readiness (200 only after preloads, 503 draining)
+//	GET  /metrics                    Prometheus text exposition
 //
 // Introspection (Config.Debug on the main handler, or DebugHandler()
 // on a private listener):
@@ -88,6 +92,23 @@ type Config struct {
 	// MaxBatchItems caps inputs per batch request (default 256).
 	MaxBatchItems int
 
+	// MaxStreamBytes caps the raw request body of the streaming parse
+	// endpoint (POST /v1/parse?stream=events), which is exempt from
+	// MaxBodyBytes because bounded streaming memory is its whole point
+	// (default 64 MiB; < 0 disables the cap).
+	MaxStreamBytes int64
+	// MaxSessions caps live incremental sessions (default 64). When the
+	// table is full, creating a session evicts sessions idle longer than
+	// SessionIdle; if none qualify the request is shed with 429.
+	MaxSessions int
+	// SessionIdle is how long a session may sit unused before it becomes
+	// evictable (default 5m).
+	SessionIdle time.Duration
+	// MaxSessionBytes caps each session's retained document, and with it
+	// the /v1/sessions request bodies (default 4 MiB). An edit that would
+	// grow the document past the cap answers 413.
+	MaxSessionBytes int64
+
 	// Debug mounts the introspection endpoints (/debug/coverage,
 	// /debug/flight, /debug/vars, /debug/pprof/*) on the main handler.
 	// Regardless of this flag they are always reachable through
@@ -152,6 +173,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems == 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.MaxStreamBytes == 0 {
+		c.MaxStreamBytes = 64 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionIdle == 0 {
+		c.SessionIdle = 5 * time.Minute
+	}
+	if c.MaxSessionBytes == 0 {
+		c.MaxSessionBytes = 4 << 20
+	}
 	if c.FlightSlow == 0 {
 		c.FlightSlow = 500 * time.Millisecond
 	}
@@ -198,6 +231,10 @@ type Server struct {
 	flight *flight.Store
 	ftrig  flight.Trigger
 	fpool  sync.Pool
+
+	// sessions is the bounded table of live incremental parse sessions
+	// behind /v1/sessions.
+	sessions *sessionTable
 }
 
 // New validates cfg and builds a Server. The server is not ready until
@@ -246,6 +283,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.fpool.New = func() any { return flight.NewRecorder(cfg.FlightEvents) }
 	}
+	s.sessions = newSessionTable(cfg.MaxSessions, cfg.SessionIdle)
 	s.debug = s.debugMux()
 	s.handler = s.routes()
 	return s, nil
@@ -308,9 +346,24 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.Handle("/v1/parse", s.instrument("parse", true, s.handleParse))
-	mux.Handle("/v1/batch", s.instrument("batch", true, s.handleBatch))
-	mux.Handle("/v1/grammars", s.instrument("grammars", false, s.handleGrammars))
+	// /v1/parse dispatches on ?stream=events before the middleware runs
+	// so the streaming variant gets its own endpoint label and the wider
+	// MaxStreamBytes body cap.
+	parseJSON := s.instrument("parse", true, s.cfg.MaxBodyBytes, s.handleParse)
+	parseStream := s.instrument("parse_stream", true, s.cfg.MaxStreamBytes, s.handleParseStream)
+	mux.Handle("/v1/parse", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") == "events" {
+			parseStream.ServeHTTP(w, r)
+			return
+		}
+		parseJSON.ServeHTTP(w, r)
+	}))
+	mux.Handle("/v1/batch", s.instrument("batch", true, s.cfg.MaxBodyBytes, s.handleBatch))
+	mux.Handle("/v1/grammars", s.instrument("grammars", false, s.cfg.MaxBodyBytes, s.handleGrammars))
+	// Session bodies carry whole documents, so they get the session cap
+	// rather than MaxBodyBytes.
+	mux.Handle("/v1/sessions", s.instrument("sessions", true, s.cfg.MaxSessionBytes, s.handleSessions))
+	mux.Handle("/v1/sessions/", s.instrument("sessions", true, s.cfg.MaxSessionBytes, s.handleSession))
 	if s.cfg.Debug {
 		mux.Handle("/debug/", s.debug)
 	}
@@ -343,9 +396,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // instrument wraps an endpoint with the shared middleware: in-flight
-// limiting (limited endpoints only), body caps, request metrics, and a
-// per-request trace span.
-func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+// limiting (limited endpoints only), the endpoint's body cap, request
+// metrics, and a per-request trace span.
+func (s *Server) instrument(endpoint string, limited bool, bodyCap int64, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		var ts0 time.Duration
@@ -372,8 +425,8 @@ func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) h
 				defer s.release()
 			}
 		}
-		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
-			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		if bodyCap > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, bodyCap)
 		}
 		h(rec, r)
 		s.finish(endpoint, rec, start, ts0)

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llstar"
+	"llstar/internal/obs/flight"
+)
+
+// This file serves the incremental session API:
+//
+//	POST   /v1/sessions            create a session over one document
+//	GET    /v1/sessions            list live sessions
+//	GET    /v1/sessions/{id}       inspect one session
+//	DELETE /v1/sessions/{id}       close and remove it
+//	POST   /v1/sessions/{id}/edit  apply a text edit, incremental reparse
+//
+// A session retains its document, token stream, memo table, and parse
+// tree server-side; an edit relexes only the damaged byte range and
+// re-parses only the nearest enclosing rule, reporting how much work
+// was reused. The table is bounded: MaxSessions entries, idle sessions
+// evicted LRU-first once it fills, 429 when nothing is evictable.
+
+// errSessionsFull is mapped to 429.
+var errSessionsFull = errors.New("session table full")
+
+// sessionEntry is one live session plus its bookkeeping. mu serializes
+// all session access (a stream.Session is single-goroutine, like a
+// Parser); lastUsed is guarded by the table lock instead so eviction
+// scans never block behind a long edit.
+type sessionEntry struct {
+	id      string
+	grammar string
+	rule    string
+	mu      sync.Mutex
+	sess    *llstar.Session
+	// rec is the session-owned flight ring (nil when the recorder is
+	// disabled): create and every edit append to it, so a capture shows
+	// the whole session history up to the anomaly.
+	rec      *flight.Recorder
+	created  time.Time
+	lastUsed time.Time
+}
+
+// sessionTable is the bounded id → session map.
+type sessionTable struct {
+	mu      sync.Mutex
+	max     int
+	idle    time.Duration
+	entries map[string]*sessionEntry
+}
+
+func newSessionTable(max int, idle time.Duration) *sessionTable {
+	return &sessionTable{max: max, idle: idle, entries: map[string]*sessionEntry{}}
+}
+
+// insert adds e, evicting idle sessions (oldest first) if the table is
+// full. It returns the evicted entries for the caller to close, or
+// errSessionsFull when nothing is evictable.
+func (t *sessionTable) insert(e *sessionEntry) ([]*sessionEntry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var evicted []*sessionEntry
+	if len(t.entries) >= t.max {
+		var idlers []*sessionEntry
+		now := time.Now()
+		for _, se := range t.entries {
+			if now.Sub(se.lastUsed) >= t.idle {
+				idlers = append(idlers, se)
+			}
+		}
+		sort.Slice(idlers, func(i, j int) bool { return idlers[i].lastUsed.Before(idlers[j].lastUsed) })
+		for _, se := range idlers {
+			if len(t.entries) < t.max {
+				break
+			}
+			delete(t.entries, se.id)
+			evicted = append(evicted, se)
+		}
+		if len(t.entries) >= t.max {
+			return evicted, errSessionsFull
+		}
+	}
+	t.entries[e.id] = e
+	return evicted, nil
+}
+
+// get returns the entry and bumps its recency.
+func (t *sessionTable) get(id string) *sessionEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[id]
+	if e != nil {
+		e.lastUsed = time.Now()
+	}
+	return e
+}
+
+// remove deletes and returns the entry (nil if absent).
+func (t *sessionTable) remove(id string) *sessionEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[id]
+	delete(t.entries, id)
+	return e
+}
+
+// size returns the live-session count.
+func (t *sessionTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// list snapshots the table.
+func (t *sessionTable) list() []*sessionEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*sessionEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].created.Before(out[j].created) })
+	return out
+}
+
+// sessionCreateRequest is the body of POST /v1/sessions.
+type sessionCreateRequest struct {
+	Grammar string `json:"grammar"`
+	Rule    string `json:"rule,omitempty"`
+	Input   string `json:"input"`
+	// Text requests the parse tree s-expression in the response.
+	Text bool `json:"text,omitempty"`
+}
+
+// sessionEditRequest is the body of POST /v1/sessions/{id}/edit: replace
+// old_len bytes at offset with new_text.
+type sessionEditRequest struct {
+	Offset  int    `json:"offset"`
+	OldLen  int    `json:"old_len"`
+	NewText string `json:"new_text"`
+	Text    bool   `json:"text,omitempty"`
+}
+
+// sessionStatsJSON reports the incremental work profile of the last
+// edit.
+type sessionStatsJSON struct {
+	ReusedTokens    int     `json:"reused_tokens"`
+	RelexedTokens   int     `json:"relexed_tokens"`
+	TokenReuseRatio float64 `json:"token_reuse_ratio"`
+	ReusedMemo      int     `json:"reused_memo"`
+	DroppedMemo     int     `json:"dropped_memo"`
+}
+
+// sessionJSON describes a session: create, edit, and inspect all
+// answer with it.
+type sessionJSON struct {
+	SessionID string `json:"session_id"`
+	Grammar   string `json:"grammar"`
+	Rule      string `json:"rule"`
+	// OK reports whether the current document parses (a session whose
+	// document has a syntax error stays alive and editable).
+	OK     bool  `json:"ok"`
+	Bytes  int64 `json:"bytes"`
+	Tokens int   `json:"tokens"`
+	Edits  int   `json:"edits"`
+	// Reuse is present after an edit.
+	Reuse     *sessionStatsJSON `json:"reuse,omitempty"`
+	Text      string            `json:"text,omitempty"`
+	ElapsedUS int64             `json:"elapsed_us,omitempty"`
+	Error     *errorJSON        `json:"error,omitempty"`
+}
+
+// summarize renders the session state. Callers hold e.mu.
+func (e *sessionEntry) summarize(g *llstar.Grammar, withText bool, perr error) sessionJSON {
+	st := e.sess.Stats()
+	out := sessionJSON{
+		SessionID: e.id,
+		Grammar:   e.grammar,
+		Rule:      e.rule,
+		OK:        perr == nil && e.sess.Tree() != nil,
+		Bytes:     int64(len(e.sess.Text())),
+		Tokens:    st.Tokens,
+		Edits:     st.Edits,
+	}
+	if st.Edits > 0 {
+		out.Reuse = &sessionStatsJSON{
+			ReusedTokens:    st.ReusedTokens,
+			RelexedTokens:   st.RelexedTokens,
+			TokenReuseRatio: st.TokenReuseRatio,
+			ReusedMemo:      st.ReusedMemo,
+			DroppedMemo:     st.DroppedMemo,
+		}
+	}
+	if perr != nil {
+		ej := toErrorJSON(g, perr)
+		out.Error = &ej
+	}
+	if withText {
+		out.Text = e.sess.TreeString()
+	}
+	return out
+}
+
+func (s *Server) sessionsGauge() { s.mx.Gauge("llstar_server_sessions").Set(int64(s.sessions.size())) }
+
+// handleSessions serves /v1/sessions: POST creates, GET lists.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createSession(w, r)
+	case http.MethodGet:
+		s.listSessions(w)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "POST or GET required")
+	}
+}
+
+func (s *Server) listSessions(w http.ResponseWriter) {
+	entries := s.sessions.list()
+	out := struct {
+		Count    int           `json:"count"`
+		Sessions []sessionJSON `json:"sessions"`
+	}{Count: len(entries), Sessions: []sessionJSON{}}
+	for _, e := range entries {
+		e.mu.Lock()
+		st := e.sess.Stats()
+		out.Sessions = append(out.Sessions, sessionJSON{
+			SessionID: e.id, Grammar: e.grammar, Rule: e.rule,
+			OK:     e.sess.Tree() != nil,
+			Bytes:  int64(len(e.sess.Text())),
+			Tokens: st.Tokens, Edits: st.Edits,
+		})
+		e.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createSession builds an incremental session over the request's
+// document. A document with a syntax error still creates the session
+// (answering 200 with ok=false and the located error): the whole point
+// of an editable session is that the next edit can fix it.
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, "sessions", err)
+		return
+	}
+	if req.Grammar == "" {
+		s.countError("sessions", "request")
+		writeError(w, http.StatusBadRequest, `missing "grammar"`)
+		return
+	}
+	e, err := s.reg.Get(req.Grammar)
+	if err != nil {
+		s.grammarError(w, "sessions", err)
+		return
+	}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.grammar = e.Name
+	}
+	if max := s.cfg.MaxSessionBytes; max > 0 && int64(len(req.Input)) > max {
+		s.countError("sessions", "toolarge")
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("input exceeds session byte cap (%d bytes)", max))
+		return
+	}
+
+	id := randHex(16)
+	var fr *flightRun
+	var rec *flight.Recorder
+	if s.flight != nil {
+		rec = flight.NewRecorder(s.cfg.FlightEvents)
+		fr = &flightRun{
+			rec: rec, endpoint: "sessions", grammar: e.Name, session: id,
+			reqID:   w.Header().Get(requestIDHeader),
+			traceID: traceIDFrom(w.Header().Get(traceparentHeader)),
+			start:   time.Now(),
+		}
+	}
+	opts := []llstar.SessionOption{
+		llstar.WithIncremental(),
+		llstar.WithMaxBytes(s.cfg.MaxSessionBytes),
+		llstar.WithSessionMetrics(s.mx),
+	}
+	if req.Rule != "" {
+		opts = append(opts, llstar.WithStartRule(req.Rule))
+	}
+	if s.cfg.Tracer != nil {
+		opts = append(opts, llstar.WithSessionTracer(s.cfg.Tracer))
+	}
+	if rec != nil {
+		opts = append(opts, llstar.WithSessionFlightRecorder(rec))
+	}
+	start := time.Now()
+	sess, err := e.G.NewSession(opts...)
+	if err != nil {
+		s.countError("sessions", "request")
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if fr != nil {
+		fr.rule = sess.Rule()
+	}
+
+	// Feed the document. A mid-document syntax error stops Feed from
+	// accepting the tail, but the session must retain the client's full
+	// document for later edits — append the remainder through the edit
+	// path, which keeps text and tokens current even when the parse
+	// stays broken.
+	fed, perr := 0, error(nil)
+	for fed < len(req.Input) && perr == nil {
+		end := fed + streamReadChunk
+		if end > len(req.Input) {
+			end = len(req.Input)
+		}
+		perr = sess.Feed([]byte(req.Input[fed:end]))
+		if perr == nil {
+			fed = end
+		}
+	}
+	if perr == nil {
+		perr = sess.Finish()
+	} else {
+		sess.Finish()
+	}
+	if rest := len(req.Input) - len(sess.Text()); rest > 0 {
+		off := len(sess.Text())
+		if err := sess.Edit(llstar.Edit{Offset: off, OldLen: 0, NewText: req.Input[off:]}); err != nil {
+			perr = err
+		}
+	}
+
+	entry := &sessionEntry{
+		id: id, grammar: e.Name, rule: sess.Rule(),
+		sess: sess, rec: rec,
+		created: time.Now(), lastUsed: time.Now(),
+	}
+	evicted, err := s.sessions.insert(entry)
+	s.closeEvicted(evicted)
+	if err != nil {
+		sess.Close()
+		s.countError("sessions", "full")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session table full: %d live sessions; retry or delete one", s.cfg.MaxSessions))
+		return
+	}
+	s.mx.Counter("llstar_server_sessions_total").Inc()
+	s.sessionsGauge()
+
+	out := entry.summarize(e.G, req.Text, perr)
+	out.ElapsedUS = time.Since(start).Microseconds()
+	if fr != nil {
+		fr.stats.Tokens = int64(out.Tokens)
+		s.finishFlight(r.Context(), fr, parseResponse{OK: out.OK}, "")
+	}
+	if !out.OK {
+		s.countError("sessions", "syntax")
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// closeEvicted shuts down sessions the table evicted.
+func (s *Server) closeEvicted(evicted []*sessionEntry) {
+	for _, e := range evicted {
+		e.mu.Lock()
+		e.sess.Close()
+		e.mu.Unlock()
+		s.mx.Counter("llstar_server_sessions_evicted_total").Inc()
+	}
+	if len(evicted) > 0 {
+		s.sessionsGauge()
+	}
+}
+
+// handleSession serves /v1/sessions/{id} and /v1/sessions/{id}/edit.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "edit") {
+		writeError(w, http.StatusNotFound, "not found")
+		return
+	}
+	entry := s.sessions.get(id)
+	if entry == nil {
+		s.countError("sessions", "unknown_session")
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	if sw, ok := w.(*statusWriter); ok {
+		sw.grammar = entry.grammar
+	}
+	if sub == "edit" {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		s.editSession(w, r, entry)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		g, err := s.reg.Get(entry.grammar)
+		if err != nil {
+			s.grammarError(w, "sessions", err)
+			return
+		}
+		entry.mu.Lock()
+		out := entry.summarize(g.G, r.URL.Query().Get("text") == "1", entry.sess.Err())
+		entry.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodDelete:
+		if e := s.sessions.remove(id); e != nil {
+			e.mu.Lock()
+			e.sess.Close()
+			e.mu.Unlock()
+			s.sessionsGauge()
+		}
+		writeJSON(w, http.StatusOK, struct {
+			SessionID string `json:"session_id"`
+			Deleted   bool   `json:"deleted"`
+		}{id, true})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE required")
+	}
+}
+
+// editSession applies one edit. Parse failures answer 422 but keep the
+// session alive and editable; only out-of-range offsets (400) and
+// byte-cap overruns (413) reject the edit outright.
+func (s *Server) editSession(w http.ResponseWriter, r *http.Request, entry *sessionEntry) {
+	var req sessionEditRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, "sessions", err)
+		return
+	}
+	g, err := s.reg.Get(entry.grammar)
+	if err != nil {
+		s.grammarError(w, "sessions", err)
+		return
+	}
+
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if req.Offset < 0 || req.OldLen < 0 || req.Offset+req.OldLen > len(entry.sess.Text()) {
+		s.countError("sessions", "request")
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("edit out of range: offset=%d old_len=%d document=%d bytes",
+				req.Offset, req.OldLen, len(entry.sess.Text())))
+		return
+	}
+	var fr *flightRun
+	if entry.rec != nil {
+		fr = &flightRun{
+			rec: entry.rec, endpoint: "session_edit",
+			grammar: entry.grammar, rule: entry.rule, session: entry.id,
+			reqID:   w.Header().Get(requestIDHeader),
+			traceID: traceIDFrom(w.Header().Get(traceparentHeader)),
+			start:   time.Now(),
+		}
+	}
+	start := time.Now()
+	perr := entry.sess.Edit(llstar.Edit{Offset: req.Offset, OldLen: req.OldLen, NewText: req.NewText})
+	elapsed := time.Since(start)
+	s.mx.Counter("llstar_server_session_edits_total").Inc()
+	if fr != nil {
+		fr.stats.Tokens = int64(entry.sess.Stats().Tokens)
+		s.finishFlight(r.Context(), fr, parseResponse{OK: perr == nil}, "")
+	}
+	if errors.Is(perr, llstar.ErrStreamTooLarge) {
+		s.countError("sessions", "toolarge")
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("edit would exceed session byte cap (%d bytes)", s.cfg.MaxSessionBytes))
+		return
+	}
+	out := entry.summarize(g.G, req.Text, perr)
+	out.ElapsedUS = elapsed.Microseconds()
+	code := http.StatusOK
+	if perr != nil {
+		code = http.StatusUnprocessableEntity
+		s.countError("sessions", "syntax")
+	}
+	writeJSON(w, code, out)
+}

@@ -1,0 +1,573 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"llstar"
+	"llstar/internal/obs/flight"
+)
+
+// genSessionJSON builds an n-element JSON array document with one
+// numeric "id" per element, for streaming and edit tests.
+func genSessionJSON(n int) string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, `  {"id": %d, "name": "item%d", "flag": true}`, i, i)
+	}
+	b.WriteString("\n]\n")
+	return b.String()
+}
+
+// chunkedReader hides the concrete body type from net/http so the
+// client cannot precompute Content-Length and must use chunked
+// Transfer-Encoding.
+type chunkedReader struct{ io.Reader }
+
+func postChunked(t *testing.T, client *http.Client, url, contentType, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, chunkedReader{strings.NewReader(body)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// ndjsonLines decodes a response body into one map per NDJSON line.
+func ndjsonLines(t *testing.T, body []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestParseStreamNDJSON: the streaming endpoint answers one event per
+// line — balanced rule enters/exits, every committed token — and a
+// terminal end line with the verdict, even when the body arrives with
+// chunked Transfer-Encoding.
+func TestParseStreamNDJSON(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	input := genSessionJSON(50)
+	resp := postChunked(t, ts.Client(), ts.URL+"/v1/parse?stream=events&grammar=json", "text/plain", input)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := ndjsonLines(t, body)
+	if len(lines) < 10 {
+		t.Fatalf("only %d NDJSON lines", len(lines))
+	}
+	depth, tokens := 0, 0
+	for _, m := range lines[:len(lines)-1] {
+		switch m["kind"] {
+		case "rule_enter":
+			depth++
+		case "rule_exit":
+			depth--
+		case "token":
+			tokens++
+		default:
+			t.Fatalf("unexpected event kind %v", m["kind"])
+		}
+	}
+	if depth != 0 {
+		t.Errorf("unbalanced rule events: depth %d", depth)
+	}
+	end := lines[len(lines)-1]
+	if end["kind"] != "end" || end["ok"] != true {
+		t.Fatalf("end line: %v", end)
+	}
+	if int(end["events"].(float64)) != len(lines)-1 {
+		t.Errorf("end.events = %v, lines = %d", end["events"], len(lines)-1)
+	}
+	if tokens == 0 || int(end["bytes"].(float64)) != len(input) {
+		t.Errorf("tokens=%d bytes=%v want bytes=%d", tokens, end["bytes"], len(input))
+	}
+}
+
+// TestParseStreamSyntaxError: a mid-document error surfaces as an
+// error event and an end line with ok=false locating the offending
+// token.
+func TestParseStreamSyntaxError(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postChunked(t, ts.Client(), ts.URL+"/v1/parse?stream=events&grammar=json", "text/plain",
+		`{"a": 1, "b" 2}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: %d %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(t, body)
+	end := lines[len(lines)-1]
+	if end["kind"] != "end" || end["ok"] != false || end["error"] == nil {
+		t.Fatalf("end line: %v", end)
+	}
+	ej := end["error"].(map[string]any)
+	if ej["token"] != "2" || ej["line"] != float64(1) {
+		t.Errorf("error location: %v", ej)
+	}
+}
+
+// TestChunkedBodyCap413: the body cap holds even when the client sends
+// chunked Transfer-Encoding (no Content-Length to pre-reject on) — the
+// JSON endpoints answer 413 mid-read.
+func TestChunkedBodyCap413(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBodyBytes: 1024}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big, err := json.Marshal(parseRequest{Grammar: "json", Input: genSessionJSON(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= 1024 {
+		t.Fatalf("test body too small: %d", len(big))
+	}
+	resp := postChunked(t, ts.Client(), ts.URL+"/v1/parse", "application/json", string(big))
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("chunked oversize body: %d %s, want 413", resp.StatusCode, body)
+	}
+}
+
+// TestParseStreamCaps: the streaming endpoint is exempt from
+// MaxBodyBytes (streaming huge inputs is its purpose) but enforces its
+// own MaxStreamBytes — reported in-band once events have streamed.
+func TestParseStreamCaps(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBodyBytes: 256, MaxStreamBytes: 4 << 10},
+		map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Well over MaxBodyBytes, under MaxStreamBytes: streams fine.
+	input := genSessionJSON(30)
+	if len(input) <= 256 || len(input) >= 4<<10 {
+		t.Fatalf("bad test sizing: %d", len(input))
+	}
+	resp := postChunked(t, ts.Client(), ts.URL+"/v1/parse?stream=events&grammar=json", "text/plain", input)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream under cap: %d %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(t, body)
+	if end := lines[len(lines)-1]; end["ok"] != true {
+		t.Fatalf("end line: %v", end)
+	}
+
+	// Over MaxStreamBytes: events stream until the cap, then the end
+	// line reports the overrun with ok=false.
+	resp = postChunked(t, ts.Client(), ts.URL+"/v1/parse?stream=events&grammar=json", "text/plain",
+		genSessionJSON(500))
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines = ndjsonLines(t, body)
+	end := lines[len(lines)-1]
+	if resp.StatusCode == 200 {
+		if end["kind"] != "end" || end["ok"] != false || end["error"] == nil {
+			t.Fatalf("end line after cap: %v", end)
+		}
+	} else if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over cap: %d", resp.StatusCode)
+	}
+}
+
+// TestSessionLifecycle: create → inspect → edit (with high token
+// reuse) → delete, with the tree text matching a batch parse of the
+// edited document at every step.
+func TestSessionLifecycle(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	input := genSessionJSON(300)
+	resp, body := postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: input, Text: true})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created sessionJSON
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !created.OK || created.SessionID == "" || created.Tokens == 0 || created.Bytes != int64(len(input)) {
+		t.Fatalf("create response: %+v", created)
+	}
+
+	// The session tree must match a batch parse of the same document.
+	g, err := s.Registry().Get("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := g.G.NewParser(llstar.WithTree()).Parse("value", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Text != batch.String() {
+		t.Error("create: tree text differs from batch parse")
+	}
+
+	// Inspect.
+	resp2, err := c.Get(ts.URL + "/v1/sessions/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("get: %d %s", resp2.StatusCode, body2)
+	}
+
+	// Edit: change one id digit in the middle of the document.
+	marker := `"id": 150,`
+	off := strings.Index(input, marker) + len(`"id": `)
+	resp, body = postJSON(t, c, ts.URL+"/v1/sessions/"+created.SessionID+"/edit",
+		sessionEditRequest{Offset: off, OldLen: 3, NewText: "7", Text: true})
+	if resp.StatusCode != 200 {
+		t.Fatalf("edit: %d %s", resp.StatusCode, body)
+	}
+	var edited sessionJSON
+	if err := json.Unmarshal(body, &edited); err != nil {
+		t.Fatal(err)
+	}
+	if !edited.OK || edited.Edits != 1 || edited.Reuse == nil {
+		t.Fatalf("edit response: %+v", edited)
+	}
+	if edited.Reuse.TokenReuseRatio < 0.9 {
+		t.Errorf("token reuse ratio = %v, want >= 0.9", edited.Reuse.TokenReuseRatio)
+	}
+	newInput := input[:off] + "7" + input[off+3:]
+	batch2, err := g.G.NewParser(llstar.WithTree()).Parse("value", newInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.Text != batch2.String() {
+		t.Error("edit: tree text differs from batch parse of edited document")
+	}
+	if edited.Bytes != int64(len(newInput)) {
+		t.Errorf("edit bytes = %d, want %d", edited.Bytes, len(newInput))
+	}
+
+	// The listing shows it; delete removes it; a second get 404s.
+	resp3, err := c.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if !strings.Contains(string(body3), created.SessionID) {
+		t.Errorf("listing misses session: %s", body3)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+created.SessionID, nil)
+	resp4, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != 200 {
+		t.Fatalf("delete: %d", resp4.StatusCode)
+	}
+	resp5, err := c.Get(ts.URL + "/v1/sessions/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp5.Body)
+	resp5.Body.Close()
+	if resp5.StatusCode != 404 {
+		t.Errorf("get after delete: %d, want 404", resp5.StatusCode)
+	}
+}
+
+// TestSessionBrokenDocumentEditable: a document with a syntax error
+// still creates a session (ok=false, error located, full document
+// retained), and a later edit can fix it.
+func TestSessionBrokenDocumentEditable(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	input := `{"a": 1, "b" 2, "c": 3}` // missing colon after "b"
+	resp, body := postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: input})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created sessionJSON
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.OK || created.Error == nil {
+		t.Fatalf("broken create: %+v", created)
+	}
+	if created.Bytes != int64(len(input)) {
+		t.Fatalf("broken create retained %d bytes, want %d", created.Bytes, len(input))
+	}
+	// Insert the missing colon.
+	off := strings.Index(input, `"b" 2`) + len(`"b"`)
+	resp, body = postJSON(t, c, ts.URL+"/v1/sessions/"+created.SessionID+"/edit",
+		sessionEditRequest{Offset: off, OldLen: 0, NewText: ":"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("fixing edit: %d %s", resp.StatusCode, body)
+	}
+	var fixed sessionJSON
+	if err := json.Unmarshal(body, &fixed); err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.OK || fixed.Error != nil {
+		t.Fatalf("after fix: %+v", fixed)
+	}
+
+	// Break it again: the edit answers 422 but the session stays.
+	resp, body = postJSON(t, c, ts.URL+"/v1/sessions/"+created.SessionID+"/edit",
+		sessionEditRequest{Offset: off, OldLen: 1, NewText: " "})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("breaking edit: %d %s, want 422", resp.StatusCode, body)
+	}
+	resp6, err := c.Get(ts.URL + "/v1/sessions/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp6.Body)
+	resp6.Body.Close()
+	if resp6.StatusCode != 200 {
+		t.Errorf("session gone after failed edit: %d", resp6.StatusCode)
+	}
+}
+
+// TestSessionEditRejections: out-of-range edits answer 400, cap
+// overruns 413 (create and edit), unknown sessions 404.
+func TestSessionEditRejections(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxSessionBytes: 512}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	resp, body := postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: `{"a": [1, 2, 3]}`})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created sessionJSON
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ = postJSON(t, c, ts.URL+"/v1/sessions/"+created.SessionID+"/edit",
+		sessionEditRequest{Offset: 9999, OldLen: 0, NewText: "x"})
+	if resp.StatusCode != 400 {
+		t.Errorf("out-of-range edit: %d, want 400", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, c, ts.URL+"/v1/sessions/"+created.SessionID+"/edit",
+		sessionEditRequest{Offset: 7, OldLen: 0, NewText: strings.Repeat("1", 600)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-cap edit: %d, want 413", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: "[" + strings.Repeat("1,", 400) + "1]"})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-cap create: %d, want 413", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, c, ts.URL+"/v1/sessions/doesnotexist/edit",
+		sessionEditRequest{Offset: 0, OldLen: 0, NewText: "x"})
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown session edit: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionTableFullAndEviction: a full table sheds creates with 429
+// while every session is fresh, and evicts idle sessions LRU-first
+// once they age past SessionIdle.
+func TestSessionTableFullAndEviction(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxSessions: 1, SessionIdle: time.Hour},
+		map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	resp, body := postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: "[1]"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create 1: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, c, ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: "[2]"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create 2 on full table: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	// With a tiny idle threshold the first session is evictable.
+	s2, _ := newTestServer(t, Config{MaxSessions: 1, SessionIdle: time.Nanosecond},
+		map[string]string{"json": jsonGrammar})
+	if err := s2.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	c2 := ts2.Client()
+
+	resp, body = postJSON(t, c2, ts2.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: "[1]"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create 1: %d %s", resp.StatusCode, body)
+	}
+	var first sessionJSON
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	resp, body = postJSON(t, c2, ts2.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: "[2]"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create 2 with evictable idler: %d %s", resp.StatusCode, body)
+	}
+	resp7, err := c2.Get(ts2.URL + "/v1/sessions/" + first.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp7.Body)
+	resp7.Body.Close()
+	if resp7.StatusCode != 404 {
+		t.Errorf("evicted session still present: %d", resp7.StatusCode)
+	}
+}
+
+// TestFlightCaptureSessionID: captures taken for session requests are
+// tagged with the session id, and the session's ring carries
+// stream.feed spans.
+func TestFlightCaptureSessionID(t *testing.T) {
+	s, _ := newTestServer(t, Config{}, map[string]string{"json": jsonGrammar})
+	if err := s.Preload(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/sessions",
+		sessionCreateRequest{Grammar: "json", Input: genSessionJSON(5)})
+	if resp.StatusCode != 200 {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created sessionJSON
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force a capture from the session's ring the way finishFlight
+	// would on an anomaly.
+	entry := s.sessions.get(created.SessionID)
+	if entry == nil || entry.rec == nil {
+		t.Fatal("session has no flight ring")
+	}
+	fr := &flightRun{
+		rec: entry.rec, endpoint: "sessions",
+		grammar: entry.grammar, rule: entry.rule, session: entry.id,
+		start: time.Now(),
+	}
+	s.finishFlight(context.Background(), fr, parseResponse{OK: true}, "manual")
+
+	caps := s.FlightStore().List()
+	if len(caps) == 0 {
+		t.Fatal("no capture persisted")
+	}
+	c := caps[0]
+	if c.SessionID != created.SessionID {
+		t.Errorf("capture session_id = %q, want %q", c.SessionID, created.SessionID)
+	}
+	full, ok := s.FlightStore().Get(c.ID)
+	if !ok {
+		t.Fatal("capture not retrievable")
+	}
+	var feeds int
+	for _, ev := range full.Events {
+		if ev.Name == "stream.feed" {
+			feeds++
+		}
+	}
+	if feeds == 0 {
+		t.Error("session ring has no stream.feed events")
+	}
+	b, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"session_id"`) {
+		t.Error("capture JSON missing session_id")
+	}
+	var flat flight.Capture
+	if err := json.Unmarshal(b, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat.SessionID != created.SessionID {
+		t.Error("session_id did not round-trip")
+	}
+}

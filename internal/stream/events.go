@@ -1,0 +1,113 @@
+// Package stream implements streaming parse sessions on top of the
+// LL(*) interpreter: a Session owns a restartable chunk-fed lexer and a
+// suspendable parse loop that emits SAX-style events through a
+// caller-supplied sink instead of materializing a tree, with memory
+// bounded by grammar depth + lookahead window rather than input length.
+// Sessions opened in incremental mode retain their text, token stream,
+// memo table, and tree, and repair all four in response to edits,
+// relexing only the damaged byte range and re-parsing only the nearest
+// enclosing rule.
+package stream
+
+import (
+	"llstar/internal/interp"
+	"llstar/internal/token"
+)
+
+// EventKind discriminates session events.
+type EventKind uint8
+
+// Event kinds, in the order a well-formed stream interleaves them.
+const (
+	// KindRuleEnter marks the start of a committed rule invocation.
+	KindRuleEnter EventKind = iota
+	// KindRuleExit marks its end (always paired, even on error unwind).
+	KindRuleExit
+	// KindToken carries one committed on-channel token.
+	KindToken
+	// KindSyntaxError carries a syntax error (the parse may continue in
+	// Recover mode; otherwise it is the last event before the session
+	// fails).
+	KindSyntaxError
+)
+
+var kindNames = [...]string{"rule_enter", "rule_exit", "token", "error"}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one SAX-style parse event. Rule is set for enter/exit,
+// Token for token events, Err for syntax errors.
+type Event struct {
+	Kind  EventKind
+	Rule  string
+	Token token.Token
+	Err   *SyntaxError
+}
+
+// SyntaxError mirrors runtime.SyntaxError for event consumers: the
+// offending token, the rule that was parsing, and the message.
+type SyntaxError struct {
+	Offending token.Token
+	Rule      string
+	Msg       string
+}
+
+// Sink consumes session events. Callbacks run synchronously on the
+// parsing goroutine while the feeding caller blocks, so a sink needs no
+// locking of its own; it must not call back into the Session.
+type Sink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Event implements Sink.
+func (f SinkFunc) Event(e Event) { f(e) }
+
+// TreeBuilder is a Sink that reconstructs the parse tree from the
+// event stream — byte-identical to what a batch parse with tree
+// building would have produced, which the differential tests assert.
+type TreeBuilder struct {
+	holder *interp.Node
+	stack  []*interp.Node
+}
+
+// NewTreeBuilder returns an empty tree builder.
+func NewTreeBuilder() *TreeBuilder {
+	h := &interp.Node{}
+	return &TreeBuilder{holder: h, stack: []*interp.Node{h}}
+}
+
+// Event implements Sink.
+func (b *TreeBuilder) Event(e Event) {
+	switch e.Kind {
+	case KindRuleEnter:
+		n := &interp.Node{Rule: e.Rule}
+		top := b.stack[len(b.stack)-1]
+		top.Children = append(top.Children, n)
+		b.stack = append(b.stack, n)
+	case KindRuleExit:
+		if len(b.stack) > 1 {
+			b.stack = b.stack[:len(b.stack)-1]
+		}
+	case KindToken:
+		t := e.Token
+		top := b.stack[len(b.stack)-1]
+		top.Children = append(top.Children, &interp.Node{Token: &t})
+	}
+}
+
+// Tree returns the reconstructed parse tree (nil before any rule
+// completed).
+func (b *TreeBuilder) Tree() *interp.Node {
+	if len(b.holder.Children) == 0 {
+		return nil
+	}
+	return b.holder.Children[0]
+}

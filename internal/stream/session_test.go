@@ -1,0 +1,581 @@
+package stream_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"llstar"
+)
+
+func loadRepoGrammar(t *testing.T, file string) *llstar.Grammar {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "grammars", file))
+	if err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+	g, err := llstar.LoadWith(file, string(src), llstar.LoadOptions{RewriteLeftRecursion: true})
+	if err != nil {
+		t.Fatalf("load %s: %v", file, err)
+	}
+	return g
+}
+
+// feedChunks pumps input into the session in fixed-size chunks.
+func feedChunks(t *testing.T, s *llstar.Session, input string, chunk int) error {
+	t.Helper()
+	for i := 0; i < len(input); i += chunk {
+		end := i + chunk
+		if end > len(input) {
+			end = len(input)
+		}
+		if err := s.Feed([]byte(input[i:end])); err != nil {
+			return err
+		}
+	}
+	return s.Finish()
+}
+
+// genJSON builds a deterministic JSON document of n array elements.
+func genJSON(n int) string {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, `  {"id": %d, "name": "item%d", "ok": true, "vals": [%d, %d.5, null]}`, i, i, i*2, i)
+	}
+	b.WriteString("\n]\n")
+	return b.String()
+}
+
+// TestStreamTreeMatchesBatch replays streaming events into a
+// TreeBuilder and requires the reconstructed tree to be byte-identical
+// to a batch parse, across several chunk sizes and the repo grammars.
+func TestStreamTreeMatchesBatch(t *testing.T) {
+	cases := []struct {
+		file, rule, input string
+	}{
+		{"json.g", "value", genJSON(50)},
+		{"calc.g", "e", "1+2*(3-4)/5 - 6*7"},
+		{"figure1.g", "s", "unsigned unsigned int x"},
+		{"figure2.g", "t", "---abc"},
+	}
+	for _, tc := range cases {
+		g := loadRepoGrammar(t, tc.file)
+		batch, err := g.NewParser(llstar.WithTree()).Parse(tc.rule, tc.input)
+		if err != nil {
+			t.Fatalf("%s: batch parse: %v", tc.file, err)
+		}
+		for _, chunk := range []int{1, 3, 7, 64, 1 << 20} {
+			tb := llstar.NewStreamTreeBuilder()
+			s, err := g.NewSession(llstar.WithStartRule(tc.rule), llstar.WithSink(tb))
+			if err != nil {
+				t.Fatalf("%s: session: %v", tc.file, err)
+			}
+			if err := feedChunks(t, s, tc.input, chunk); err != nil {
+				t.Fatalf("%s chunk=%d: stream parse: %v", tc.file, chunk, err)
+			}
+			if got, want := tb.Tree().String(), batch.String(); got != want {
+				t.Fatalf("%s chunk=%d:\n got %s\nwant %s", tc.file, chunk, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamEventShape checks event pairing and ordering invariants on
+// a small parse.
+func TestStreamEventShape(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	var events []llstar.StreamEvent
+	s, err := g.NewSession(llstar.WithEvents(func(e llstar.StreamEvent) {
+		events = append(events, e)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, `{"a": [1, true]}`, 4); err != nil {
+		t.Fatal(err)
+	}
+	depth, tokens := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case llstar.StreamRuleEnter:
+			depth++
+		case llstar.StreamRuleExit:
+			depth--
+			if depth < 0 {
+				t.Fatal("rule exit without matching enter")
+			}
+		case llstar.StreamToken:
+			if depth == 0 {
+				t.Fatal("token outside any rule")
+			}
+			tokens++
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced enter/exit: depth %d at end", depth)
+	}
+	// { "a" : [ 1 , true ] }
+	if tokens != 9 {
+		t.Fatalf("token events = %d, want 9", tokens)
+	}
+	if st := s.Stats(); st.Events != int64(len(events)) || st.Tokens == 0 {
+		t.Fatalf("stats = %+v, want Events=%d", st, len(events))
+	}
+}
+
+// TestStreamSyntaxError: a bad input surfaces as a KindSyntaxError
+// event and a terminal error from Feed or Finish.
+func TestStreamSyntaxError(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	var errEvents int
+	s, err := g.NewSession(llstar.WithEvents(func(e llstar.StreamEvent) {
+		if e.Kind == llstar.StreamSyntaxError {
+			errEvents++
+			if e.Err == nil {
+				t.Fatal("error event without payload")
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := feedChunks(t, s, `{"a": ]}`, 3)
+	if ferr == nil {
+		t.Fatal("bad input parsed")
+	}
+	if errEvents == 0 {
+		t.Fatal("no syntax-error event emitted")
+	}
+	if s.Err() == nil {
+		t.Fatal("session Err is nil after failure")
+	}
+}
+
+// TestStreamMaxBytes: the byte cap rejects the overflowing Feed.
+func TestStreamMaxBytes(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	s, err := g.NewSession(llstar.WithMaxBytes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte(`[1,2]`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte(`,3,4]`)); err != llstar.ErrStreamTooLarge {
+		t.Fatalf("err = %v, want ErrStreamTooLarge", err)
+	}
+	_ = s.Close()
+}
+
+// TestStreamClose terminates an unfinished session without deadlock
+// and Feed afterwards reports it finished.
+func TestStreamClose(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte(`[1, 2, 3`)); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	if !s.Done() {
+		t.Fatal("session not done after Close")
+	}
+	if err := s.Feed([]byte(`]`)); err == nil {
+		t.Fatal("Feed succeeded after Close")
+	}
+}
+
+// TestStreamWindowBounded: the token window stays small on a long flat
+// input — streaming memory tracks grammar shape, not input length.
+func TestStreamWindowBounded(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	small, large := genJSON(100), genJSON(2000)
+	peak := func(input string) int {
+		s, err := g.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := feedChunks(t, s, input, 4096); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats().PeakWindow
+	}
+	ps, pl := peak(small), peak(large)
+	// The window compacts once ~1024 consumed tokens accumulate, so the
+	// peak is bounded by that threshold plus the live lookahead window —
+	// a constant — while the large input holds ~28k tokens total.
+	const bound = 1200
+	if pl > bound {
+		t.Fatalf("peak window = %d tokens on 2000-line input, want <= %d", pl, bound)
+	}
+	if ps == 0 {
+		t.Fatal("peak window = 0, expected some buffering")
+	}
+}
+
+// TestStreamHeapBounded: peak heap while streaming is independent of
+// input size. Sizes are modest to keep the test fast; the bench
+// harness repeats the measurement at 100MB.
+func TestStreamHeapBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement")
+	}
+	g := loadRepoGrammar(t, "json.g")
+	peakHeap := func(n int) uint64 {
+		// Materialize the input before the baseline so the measured
+		// delta is session memory only, not the document itself.
+		input := genJSON(n)
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		s, err := g.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var peak uint64
+		chunk, fed := 1<<16, 0
+		for i := 0; i < len(input); i += chunk {
+			end := i + chunk
+			if end > len(input) {
+				end = len(input)
+			}
+			if err := s.Feed([]byte(input[i:end])); err != nil {
+				t.Fatal(err)
+			}
+			if fed++; fed%8 == 0 {
+				runtime.GC()
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+			}
+		}
+		if err := s.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if peak < base.HeapAlloc {
+			return 0
+		}
+		return peak - base.HeapAlloc
+	}
+	small := peakHeap(20000)  // ~2MB of JSON
+	large := peakHeap(100000) // ~10MB of JSON
+	if large > 2*small+(8<<20) {
+		t.Fatalf("peak heap grew with input: %dKB (small) -> %dKB (5x input)", small>>10, large>>10)
+	}
+}
+
+// TestIncrementalEditDifferential applies a series of random edits to
+// a JSON document and, after each, requires the session's repaired
+// tree to match a from-scratch batch parse of the same text — and the
+// edit to fail exactly when the batch parse fails.
+func TestIncrementalEditDifferential(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	input := genJSON(40)
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 512); err != nil {
+		t.Fatal(err)
+	}
+	p := g.NewParser(llstar.WithTree())
+
+	r := rand.New(rand.NewSource(7))
+	inserts := []string{"1", ", 7", `"zz"`, " ", "\n", "[]", `{"q": 0}`, ":", "}", `\`, `"`}
+	for i := 0; i < 120; i++ {
+		text := string(s.Text())
+		var e llstar.Edit
+		switch r.Intn(3) {
+		case 0: // insert
+			e = llstar.Edit{Offset: r.Intn(len(text) + 1), NewText: inserts[r.Intn(len(inserts))]}
+		case 1: // delete
+			off := r.Intn(len(text))
+			e = llstar.Edit{Offset: off, OldLen: 1 + r.Intn(min(4, len(text)-off))}
+		default: // replace
+			off := r.Intn(len(text))
+			e = llstar.Edit{Offset: off, OldLen: 1 + r.Intn(min(3, len(text)-off)), NewText: inserts[r.Intn(len(inserts))]}
+		}
+		editErr := s.Edit(e)
+		newText := string(s.Text())
+		want, batchErr := p.Parse("value", newText)
+		if lexRejected(editErr, newText, text) {
+			// Lex errors reject the edit outright: text unchanged.
+			continue
+		}
+		if (editErr == nil) != (batchErr == nil) {
+			t.Fatalf("edit %d %+v: editErr=%v batchErr=%v\ntext: %q", i, e, editErr, batchErr, newText)
+		}
+		if editErr == nil {
+			if got := s.Tree().String(); got != want.String() {
+				t.Fatalf("edit %d %+v: tree mismatch\n got %s\nwant %s", i, e, got, want)
+			}
+		}
+	}
+}
+
+// lexRejected reports whether an edit was rejected at the lex stage
+// (session text unchanged).
+func lexRejected(editErr error, newText, oldText string) bool {
+	return editErr != nil && newText == oldText
+}
+
+// TestIncrementalReuse: a one-token edit in a large document reuses
+// almost all tokens and repairs the tree correctly.
+func TestIncrementalReuse(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	input := genJSON(2000) // ~2000 lines
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the literal 500 in `"id": 500,` with 501.
+	off := strings.Index(input, `"id": 500,`)
+	if off < 0 {
+		t.Fatal("marker not found")
+	}
+	off += len(`"id": `)
+	if err := s.Edit(llstar.Edit{Offset: off, OldLen: 3, NewText: "501"}); err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+	st := s.Stats()
+	if st.TokenReuseRatio < 0.9 {
+		t.Fatalf("token reuse ratio = %.3f, want >= 0.9 (reused=%d relexed=%d)",
+			st.TokenReuseRatio, st.ReusedTokens, st.RelexedTokens)
+	}
+	want, err := g.NewParser(llstar.WithTree()).Parse("value", string(s.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tree().String(); got != want.String() {
+		t.Fatal("tree mismatch after one-token edit")
+	}
+}
+
+// TestIncrementalWhitespaceFastPath: an edit that only changes hidden
+// text reuses every token and the whole tree.
+func TestIncrementalWhitespaceFastPath(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	input := genJSON(50)
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 512); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Tree()
+	if err := s.Edit(llstar.Edit{Offset: strings.IndexByte(input, '\n') + 1, NewText: "    \n"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tree() != before {
+		t.Fatal("whitespace edit rebuilt the tree")
+	}
+	want, err := g.NewParser(llstar.WithTree()).Parse("value", string(s.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tree().String(); got != want.String() {
+		t.Fatal("tree mismatch after whitespace edit")
+	}
+}
+
+// TestIncrementalUnclosedStringExtent: editing the byte that closes a
+// previously unclosed scan region must invalidate the earlier token —
+// the scan-extent bookkeeping, not token boundaries, decides the relex
+// restart point.
+func TestIncrementalUnclosedStringExtent(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	// The string "a,b" swallows what looks like array punctuation.
+	input := `["a,b", 1]`
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the closing quote of "a,b" with a space: the string token
+	// now ends later (at the quote before 1... which is unbalanced), so
+	// the early tokens change.
+	off := strings.Index(input, `b"`) + 1
+	editErr := s.Edit(llstar.Edit{Offset: off, OldLen: 1, NewText: " "})
+	newText := string(s.Text())
+	want, batchErr := g.NewParser(llstar.WithTree()).Parse("value", newText)
+	if lexRejected(editErr, newText, input) {
+		return
+	}
+	if (editErr == nil) != (batchErr == nil) {
+		t.Fatalf("editErr=%v batchErr=%v text=%q", editErr, batchErr, newText)
+	}
+	if editErr == nil && s.Tree().String() != want.String() {
+		t.Fatal("tree mismatch")
+	}
+}
+
+// TestIncrementalAppend: appending at the end of the document relexes
+// from the last extensible token, not from the start.
+func TestIncrementalAppend(t *testing.T) {
+	g := loadRepoGrammar(t, "calc.g")
+	input := "1+2*3"
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Edit(llstar.Edit{Offset: len(input), NewText: "4-5"}); err != nil {
+		t.Fatalf("append edit: %v", err)
+	}
+	want, err := g.NewParser(llstar.WithTree()).Parse("e", "1+2*34-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tree().String(); got != want.String() {
+		t.Fatalf("tree after append:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestIncrementalEditAfterFailure: a failed edit leaves the session
+// editable; a follow-up fix restores a correct tree via full reparse.
+func TestIncrementalEditAfterFailure(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	input := `{"a": [1, 2, 3]}`
+	s, err := g.NewSession(llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, input, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Break it: delete the colon.
+	off := strings.IndexByte(input, ':')
+	if err := s.Edit(llstar.Edit{Offset: off, OldLen: 1}); err == nil {
+		t.Fatal("edit producing invalid JSON succeeded")
+	}
+	// Fix it: put the colon back.
+	if err := s.Edit(llstar.Edit{Offset: off, NewText: ":"}); err != nil {
+		t.Fatalf("repair edit: %v", err)
+	}
+	want, err := g.NewParser(llstar.WithTree()).Parse("value", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tree().String(); got != want.String() {
+		t.Fatal("tree mismatch after repair")
+	}
+}
+
+// TestStreamMetrics: the llstar_stream_* counters move.
+func TestStreamMetrics(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	m := llstar.NewMetrics()
+	s, err := g.NewSession(llstar.WithSessionMetrics(m), llstar.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := `[1, 2, 3]`
+	if err := feedChunks(t, s, input, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Edit(llstar.Edit{Offset: 1, OldLen: 1, NewText: "9"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"llstar_stream_sessions_total",
+		"llstar_stream_bytes_total",
+		"llstar_stream_events_total",
+		"llstar_stream_reused_tokens_total",
+	} {
+		if m.Counter(name).Value() == 0 {
+			t.Fatalf("counter %s = 0, want > 0", name)
+		}
+	}
+}
+
+// TestStreamNoSinkCounts: without a sink, events are still counted.
+func TestStreamNoSinkCounts(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feedChunks(t, s, `[1]`, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Events == 0 {
+		t.Fatal("no events counted without sink")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestStreamSpans checks that a traced session emits stream.feed,
+// stream.parse, and stream.edit spans in the "stream" category.
+func TestStreamSpans(t *testing.T) {
+	g := loadRepoGrammar(t, "json.g")
+	var buf bytes.Buffer
+	tracer := llstar.NewJSONLTracer(&buf)
+	s, err := g.NewSession(
+		llstar.WithStartRule("value"),
+		llstar.WithIncremental(),
+		llstar.WithSessionTracer(tracer),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := genJSON(5)
+	if err := feedChunks(t, s, input, 16); err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(input, `"id": 3`)
+	if err := s.Edit(llstar.Edit{Offset: idx + len(`"id": `), OldLen: 1, NewText: "42"}); err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		name := ev["name"].(string)
+		if strings.HasPrefix(name, "stream.") && ev["cat"] != "stream" {
+			t.Errorf("event %v: cat = %v, want stream", name, ev["cat"])
+		}
+		byName[name]++
+	}
+	if want := (len(input) + 15) / 16; byName["stream.feed"] != want {
+		t.Errorf("stream.feed spans = %d, want %d", byName["stream.feed"], want)
+	}
+	if byName["stream.parse"] != 1 {
+		t.Errorf("stream.parse spans = %d, want 1", byName["stream.parse"])
+	}
+	if byName["stream.edit"] != 1 {
+		t.Errorf("stream.edit spans = %d, want 1", byName["stream.edit"])
+	}
+}

@@ -45,6 +45,10 @@ type Token struct {
 	Text  string
 	Pos   Pos
 	Index int // index in the token stream, assigned by the stream
+	// Off is the byte offset of the token's first byte in the input
+	// (UTF-8 encoding). Incremental reparse uses it to locate the
+	// damaged token range of an edit.
+	Off int
 	// Channel distinguishes default tokens (0) from hidden ones (e.g.
 	// whitespace a lexer rule routed off-channel instead of skipping).
 	Channel int
