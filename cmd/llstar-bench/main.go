@@ -12,6 +12,7 @@
 //	llstar-bench -coldwarm        # cold analysis vs. cache-hit load table
 //	llstar-bench -serve           # llstar-serve load test (latency/throughput)
 //	llstar-bench -serve -serve-url http://host:8080   # against a running server
+//	llstar-bench -fleet 3         # fleet scaling: 1 replica vs N cluster-attached replicas
 //	llstar-bench -compiled        # interpreter vs generated-parser throughput table
 //	llstar-bench -stream          # streaming sessions: throughput, bounded memory, edit latency
 //	llstar-bench -compiled -json BENCH.json   # persist the generated-parser counters too
@@ -78,6 +79,7 @@ func main() {
 	serveConcurrency := flag.Int("serve-concurrency", 16, "closed-loop clients for -serve")
 	serveDuration := flag.Duration("serve-duration", 5*time.Second, "measurement window for -serve")
 	serveLines := flag.Int("serve-lines", 200, "approximate generated input size in lines for -serve")
+	fleet := flag.Int("fleet", 0, "run the fleet scaling harness with this many cluster-attached replicas (0 = skip); with -json, persist the fleet section too")
 	compiled := flag.Bool("compiled", false, "also build and time the generated parsers and print the interpreter-vs-generated table")
 	stream := flag.Bool("stream", false, "print the streaming table (throughput, bounded memory, incremental edit latency); with -json, persist the stream counters too")
 	jsonOut := flag.String("json", "", "write a machine-readable result set (counters + timings) to this file")
@@ -91,6 +93,20 @@ func main() {
 
 	if *compare != "" {
 		if err := runCompare(*compare, *compareThreshold, *compareTiming, *runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleet > 0 && !*compiled && *jsonOut == "" {
+		fmt.Println("== Fleet scaling ==")
+		if _, err := bench.FleetLoad(os.Stdout, bench.FleetLoadOptions{
+			Replicas:    *fleet,
+			Concurrency: *serveConcurrency,
+			Duration:    *serveDuration,
+			Seed:        *seed,
+			Lines:       *serveLines,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -115,6 +131,21 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *fleet > 0 {
+			fmt.Println("== Fleet scaling ==")
+			fr, err := bench.FleetLoad(os.Stdout, bench.FleetLoadOptions{
+				Replicas:    *fleet,
+				Concurrency: *serveConcurrency,
+				Duration:    *serveDuration,
+				Seed:        *seed,
+				Lines:       *serveLines,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rs.Fleet = fr
 		}
 		if *jsonOut == "" {
 			return

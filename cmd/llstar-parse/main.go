@@ -29,6 +29,12 @@
 //
 //	llstar-parse -server http://localhost:8080 json input.txt
 //
+// When the server is part of a fleet (llstar-serve -peers), the client
+// fetches the fleet topology from /v1/cluster and sends the request
+// straight to the replica that owns the grammar, skipping the server-side
+// proxy hop; a 429 (load shed) is retried with capped exponential
+// backoff honoring the server's Retry-After hint.
+//
 // A chrome-format trace opens as a timeline in chrome://tracing or
 // https://ui.perfetto.dev; the jsonl format is one event per line for
 // ad-hoc analysis. -metrics prints Prometheus-text counters and
@@ -44,6 +50,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -329,7 +336,7 @@ func streamParse(g *llstar.Grammar, rule string, in io.Reader, chunk int,
 // relays the NDJSON response: event lines to stdout (with -events),
 // the terminal end line deciding the exit status.
 func remoteStream(base, grammar, rule string, in io.Reader, events bool) {
-	u := strings.TrimRight(base, "/") + "/v1/parse?stream=events&grammar=" + grammar
+	u := routeBase(base, grammar) + "/v1/parse?stream=events&grammar=" + grammar
 	if rule != "" {
 		u += "&rule=" + rule
 	}
@@ -506,8 +513,8 @@ func remoteParse(base, grammar, rule, input string, stats, noTree bool) {
 	if err != nil {
 		fatal(err)
 	}
-	url := strings.TrimRight(base, "/") + "/v1/parse"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	url := routeBase(base, grammar) + "/v1/parse"
+	resp, err := postRetry(url, "application/json", body)
 	if err != nil {
 		fatal(err)
 	}
@@ -562,6 +569,85 @@ func remoteParse(base, grammar, rule, input string, stats, noTree bool) {
 			time.Duration(out.ElapsedUS)*time.Microsecond,
 			s.PredictEvents, s.MaxLookahead, s.BacktrackEvents, s.BacktrackTokens,
 			s.MemoHits, s.MemoHits+s.MemoMisses)
+	}
+}
+
+// routeBase performs client-side fleet routing: it asks the contacted
+// server for its topology (GET /v1/cluster) and, when the grammar's
+// owner is a different live replica, targets that replica directly —
+// saving the proxy hop the fleet would otherwise take. Single-node
+// servers answer 404 and everything falls back to the given base URL,
+// as does any topology fetch problem: routing is an optimization,
+// never a requirement.
+func routeBase(base, grammar string) string {
+	u := strings.TrimRight(base, "/")
+	resp, err := http.Get(u + "/v1/cluster")
+	if err != nil {
+		return u
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return u
+	}
+	var top struct {
+		Placement map[string]string `json:"placement"`
+		Peers     []struct {
+			Addr string `json:"addr"`
+			Up   bool   `json:"up"`
+		} `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		return u
+	}
+	owner := top.Placement[grammar]
+	if owner == "" {
+		return u
+	}
+	for _, p := range top.Peers {
+		if p.Addr == owner && p.Up {
+			return "http://" + owner
+		}
+	}
+	return u
+}
+
+// postRetry posts body, honoring Retry-After on 429 with capped
+// exponential backoff — a shed request (replica-aware load shedding
+// answers 429 well before the fleet is saturated) retries instead of
+// failing the invocation. At most 5 attempts; delays are the server's
+// Retry-After when present, else 100ms doubling, capped at 5s.
+func postRetry(url, contentType string, body []byte) (*http.Response, error) {
+	const (
+		attempts   = 5
+		maxBackoff = 5 * time.Second
+	)
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt == attempts {
+			return resp, nil
+		}
+		delay := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+		fmt.Fprintf(os.Stderr, "llstar-parse: server overloaded (429), retry %d/%d in %v\n",
+			attempt, attempts-1, delay)
+		time.Sleep(delay)
+		backoff *= 2
 	}
 }
 

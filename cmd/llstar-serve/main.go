@@ -33,6 +33,17 @@
 // balancer never routes traffic to a cold instance. SIGINT/SIGTERM
 // starts a graceful drain: /readyz flips to 503, in-flight requests
 // finish (bounded by -drain-timeout), then the process exits 0.
+//
+// Fleet mode (-peers or -peer-addr-file + -fleet-size) runs N replicas
+// as one service: a consistent-hash ring shards grammars across
+// replicas, non-owned requests proxy one hop to their owner, sessions
+// get affinity by ring-routing their ids, missing .llsc artifacts are
+// pulled from peers before live analysis, and the in-flight budget is
+// divided across live replicas. See docs/cluster.md.
+//
+//	llstar-serve -grammars grammars -cache /var/cache/llstar \
+//	  -advertise 10.0.0.1:8080 -peers 10.0.0.1:8080,10.0.0.2:8080,10.0.0.3:8080
+//	curl -s localhost:8080/v1/cluster | jq .placement
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"llstar"
+	"llstar/internal/cluster"
 	"llstar/internal/server"
 )
 
@@ -82,6 +94,13 @@ func main() {
 	flightCaptures := flag.Int("flight-captures", 0, "server-wide capture store bound (0 = default 64)")
 	flightWasted := flag.Int64("flight-wasted", 0, "backtrack-token budget that triggers a flight capture (0 disarms)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	peers := flag.String("peers", "", "comma-separated replica addresses (host:port) forming the fleet; enables fleet mode")
+	peerFile := flag.String("peer-addr-file", "", "file of replica addresses, one per line (fleet harnesses append each replica's bound address here)")
+	fleetSize := flag.Int("fleet-size", 0, "with -peer-addr-file: wait until the file lists this many replicas before joining the ring")
+	peerWait := flag.Duration("peer-wait", 30*time.Second, "max wait for -peer-addr-file to fill up to -fleet-size")
+	advertise := flag.String("advertise", "", "address peers reach this replica at (default: the bound listen address; set it when listening on a wildcard address)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet peer health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "fleet peer health-probe timeout")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -178,6 +197,37 @@ func main() {
 		defer dhs.Close()
 	}
 
+	// Fleet mode: resolve the peer set (static -peers, or a shared
+	// address file the harness fills as replicas bind), then attach the
+	// cluster before preloading — preload is exactly when the registry
+	// pulls missing artifacts from warm peers instead of re-analyzing.
+	peerList, err := fleetPeers(*peers, *peerFile, *fleetSize, *peerWait)
+	if err != nil {
+		fatal("fleet peers", err)
+	}
+	if len(peerList) > 0 {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:          self,
+			Peers:         peerList,
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			Metrics:       cfg.Metrics,
+			Tracer:        cfg.Tracer,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal("fleet", err)
+		}
+		s.AttachCluster(cl)
+		cl.Start()
+		defer cl.Stop()
+		logger.Info("fleet", "self", self, "ring_size", cl.Size())
+	}
+
 	// Preload after the listener is up: /healthz answers during warmup
 	// and /readyz flips only once every preload has completed.
 	warm := time.Now()
@@ -213,6 +263,41 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal("serve", err)
 		}
+	}
+}
+
+// fleetPeers resolves the fleet membership: the static -peers list,
+// plus the contents of -peer-addr-file, which is polled until it lists
+// at least fleetSize distinct addresses (every replica in a harness
+// appends its own bound address, so the file converges to the full
+// ring). An empty result means single-node mode.
+func fleetPeers(peers, peerFile string, fleetSize int, wait time.Duration) ([]string, error) {
+	gather := func(fileData string) []string {
+		set := map[string]bool{}
+		var out []string
+		for _, addr := range append(strings.Split(peers, ","), strings.Split(fileData, "\n")...) {
+			if addr = strings.TrimSpace(addr); addr != "" && !set[addr] {
+				set[addr] = true
+				out = append(out, addr)
+			}
+		}
+		return out
+	}
+	if peerFile == "" {
+		return gather(""), nil
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		data, err := os.ReadFile(peerFile)
+		if err == nil {
+			if out := gather(string(data)); len(out) >= fleetSize && len(out) > 0 {
+				return out, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("peer-addr-file " + peerFile + " did not reach -fleet-size in time")
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -132,6 +132,16 @@ func (g *Grammar) AnalysisDigest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SourceFingerprint returns the hex cache key LoadWith would compute
+// for (name, src, opts) — the same key gcache files the artifact
+// under. Callers that manage a shared artifact store (the serving
+// registry's fleet pre-warm) use it to probe or populate the cache
+// before loading, without running the frontend.
+func SourceFingerprint(name, src string, opts LoadOptions) string {
+	fp := serde.Fingerprint(name, src, serdeOptions(opts))
+	return hex.EncodeToString(fp[:])
+}
+
 // loadCached is the LoadOptions.CacheDir path: try the persistent
 // cache first; fall through to live analysis (then store) on a miss or
 // on any decode problem. Cache trouble is never fatal — the worst

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"llstar/internal/cluster"
+	"llstar/internal/obs"
+	"llstar/internal/server"
+)
+
+// FleetLoadOptions configures the fleet load harness.
+type FleetLoadOptions struct {
+	// Replicas is the fleet size (default 3).
+	Replicas int
+	// Concurrency is the number of closed-loop clients, spread evenly
+	// across the replicas (default 16).
+	Concurrency int
+	// Duration is the measurement window per phase (default 5s).
+	Duration time.Duration
+	// Seed and Lines shape the generated inputs (defaults 1 and 200).
+	Seed  int64
+	Lines int
+}
+
+// FleetResult is the machine-readable outcome of one fleet run,
+// persisted as the BENCH_*.json fleet section. Every field here is
+// timing-derived and therefore noisy; Compare never gates on it. The
+// interesting reading is Scaling: aggregate fleet req/s over
+// single-replica req/s, which approaches min(Replicas, cores) on a
+// machine with enough cores and stays near 1.0 on a single-core box
+// (the replicas time-slice one CPU — see docs/cluster.md).
+type FleetResult struct {
+	Replicas        int     `json:"replicas"`
+	Clients         int     `json:"clients"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	DurationSecs    float64 `json:"duration_secs"`
+	SingleReqPerSec float64 `json:"single_req_per_sec"`
+	FleetReqPerSec  float64 `json:"fleet_req_per_sec"`
+	Scaling         float64 `json:"scaling"`
+	// ProxiedPct is the share of fleet requests that took a server-side
+	// proxy hop to the owning replica — a placement-locality measure.
+	// Clients here contact replicas round-robin without consulting
+	// /v1/cluster, so the expected value is (Replicas-1)/Replicas.
+	ProxiedPct float64 `json:"proxied_pct"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+}
+
+// fleetReplica is one in-process llstar-serve plus its fleet wiring.
+type fleetReplica struct {
+	srv  *server.Server
+	hs   *http.Server
+	ln   net.Listener
+	cl   *cluster.Cluster
+	mx   *obs.Metrics
+	addr string
+}
+
+// FleetLoad measures horizontal scaling: it drives the six benchmark
+// workloads against a single in-process replica, then against a fleet
+// of opts.Replicas cluster-attached replicas (real TCP, real
+// consistent-hash routing, per-replica artifact caches), and reports
+// aggregate throughput plus the scaling ratio. Clients contact
+// replicas round-robin — most requests land on a non-owner and take
+// the single proxy hop, which is the honest fleet-behind-a-dumb-LB
+// deployment shape.
+func FleetLoad(out io.Writer, opts FleetLoadOptions) (*FleetResult, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 3
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Lines <= 0 {
+		opts.Lines = 200
+	}
+
+	// Shared grammar directory: every replica serves the same names, as
+	// the CI fleet smoke does. Registry loads key artifacts by base
+	// name, so per-replica caches stay interchangeable.
+	dir, err := os.MkdirTemp("", "llstar-fleet-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for _, w := range Workloads {
+		text, err := w.GrammarText()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, w.File), []byte(text), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	targets := make([]serveTarget, len(Workloads))
+	for i, w := range Workloads {
+		t := serveTarget{workload: w, grammar: strings.TrimSuffix(w.File, ".g")}
+		for v := int64(0); v < 4; v++ {
+			t.inputs = append(t.inputs, w.Input(opts.Seed+v, opts.Lines))
+		}
+		targets[i] = t
+	}
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency * 2,
+			MaxIdleConnsPerHost: opts.Concurrency * 2,
+		},
+	}
+
+	// Phase 1: single replica, same total client count.
+	solo, err := startFleet(dir, 1, opts.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	soloOK, _, _, soloElapsed, err := driveFleet(client, solo, targets, opts.Concurrency, opts.Duration)
+	stopFleet(solo)
+	if err != nil {
+		return nil, err
+	}
+	singleRate := float64(soloOK) / soloElapsed.Seconds()
+
+	// Phase 2: the fleet.
+	fleet, err := startFleet(dir, opts.Replicas, opts.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	ok, shed, failed, elapsed, err := driveFleet(client, fleet, targets, opts.Concurrency, opts.Duration)
+	var proxied int64
+	for _, r := range fleet {
+		proxied += r.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", "ok")).Value()
+	}
+	stopFleet(fleet)
+	if err != nil {
+		return nil, err
+	}
+	fleetRate := float64(ok) / elapsed.Seconds()
+
+	fr := &FleetResult{
+		Replicas:        opts.Replicas,
+		Clients:         opts.Concurrency,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		DurationSecs:    opts.Duration.Seconds(),
+		SingleReqPerSec: singleRate,
+		FleetReqPerSec:  fleetRate,
+		Shed:            shed,
+		Errors:          failed,
+	}
+	if singleRate > 0 {
+		fr.Scaling = fleetRate / singleRate
+	}
+	if ok > 0 {
+		fr.ProxiedPct = 100 * float64(proxied) / float64(ok)
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Replicas\tclients\tok\t429\terr\treq/s\tscaling\tproxied\n")
+	fmt.Fprintf(tw, "1\t%d\t%d\t\t\t%.0f\t1.00x\t\n", opts.Concurrency, soloOK, singleRate)
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.0f\t%.2fx\t%.0f%%\n",
+		opts.Replicas, opts.Concurrency, ok, shed, failed, fleetRate, fr.Scaling, fr.ProxiedPct)
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "GOMAXPROCS=%d — aggregate throughput scales with min(replicas, cores)\n",
+		fr.GoMaxProcs)
+	return fr, nil
+}
+
+// startFleet boots n cluster-attached replicas over the shared grammar
+// directory, each with its own artifact cache, and preloads every
+// grammar. With n == 1 no cluster is attached (the solo baseline).
+func startFleet(grammarDir string, n, concurrency int) ([]*fleetReplica, error) {
+	maxInFlight := 64
+	if c := concurrency * 2; c > maxInFlight {
+		maxInFlight = c
+	}
+	replicas := make([]*fleetReplica, 0, n)
+	fail := func(err error) ([]*fleetReplica, error) {
+		stopFleet(replicas)
+		return nil, err
+	}
+	// The harness measures throughput; per-request access lines from n
+	// replicas would drown the table.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	for i := 0; i < n; i++ {
+		cacheDir, err := os.MkdirTemp("", "llstar-fleet-cache-")
+		if err != nil {
+			return fail(err)
+		}
+		mx := obs.NewMetrics()
+		s, err := server.New(server.Config{
+			GrammarDir: grammarDir,
+			CacheDir:   cacheDir,
+			// The fleet shares one in-flight budget: each replica takes
+			// budget/replicas once the cluster attaches, so give the
+			// whole fleet the same total the solo baseline gets.
+			MaxInFlight:  maxInFlight * n,
+			MaxBodyBytes: 64 << 20,
+			Preload:      []string{"all"},
+			Metrics:      mx,
+			Logger:       quiet,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		r := &fleetReplica{srv: s, ln: ln, mx: mx, addr: ln.Addr().String()}
+		r.hs = &http.Server{Handler: s.Handler()}
+		replicas = append(replicas, r)
+	}
+	// All addresses are known; wire the rings, then serve and preload.
+	for i, r := range replicas {
+		if n > 1 {
+			var peers []string
+			for j, p := range replicas {
+				if j != i {
+					peers = append(peers, p.addr)
+				}
+			}
+			cl, err := cluster.New(cluster.Config{
+				Self:          r.addr,
+				Peers:         peers,
+				ProbeInterval: 500 * time.Millisecond,
+				Metrics:       r.mx,
+				Logger:        quiet,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			r.cl = cl
+			r.srv.AttachCluster(cl)
+			cl.Start()
+		}
+		go r.hs.Serve(r.ln)
+		if err := r.srv.Preload(); err != nil {
+			return fail(err)
+		}
+	}
+	return replicas, nil
+}
+
+func stopFleet(replicas []*fleetReplica) {
+	for _, r := range replicas {
+		if r == nil {
+			continue
+		}
+		if r.cl != nil {
+			r.cl.Stop()
+		}
+		if r.hs != nil {
+			r.hs.Close()
+		}
+	}
+}
+
+// driveFleet runs the closed-loop client load with clients spread
+// round-robin across the replicas, after one warmup request per
+// (replica, grammar) pair.
+func driveFleet(client *http.Client, replicas []*fleetReplica, targets []serveTarget, concurrency int, duration time.Duration) (ok, shed, failed int, elapsed time.Duration, err error) {
+	for _, r := range replicas {
+		for _, t := range targets {
+			if _, _, werr := serveOnce(client, "http://"+r.addr, t, 0); werr != nil {
+				return 0, 0, 0, 0, fmt.Errorf("warmup %s on %s: %w", t.grammar, r.addr, werr)
+			}
+		}
+	}
+	stop := time.Now().Add(duration)
+	results := make([][3]int, concurrency)
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := "http://" + replicas[c%len(replicas)].addr
+			for i := 0; time.Now().Before(stop); i++ {
+				t := targets[(c+i)%len(targets)]
+				code, _, rerr := serveOnce(client, base, t, (c+i)%len(t.inputs))
+				switch {
+				case rerr != nil:
+					results[c][2]++
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					mu.Unlock()
+				case code == http.StatusOK:
+					results[c][0]++
+				case code == http.StatusTooManyRequests:
+					results[c][1]++
+				default:
+					results[c][2]++
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("HTTP %d from %s for %s", code, base, t.grammar)
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	for _, r := range results {
+		ok += r[0]
+		shed += r[1]
+		failed += r[2]
+	}
+	if ok == 0 && firstErr != nil {
+		return 0, 0, 0, 0, firstErr
+	}
+	return ok, shed, failed, elapsed, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFleetLoadSmoke boots the two-phase harness at its smallest useful
+// shape: 2 replicas, a short window. It asserts the plumbing — both
+// phases complete without shed traffic turning into errors, the ratio
+// is computed, and proxying actually happened (round-robin clients on a
+// 2-ring must land off-owner about half the time).
+func TestFleetLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet harness boots real TCP servers")
+	}
+	var out bytes.Buffer
+	fr, err := FleetLoad(&out, FleetLoadOptions{
+		Replicas:    2,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Seed:        1,
+		Lines:       40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Replicas != 2 || fr.Clients != 4 {
+		t.Fatalf("result shape: %+v", fr)
+	}
+	if fr.SingleReqPerSec <= 0 || fr.FleetReqPerSec <= 0 || fr.Scaling <= 0 {
+		t.Fatalf("throughput not measured: %+v", fr)
+	}
+	if fr.Errors != 0 {
+		t.Fatalf("fleet load saw %d errors", fr.Errors)
+	}
+	if fr.ProxiedPct <= 0 {
+		t.Fatalf("no requests proxied (%+v) — ring routing inactive?", fr)
+	}
+	if !strings.Contains(out.String(), "scaling") {
+		t.Fatalf("table missing header:\n%s", out.String())
+	}
+}

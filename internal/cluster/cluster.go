@@ -1,0 +1,521 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"llstar/internal/obs"
+)
+
+// Config describes one replica's view of the fleet.
+type Config struct {
+	// Self is this replica's advertised address (host:port) — the
+	// address peers and clients reach it at. Required.
+	Self string
+	// Peers is the full static peer set (host:port each). Self is added
+	// if absent; order does not matter.
+	Peers []string
+	// VNodes is the per-peer virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// LoadFactor is the bounded-load factor for grammar placement
+	// (0 = DefaultLoadFactor).
+	LoadFactor float64
+
+	// ProbeInterval is how often peers are health-probed (0 = 2s;
+	// < 0 disables probing — peers stay up forever, the single-process
+	// test mode).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (0 = 1s).
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures mark a peer down
+	// (0 = 2). One successful probe marks it up again.
+	FailAfter int
+
+	// Client performs probe, proxy, and artifact-fetch requests. Nil
+	// builds one with sane pooling.
+	Client *http.Client
+
+	// Metrics receives the llstar_cluster_* series; Tracer receives
+	// cluster.fetch spans. Logger records membership transitions. All
+	// optional.
+	Metrics *obs.Metrics
+	Tracer  obs.Tracer
+	Logger  *slog.Logger
+}
+
+// peerState tracks one peer's health.
+type peerState struct {
+	up    bool
+	fails int
+}
+
+// Cluster is one replica's live view of the fleet: the immutable ring
+// plus mutable health state and the grammar placement derived from
+// both. Safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+	mx     *obs.Metrics
+	tr     obs.Tracer
+	log    *slog.Logger
+
+	mu       sync.Mutex
+	peers    map[string]*peerState
+	grammars []string          // sorted key set for placement
+	place    map[string]string // grammar -> owner, rebuilt on change
+	gen      int               // bumped on membership or grammar change
+	placeGen int               // gen the placement was built at
+	onChange []func()
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and builds a Cluster. Probing does not start until
+// Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	peers := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(peers, cfg.VNodes)
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.LoadFactor <= 1 {
+		cfg.LoadFactor = DefaultLoadFactor
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		ring:   ring,
+		client: client,
+		mx:     cfg.Metrics,
+		tr:     obs.Active(cfg.Tracer),
+		log:    cfg.Logger,
+		peers:  map[string]*peerState{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Peers start optimistically up: a replica must be routable the
+	// moment the fleet boots, before the first probe round completes.
+	for _, p := range ring.Peers() {
+		c.peers[p] = &peerState{up: true}
+	}
+	c.gauge()
+	return c, nil
+}
+
+// Self returns this replica's advertised address.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Ring returns the (immutable) ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Size returns the total peer count (up or down).
+func (c *Cluster) Size() int { return c.ring.Size() }
+
+// Client returns the HTTP client used for intra-fleet requests (the
+// server's proxy path shares it so connections pool).
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// Up reports whether addr is currently considered reachable. Self is
+// always up.
+func (c *Cluster) Up(addr string) bool {
+	if addr == c.cfg.Self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.peers[addr]
+	return st != nil && st.up
+}
+
+// LiveCount returns how many peers (including self) are up.
+func (c *Cluster) LiveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveCountLocked()
+}
+
+func (c *Cluster) liveCountLocked() int {
+	n := 0
+	for addr, st := range c.peers {
+		if addr == c.cfg.Self || st.up {
+			n++
+		}
+	}
+	return n
+}
+
+// Quorum reports whether a majority of the ring is reachable.
+func (c *Cluster) Quorum() bool {
+	return c.LiveCount() >= c.ring.Size()/2+1
+}
+
+// OnChange registers f to run (on the prober goroutine) whenever a
+// peer's up/down state flips. The server uses it to re-divide the
+// global in-flight budget.
+func (c *Cluster) OnChange(f func()) {
+	c.mu.Lock()
+	c.onChange = append(c.onChange, f)
+	c.mu.Unlock()
+}
+
+// SetGrammars installs the grammar name set the placement is computed
+// over (typically the registry's directory listing). Names are copied
+// and sorted.
+func (c *Cluster) SetGrammars(names []string) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	c.mu.Lock()
+	c.grammars = sorted
+	c.gen++
+	c.mu.Unlock()
+}
+
+// upLocked returns the up predicate for placement; callers hold mu.
+func (c *Cluster) upLocked() func(string) bool {
+	return func(addr string) bool {
+		if addr == c.cfg.Self {
+			return true
+		}
+		st := c.peers[addr]
+		return st != nil && st.up
+	}
+}
+
+// Placement returns the current grammar → owner map (bounded-load
+// assignment over the installed grammar set and the live peer view).
+// The map is shared and must not be mutated.
+func (c *Cluster) Placement() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.place == nil || c.placeGen != c.gen {
+		c.place = c.ring.Assign(c.grammars, c.cfg.LoadFactor, c.upLocked())
+		c.placeGen = c.gen
+	}
+	return c.place
+}
+
+// GrammarOwner returns the replica that owns grammar name, and whether
+// that is this replica. Names outside the installed grammar set fall
+// back to the plain ring walk.
+func (c *Cluster) GrammarOwner(name string) (addr string, self bool) {
+	if owner, ok := c.Placement()[name]; ok {
+		return owner, owner == c.cfg.Self
+	}
+	return c.KeyOwner(name)
+}
+
+// KeyOwner returns the live ring owner for an arbitrary key (session
+// ids route through this), and whether that is this replica.
+func (c *Cluster) KeyOwner(key string) (addr string, self bool) {
+	c.mu.Lock()
+	up := c.upLocked()
+	c.mu.Unlock()
+	owner := c.ring.Owner(key, up)
+	if owner == "" {
+		owner = c.cfg.Self
+	}
+	return owner, owner == c.cfg.Self
+}
+
+// MintKey returns a fresh random hex key that this replica owns on the
+// ring, so any peer can later route requests for it here. Sessions use
+// it as the session id: affinity falls out of ordinary ring routing
+// with no session directory. The loop terminates fast — a uniformly
+// random key lands on this replica with probability ~1/N.
+func (c *Cluster) MintKey() string {
+	for i := 0; i < 64*len(c.peers)+64; i++ {
+		k := randHexKey()
+		if owner, self := c.KeyOwner(k); self || owner == "" {
+			return k
+		}
+	}
+	// Statistically unreachable; a non-owned id still works, it just
+	// loses affinity when another node handles it (single-hop proxy).
+	return randHexKey()
+}
+
+func randHexKey() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Start launches the background health prober. Stop terminates it.
+func (c *Cluster) Start() {
+	if c.cfg.ProbeInterval < 0 {
+		close(c.done)
+		return
+	}
+	go c.probeLoop()
+}
+
+// Stop terminates the prober and waits for it to exit.
+func (c *Cluster) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+func (c *Cluster) probeLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	c.probeAll()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every peer once. Probes run sequentially —
+// fleets are small and the timeout bounds the round.
+func (c *Cluster) probeAll() {
+	for _, addr := range c.ring.Peers() {
+		if addr == c.cfg.Self {
+			continue
+		}
+		c.recordProbe(addr, c.probe(addr))
+	}
+}
+
+// probe performs one GET /healthz against addr.
+func (c *Cluster) probe(addr string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// recordProbe folds one probe result into the peer's state, firing
+// OnChange hooks and rebuilding the placement when up/down flips.
+func (c *Cluster) recordProbe(addr string, ok bool) {
+	result := "ok"
+	if !ok {
+		result = "fail"
+	}
+	if c.mx != nil {
+		c.mx.Counter(obs.Label("llstar_cluster_probe_total", "result", result)).Inc()
+	}
+	c.mu.Lock()
+	st := c.peers[addr]
+	if st == nil {
+		c.mu.Unlock()
+		return
+	}
+	flipped := false
+	if ok {
+		st.fails = 0
+		if !st.up {
+			st.up, flipped = true, true
+		}
+	} else {
+		st.fails++
+		if st.up && st.fails >= c.cfg.FailAfter {
+			st.up, flipped = false, true
+		}
+	}
+	var hooks []func()
+	if flipped {
+		c.gen++
+		hooks = append(hooks, c.onChange...)
+	}
+	c.mu.Unlock()
+	if flipped {
+		c.gauge()
+		c.log.LogAttrs(context.Background(), slog.LevelWarn, "cluster_peer",
+			slog.String("peer", addr), slog.Bool("up", ok))
+		for _, f := range hooks {
+			f()
+		}
+	}
+}
+
+// MarkSuspect records a failed intra-fleet request against addr as one
+// probe failure, so a dead peer found by the proxy path degrades
+// before the next probe round.
+func (c *Cluster) MarkSuspect(addr string) {
+	if addr == c.cfg.Self {
+		return
+	}
+	c.recordProbe(addr, false)
+}
+
+func (c *Cluster) gauge() {
+	if c.mx == nil {
+		return
+	}
+	c.mx.Gauge("llstar_cluster_ring_size").Set(int64(c.ring.Size()))
+	c.mx.Gauge("llstar_cluster_peers_up").Set(int64(c.LiveCount()))
+}
+
+// ErrNoArtifact reports that no live peer could serve a fingerprint.
+var ErrNoArtifact = errors.New("cluster: artifact not available from any peer")
+
+// FetchArtifact pulls the compiled-analysis artifact for fp from the
+// fleet: the fingerprint's ring owner first, then its successors, so a
+// freshly joined replica warm-starts every grammar some peer has
+// already analyzed. The caller validates the bytes (the artifact codec
+// is checksummed and fingerprint-verified).
+func (c *Cluster) FetchArtifact(ctx context.Context, fp string) (data []byte, from string, err error) {
+	var t0 time.Duration
+	if c.tr != nil {
+		t0 = c.tr.Now()
+	}
+	data, from, err = c.fetchArtifact(ctx, fp)
+	result := "hit"
+	if err != nil {
+		result = "miss"
+	}
+	if c.mx != nil {
+		c.mx.Counter(obs.Label("llstar_cluster_artifact_fetch_total", "result", result)).Inc()
+	}
+	if c.tr != nil {
+		detail := fp + " <- " + from
+		if err != nil {
+			detail = fmt.Sprintf("%s: %v", fp, err)
+		}
+		c.tr.Emit(obs.Event{
+			Name: "cluster.fetch", Cat: obs.PhaseServer, Ph: obs.PhSpan,
+			TS: t0, Dur: c.tr.Now() - t0, Decision: -1,
+			OK: err == nil, N: int64(len(data)), Detail: detail,
+		})
+	}
+	return data, from, err
+}
+
+func (c *Cluster) fetchArtifact(ctx context.Context, fp string) ([]byte, string, error) {
+	c.mu.Lock()
+	up := c.upLocked()
+	c.mu.Unlock()
+	for _, addr := range c.ring.Preference(fp, up) {
+		if addr == c.cfg.Self {
+			continue
+		}
+		data, err := c.fetchFrom(ctx, addr, fp)
+		if err == nil {
+			return data, addr, nil
+		}
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+	}
+	return nil, "", ErrNoArtifact
+}
+
+func (c *Cluster) fetchFrom(ctx context.Context, addr, fp string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/v1/artifacts/"+fp, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PeerInfo is one row of the topology report.
+type PeerInfo struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	Up   bool   `json:"up"`
+	// Grammars is how many grammars the current placement assigns to
+	// this peer.
+	Grammars int `json:"grammars"`
+}
+
+// Topology is the /v1/cluster payload: enough for a client to route
+// every request exactly as the fleet itself would.
+type Topology struct {
+	Self      string            `json:"self"`
+	RingSize  int               `json:"ring_size"`
+	Up        int               `json:"up"`
+	Quorum    bool              `json:"quorum"`
+	VNodes    int               `json:"vnodes"`
+	Peers     []PeerInfo        `json:"peers"`
+	Placement map[string]string `json:"placement,omitempty"`
+}
+
+// Topology snapshots the fleet as this replica sees it.
+func (c *Cluster) Topology() Topology {
+	place := c.Placement()
+	counts := map[string]int{}
+	for _, owner := range place {
+		counts[owner]++
+	}
+	t := Topology{
+		Self:      c.cfg.Self,
+		RingSize:  c.ring.Size(),
+		Up:        c.LiveCount(),
+		Quorum:    c.Quorum(),
+		VNodes:    c.ring.VNodes(),
+		Placement: place,
+	}
+	for _, addr := range c.ring.Peers() {
+		t.Peers = append(t.Peers, PeerInfo{
+			Addr:     addr,
+			Self:     addr == c.cfg.Self,
+			Up:       c.Up(addr),
+			Grammars: counts[addr],
+		})
+	}
+	return t
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llstar/internal/obs"
+)
+
+func newTestCluster(t *testing.T, self string, peers []string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:          self,
+		Peers:         peers,
+		ProbeInterval: -1, // probing driven by hand in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterMembership(t *testing.T) {
+	c := newTestCluster(t, "a:1", []string{"b:1", "c:1"})
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", c.Size())
+	}
+	if got := c.LiveCount(); got != 3 {
+		t.Fatalf("LiveCount = %d, want 3 (optimistic start)", got)
+	}
+	if !c.Quorum() {
+		t.Fatal("3/3 up should be quorum")
+	}
+	if !c.Up("a:1") || !c.Up("b:1") {
+		t.Fatal("all peers should start up")
+	}
+}
+
+func TestClusterProbeTransitions(t *testing.T) {
+	c := newTestCluster(t, "a:1", []string{"b:1", "c:1"})
+	var changes atomic.Int32
+	c.OnChange(func() { changes.Add(1) })
+
+	// One failure is not enough (FailAfter defaults to 2).
+	c.recordProbe("b:1", false)
+	if !c.Up("b:1") {
+		t.Fatal("peer down after a single probe failure")
+	}
+	c.recordProbe("b:1", false)
+	if c.Up("b:1") {
+		t.Fatal("peer still up after FailAfter failures")
+	}
+	if got := c.LiveCount(); got != 2 {
+		t.Fatalf("LiveCount = %d, want 2", got)
+	}
+	if !c.Quorum() {
+		t.Fatal("2/3 should still be quorum")
+	}
+	// A single success recovers.
+	c.recordProbe("b:1", true)
+	if !c.Up("b:1") {
+		t.Fatal("peer not recovered after successful probe")
+	}
+	if got := changes.Load(); got != 2 {
+		t.Fatalf("OnChange fired %d times, want 2", got)
+	}
+	// Self never goes down.
+	c.MarkSuspect("a:1")
+	c.MarkSuspect("a:1")
+	if !c.Up("a:1") {
+		t.Fatal("self marked down")
+	}
+}
+
+func TestClusterQuorumLoss(t *testing.T) {
+	c := newTestCluster(t, "a:1", []string{"b:1", "c:1"})
+	for _, p := range []string{"b:1", "c:1"} {
+		c.recordProbe(p, false)
+		c.recordProbe(p, false)
+	}
+	if c.LiveCount() != 1 {
+		t.Fatalf("LiveCount = %d, want 1", c.LiveCount())
+	}
+	if c.Quorum() {
+		t.Fatal("1/3 up must not be quorum")
+	}
+}
+
+// Placement must move to survivors when a peer goes down, and back on
+// recovery — and the same transition must be recomputed identically by
+// every node (pure function of membership + up set).
+func TestClusterPlacementFollowsHealth(t *testing.T) {
+	names := grammarNames(100)
+	a := newTestCluster(t, "a:1", []string{"b:1", "c:1"})
+	b := newTestCluster(t, "b:1", []string{"a:1", "c:1"})
+	a.SetGrammars(names)
+	b.SetGrammars(names)
+
+	pa, pb := a.Placement(), b.Placement()
+	for _, n := range names {
+		if pa[n] != pb[n] {
+			t.Fatalf("nodes disagree on owner of %q: %q vs %q", n, pa[n], pb[n])
+		}
+	}
+
+	a.recordProbe("c:1", false)
+	a.recordProbe("c:1", false)
+	for n, owner := range a.Placement() {
+		if owner == "c:1" {
+			t.Fatalf("grammar %q still placed on down peer", n)
+		}
+	}
+	a.recordProbe("c:1", true)
+	if len(a.Placement()) != len(names) {
+		t.Fatal("placement lost grammars across down/up cycle")
+	}
+}
+
+func TestClusterGrammarOwnerFallback(t *testing.T) {
+	c := newTestCluster(t, "a:1", []string{"b:1"})
+	c.SetGrammars([]string{"calc"})
+	if owner, _ := c.GrammarOwner("calc"); owner == "" {
+		t.Fatal("no owner for installed grammar")
+	}
+	// A name outside the installed set still routes (plain ring walk).
+	owner, _ := c.GrammarOwner("not-installed")
+	if owner != "a:1" && owner != "b:1" {
+		t.Fatalf("fallback owner = %q", owner)
+	}
+}
+
+func TestClusterMintKeySelfOwned(t *testing.T) {
+	c := newTestCluster(t, "a:1", []string{"b:1", "c:1", "d:1"})
+	for i := 0; i < 20; i++ {
+		k := c.MintKey()
+		if len(k) != 16 {
+			t.Fatalf("MintKey length = %d", len(k))
+		}
+		if owner, self := c.KeyOwner(k); !self {
+			t.Fatalf("minted key %q owned by %q, not self", k, owner)
+		}
+	}
+}
+
+func TestClusterFetchArtifact(t *testing.T) {
+	const fp = "aabbccdd"
+	payload := []byte("llsc-bytes")
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/artifacts/") {
+			http.NotFound(w, r)
+			return
+		}
+		if strings.TrimPrefix(r.URL.Path, "/v1/artifacts/") != fp {
+			http.Error(w, "miss", http.StatusNotFound)
+			return
+		}
+		hits.Add(1)
+		w.Write(payload)
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+
+	mx := obs.NewMetrics()
+	c, err := New(Config{
+		Self:          "self:0",
+		Peers:         []string{peer},
+		ProbeInterval: -1,
+		Metrics:       mx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, from, err := c.FetchArtifact(context.Background(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(payload) || from != peer {
+		t.Fatalf("got %q from %q", data, from)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("peer hit %d times", hits.Load())
+	}
+	if got := mx.Counter(obs.Label("llstar_cluster_artifact_fetch_total", "result", "hit")).Value(); got != 1 {
+		t.Fatalf("fetch hit counter = %d", got)
+	}
+
+	if _, _, err := c.FetchArtifact(context.Background(), "unknownfp"); err == nil {
+		t.Fatal("expected error for unknown fingerprint")
+	}
+	if got := mx.Counter(obs.Label("llstar_cluster_artifact_fetch_total", "result", "miss")).Value(); got != 1 {
+		t.Fatalf("fetch miss counter = %d", got)
+	}
+}
+
+func TestClusterFetchArtifactNoPeers(t *testing.T) {
+	c := newTestCluster(t, "a:1", nil)
+	if _, _, err := c.FetchArtifact(context.Background(), "fp"); err == nil {
+		t.Fatal("single-node fetch must fail (no peers to ask)")
+	}
+}
+
+func TestClusterProbeLoopAgainstLiveServer(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer up.Close()
+	peer := strings.TrimPrefix(up.URL, "http://")
+
+	c, err := New(Config{
+		Self:          "self:0",
+		Peers:         []string{peer, "127.0.0.1:1"}, // second peer unreachable
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		FailAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Up(peer) && !c.Up("127.0.0.1:1") {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("probe loop did not converge: live=%q dead=%v", peer, c.Up("127.0.0.1:1"))
+}
+
+func TestClusterTopology(t *testing.T) {
+	c := newTestCluster(t, "b:1", []string{"a:1", "c:1"})
+	c.SetGrammars(grammarNames(30))
+	c.recordProbe("c:1", false)
+	c.recordProbe("c:1", false)
+
+	top := c.Topology()
+	if top.Self != "b:1" || top.RingSize != 3 || top.Up != 2 || !top.Quorum {
+		t.Fatalf("topology = %+v", top)
+	}
+	if len(top.Peers) != 3 {
+		t.Fatalf("peers = %d", len(top.Peers))
+	}
+	total := 0
+	for _, p := range top.Peers {
+		if p.Addr == "c:1" && p.Up {
+			t.Fatal("down peer reported up")
+		}
+		if p.Addr == "c:1" && p.Grammars != 0 {
+			t.Fatal("down peer assigned grammars")
+		}
+		if p.Addr == "b:1" && !p.Self {
+			t.Fatal("self flag missing")
+		}
+		total += p.Grammars
+	}
+	if total != 30 {
+		t.Fatalf("placement covers %d grammars, want 30", total)
+	}
+	if len(top.Placement) != 30 {
+		t.Fatalf("placement map has %d entries", len(top.Placement))
+	}
+}
+
+func TestClusterNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted empty Self")
+	}
+}

@@ -1,0 +1,226 @@
+// Package cluster is the fleet layer of llstar-serve: a consistent-hash
+// ring that maps grammar names (and session ids) to owner replicas, a
+// static-membership peer set with lightweight health probes, and an
+// artifact-distribution client that pulls compiled .llsc analyses from
+// peers by fingerprint so one node's analysis warms the whole fleet.
+//
+// The ring is a pure function of the peer set: every node (and every
+// client that fetches /v1/cluster) computes byte-identical placements
+// from the same membership, so requests route without coordination.
+// Placement over a known key set uses the bounded-load variant of
+// consistent hashing: keys that would push a replica past
+// ceil(LoadFactor * keys/replicas) spill deterministically to the next
+// replica on the ring, so no node owns a disproportionate share of
+// grammars. See docs/cluster.md.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per replica. More vnodes
+// smooth the key distribution (each replica's arc share concentrates
+// around 1/N) at a small memory cost; 64 keeps the worst replica
+// within a few percent of fair for fleets of practical size.
+const DefaultVNodes = 64
+
+// DefaultLoadFactor is the bounded-load factor c: in a placement over
+// K keys and N live replicas, no replica is assigned more than
+// ceil(c*K/N) keys.
+const DefaultLoadFactor = 1.25
+
+// fnv1a64 is the ring's hash: deterministic across processes,
+// architectures, and restarts (unlike hash/maphash), cheap, and good
+// enough for key spreading when fed through vnode mixing.
+func fnv1a64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix is a 64-bit finalizer (splitmix64) applied on top of fnv1a64 so
+// vnode points for peer#0..peer#63 don't cluster.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// point is one virtual node: a position on the ring and the index of
+// the peer it belongs to.
+type point struct {
+	hash uint64
+	peer int
+}
+
+// Ring is an immutable consistent-hash ring over a set of peer
+// addresses. Construct with NewRing; all methods are safe for
+// concurrent use.
+type Ring struct {
+	peers  []string // sorted, deduplicated
+	points []point  // sorted by hash
+	vnodes int
+}
+
+// NewRing builds a ring over peers with the given virtual-node count
+// (<= 0 means DefaultVNodes). The peer list is sorted and deduplicated,
+// so rings built from any permutation of the same addresses are
+// identical.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, vnodes: vnodes}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for i, p := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash: mix(fnv1a64(p + "#" + strconv.Itoa(v))),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on peer index so the
+		// ordering stays total and deterministic.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Peers returns the sorted peer set.
+func (r *Ring) Peers() []string { return r.peers }
+
+// VNodes returns the per-peer virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Size returns the number of peers on the ring.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// walk calls visit with the peers whose vnodes follow key's hash
+// clockwise, each distinct peer once, until visit returns true or all
+// peers have been offered.
+func (r *Ring) walk(key string, visit func(peer string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	h := mix(fnv1a64(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	offered := make([]bool, len(r.peers))
+	n := 0
+	for i := 0; i < len(r.points) && n < len(r.peers); i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if offered[pt.peer] {
+			continue
+		}
+		offered[pt.peer] = true
+		n++
+		if visit(r.peers[pt.peer]) {
+			return
+		}
+	}
+}
+
+// Owner returns the first peer clockwise from key's ring position for
+// which up returns true (nil up accepts every peer). It returns ""
+// only when no peer qualifies.
+func (r *Ring) Owner(key string, up func(string) bool) string {
+	owner := ""
+	r.walk(key, func(p string) bool {
+		if up == nil || up(p) {
+			owner = p
+			return true
+		}
+		return false
+	})
+	return owner
+}
+
+// Preference returns every up peer in key's clockwise ring order — the
+// owner first, then the successors a caller should try next (artifact
+// fetch uses this so a miss on the owner falls to its neighbors).
+func (r *Ring) Preference(key string, up func(string) bool) []string {
+	var out []string
+	r.walk(key, func(p string) bool {
+		if up == nil || up(p) {
+			out = append(out, p)
+		}
+		return false
+	})
+	return out
+}
+
+// Assign maps every key to an owner using bounded-load consistent
+// hashing: keys are taken in sorted order, each walking the ring from
+// its hash and landing on the first up peer whose assigned count is
+// still under ceil(factor * len(keys) / liveN). The result is a pure
+// function of (peer set, up set, key set, factor): every node — and
+// every client — computes the same placement. factor <= 1 means
+// DefaultLoadFactor.
+func (r *Ring) Assign(keys []string, factor float64, up func(string) bool) map[string]string {
+	if factor <= 1 {
+		factor = DefaultLoadFactor
+	}
+	live := 0
+	for _, p := range r.peers {
+		if up == nil || up(p) {
+			live++
+		}
+	}
+	out := make(map[string]string, len(keys))
+	if live == 0 || len(keys) == 0 {
+		return out
+	}
+	bound := int(factor*float64(len(keys))/float64(live)) + 1
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	load := make(map[string]int, live)
+	for _, k := range sorted {
+		assigned := ""
+		r.walk(k, func(p string) bool {
+			if up != nil && !up(p) {
+				return false
+			}
+			if load[p] >= bound {
+				return false
+			}
+			assigned = p
+			return true
+		})
+		if assigned == "" {
+			// Every live peer is at the bound (can only happen when the
+			// bound rounds low); fall back to the unbounded owner so no
+			// key is left unplaced.
+			assigned = r.Owner(k, up)
+		}
+		if assigned != "" {
+			load[assigned]++
+			out[k] = assigned
+		}
+	}
+	return out
+}

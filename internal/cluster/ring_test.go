@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func grammarNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("grammar-%03d", i)
+	}
+	return names
+}
+
+func peerSet(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+// Same peer set (any permutation) must yield byte-identical
+// grammar→owner assignment — the property every node and every client
+// relies on to route without coordination.
+func TestRingDeterminism(t *testing.T) {
+	peers := peerSet(5)
+	keys := grammarNames(500)
+	want := NewRing(peers, 0).Assign(keys, 0, nil)
+	if len(want) != len(keys) {
+		t.Fatalf("assigned %d of %d keys", len(want), len(keys))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffledPeers := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffledPeers), func(i, j int) {
+			shuffledPeers[i], shuffledPeers[j] = shuffledPeers[j], shuffledPeers[i]
+		})
+		shuffledKeys := append([]string(nil), keys...)
+		rng.Shuffle(len(shuffledKeys), func(i, j int) {
+			shuffledKeys[i], shuffledKeys[j] = shuffledKeys[j], shuffledKeys[i]
+		})
+		got := NewRing(shuffledPeers, 0).Assign(shuffledKeys, 0, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: assignment differs under permutation", trial)
+		}
+	}
+}
+
+// Owner must be deterministic too (session routing uses the plain ring
+// walk, not the bounded placement).
+func TestRingOwnerDeterminism(t *testing.T) {
+	a := NewRing(peerSet(7), 0)
+	b := NewRing(peerSet(7), 0)
+	for _, k := range grammarNames(200) {
+		if a.Owner(k, nil) != b.Owner(k, nil) {
+			t.Fatalf("Owner(%q) differs between identical rings", k)
+		}
+	}
+}
+
+// Adding one replica to a ring of N must move only ~1/(N+1) of the
+// keys — the consistent-hashing contract. Bounded-load spill adds some
+// churn on top of the pure ring bound, so allow 2x slack.
+func TestRingRebalanceBound(t *testing.T) {
+	keys := grammarNames(1000)
+	before := NewRing(peerSet(4), 0).Assign(keys, 0, nil)
+	after := NewRing(peerSet(5), 0).Assign(keys, 0, nil)
+	moved := 0
+	for k, owner := range before {
+		if after[k] != owner {
+			moved++
+		}
+	}
+	limit := 2 * len(keys) / 5
+	if moved > limit {
+		t.Fatalf("adding 5th replica moved %d/%d keys; want <= %d (~2/N)", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Fatal("adding a replica moved no keys; new replica got nothing")
+	}
+}
+
+// No replica may exceed the bounded-load cap ceil(c*K/N)+1, and every
+// replica must receive a meaningful share.
+func TestRingBoundedLoad(t *testing.T) {
+	keys := grammarNames(600)
+	r := NewRing(peerSet(6), 0)
+	assign := r.Assign(keys, 0, nil)
+	load := map[string]int{}
+	for _, owner := range assign {
+		load[owner]++
+	}
+	bound := int(DefaultLoadFactor*float64(len(keys))/6) + 1
+	for _, p := range r.Peers() {
+		if load[p] > bound {
+			t.Errorf("peer %s owns %d keys, exceeds bound %d", p, load[p], bound)
+		}
+		if load[p] == 0 {
+			t.Errorf("peer %s owns no keys", p)
+		}
+	}
+}
+
+// Down peers receive nothing; their keys redistribute across the
+// survivors and every key stays placed.
+func TestRingAssignSkipsDownPeers(t *testing.T) {
+	peers := peerSet(4)
+	keys := grammarNames(200)
+	down := peers[1]
+	up := func(p string) bool { return p != down }
+	assign := NewRing(peers, 0).Assign(keys, 0, up)
+	if len(assign) != len(keys) {
+		t.Fatalf("assigned %d of %d keys with one peer down", len(assign), len(keys))
+	}
+	for k, owner := range assign {
+		if owner == down {
+			t.Fatalf("key %q assigned to down peer", k)
+		}
+	}
+}
+
+func TestRingPreferenceOrder(t *testing.T) {
+	r := NewRing(peerSet(5), 0)
+	pref := r.Preference("grammar-007", nil)
+	if len(pref) != 5 {
+		t.Fatalf("Preference returned %d peers, want 5", len(pref))
+	}
+	if pref[0] != r.Owner("grammar-007", nil) {
+		t.Fatalf("Preference[0] = %q, Owner = %q", pref[0], r.Owner("grammar-007", nil))
+	}
+	seen := map[string]bool{}
+	for _, p := range pref {
+		if seen[p] {
+			t.Fatalf("peer %q repeated in preference list", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRingSinglePeer(t *testing.T) {
+	r := NewRing([]string{"127.0.0.1:9000"}, 0)
+	if got := r.Owner("anything", nil); got != "127.0.0.1:9000" {
+		t.Fatalf("Owner = %q", got)
+	}
+	assign := r.Assign(grammarNames(10), 0, nil)
+	for k, owner := range assign {
+		if owner != "127.0.0.1:9000" {
+			t.Fatalf("key %q assigned to %q", k, owner)
+		}
+	}
+}
+
+func TestRingDedupAndEmpty(t *testing.T) {
+	r := NewRing([]string{"b:1", "a:1", "b:1", ""}, 0)
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", r.Size())
+	}
+	if got := r.Peers(); got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("Peers = %v", got)
+	}
+	empty := NewRing(nil, 0)
+	if empty.Owner("x", nil) != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if got := empty.Assign([]string{"x"}, 0, nil); len(got) != 0 {
+		t.Fatalf("empty ring assigned keys: %v", got)
+	}
+}

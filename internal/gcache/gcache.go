@@ -12,6 +12,14 @@
 // half-written file under a live key. Corruption detection is the
 // decoder's job (every artifact embeds a checksum); the cache only
 // moves bytes.
+//
+// Readers and the evictor coordinate across processes through an flock
+// on a sentinel file in the cache directory: Load and Stat hold the
+// lock shared, the size-cap eviction pass holds it exclusive, so an
+// entry that Stat just reported present cannot be evicted out from
+// under the Load that follows in the same critical section of another
+// process's Store. On platforms without flock this degrades to the
+// old unguarded (but still rename-atomic) behavior.
 package gcache
 
 import (
@@ -60,8 +68,29 @@ func (c *Cache) Path(fp string) string {
 	return filepath.Join(c.dir, fp+Ext)
 }
 
-// Load returns the artifact bytes stored under fp, or ErrMiss.
+// lockName is the flock sentinel. The leading dot and non-.llsc
+// extension keep it out of entries().
+const lockName = ".gcache.lock"
+
+// lock takes the cache-wide flock (shared or exclusive) and returns
+// the unlock function. Lock acquisition failures degrade to unguarded
+// operation rather than failing the caller: the lock only narrows a
+// rare reader/evictor race, it is not required for correctness of the
+// rename-atomic store.
+func (c *Cache) lock(exclusive bool) func() {
+	unlock, err := lockFile(filepath.Join(c.dir, lockName), exclusive)
+	if err != nil {
+		return func() {}
+	}
+	return unlock
+}
+
+// Load returns the artifact bytes stored under fp, or ErrMiss. The
+// read holds the cache lock shared so a concurrent eviction pass in
+// another process cannot delete the entry mid-read.
 func (c *Cache) Load(fp string) ([]byte, error) {
+	unlock := c.lock(false)
+	defer unlock()
 	data, err := os.ReadFile(c.Path(fp))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, ErrMiss
@@ -70,6 +99,23 @@ func (c *Cache) Load(fp string) ([]byte, error) {
 		return nil, fmt.Errorf("gcache: %w", err)
 	}
 	return data, nil
+}
+
+// Stat reports the stored size of the artifact under fp without
+// reading it, or ErrMiss. Cluster artifact serving probes with Stat
+// before committing to a response so a miss is cheap and a hit cannot
+// turn into a read-then-miss against a concurrent evictor.
+func (c *Cache) Stat(fp string) (int64, error) {
+	unlock := c.lock(false)
+	defer unlock()
+	info, err := os.Stat(c.Path(fp))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, ErrMiss
+	}
+	if err != nil {
+		return 0, fmt.Errorf("gcache: %w", err)
+	}
+	return info.Size(), nil
 }
 
 // Store writes the artifact bytes under fp atomically (temp file +
@@ -156,11 +202,16 @@ func (c *Cache) entries() ([]entry, error) {
 }
 
 // evict removes least-recently modified entries until the cache fits
-// maxBytes, never removing keep (the entry just written).
+// maxBytes, never removing keep (the entry just written). The pass
+// holds the cache lock exclusive, so readers in other processes (who
+// hold it shared) never observe an entry disappear between their probe
+// and their read.
 func (c *Cache) evict(keep string) (int, error) {
 	if c.maxBytes <= 0 {
 		return 0, nil
 	}
+	unlock := c.lock(true)
+	defer unlock()
 	entries, err := c.entries()
 	if err != nil {
 		return 0, err

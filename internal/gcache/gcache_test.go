@@ -51,13 +51,19 @@ func TestStoreOverwrites(t *testing.T) {
 	if err != nil || string(data) != "two" {
 		t.Fatalf("Load after overwrite = %q, %v", data, err)
 	}
-	// No temp-file litter left behind.
+	// No temp-file litter left behind (the flock sentinel is expected).
 	des, err := os.ReadDir(c.Dir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(des) != 1 {
-		t.Errorf("cache dir holds %d files, want 1", len(des))
+	artifacts := 0
+	for _, de := range des {
+		if de.Name() != lockName {
+			artifacts++
+		}
+	}
+	if artifacts != 1 {
+		t.Errorf("cache dir holds %d artifact files, want 1", artifacts)
 	}
 }
 
@@ -110,5 +116,62 @@ func TestEvictionSkipsNonEntries(t *testing.T) {
 func TestNewRejectsEmptyDir(t *testing.T) {
 	if _, err := New("", 0); err == nil {
 		t.Error("New(\"\") must fail")
+	}
+}
+
+func TestStat(t *testing.T) {
+	c, err := New(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("nope"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("Stat on empty cache: err = %v, want ErrMiss", err)
+	}
+	payload := []byte("abcdefgh")
+	if _, err := c.Store("fp1", payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Stat("fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("Stat size = %d, want %d", n, len(payload))
+	}
+	if err := c.Remove("fp1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("fp1"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("Stat after Remove: err = %v, want ErrMiss", err)
+	}
+}
+
+// The flock sentinel must never count as a cache entry (size,
+// eviction, listing) and must survive eviction passes.
+func TestLockFileIsNotAnEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force lock-file creation via a locked op, then fill past the cap.
+	if _, err := c.Stat("warmup"); !errors.Is(err, ErrMiss) {
+		t.Fatal(err)
+	}
+	if _, err := c.Store("a", []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Store("b", []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockName)); err != nil {
+		t.Fatalf("lock file missing after eviction pass: %v", err)
+	}
+	size, err := c.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 8 {
+		t.Fatalf("Size = %d, want 8 (lock file excluded)", size)
 	}
 }

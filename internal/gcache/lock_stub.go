@@ -1,0 +1,10 @@
+//go:build !unix
+
+package gcache
+
+// lockFile is a no-op on platforms without flock: readers and the
+// evictor fall back to the pre-lock behavior (atomic rename keeps
+// entries valid; a reader racing eviction can still see ErrMiss).
+func lockFile(path string, exclusive bool) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package gcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a BSD advisory lock (flock) on path, shared or
+// exclusive, blocking until granted, and returns the unlock function.
+// flock is per-open-file-description, so concurrent goroutines in one
+// process each get their own handle and the lock composes across
+// processes sharing the cache directory.
+func lockFile(path string, exclusive bool) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if err := syscall.Flock(int(f.Fd()), how); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,475 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llstar/internal/cluster"
+	"llstar/internal/obs"
+)
+
+// fleetNode is one in-process replica: its Server, its test listener,
+// and its fleet view.
+type fleetNode struct {
+	srv  *Server
+	ts   *httptest.Server
+	addr string
+	cl   *cluster.Cluster
+	mx   *obs.Metrics
+}
+
+func (n *fleetNode) url() string { return n.ts.URL }
+
+// newFleet builds size replicas over identical grammar directories
+// (separate temp dirs and separate artifact caches — the realistic
+// shape: replicas share content, not disks), wires them into one ring,
+// and preloads every node unless coldLast leaves the final node
+// unloaded (for warm-start tests).
+func newFleet(t *testing.T, size int, cfg Config, grammars map[string]string, coldLast bool) []*fleetNode {
+	t.Helper()
+	nodes := make([]*fleetNode, size)
+	for i := range nodes {
+		c := cfg
+		c.Metrics = obs.NewMetrics()
+		dir := t.TempDir()
+		for name, src := range grammars {
+			if err := os.WriteFile(filepath.Join(dir, name+".g"), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.GrammarDir = dir
+		if c.CacheDir == "" {
+			c.CacheDir = filepath.Join(t.TempDir(), "cache")
+		} else {
+			c.CacheDir = filepath.Join(t.TempDir(), "cache") // always per-node
+		}
+		srv, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		nodes[i] = &fleetNode{srv: srv, ts: ts, addr: strings.TrimPrefix(ts.URL, "http://"), mx: c.Metrics}
+	}
+	peers := make([]string, size)
+	for i, n := range nodes {
+		peers[i] = n.addr
+	}
+	for _, n := range nodes {
+		cl, err := cluster.New(cluster.Config{
+			Self:          n.addr,
+			Peers:         peers,
+			ProbeInterval: -1, // health transitions driven by hand
+			Metrics:       n.mx,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.cl = cl
+		n.srv.AttachCluster(cl)
+	}
+	for i, n := range nodes {
+		if coldLast && i == size-1 {
+			continue
+		}
+		if err := n.srv.Preload("all"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+// ownerOf resolves which node the fleet places grammar on (every node
+// computes the same answer; asserted elsewhere).
+func ownerOf(t *testing.T, nodes []*fleetNode, grammar string) (owner, other *fleetNode) {
+	t.Helper()
+	addr, _ := nodes[0].cl.GrammarOwner(grammar)
+	for _, n := range nodes {
+		if n.addr == addr {
+			owner = n
+		} else if other == nil {
+			other = n
+		}
+	}
+	if owner == nil || other == nil {
+		t.Fatalf("could not split fleet into owner/other for %q (owner addr %s)", grammar, addr)
+	}
+	return owner, other
+}
+
+var fleetGrammars = map[string]string{
+	"expr": exprGrammar,
+	"json": jsonGrammar,
+	"decl": declGrammar,
+}
+
+func TestFleetProxyToOwner(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	owner, other := ownerOf(t, nodes, "expr")
+
+	// Through a non-owner: proxied one hop, answered by the owner.
+	resp, body := postJSON(t, other.ts.Client(), other.url()+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("proxied parse: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != owner.addr {
+		t.Fatalf("Served-By = %q, want owner %q", got, owner.addr)
+	}
+	if v := other.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", "ok")).Value(); v != 1 {
+		t.Fatalf("proxy ok counter on non-owner = %d, want 1", v)
+	}
+
+	// Straight to the owner: served locally, no proxy header.
+	resp, body = postJSON(t, owner.ts.Client(), owner.url()+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "y = 2 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("direct parse: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != "" {
+		t.Fatalf("direct request carried Served-By %q", got)
+	}
+}
+
+func TestFleetForwardedLoopGuard(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	_, other := ownerOf(t, nodes, "expr")
+
+	// A request already stamped as forwarded must be served locally —
+	// never re-proxied — even on a non-owner.
+	req, _ := http.NewRequest(http.MethodPost, other.url()+"/v1/parse",
+		strings.NewReader(`{"grammar":"expr","input":"x = 1 ;"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, "peer:0")
+	resp, err := other.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarded parse: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != "" {
+		t.Fatalf("forwarded request was re-proxied (Served-By %q)", got)
+	}
+	if v := other.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", "ok")).Value(); v != 0 {
+		t.Fatalf("loop guard leaked a proxy hop (counter %d)", v)
+	}
+}
+
+func TestFleetBatchProxies(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	owner, other := ownerOf(t, nodes, "json")
+	resp, body := postJSON(t, other.ts.Client(), other.url()+"/v1/batch",
+		batchRequest{Grammar: "json", Inputs: []string{`{"a": 1}`, `[1, 2]`}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("proxied batch: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != owner.addr {
+		t.Fatalf("Served-By = %q, want %q", got, owner.addr)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil || br.Succeeded != 2 {
+		t.Fatalf("batch response %s (err %v)", body, err)
+	}
+}
+
+// The fleet acceptance criterion: a cold replica joining warm peers
+// pulls every artifact over the wire and performs zero live analyses —
+// llstar_cache_misses_total stays 0 while the fetch counter covers
+// every grammar.
+func TestFleetColdReplicaWarmStartsFromPeers(t *testing.T) {
+	nodes := newFleet(t, 2, Config{}, fleetGrammars, true)
+	cold := nodes[len(nodes)-1]
+
+	if err := cold.srv.Preload("all"); err != nil {
+		t.Fatal(err)
+	}
+	misses := cold.mx.Counter("llstar_cache_misses_total").Value()
+	hits := cold.mx.Counter("llstar_cache_hits_total").Value()
+	fetched := cold.mx.Counter(obs.Label("llstar_cluster_artifact_fetch_total", "result", "hit")).Value()
+	if misses != 0 {
+		t.Errorf("cold replica ran %d live analyses; want 0 (all from peers)", misses)
+	}
+	if int(fetched) != len(fleetGrammars) {
+		t.Errorf("artifact fetches = %d, want %d", fetched, len(fleetGrammars))
+	}
+	if int(hits) != len(fleetGrammars) {
+		t.Errorf("cache hits = %d, want %d", hits, len(fleetGrammars))
+	}
+
+	// And it serves immediately.
+	resp, body := postJSON(t, cold.ts.Client(), cold.url()+"/v1/parse",
+		parseRequest{Grammar: "decl", Input: "unsigned int x ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse on warm-started replica: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestFleetSessionAffinity(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+
+	// Create on node 0: the id must be minted self-owned.
+	creator := nodes[0]
+	resp, body := postJSON(t, creator.ts.Client(), creator.url()+"/v1/sessions",
+		map[string]string{"grammar": "expr", "input": "x = 1 ;"})
+	if resp.StatusCode != 200 && resp.StatusCode != 201 {
+		t.Fatalf("create session: %d %s", resp.StatusCode, body)
+	}
+	var sess struct {
+		ID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &sess); err != nil || sess.ID == "" {
+		t.Fatalf("session response %s (err %v)", body, err)
+	}
+	if owner, self := creator.cl.KeyOwner(sess.ID); !self {
+		t.Fatalf("minted session id %q owned by %q, not creator", sess.ID, owner)
+	}
+
+	// Reach the session through every other node: each proxies to the
+	// creator by pure ring routing.
+	for _, n := range nodes[1:] {
+		r, err := n.ts.Client().Get(n.url() + "/v1/sessions/" + sess.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != 200 {
+			t.Fatalf("session via %s: %d %s", n.addr, r.StatusCode, b)
+		}
+		if got := r.Header.Get("X-Llstar-Served-By"); got != creator.addr {
+			t.Fatalf("session request served by %q, want creator %q", got, creator.addr)
+		}
+	}
+}
+
+func TestFleetGrammarsOwnerField(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	owners := map[string]string{}
+	for _, n := range nodes {
+		r, err := n.ts.Client().Get(n.url() + "/v1/grammars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Grammars []Listing `json:"grammars"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if len(out.Grammars) != len(fleetGrammars) {
+			t.Fatalf("listing on %s has %d grammars", n.addr, len(out.Grammars))
+		}
+		for _, l := range out.Grammars {
+			if l.Owner == "" {
+				t.Fatalf("grammar %q has no owner on %s", l.Name, n.addr)
+			}
+			if l.Local != (l.Owner == n.addr) {
+				t.Fatalf("grammar %q: local=%v but owner=%q on %s", l.Name, l.Local, l.Owner, n.addr)
+			}
+			if prev, ok := owners[l.Name]; ok && prev != l.Owner {
+				t.Fatalf("nodes disagree on owner of %q: %q vs %q", l.Name, prev, l.Owner)
+			}
+			owners[l.Name] = l.Owner
+		}
+	}
+}
+
+func TestFleetReadyzReportsRing(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	r, err := nodes[0].ts.Client().Get(nodes[0].url() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("readyz: %d %s", r.StatusCode, body)
+	}
+	want := "ready ring=3 up=3 quorum=true"
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("readyz = %q, want %q", strings.TrimSpace(string(body)), want)
+	}
+}
+
+func TestFleetClusterEndpoint(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	r, err := nodes[1].ts.Client().Get(nodes[1].url() + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top cluster.Topology
+	if err := json.NewDecoder(r.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if top.Self != nodes[1].addr || top.RingSize != 3 || top.Up != 3 || !top.Quorum {
+		t.Fatalf("topology = %+v", top)
+	}
+	if len(top.Placement) != len(fleetGrammars) {
+		t.Fatalf("placement has %d entries, want %d", len(top.Placement), len(fleetGrammars))
+	}
+
+	// Single-node servers answer 404 so clients fall back to direct.
+	solo, _ := newTestServer(t, Config{}, map[string]string{"expr": exprGrammar})
+	ts := httptest.NewServer(solo.Handler())
+	defer ts.Close()
+	rs, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rs.Body)
+	rs.Body.Close()
+	if rs.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/cluster on solo server = %d, want 404", rs.StatusCode)
+	}
+}
+
+// Losing a replica must raise the survivors' in-flight share: the
+// fleet budget stays the budget.
+func TestFleetDynamicInflightLimit(t *testing.T) {
+	nodes := newFleet(t, 2, Config{MaxInFlight: 8}, fleetGrammars, false)
+	n := nodes[0]
+	if got := n.mx.Gauge("llstar_cluster_inflight_limit").Value(); got != 4 {
+		t.Fatalf("2-node limit = %d, want 4 (8/2)", got)
+	}
+	// Peer found dead (two strikes) → share doubles.
+	peer := nodes[1].addr
+	n.cl.MarkSuspect(peer)
+	n.cl.MarkSuspect(peer)
+	if got := n.mx.Gauge("llstar_cluster_inflight_limit").Value(); got != 8 {
+		t.Fatalf("limit after peer loss = %d, want 8", got)
+	}
+	// And it still serves (the survivor owns everything now).
+	resp, body := postJSON(t, n.ts.Client(), n.url()+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse after peer loss: %d %s", resp.StatusCode, body)
+	}
+}
+
+// Every grammar must stay servable through any node after a replica
+// dies — the kill-one-replica CI property, in-process.
+func TestFleetSurvivesReplicaLoss(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	dead := nodes[2]
+	dead.ts.Close()
+	for _, n := range nodes[:2] {
+		n.cl.MarkSuspect(dead.addr)
+		n.cl.MarkSuspect(dead.addr)
+	}
+	inputs := map[string]string{
+		"expr": "x = 1 ;",
+		"json": `{"k": [1, 2]}`,
+		"decl": "unsigned int x ;",
+	}
+	for _, n := range nodes[:2] {
+		for g, in := range inputs {
+			resp, body := postJSON(t, n.ts.Client(), n.url()+"/v1/parse",
+				parseRequest{Grammar: g, Input: in})
+			if resp.StatusCode != 200 {
+				t.Fatalf("parse %q via %s after replica loss: %d %s", g, n.addr, resp.StatusCode, body)
+			}
+		}
+	}
+}
+
+// A proxy attempt against a peer that died between probe rounds must
+// fall back to local serving, not surface an error.
+func TestFleetProxyFallbackOnDeadOwner(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	owner, other := ownerOf(t, nodes, "expr")
+	owner.ts.Close() // dies silently; other still believes it is up
+
+	resp, body := postJSON(t, other.ts.Client(), other.url()+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse with dead owner: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != "" {
+		t.Fatalf("dead owner reported as Served-By %q", got)
+	}
+	if v := other.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", "error")).Value(); v != 1 {
+		t.Fatalf("proxy error counter = %d, want 1", v)
+	}
+}
+
+func TestFleetStreamProxies(t *testing.T) {
+	nodes := newFleet(t, 3, Config{}, fleetGrammars, false)
+	owner, other := ownerOf(t, nodes, "expr")
+	resp, err := other.ts.Client().Post(
+		other.url()+"/v1/parse?stream=events&grammar=expr&rule=s",
+		"text/plain", strings.NewReader("x = 1 ;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("proxied stream: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != owner.addr {
+		t.Fatalf("Served-By = %q, want %q", got, owner.addr)
+	}
+	if !strings.Contains(string(body), "\n") {
+		t.Fatalf("stream response not NDJSON: %q", body)
+	}
+}
+
+func TestFleetArtifactEndpointValidation(t *testing.T) {
+	nodes := newFleet(t, 2, Config{}, fleetGrammars, false)
+	n := nodes[0]
+	for path, want := range map[string]int{
+		"/v1/artifacts/deadbeefdeadbeef": http.StatusNotFound,   // valid shape, not cached
+		"/v1/artifacts/..%2Fescape":      http.StatusBadRequest, // not a fingerprint
+		"/v1/artifacts/short":            http.StatusBadRequest,
+	} {
+		r, err := n.ts.Client().Get(n.url() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, r.StatusCode, want)
+		}
+	}
+	// A real fingerprint round-trips.
+	var fp string
+	for f := range topPlacementFingerprint(t, n) {
+		fp = f
+		break
+	}
+	r, err := n.ts.Client().Get(n.url() + "/v1/artifacts/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != 200 || len(data) == 0 {
+		t.Fatalf("artifact fetch: %d (%d bytes)", r.StatusCode, len(data))
+	}
+}
+
+// topPlacementFingerprint returns the fingerprints of the node's
+// loaded grammars (from the listing).
+func topPlacementFingerprint(t *testing.T, n *fleetNode) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, e := range n.srv.Registry().LoadedEntries() {
+		out[e.G.Fingerprint()] = true
+	}
+	if len(out) == 0 {
+		t.Fatal("no loaded grammars")
+	}
+	return out
+}

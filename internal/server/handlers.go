@@ -329,6 +329,11 @@ func (s *Server) handleGrammars(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if c := s.cluster(); c != nil {
+		for i := range list {
+			list[i].Owner, list[i].Local = c.GrammarOwner(list[i].Name)
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Grammars []Listing `json:"grammars"`
 	}{list})

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -56,6 +57,20 @@ type Registry struct {
 	// wires Config.DisableCoverage here.
 	DisableCoverage bool
 
+	// Fetch, when set (fleet mode), pulls a missing .llsc artifact from
+	// peer replicas by fingerprint. Set it before serving traffic; a
+	// source-grammar load whose artifact is absent locally then
+	// pre-warms the cache from the fleet instead of re-running
+	// analysis, so one replica's compile warms every replica.
+	Fetch func(ctx context.Context, fp string) (data []byte, from string, err error)
+	// FetchTimeout bounds one pre-warm fetch (default 10s).
+	FetchTimeout time.Duration
+
+	// cache is the shared artifact store (opts.CacheDir); nil when the
+	// server runs cache-less. Pre-warm writes into it, and the cluster
+	// artifact endpoint serves from it.
+	cache *gcache.Cache
+
 	mu      sync.Mutex
 	entries map[string]*Entry
 	loads   map[string]*loadCall
@@ -94,7 +109,7 @@ type loadCall struct {
 // mx, if non-nil, receives llstar_server_grammar_loads_total counters
 // and is shared with every entry's parser pool.
 func NewRegistry(dir string, opts llstar.LoadOptions, mx *obs.Metrics) *Registry {
-	return &Registry{
+	r := &Registry{
 		dir:     dir,
 		opts:    opts,
 		mx:      mx,
@@ -102,7 +117,18 @@ func NewRegistry(dir string, opts llstar.LoadOptions, mx *obs.Metrics) *Registry
 		loads:   map[string]*loadCall{},
 		lastErr: map[string]string{},
 	}
+	if opts.CacheDir != "" {
+		// Cache trouble is never fatal (same policy as the facade): a
+		// nil cache just disables pre-warm and artifact serving.
+		r.cache, _ = gcache.New(opts.CacheDir, opts.CacheMaxBytes)
+	}
+	return r
 }
+
+// ArtifactCache returns the shared on-disk artifact store, or nil when
+// the registry runs without one. The cluster artifact endpoint serves
+// (and the fleet pre-warm fills) this cache.
+func (r *Registry) ArtifactCache() *gcache.Cache { return r.cache }
 
 // Get returns the entry for name, loading (or hot-reloading) it if
 // needed. Concurrent Gets for the same cold name share one load.
@@ -194,7 +220,12 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 	} else {
 		var data []byte
 		if data, err = os.ReadFile(path); err == nil {
-			g, err = llstar.LoadWith(path, string(data), r.opts)
+			// The base name (not the full path) keys the load: the
+			// fingerprint covers the name, and replicas in a fleet must
+			// compute identical fingerprints for identical grammars even
+			// when their grammar directories live at different paths.
+			r.prewarm(filepath.Base(path), string(data))
+			g, err = llstar.LoadWith(filepath.Base(path), string(data), r.opts)
 		}
 	}
 	if err != nil {
@@ -235,6 +266,37 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 	}, nil
 }
 
+// prewarm makes sure the local artifact cache holds the analysis for
+// (name, src) before LoadWith looks: a local Stat miss pulls the .llsc
+// from a fleet peer and stores it, so the load that follows is a plain
+// cache hit — no live analysis runs, and the cache hit/miss counters
+// stay truthful (a fleet-warmed load counts as a hit, not a miss).
+// Best-effort: any failure falls through to live analysis.
+func (r *Registry) prewarm(name, src string) {
+	fetch := r.Fetch
+	if fetch == nil || r.cache == nil {
+		return
+	}
+	fp := llstar.SourceFingerprint(name, src, r.opts)
+	if _, err := r.cache.Stat(fp); err == nil {
+		return // already warm
+	}
+	timeout := r.FetchTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	data, _, err := fetch(ctx, fp)
+	if err != nil {
+		return
+	}
+	// The decoder validates checksum and fingerprint on load, so a
+	// corrupt or mismatched artifact degrades to a miss, not a wrong
+	// grammar.
+	r.cache.Store(fp, data)
+}
+
 func (r *Registry) count(result string) {
 	if r.mx != nil {
 		r.mx.Counter(obs.Label("llstar_server_grammar_loads_total", "result", result)).Inc()
@@ -263,6 +325,12 @@ type Listing struct {
 	// until a load succeeds. A loaded grammar with a LastError is
 	// serving a stale version: its file changed but no longer loads.
 	LastError string `json:"last_error,omitempty"`
+	// Owner is the fleet replica this grammar's requests route to
+	// (cluster mode only); Local reports whether that is this replica.
+	// Non-owned grammars are still servable here — ownership steers
+	// routing, it does not gate serving.
+	Owner string `json:"owner,omitempty"`
+	Local bool   `json:"local,omitempty"`
 }
 
 // Names returns every grammar name the directory offers, sorted.

@@ -11,9 +11,11 @@
 //	POST /v1/sessions                create an incremental parse session
 //	GET/DELETE /v1/sessions/{id}     inspect / close a session
 //	POST /v1/sessions/{id}/edit      apply a text edit, incremental reparse
-//	GET  /v1/grammars                registry listing with analysis digests
+//	GET  /v1/grammars                registry listing with analysis digests (+ fleet owners)
+//	GET  /v1/cluster                 fleet topology: ring, peer health, grammar placement
+//	GET  /v1/artifacts/{fp}          raw .llsc artifact bytes from the shared cache
 //	GET  /healthz                    liveness (always 200 while the process serves)
-//	GET  /readyz                     readiness (200 only after preloads, 503 draining)
+//	GET  /readyz                     readiness (200 only after preloads, 503 draining; fleet: + ring/quorum)
 //	GET  /metrics                    Prometheus text exposition
 //
 // Introspection (Config.Debug on the main handler, or DebugHandler()
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	"llstar"
+	"llstar/internal/cluster"
 	"llstar/internal/obs"
 	"llstar/internal/obs/flight"
 )
@@ -235,6 +238,14 @@ type Server struct {
 	// sessions is the bounded table of live incremental parse sessions
 	// behind /v1/sessions.
 	sessions *sessionTable
+
+	// cl is the fleet view (AttachCluster); nil in single-node mode.
+	// In fleet mode the limiter switches from the fixed channel to the
+	// dynamic dynFlight/dynLimit pair, whose limit tracks this
+	// replica's share of the fleet-wide in-flight budget.
+	cl        atomic.Pointer[cluster.Cluster]
+	dynFlight atomic.Int64
+	dynLimit  atomic.Int64
 }
 
 // New validates cfg and builds a Server. The server is not ready until
@@ -351,19 +362,44 @@ func (s *Server) routes() http.Handler {
 	// MaxStreamBytes body cap.
 	parseJSON := s.instrument("parse", true, s.cfg.MaxBodyBytes, s.handleParse)
 	parseStream := s.instrument("parse_stream", true, s.cfg.MaxStreamBytes, s.handleParseStream)
+	// Fleet routing runs before the limiter: a request proxied to its
+	// owner counts against the owner's in-flight budget, not this
+	// replica's.
 	mux.Handle("/v1/parse", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("stream") == "events" {
+			if s.maybeProxyStream(w, r) {
+				return
+			}
 			parseStream.ServeHTTP(w, r)
+			return
+		}
+		if s.maybeProxyJSON(w, r, s.cfg.MaxBodyBytes) {
 			return
 		}
 		parseJSON.ServeHTTP(w, r)
 	}))
-	mux.Handle("/v1/batch", s.instrument("batch", true, s.cfg.MaxBodyBytes, s.handleBatch))
+	batch := s.instrument("batch", true, s.cfg.MaxBodyBytes, s.handleBatch)
+	mux.Handle("/v1/batch", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.maybeProxyJSON(w, r, s.cfg.MaxBodyBytes) {
+			return
+		}
+		batch.ServeHTTP(w, r)
+	}))
 	mux.Handle("/v1/grammars", s.instrument("grammars", false, s.cfg.MaxBodyBytes, s.handleGrammars))
 	// Session bodies carry whole documents, so they get the session cap
-	// rather than MaxBodyBytes.
+	// rather than MaxBodyBytes. Creation is always local (the id is
+	// minted self-owned); per-session requests route by the id's ring
+	// owner, which is the replica holding the state.
 	mux.Handle("/v1/sessions", s.instrument("sessions", true, s.cfg.MaxSessionBytes, s.handleSessions))
-	mux.Handle("/v1/sessions/", s.instrument("sessions", true, s.cfg.MaxSessionBytes, s.handleSession))
+	session := s.instrument("sessions", true, s.cfg.MaxSessionBytes, s.handleSession)
+	mux.Handle("/v1/sessions/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.maybeProxySession(w, r) {
+			return
+		}
+		session.ServeHTTP(w, r)
+	}))
+	mux.Handle("/v1/cluster", s.instrument("cluster", false, s.cfg.MaxBodyBytes, s.handleCluster))
+	mux.Handle("/v1/artifacts/", s.instrument("artifacts", false, s.cfg.MaxBodyBytes, s.handleArtifact))
 	if s.cfg.Debug {
 		mux.Handle("/debug/", s.debug)
 	}
@@ -411,7 +447,7 @@ func (s *Server) instrument(endpoint string, limited bool, bodyCap int64, h http
 			traceID:        traceIDFrom(w.Header().Get(traceparentHeader)),
 		}
 		if limited {
-			wait, ok := s.acquire(r.Context())
+			wait, release, ok := s.acquire(r.Context())
 			if !ok {
 				rec.Header().Set("Retry-After", "1")
 				s.countError(endpoint, "overload")
@@ -420,9 +456,9 @@ func (s *Server) instrument(endpoint string, limited bool, bodyCap int64, h http
 				s.finish(endpoint, rec, start, ts0)
 				return
 			}
-			if s.slots != nil {
+			if release != nil {
 				s.mx.Histogram("llstar_server_queue_wait_us", durationBuckets...).Observe(wait.Microseconds())
-				defer s.release()
+				defer release()
 			}
 		}
 		if bodyCap > 0 && r.Body != nil {
@@ -469,20 +505,35 @@ func (s *Server) countError(endpoint, kind string) {
 }
 
 // acquire takes an in-flight slot, waiting up to QueueWait. It reports
-// the time spent queued and whether a slot was obtained.
-func (s *Server) acquire(ctx context.Context) (time.Duration, bool) {
+// the time spent queued, the matching release function (nil when the
+// limiter is disabled), and whether a slot was obtained. The release
+// is returned rather than looked up later so a request admitted just
+// before AttachCluster flips the limiter still releases the slot it
+// actually took.
+func (s *Server) acquire(ctx context.Context) (time.Duration, func(), bool) {
 	if s.slots == nil {
-		return 0, true
+		return 0, nil, true
+	}
+	if s.cl.Load() != nil {
+		wait, ok := s.acquireDynamic(ctx)
+		if !ok {
+			return wait, nil, false
+		}
+		return wait, s.releaseDynamic, true
 	}
 	gauge := s.mx.Gauge("llstar_server_inflight")
+	release := func() {
+		<-s.slots
+		gauge.Add(-1)
+	}
 	select {
 	case s.slots <- struct{}{}:
 		gauge.Add(1)
-		return 0, true
+		return 0, release, true
 	default:
 	}
 	if s.cfg.QueueWait <= 0 {
-		return 0, false
+		return 0, nil, false
 	}
 	start := time.Now()
 	t := time.NewTimer(s.cfg.QueueWait)
@@ -490,17 +541,12 @@ func (s *Server) acquire(ctx context.Context) (time.Duration, bool) {
 	select {
 	case s.slots <- struct{}{}:
 		gauge.Add(1)
-		return time.Since(start), true
+		return time.Since(start), release, true
 	case <-t.C:
-		return time.Since(start), false
+		return time.Since(start), nil, false
 	case <-ctx.Done():
-		return time.Since(start), false
+		return time.Since(start), nil, false
 	}
-}
-
-func (s *Server) release() {
-	<-s.slots
-	s.mx.Gauge("llstar_server_inflight").Add(-1)
 }
 
 // recoverPanics turns a handler panic into a JSON 500 instead of
@@ -669,6 +715,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "loading")
 	default:
+		if c := s.cluster(); c != nil {
+			// Fleet mode: readiness stays local (this replica can serve
+			// any grammar), but the line carries the peer view so load
+			// balancers and the CI smoke can see ring health at a glance.
+			t := c.Topology()
+			fmt.Fprintf(w, "ready ring=%d up=%d quorum=%v\n", t.RingSize, t.Up, t.Quorum)
+			return
+		}
 		fmt.Fprintln(w, "ready")
 	}
 }

@@ -272,7 +272,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := randHex(16)
+	id := s.newSessionID()
 	var fr *flightRun
 	var rec *flight.Recorder
 	if s.flight != nil {
