@@ -44,7 +44,7 @@ cover-report:
 # fail on counter drift (timings are compared only on matching hardware;
 # see scripts/benchdiff).
 benchdiff:
-	scripts/benchdiff -no-timing BENCH_9.json
+	scripts/benchdiff -no-timing BENCH_10.json
 
 # Streaming sessions: per-grammar streamed throughput and window peaks,
 # the ~100MB bounded-memory demonstration, and the incremental

@@ -6,13 +6,21 @@
 package llstar_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"llstar"
 	"llstar/internal/bench"
+	"llstar/internal/server"
 )
 
 // BenchmarkTable1Analysis times the static analysis of each benchmark
@@ -316,6 +324,64 @@ func BenchmarkFlightOverhead(b *testing.B) {
 			p.SetFlightRecorder(rec)
 		})
 	})
+}
+
+// BenchmarkServerObsOverhead extends the BenchmarkTracerOverhead /
+// BenchmarkFlightOverhead cost-contract suite one layer up, to the
+// fleet observability plane: a full /v1/parse through the server with
+// the fleet event log disabled (EventLogSize < 0) must cost the same
+// as with it enabled — the log is only touched by lifecycle events
+// (reloads, health flips), never the request path — and the
+// per-endpoint latency histograms add one pre-bucketed Observe plus a
+// label render per request, no per-token work. Compare the off/on
+// allocs/op to verify.
+func BenchmarkServerObsOverhead(b *testing.B) {
+	w, err := bench.ByName("Java1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	text, err := w.GrammarText()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1, 200)
+	body, err := json.Marshal(map[string]any{
+		"grammar": strings.TrimSuffix(w.File, ".g"), "rule": w.Start, "input": input,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, eventLogSize int) {
+		dir := b.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, w.File), []byte(text), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		s, err := server.New(server.Config{
+			GrammarDir:   dir,
+			EventLogSize: eventLogSize,
+			Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Preload("all"); err != nil {
+			b.Fatal(err)
+		}
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/parse", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("parse = %d: %s", rr.Code, rr.Body.String())
+			}
+		}
+	}
+	b.Run("events-off", func(b *testing.B) { run(b, -1) })
+	b.Run("events-on", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkGovernorM (ablation) varies the recursion governor m on the

@@ -73,6 +73,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent analysis cache directory (warm loads skip analysis)")
 	compiled := flag.String("compiled", "", "load this precompiled .llsc artifact instead of a grammar file")
 	serverURL := flag.String("server", "", "parse on this llstar-serve instance (the grammar argument becomes a server-side name)")
+	verbose := flag.Bool("v", false, "with -server, print the serving replica and trace id on stderr")
 	flightFile := flag.String("flight", "", "ride a flight recorder and write its JSON capture to this file (see -flight-slow for when)")
 	flightEvents := flag.Int("flight-events", 0, "flight ring capacity: the last N events kept (0 = default 256)")
 	flightSlow := flag.Duration("flight-slow", 0, "with -flight, capture only a failed or at-least-this-slow parse (0 = always capture)")
@@ -126,7 +127,7 @@ func main() {
 			remoteStream(*serverURL, flag.Arg(0), *rule, in, *eventsFlag)
 			return
 		}
-		remoteParse(*serverURL, flag.Arg(0), *rule, string(input), *stats, *noTree)
+		remoteParse(*serverURL, flag.Arg(0), *rule, string(input), *stats, *noTree, *verbose)
 		return
 	}
 
@@ -503,7 +504,7 @@ func printMetrics(reg *llstar.Metrics, asJSON bool) {
 // and renders the result like a local parse: tree text on stdout,
 // stats on stderr, exit 1 on a syntax error (with the offending token
 // named by the server).
-func remoteParse(base, grammar, rule, input string, stats, noTree bool) {
+func remoteParse(base, grammar, rule, input string, stats, noTree, verbose bool) {
 	body, err := json.Marshal(map[string]any{
 		"grammar": grammar,
 		"rule":    rule,
@@ -519,6 +520,23 @@ func remoteParse(base, grammar, rule, input string, stats, noTree bool) {
 		fatal(err)
 	}
 	defer resp.Body.Close()
+	if verbose {
+		// The fleet stamps every answer with the replica that actually
+		// parsed (X-Llstar-Served-By survives the proxy hop) and the
+		// traceparent whose trace id correlates spans, JSON log lines
+		// and flight captures on every replica the request touched —
+		// feed it to /debug/flight/by-trace/{id} for the full picture.
+		served := resp.Header.Get("X-Llstar-Served-By")
+		if served == "" {
+			served = strings.TrimPrefix(strings.TrimSuffix(url, "/v1/parse"), "http://")
+		}
+		traceID := "-"
+		if tp := resp.Header.Get("Traceparent"); len(tp) == 55 {
+			traceID = tp[3:35]
+		}
+		fmt.Fprintf(os.Stderr, "llstar-parse: served-by=%s trace-id=%s request-id=%s\n",
+			served, traceID, resp.Header.Get("X-Request-Id"))
+	}
 
 	var out struct {
 		OK        bool   `json:"ok"`

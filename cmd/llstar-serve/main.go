@@ -218,6 +218,7 @@ func main() {
 			Metrics:       cfg.Metrics,
 			Tracer:        cfg.Tracer,
 			Logger:        logger,
+			Events:        s.EventLog(),
 		})
 		if err != nil {
 			fatal("fleet", err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -55,6 +57,22 @@ type FleetResult struct {
 	ProxiedPct float64 `json:"proxied_pct"`
 	Shed       int     `json:"shed"`
 	Errors     int     `json:"errors"`
+	// Distribution is the per-replica served/proxied split, read back
+	// through GET /debug/fleet on one replica after the run — so the
+	// bench also exercises the fleet observability fan-out. Purely
+	// informational: Compare tolerates baselines without it.
+	Distribution []ReplicaShare `json:"distribution,omitempty"`
+}
+
+// ReplicaShare is one replica's slice of the fleet run.
+type ReplicaShare struct {
+	Addr string `json:"addr"`
+	// Requests is everything this replica answered (including parses it
+	// proxied to the owner); ProxiedOut counts the ok proxy hops it
+	// originated.
+	Requests   int64   `json:"requests"`
+	ProxiedOut int64   `json:"proxied_out"`
+	ServedPct  float64 `json:"served_pct"`
 }
 
 // fleetReplica is one in-process llstar-serve plus its fleet wiring.
@@ -148,6 +166,7 @@ func FleetLoad(out io.Writer, opts FleetLoadOptions) (*FleetResult, error) {
 	for _, r := range fleet {
 		proxied += r.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", "ok")).Value()
 	}
+	distribution, derr := fleetDistribution(client, fleet[0].addr)
 	stopFleet(fleet)
 	if err != nil {
 		return nil, err
@@ -170,6 +189,11 @@ func FleetLoad(out io.Writer, opts FleetLoadOptions) (*FleetResult, error) {
 	if ok > 0 {
 		fr.ProxiedPct = 100 * float64(proxied) / float64(ok)
 	}
+	if derr != nil {
+		fmt.Fprintf(out, "fleet distribution unavailable: %v\n", derr)
+	} else {
+		fr.Distribution = distribution
+	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Replicas\tclients\tok\t429\terr\treq/s\tscaling\tproxied\n")
@@ -179,9 +203,70 @@ func FleetLoad(out io.Writer, opts FleetLoadOptions) (*FleetResult, error) {
 	if err := tw.Flush(); err != nil {
 		return nil, err
 	}
+	if len(fr.Distribution) > 0 {
+		fmt.Fprintf(out, "per-replica (via /debug/fleet):")
+		for _, d := range fr.Distribution {
+			fmt.Fprintf(out, "  %s %.0f%% (%d req, %d proxied out)", d.Addr, d.ServedPct, d.Requests, d.ProxiedOut)
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "GOMAXPROCS=%d — aggregate throughput scales with min(replicas, cores)\n",
 		fr.GoMaxProcs)
 	return fr, nil
+}
+
+// fleetDistribution asks one replica for the merged fleet view and
+// reduces it to the per-replica served/proxied split — the same
+// numbers an operator reads off the /debug/fleet dashboard.
+func fleetDistribution(client *http.Client, addr string) ([]ReplicaShare, error) {
+	resp, err := client.Get("http://" + addr + "/debug/fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/fleet: HTTP %d", resp.StatusCode)
+	}
+	var view struct {
+		Replicas []struct {
+			Addr    string `json:"addr"`
+			Error   string `json:"error"`
+			Metrics struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"metrics"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil, err
+	}
+	shares := make([]ReplicaShare, 0, len(view.Replicas))
+	var total int64
+	for _, r := range view.Replicas {
+		if r.Error != "" {
+			return nil, fmt.Errorf("replica %s unreachable: %s", r.Addr, r.Error)
+		}
+		s := ReplicaShare{Addr: r.Addr}
+		for name, n := range r.Metrics.Counters {
+			family, _, _ := strings.Cut(name, "{")
+			switch family {
+			case "llstar_server_requests_total":
+				s.Requests += n
+			case "llstar_cluster_proxy_total":
+				if strings.Contains(name, `result="ok"`) {
+					s.ProxiedOut += n
+				}
+			}
+		}
+		total += s.Requests
+		shares = append(shares, s)
+	}
+	for i := range shares {
+		if total > 0 {
+			shares[i].ServedPct = 100 * float64(shares[i].Requests) / float64(total)
+		}
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].Addr < shares[j].Addr })
+	return shares, nil
 }
 
 // startFleet boots n cluster-attached replicas over the shared grammar
@@ -217,6 +302,9 @@ func startFleet(grammarDir string, n, concurrency int) ([]*fleetReplica, error) 
 			Preload:      []string{"all"},
 			Metrics:      mx,
 			Logger:       quiet,
+			// The distribution readback goes through /debug/fleet on the
+			// main handler.
+			Debug: true,
 		})
 		if err != nil {
 			return fail(err)
@@ -244,6 +332,7 @@ func startFleet(grammarDir string, n, concurrency int) ([]*fleetReplica, error) 
 				ProbeInterval: 500 * time.Millisecond,
 				Metrics:       r.mx,
 				Logger:        quiet,
+				Events:        r.srv.EventLog(),
 			})
 			if err != nil {
 				return fail(err)

@@ -42,4 +42,25 @@ func TestFleetLoadSmoke(t *testing.T) {
 	if !strings.Contains(out.String(), "scaling") {
 		t.Fatalf("table missing header:\n%s", out.String())
 	}
+	// The distribution is read back through /debug/fleet on a live
+	// replica — every replica must appear, shares must sum to ~100%,
+	// and at least one replica must have proxied something.
+	if len(fr.Distribution) != 2 {
+		t.Fatalf("distribution has %d replicas, want 2: %+v", len(fr.Distribution), fr.Distribution)
+	}
+	var pct float64
+	var proxiedOut int64
+	for _, d := range fr.Distribution {
+		if d.Addr == "" || d.Requests <= 0 {
+			t.Fatalf("empty distribution entry: %+v", d)
+		}
+		pct += d.ServedPct
+		proxiedOut += d.ProxiedOut
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("served shares sum to %.2f%%, want ~100%%", pct)
+	}
+	if proxiedOut == 0 {
+		t.Fatal("distribution shows no proxy hops despite ProxiedPct > 0")
+	}
 }

@@ -50,6 +50,11 @@ type Config struct {
 	Metrics *obs.Metrics
 	Tracer  obs.Tracer
 	Logger  *slog.Logger
+
+	// Events, when non-nil, receives fleet events for membership flips
+	// and artifact fetches — the cluster's slice of /debug/events. The
+	// server passes its own log so all layers share one timeline.
+	Events *obs.EventLog
 }
 
 // peerState tracks one peer's health.
@@ -68,6 +73,7 @@ type Cluster struct {
 	mx     *obs.Metrics
 	tr     obs.Tracer
 	log    *slog.Logger
+	events *obs.EventLog
 
 	mu       sync.Mutex
 	peers    map[string]*peerState
@@ -121,6 +127,7 @@ func New(cfg Config) (*Cluster, error) {
 		mx:     cfg.Metrics,
 		tr:     obs.Active(cfg.Tracer),
 		log:    cfg.Logger,
+		events: cfg.Events,
 		peers:  map[string]*peerState{},
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -374,6 +381,16 @@ func (c *Cluster) recordProbe(addr string, ok bool) {
 		c.gauge()
 		c.log.LogAttrs(context.Background(), slog.LevelWarn, "cluster_peer",
 			slog.String("peer", addr), slog.Bool("up", ok))
+		kind := obs.EventPeerDown
+		if ok {
+			kind = obs.EventPeerUp
+		}
+		c.events.Add(obs.FleetEvent{Kind: kind, Peer: addr, OK: ok})
+		// A health flip re-divides the ring's live set, so grammar
+		// placement rebuilds on next lookup — record that as its own
+		// event so "why did ownership move" is answerable.
+		c.events.Add(obs.FleetEvent{Kind: obs.EventRebalance, Peer: addr, OK: true,
+			Detail: fmt.Sprintf("live set changed, %d/%d up", c.LiveCount(), c.ring.Size())})
 		for _, f := range hooks {
 			f()
 		}
@@ -419,11 +436,12 @@ func (c *Cluster) FetchArtifact(ctx context.Context, fp string) (data []byte, fr
 	if c.mx != nil {
 		c.mx.Counter(obs.Label("llstar_cluster_artifact_fetch_total", "result", result)).Inc()
 	}
+	detail := fp + " <- " + from
+	if err != nil {
+		detail = fmt.Sprintf("%s: %v", fp, err)
+	}
+	c.events.Add(obs.FleetEvent{Kind: obs.EventArtifactFetch, Peer: from, OK: err == nil, Detail: detail})
 	if c.tr != nil {
-		detail := fp + " <- " + from
-		if err != nil {
-			detail = fmt.Sprintf("%s: %v", fp, err)
-		}
 		c.tr.Emit(obs.Event{
 			Name: "cluster.fetch", Cat: obs.PhaseServer, Ph: obs.PhSpan,
 			TS: t0, Dur: c.tr.Now() - t0, Decision: -1,

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the cluster and server layers into the
+// fleet event log. Dashboards key styling off these strings, so they
+// are part of the /debug/events contract.
+const (
+	EventPeerUp        = "peer_up"
+	EventPeerDown      = "peer_down"
+	EventRebalance     = "rebalance"
+	EventReload        = "reload"
+	EventServeStale    = "serve_stale"
+	EventLoadError     = "load_error"
+	EventArtifactFetch = "artifact_fetch"
+)
+
+// FleetEvent is one structured entry in the fleet event log: a health
+// flip, a grammar reload, a serve-stale fallback, an artifact fetch —
+// the state changes an operator reaches for when asking "what changed
+// at 14:03". Seq is a per-log monotone sequence number assigned by
+// Add, so merged multi-replica views can order same-timestamp events.
+type FleetEvent struct {
+	Seq     int64     `json:"seq"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	Peer    string    `json:"peer,omitempty"`
+	Grammar string    `json:"grammar,omitempty"`
+	OK      bool      `json:"ok"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded ring of FleetEvents. It sits entirely off the
+// parse hot path: only control-plane transitions (probe flips,
+// reloads, fetches) write to it, and a nil *EventLog is a valid,
+// zero-cost no-op — callers never need to gate on enablement.
+type EventLog struct {
+	mu  sync.Mutex
+	seq int64
+	buf []FleetEvent
+	n   int // total events ever appended
+}
+
+// DefaultEventLogSize is the ring capacity used when none is given.
+const DefaultEventLogSize = 256
+
+// NewEventLog returns a ring holding the most recent max events
+// (DefaultEventLogSize if max <= 0).
+func NewEventLog(max int) *EventLog {
+	if max <= 0 {
+		max = DefaultEventLogSize
+	}
+	return &EventLog{buf: make([]FleetEvent, 0, max)}
+}
+
+// Add appends one event, stamping Seq and, when unset, Time. Safe on
+// a nil receiver (drops the event), so producers stay unconditional.
+func (l *EventLog) Add(e FleetEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.n%cap(l.buf)] = e
+	}
+	l.n++
+}
+
+// Events returns a copy of the retained events, newest first. Safe on
+// a nil receiver (returns nil).
+func (l *EventLog) Events() []FleetEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]FleetEvent, 0, len(l.buf))
+	// The ring's oldest entry sits at n % cap once it has wrapped.
+	start := 0
+	if len(l.buf) == cap(l.buf) {
+		start = l.n % cap(l.buf)
+	}
+	for i := len(l.buf) - 1; i >= 0; i-- {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Len reports how many events are currently retained.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total reports how many events were ever appended, including those
+// the ring has since dropped.
+func (l *EventLog) Total() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

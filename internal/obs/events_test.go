@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Add(FleetEvent{Kind: EventReload, Grammar: string(rune('a' + i)), OK: true})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	ev := l.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Events returned %d, want 4", len(ev))
+	}
+	// Newest first: seq 10, 9, 8, 7.
+	for i, e := range ev {
+		if want := int64(10 - i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("event %d missing timestamp", i)
+		}
+	}
+	if ev[0].Grammar != "j" || ev[3].Grammar != "g" {
+		t.Errorf("ring order wrong: %q ... %q", ev[0].Grammar, ev[3].Grammar)
+	}
+}
+
+func TestEventLogPreservesExplicitTime(t *testing.T) {
+	l := NewEventLog(2)
+	ts := time.Date(2026, 8, 7, 14, 3, 0, 0, time.UTC)
+	l.Add(FleetEvent{Kind: EventPeerDown, Peer: "127.0.0.1:9", Time: ts})
+	if got := l.Events()[0].Time; !got.Equal(ts) {
+		t.Errorf("Time = %v, want %v", got, ts)
+	}
+}
+
+// TestEventLogNilSafe pins the producer-side contract: every writer
+// (cluster probes, registry reloads) calls Add unconditionally, so a
+// nil log must be a silent no-op, not a panic.
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Add(FleetEvent{Kind: EventPeerUp})
+	if l.Events() != nil || l.Len() != 0 || l.Total() != 0 {
+		t.Error("nil EventLog not inert")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add(FleetEvent{Kind: EventArtifactFetch, OK: true})
+				l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", l.Total())
+	}
+	ev := l.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq-1 {
+			t.Fatalf("seqs not contiguous newest-first: %d then %d", ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}
+
+// TestEventLogDisabledNoAlloc pins the cost contract the fleet event
+// log shares with the tracer and flight recorder: when the log is off
+// (a nil *EventLog — Config.EventLogSize < 0), producers scattered
+// through the cluster and registry paths must cost a nil check and
+// nothing else. A pre-sized histogram's Observe is likewise
+// allocation-free, so the new per-endpoint latency series cannot leak
+// allocations into the request path.
+func TestEventLogDisabledNoAlloc(t *testing.T) {
+	var off *EventLog
+	ev := FleetEvent{Kind: EventReload, Grammar: "expr", OK: true}
+	if n := testing.AllocsPerRun(200, func() { off.Add(ev) }); n != 0 {
+		t.Errorf("nil EventLog.Add allocates %.1f per call, want 0", n)
+	}
+	h := NewMetrics().Histogram("llstar_test_latency_us", 100, 1000, 10000)
+	if n := testing.AllocsPerRun(200, func() { h.Observe(512) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per call, want 0", n)
+	}
+}

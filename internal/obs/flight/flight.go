@@ -207,9 +207,17 @@ type Capture struct {
 	ID        string `json:"id"`
 	RequestID string `json:"request_id,omitempty"`
 	TraceID   string `json:"trace_id,omitempty"`
-	Endpoint  string `json:"endpoint,omitempty"`
-	Grammar   string `json:"grammar,omitempty"`
-	Rule      string `json:"rule,omitempty"`
+	// SpanID is the capture's own child span id within the trace. Each
+	// /v1/batch item mints a distinct one, so a by-trace lookup can
+	// tell the items of one batch request apart.
+	SpanID string `json:"span_id,omitempty"`
+	// Replica is the cluster address of the replica that recorded the
+	// capture — how a fleet-wide by-trace result says which side of a
+	// proxy hop each capture came from. Empty when not cluster-attached.
+	Replica  string `json:"replica,omitempty"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Grammar  string `json:"grammar,omitempty"`
+	Rule     string `json:"rule,omitempty"`
 	// SessionID correlates captures from streaming sessions: every
 	// capture taken for the same /v1/sessions session carries its id.
 	SessionID string `json:"session_id,omitempty"`
@@ -348,6 +356,26 @@ func (s *Store) Get(id string) (*Capture, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ByTrace returns every retained capture whose trace id matches,
+// oldest first and with full event timelines — the local half of the
+// fleet-wide /debug/flight/by-trace lookup. A proxied request leaves
+// captures on two replicas sharing one trace id; a batch request
+// leaves one per item, distinguished by SpanID.
+func (s *Store) ByTrace(traceID string) []Capture {
+	if traceID == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Capture
+	for _, c := range s.caps {
+		if c.TraceID == traceID {
+			out = append(out, *c)
+		}
+	}
+	return out
 }
 
 // Len reports how many captures the store holds.

@@ -163,6 +163,40 @@ func TestStoreBoundAndLookup(t *testing.T) {
 	}
 }
 
+func TestStoreByTrace(t *testing.T) {
+	s := NewStore(8)
+	trace := "0123456789abcdef0123456789abcdef"
+	// A proxied parse (owner-side capture) plus a two-item batch on the
+	// same trace, and one unrelated capture.
+	s.Add(&Capture{TraceID: trace, Replica: "127.0.0.1:7001", SpanID: "aaaaaaaaaaaaaaaa", Trigger: "slow",
+		Events: []EventRecord{{Name: "predict"}}})
+	s.Add(&Capture{TraceID: trace, Replica: "127.0.0.1:7002", SpanID: "bbbbbbbbbbbbbbbb", Trigger: "slow"})
+	s.Add(&Capture{TraceID: trace, Replica: "127.0.0.1:7002", SpanID: "cccccccccccccccc", Trigger: "slow"})
+	s.Add(&Capture{TraceID: "ffffffffffffffffffffffffffffffff", Trigger: "status"})
+
+	got := s.ByTrace(trace)
+	if len(got) != 3 {
+		t.Fatalf("ByTrace returned %d captures, want 3", len(got))
+	}
+	// Oldest first, full timelines retained, span ids distinct.
+	if got[0].ID != "f000001" || got[0].Events == nil {
+		t.Errorf("first capture = %+v", got[0].Summary())
+	}
+	spans := map[string]bool{}
+	for _, c := range got {
+		spans[c.SpanID] = true
+	}
+	if len(spans) != 3 {
+		t.Errorf("span ids not distinct: %v", spans)
+	}
+	if s.ByTrace("") != nil {
+		t.Error("empty trace id matched captures")
+	}
+	if s.ByTrace("deadbeefdeadbeefdeadbeefdeadbeef") != nil {
+		t.Error("unknown trace id matched captures")
+	}
+}
+
 func TestCaptureWriters(t *testing.T) {
 	r := NewRecorder(8)
 	r.Emit(obs.Event{Name: "predict", Cat: obs.PhaseRuntime, Ph: obs.PhSpan,

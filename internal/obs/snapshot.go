@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistSnapshot is one histogram frozen for transport: bounds, the
+// per-bucket (non-cumulative) counts with the +Inf bucket last, and
+// the sum/count/max aggregates. Snapshots are plain values — safe to
+// marshal across replicas and to merge fleet-side.
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is the +Inf bucket
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+	Max    int64   `json:"max"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a registry, keyed by the
+// same rendered names (family plus label set) the live registry uses.
+// It is what one replica hands to a peer answering /debug/fleet.
+type MetricsSnapshot struct {
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every registered instrument. The copy is consistent
+// per instrument (each value is a single atomic load) but not across
+// instruments, which is the usual scrape semantics.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Counters: make(map[string]int64, len(m.counters)),
+		Gauges:   make(map[string]int64, len(m.gauges)),
+		Hists:    make(map[string]HistSnapshot, len(m.hists)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.hists {
+		hs := HistSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+			Max:    h.Max(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Hists[name] = hs
+	}
+	return s
+}
+
+// Merge adds src's buckets and aggregates into h. An empty h adopts
+// src wholesale. Merge reports false — leaving h unchanged — when the
+// two histograms were created with different bounds, which a caller
+// should treat as "cannot be summed, keep them separate".
+func (h *HistSnapshot) Merge(src HistSnapshot) bool {
+	if len(h.Bounds) == 0 && len(h.Counts) == 0 {
+		h.Bounds = append([]int64(nil), src.Bounds...)
+		h.Counts = append([]int64(nil), src.Counts...)
+		h.Sum, h.Count, h.Max = src.Sum, src.Count, src.Max
+		return true
+	}
+	if len(h.Bounds) != len(src.Bounds) || len(h.Counts) != len(src.Counts) {
+		return false
+	}
+	for i, b := range h.Bounds {
+		if src.Bounds[i] != b {
+			return false
+		}
+	}
+	for i, c := range src.Counts {
+		h.Counts[i] += c
+	}
+	h.Sum += src.Sum
+	h.Count += src.Count
+	if src.Max > h.Max {
+		h.Max = src.Max
+	}
+	return true
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that holds the target rank, the
+// standard histogram_quantile estimate. Observations that landed in
+// the +Inf bucket interpolate toward Max. Returns 0 on an empty
+// histogram.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lo := float64(0)
+	for i, c := range h.Counts {
+		hi := lo
+		if i < len(h.Bounds) {
+			hi = float64(h.Bounds[i])
+		} else if m := float64(h.Max); m > lo {
+			hi = m
+		}
+		if c > 0 {
+			if cum+float64(c) >= rank {
+				return lo + (hi-lo)*(rank-cum)/float64(c)
+			}
+			cum += float64(c)
+		}
+		lo = hi
+	}
+	return float64(h.Max)
+}
+
+// ReplicaMetrics pairs one replica's address with its snapshot for
+// fleet-merged rendering.
+type ReplicaMetrics struct {
+	Addr string
+	Snap MetricsSnapshot
+}
+
+// WriteFleetPrometheus renders several replicas' snapshots as one
+// Prometheus text scrape. Counters and gauges are emitted once per
+// replica with a `replica="addr"` label appended to the series' own
+// labels. Histograms are emitted as a fleet-summed series first (no
+// replica label; only when every replica agrees on the bounds, which
+// holds for all series this codebase registers) followed by the
+// per-replica series — both cumulative over `le` with a closing +Inf
+// bucket, so the merged view stays monotone. Output is deterministic:
+// replicas sort by address, series by (family, kind, name), matching
+// WritePrometheus.
+func WriteFleetPrometheus(w io.Writer, replicas []ReplicaMetrics) error {
+	reps := append([]ReplicaMetrics(nil), replicas...)
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Addr < reps[j].Addr })
+
+	type fleetSeries struct{ name, family, kind string }
+	seen := map[string]bool{}
+	var all []fleetSeries
+	add := func(name, kind string) {
+		if seen[name+"\x00"+kind] {
+			return
+		}
+		seen[name+"\x00"+kind] = true
+		family, _ := splitName(name)
+		all = append(all, fleetSeries{name: name, family: family, kind: kind})
+	}
+	for _, r := range reps {
+		for name := range r.Snap.Counters {
+			add(name, "counter")
+		}
+		for name := range r.Snap.Gauges {
+			add(name, "gauge")
+		}
+		for name := range r.Snap.Hists {
+			add(name, "histogram")
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].family != all[j].family {
+			return all[i].family < all[j].family
+		}
+		if all[i].kind != all[j].kind {
+			return all[i].kind < all[j].kind
+		}
+		return all[i].name < all[j].name
+	})
+
+	typed := map[string]bool{}
+	header := func(family, kind string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+
+	for _, s := range all {
+		if err := header(s.family, s.kind); err != nil {
+			return err
+		}
+		switch s.kind {
+		case "counter", "gauge":
+			for _, r := range reps {
+				var v int64
+				var ok bool
+				if s.kind == "counter" {
+					v, ok = r.Snap.Counters[s.name]
+				} else {
+					v, ok = r.Snap.Gauges[s.name]
+				}
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(s.name, "replica", r.Addr), v); err != nil {
+					return err
+				}
+			}
+		case "histogram":
+			var merged HistSnapshot
+			mergeable := true
+			for _, r := range reps {
+				if h, ok := r.Snap.Hists[s.name]; ok {
+					if !merged.Merge(h) {
+						mergeable = false
+						break
+					}
+				}
+			}
+			if mergeable && len(merged.Counts) > 0 {
+				if err := promHistSnapshot(w, s.name, "", merged); err != nil {
+					return err
+				}
+			}
+			for _, r := range reps {
+				if h, ok := r.Snap.Hists[s.name]; ok {
+					if err := promHistSnapshot(w, s.name, r.Addr, h); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// withLabel appends one label pair to a rendered metric name,
+// preserving any labels already present.
+func withLabel(name, key, value string) string {
+	family, labels := splitName(name)
+	if labels != "" {
+		labels += ","
+	}
+	return family + "{" + labels + fmt.Sprintf("%s=%q", key, value) + "}"
+}
+
+// promHistSnapshot renders one histogram snapshot in the exposition
+// format (cumulative le buckets, +Inf, _sum, _count). A non-empty
+// replica is appended as a `replica` label on every line.
+func promHistSnapshot(w io.Writer, name, replica string, h HistSnapshot) error {
+	family, labels := splitName(name)
+	render := func(suffix, extraLabels string) string {
+		all := labels
+		if extraLabels != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extraLabels
+		}
+		if replica != "" {
+			if all != "" {
+				all += ","
+			}
+			all += fmt.Sprintf("replica=%q", replica)
+		}
+		if all == "" {
+			return family + suffix
+		}
+		return family + suffix + "{" + all + "}"
+	}
+	var cum int64
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", render("_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b))), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", render("_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n%s %d\n", render("_sum", ""), h.Sum, render("_count", ""), h.Count)
+	return err
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fleetSnapshots builds two fixed replica snapshots exercising every
+// merge shape: a counter present on both, a counter on one, a gauge, a
+// labeled histogram on both (summable), and an unlabeled histogram.
+func fleetSnapshots() []ReplicaMetrics {
+	a := NewMetrics()
+	a.Counter("llstar_server_requests_total{endpoint=\"parse\",code=\"200\"}").Add(10)
+	a.Counter("llstar_cluster_proxy_total{result=\"ok\"}").Add(4)
+	a.Gauge("llstar_server_inflight").Set(2)
+	h := a.Histogram("llstar_server_latency_us{endpoint=\"parse\",grammar=\"json\"}", 100, 1000, 10000)
+	h.Observe(50)
+	h.Observe(700)
+	h.Observe(20000)
+	a.Histogram("llstar_predict_k", 1, 2, 4).Observe(2)
+
+	b := NewMetrics()
+	b.Counter("llstar_server_requests_total{endpoint=\"parse\",code=\"200\"}").Add(7)
+	b.Gauge("llstar_server_inflight").Set(1)
+	h2 := b.Histogram("llstar_server_latency_us{endpoint=\"parse\",grammar=\"json\"}", 100, 1000, 10000)
+	h2.Observe(90)
+	h2.Observe(3000)
+
+	// Deliberately unsorted input: the renderer must sort by address.
+	return []ReplicaMetrics{
+		{Addr: "127.0.0.1:7002", Snap: b.Snapshot()},
+		{Addr: "127.0.0.1:7001", Snap: a.Snapshot()},
+	}
+}
+
+// TestFleetPrometheusGolden locks the merged fleet scrape to a golden
+// file and checks the structural invariants a Prometheus scraper
+// depends on: per-replica labels on every series, cumulative le
+// buckets ending in +Inf, and a monotone fleet-summed histogram.
+// Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/obs -run TestFleetPrometheusGolden
+func TestFleetPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFleetPrometheus(&buf, fleetSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "fleet_prom_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fleet scrape drifted from %s.\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.\ngot:\n%s", golden, buf.String())
+	}
+
+	out := buf.String()
+	// Both replicas appear, and the shared counter carries each one's value.
+	for _, want := range []string{
+		`llstar_server_requests_total{endpoint="parse",code="200",replica="127.0.0.1:7001"} 10`,
+		`llstar_server_requests_total{endpoint="parse",code="200",replica="127.0.0.1:7002"} 7`,
+		`llstar_server_inflight{replica="127.0.0.1:7001"} 2`,
+		`llstar_cluster_proxy_total{result="ok",replica="127.0.0.1:7001"} 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Every histogram series — merged and per-replica — must be
+	// cumulative over le, end at +Inf, and have bucket[+Inf] == _count.
+	checkHistogram(t, out, `llstar_server_latency_us_bucket{endpoint="parse",grammar="json"}`, 5)
+	checkHistogram(t, out, `llstar_server_latency_us_bucket{endpoint="parse",grammar="json",replica="127.0.0.1:7001"}`, 3)
+	checkHistogram(t, out, `llstar_server_latency_us_bucket{endpoint="parse",grammar="json",replica="127.0.0.1:7002"}`, 2)
+}
+
+// checkHistogram asserts the bucket series whose rendered prefix is
+// given (family_bucket plus its non-le labels) is monotone
+// non-decreasing, ends with le="+Inf", and totals want observations.
+func checkHistogram(t *testing.T, scrape, prefix string, want int64) {
+	t.Helper()
+	family := prefix[:strings.Index(prefix, "_bucket")+len("_bucket")]
+	labels := strings.TrimSuffix(strings.TrimPrefix(prefix[len(family):], "{"), "}")
+	var prev, last int64 = -1, -1
+	sawInf := false
+	n := 0
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, family+"{") {
+			continue
+		}
+		body := line[len(family)+1 : strings.LastIndex(line, "}")]
+		// Keep only lines whose non-le labels match this series.
+		var le string
+		rest := make([]string, 0, 4)
+		for _, kv := range strings.Split(body, ",") {
+			if v, ok := strings.CutPrefix(kv, "le="); ok {
+				le = strings.Trim(v, `"`)
+			} else {
+				rest = append(rest, kv)
+			}
+		}
+		if strings.Join(rest, ",") != labels {
+			continue
+		}
+		n++
+		v, err := strconv.ParseInt(strings.TrimSpace(line[strings.LastIndex(line, " ")+1:]), 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("series %s not monotone: %d after %d (le=%s)", prefix, v, prev, le)
+		}
+		prev, last = v, v
+		if le == "+Inf" {
+			sawInf = true
+		} else if sawInf {
+			t.Errorf("series %s has buckets after +Inf", prefix)
+		}
+	}
+	if n == 0 {
+		t.Fatalf("series %s absent from scrape", prefix)
+	}
+	if !sawInf {
+		t.Errorf("series %s missing le=\"+Inf\"", prefix)
+	}
+	if last != want {
+		t.Errorf("series %s +Inf bucket = %d, want %d", prefix, last, want)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("x", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	s := m.Snapshot().Hists["x"]
+
+	var merged HistSnapshot
+	if !merged.Merge(s) || !merged.Merge(s) {
+		t.Fatal("merge of identical bounds failed")
+	}
+	if merged.Count != 6 || merged.Sum != 2*555 || merged.Max != 500 {
+		t.Errorf("merged aggregates = %+v", merged)
+	}
+	for i, want := range []int64{2, 2, 2} {
+		if merged.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, merged.Counts[i], want)
+		}
+	}
+
+	other := HistSnapshot{Bounds: []int64{1, 2}, Counts: []int64{1, 1, 1}, Count: 3}
+	before := merged.Counts[0]
+	if merged.Merge(other) {
+		t.Error("merge accepted mismatched bounds")
+	}
+	if merged.Counts[0] != before {
+		t.Error("failed merge mutated the destination")
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat", 100, 200, 400)
+	for i := 0; i < 50; i++ {
+		h.Observe(50) // bucket (0,100]
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(150) // bucket (100,200]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900) // +Inf bucket, max 900
+	}
+	s := m.Snapshot().Hists["lat"]
+
+	// p50 lands exactly at the top of the first bucket (rank 50 of 100).
+	if got := s.Quantile(0.50); math.Abs(got-100) > 1e-9 {
+		t.Errorf("p50 = %v, want 100", got)
+	}
+	// p90 is the top of the second bucket; p95 interpolates into the
+	// +Inf bucket toward max=900: 400 + (900-400)*(95-90)/10 = 650.
+	if got := s.Quantile(0.90); math.Abs(got-200) > 1e-9 {
+		t.Errorf("p90 = %v, want 200", got)
+	}
+	if got := s.Quantile(0.95); math.Abs(got-650) > 1e-9 {
+		t.Errorf("p95 = %v, want 650", got)
+	}
+	if got := s.Quantile(1.0); math.Abs(got-900) > 1e-9 {
+		t.Errorf("p100 = %v, want 900", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -225,6 +226,14 @@ func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, c *cluster.Clus
 	if s.tr != nil {
 		t0 = s.tr.Now()
 	}
+	start := time.Now()
+	// The requestID middleware already stamped (or re-minted) the
+	// X-Request-Id and traceparent on the request, and r.Clone carries
+	// them to the owner — so both replicas' spans, logs, and flight
+	// captures share one trace id. Keep them here for this hop's own
+	// span and log line.
+	reqID := r.Header.Get(requestIDHeader)
+	traceID := traceIDFrom(r.Header.Get(traceparentHeader))
 	out := r.Clone(r.Context())
 	out.URL.Scheme = "http"
 	out.URL.Host = owner
@@ -239,7 +248,7 @@ func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, c *cluster.Clus
 	if err != nil {
 		c.MarkSuspect(owner)
 		s.countProxy("error")
-		s.emitProxySpan(t0, owner, 0, false)
+		s.finishProxy(t0, start, r.URL.Path, owner, 0, false, reqID, traceID)
 		return false
 	}
 	defer func() {
@@ -271,7 +280,7 @@ func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, c *cluster.Clus
 		}
 	}
 	s.countProxy("ok")
-	s.emitProxySpan(t0, owner, resp.StatusCode, resp.StatusCode < 500)
+	s.finishProxy(t0, start, r.URL.Path, owner, resp.StatusCode, resp.StatusCode < 500, reqID, traceID)
 	return true
 }
 
@@ -279,15 +288,38 @@ func (s *Server) countProxy(result string) {
 	s.mx.Counter(obs.Label("llstar_cluster_proxy_total", "result", result)).Inc()
 }
 
-func (s *Server) emitProxySpan(t0 time.Duration, owner string, status int, ok bool) {
-	if s.tr == nil {
-		return
+// finishProxy records the origin side of a proxy hop: a cluster.proxy
+// span and a "proxy" access-log line, both tagged with the request's
+// trace id — proxied requests bypass the instrument middleware here
+// (they count against the owner's budget and metrics), so without
+// this the origin replica would have no record the request existed.
+func (s *Server) finishProxy(t0 time.Duration, start time.Time, path, owner string, status int, ok bool, reqID, traceID string) {
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Name: "cluster.proxy", Cat: obs.PhaseServer, Ph: obs.PhSpan,
+			TS: t0, Dur: s.tr.Now() - t0, Decision: -1,
+			OK: ok, N: int64(status),
+			Detail: "-> " + owner + " " + reqID + " " + traceID,
+		})
 	}
-	s.tr.Emit(obs.Event{
-		Name: "cluster.proxy", Cat: obs.PhaseServer, Ph: obs.PhSpan,
-		TS: t0, Dur: s.tr.Now() - t0, Decision: -1,
-		OK: ok, N: int64(status), Detail: "-> " + owner,
-	})
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "proxy",
+		slog.String("endpoint", path),
+		slog.String("owner", owner),
+		slog.Int("status", status),
+		slog.Bool("ok", ok),
+		slog.Float64("dur_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		slog.String("request_id", reqID),
+		slog.String("trace_id", traceID),
+	)
+}
+
+// replicaAddr is this replica's cluster address, or "" single-node —
+// the Replica tag on flight captures and the Self line of /debug/fleet.
+func (s *Server) replicaAddr() string {
+	if c := s.cluster(); c != nil {
+		return c.Self()
+	}
+	return ""
 }
 
 // handleCluster serves GET /v1/cluster: the fleet topology as this

@@ -30,13 +30,18 @@ func (n *fleetNode) url() string { return n.ts.URL }
 // (separate temp dirs and separate artifact caches — the realistic
 // shape: replicas share content, not disks), wires them into one ring,
 // and preloads every node unless coldLast leaves the final node
-// unloaded (for warm-start tests).
-func newFleet(t *testing.T, size int, cfg Config, grammars map[string]string, coldLast bool) []*fleetNode {
+// unloaded (for warm-start tests). Optional perNode hooks adjust one
+// node's Config before construction (per-replica loggers/tracers for
+// the fleet observability tests).
+func newFleet(t *testing.T, size int, cfg Config, grammars map[string]string, coldLast bool, perNode ...func(i int, c *Config)) []*fleetNode {
 	t.Helper()
 	nodes := make([]*fleetNode, size)
 	for i := range nodes {
 		c := cfg
 		c.Metrics = obs.NewMetrics()
+		for _, hook := range perNode {
+			hook(i, &c)
+		}
 		dir := t.TempDir()
 		for name, src := range grammars {
 			if err := os.WriteFile(filepath.Join(dir, name+".g"), []byte(src), 0o644); err != nil {
@@ -67,6 +72,7 @@ func newFleet(t *testing.T, size int, cfg Config, grammars map[string]string, co
 			Peers:         peers,
 			ProbeInterval: -1, // health transitions driven by hand
 			Metrics:       n.mx,
+			Events:        n.srv.EventLog(),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -20,6 +20,10 @@ import (
 //	GET /debug/flight/{id}           one capture with its event timeline
 //	                                 (?format=html timeline page, ?format=chrome
 //	                                 trace_event JSON; id may be a request id)
+//	GET /debug/flight/by-trace/{tid} every capture for one trace id, fleet-wide
+//	GET /debug/fleet                 merged fleet view: JSON (default),
+//	                                 ?format=prom scrape, ?format=html dashboard
+//	GET /debug/events                this replica's fleet event log (JSON)
 //	GET /debug/vars                  expvar-style metrics JSON
 //	GET /debug/pprof/*               net/http/pprof (CPU, heap, ...)
 
@@ -28,6 +32,9 @@ func (s *Server) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/coverage", s.handleCoverage)
 	mux.HandleFunc("/debug/flight", s.handleFlightList)
 	mux.HandleFunc("/debug/flight/", s.handleFlightGet)
+	mux.HandleFunc("/debug/flight/by-trace/", s.handleFlightByTrace)
+	mux.HandleFunc("/debug/fleet", s.handleFleet)
+	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,512 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llstar/internal/cluster"
+	"llstar/internal/obs"
+	"llstar/internal/obs/flight"
+)
+
+// This file is the fleet observability plane's server half: the
+// merged metrics/topology view (GET /debug/fleet, with ?format=prom
+// for a Prometheus scrape and ?format=html for a self-contained
+// dashboard), the fleet event log (GET /debug/events), and fleet-wide
+// flight lookup by trace id (GET /debug/flight/by-trace/{traceid}).
+//
+// Fan-out discipline: a replica answering one of these endpoints
+// queries every ring peer concurrently (bounded), each under
+// Config.FleetTimeout, and stamps the X-Llstar-Forwarded loop guard
+// so peers answer locally. Dead or slow peers degrade to partial
+// results carrying an error string — never a 5xx.
+
+// fleetFanout bounds concurrent peer queries per fan-out.
+const fleetFanout = 8
+
+// fleetLocal is one replica's own contribution to the merged view —
+// what a peer (or the replica itself) serves when asked with the
+// forwarded guard set.
+type fleetLocal struct {
+	Addr     string              `json:"addr"`
+	Ready    bool                `json:"ready"`
+	Draining bool                `json:"draining,omitempty"`
+	Grammars int                 `json:"grammars_loaded"`
+	Captures int                 `json:"flight_captures"`
+	Metrics  obs.MetricsSnapshot `json:"metrics"`
+	Events   []obs.FleetEvent    `json:"events,omitempty"`
+}
+
+// fleetPeerView is fleetLocal plus reachability: Err records a peer
+// that could not be queried (its Metrics are then empty).
+type fleetPeerView struct {
+	fleetLocal
+	Self bool   `json:"self,omitempty"`
+	Up   bool   `json:"up"`
+	Err  string `json:"error,omitempty"`
+}
+
+// fleetResponse is the JSON body of GET /debug/fleet.
+type fleetResponse struct {
+	Self      string            `json:"self"`
+	RingSize  int               `json:"ring_size"`
+	UpCount   int               `json:"up"`
+	Quorum    bool              `json:"quorum"`
+	Replicas  []fleetPeerView   `json:"replicas"`
+	Placement map[string]string `json:"placement,omitempty"`
+}
+
+// localFleet snapshots this replica for the merged view.
+func (s *Server) localFleet() fleetLocal {
+	fl := fleetLocal{
+		Addr:     s.replicaAddr(),
+		Ready:    s.Ready(),
+		Draining: s.Draining(),
+		Grammars: len(s.reg.LoadedEntries()),
+		Metrics:  s.mx.Snapshot(),
+		Events:   s.events.Events(),
+	}
+	if fl.Addr == "" {
+		fl.Addr = "local"
+	}
+	if s.flight != nil {
+		fl.Captures = s.flight.Len()
+	}
+	return fl
+}
+
+// peerReply is one peer's answer to a debug fan-out.
+type peerReply struct {
+	addr string
+	body []byte
+	err  error
+}
+
+// fanOutDebug queries path on every ring peer concurrently (bounded
+// by fleetFanout, each request under Config.FleetTimeout, loop guard
+// set). Failures come back as replies with err set — the caller
+// renders them as degraded entries, never an error response.
+func (s *Server) fanOutDebug(c *cluster.Cluster, path string) []peerReply {
+	var peers []string
+	for _, addr := range c.Ring().Peers() {
+		if addr != c.Self() {
+			peers = append(peers, addr)
+		}
+	}
+	replies := make([]peerReply, len(peers))
+	sem := make(chan struct{}, fleetFanout)
+	var wg sync.WaitGroup
+	for i, addr := range peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			replies[i] = s.queryPeer(c, addr, path)
+		}(i, addr)
+	}
+	wg.Wait()
+	return replies
+}
+
+// queryPeer performs one guarded GET against a peer debug endpoint.
+func (s *Server) queryPeer(c *cluster.Cluster, addr, path string) peerReply {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FleetTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return peerReply{addr: addr, err: err}
+	}
+	req.Header.Set(forwardedHeader, c.Self())
+	resp, err := c.Client().Do(req)
+	if err != nil {
+		return peerReply{addr: addr, err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return peerReply{addr: addr, err: fmt.Errorf("HTTP %d", resp.StatusCode)}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return peerReply{addr: addr, err: err}
+	}
+	return peerReply{addr: addr, body: body}
+}
+
+// handleFleet serves GET /debug/fleet. A request carrying the
+// forwarded guard (a peer's fan-out) answers with this replica's
+// fleetLocal JSON; everything else gets the merged fleet view as
+// JSON (default), a Prometheus scrape with per-replica labels
+// (?format=prom), or the dashboard (?format=html). Single-node mode
+// renders a one-replica fleet, so the formats work everywhere.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		writeJSON(w, http.StatusOK, s.localFleet())
+		return
+	}
+
+	self := s.localFleet()
+	resp := fleetResponse{
+		Self:     self.Addr,
+		RingSize: 1,
+		UpCount:  1,
+		Quorum:   true,
+		Replicas: []fleetPeerView{{fleetLocal: self, Self: true, Up: true}},
+	}
+	if c := s.cluster(); c != nil {
+		t := c.Topology()
+		resp.RingSize, resp.UpCount, resp.Quorum, resp.Placement = t.RingSize, t.Up, t.Quorum, t.Placement
+		for _, pr := range s.fanOutDebug(c, "/debug/fleet") {
+			view := fleetPeerView{Up: c.Up(pr.addr)}
+			view.Addr = pr.addr
+			switch {
+			case pr.err != nil:
+				view.Err = pr.err.Error()
+			default:
+				if err := json.Unmarshal(pr.body, &view.fleetLocal); err != nil {
+					view.Err = "bad reply: " + err.Error()
+					view.Addr = pr.addr
+				}
+			}
+			resp.Replicas = append(resp.Replicas, view)
+		}
+		sort.Slice(resp.Replicas, func(i, j int) bool { return resp.Replicas[i].Addr < resp.Replicas[j].Addr })
+	}
+
+	switch r.URL.Query().Get("format") {
+	case "prom":
+		var reps []obs.ReplicaMetrics
+		for _, v := range resp.Replicas {
+			if v.Err == "" {
+				reps = append(reps, obs.ReplicaMetrics{Addr: v.Addr, Snap: v.Metrics})
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteFleetPrometheus(w, reps); err != nil {
+			s.countError("fleet", "write")
+		}
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := writeFleetHTML(w, resp); err != nil {
+			s.countError("fleet", "write")
+		}
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// eventsResponse is the body of GET /debug/events.
+type eventsResponse struct {
+	Total  int              `json:"total"`
+	Events []obs.FleetEvent `json:"events"`
+}
+
+// handleEvents serves this replica's bounded fleet event log, newest
+// first. (The merged multi-replica timeline is on the /debug/fleet
+// dashboard, which carries every replica's events.)
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.events == nil {
+		writeError(w, http.StatusNotFound, "event log disabled (Config.EventLogSize < 0)")
+		return
+	}
+	ev := s.events.Events()
+	if ev == nil {
+		ev = []obs.FleetEvent{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Total: s.events.Total(), Events: ev})
+}
+
+// byTraceResponse is the body of GET /debug/flight/by-trace/{id}.
+type byTraceResponse struct {
+	TraceID  string           `json:"trace_id"`
+	Count    int              `json:"count"`
+	Captures []flight.Capture `json:"captures"`
+	// Errors lists peers that could not be queried; their captures (if
+	// any) are missing from this answer.
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// isHex reports whether v is entirely lowercase-hex digits.
+func isHex(v string) bool {
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(v) > 0
+}
+
+// handleFlightByTrace serves every flight capture for one trace id —
+// local store first, then a guarded fan-out to ring peers, so a
+// proxied request's origin- and owner-side captures (and each batch
+// item's) come back in one answer no matter which replica is asked.
+func (s *Server) handleFlightByTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/flight/by-trace/")
+	if len(id) != 32 || !isHex(id) {
+		writeError(w, http.StatusBadRequest, "trace id must be 32 lowercase hex digits")
+		return
+	}
+	resp := byTraceResponse{TraceID: id}
+	if s.flight != nil {
+		resp.Captures = s.flight.ByTrace(id)
+	}
+	if c := s.cluster(); c != nil && r.Header.Get(forwardedHeader) == "" {
+		for _, pr := range s.fanOutDebug(c, "/debug/flight/by-trace/"+id) {
+			if pr.err != nil {
+				if resp.Errors == nil {
+					resp.Errors = map[string]string{}
+				}
+				resp.Errors[pr.addr] = pr.err.Error()
+				continue
+			}
+			var peer byTraceResponse
+			if err := json.Unmarshal(pr.body, &peer); err != nil {
+				if resp.Errors == nil {
+					resp.Errors = map[string]string{}
+				}
+				resp.Errors[pr.addr] = "bad reply: " + err.Error()
+				continue
+			}
+			resp.Captures = append(resp.Captures, peer.Captures...)
+		}
+		sort.SliceStable(resp.Captures, func(i, j int) bool {
+			if !resp.Captures[i].Time.Equal(resp.Captures[j].Time) {
+				return resp.Captures[i].Time.Before(resp.Captures[j].Time)
+			}
+			return resp.Captures[i].SpanID < resp.Captures[j].SpanID
+		})
+	}
+	if resp.Captures == nil {
+		resp.Captures = []flight.Capture{}
+	}
+	resp.Count = len(resp.Captures)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- dashboard ---
+
+// parseLabelSet splits a rendered label body (`a="1",b="2"`) into a
+// map. Label values this codebase renders never contain commas or
+// escaped quotes, so a linear split is exact.
+func parseLabelSet(labels string) map[string]string {
+	out := map[string]string{}
+	for _, kv := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, `"`)
+	}
+	return out
+}
+
+// fleetLatencyRow is one (endpoint, grammar) pair's fleet-merged
+// latency distribution for the dashboard.
+type fleetLatencyRow struct {
+	Endpoint, Grammar    string
+	Count                int64
+	P50, P95, P99, MaxMS float64
+}
+
+// fleetTopologyRow is one replica's dashboard line.
+type fleetTopologyRow struct {
+	Addr               string
+	Self, Up, Ready    bool
+	Draining           bool
+	Err                string
+	Grammars, Captures int
+	Requests, Proxied  int64
+	ProxySharePct      float64
+	CacheHitPct        float64
+	HasCache           bool
+}
+
+// fleetEventRow is one merged-timeline event with its source replica.
+type fleetEventRow struct {
+	Replica string
+	E       obs.FleetEvent
+}
+
+// buildFleetDash derives the dashboard's tables from the merged view.
+func buildFleetDash(resp fleetResponse) (rows []fleetTopologyRow, lat []fleetLatencyRow, events []fleetEventRow) {
+	var fleetRequests int64
+	merged := map[string]*obs.HistSnapshot{}
+	for _, v := range resp.Replicas {
+		row := fleetTopologyRow{
+			Addr: v.Addr, Self: v.Self, Up: v.Up, Ready: v.Ready, Draining: v.Draining,
+			Err: v.Err, Grammars: v.Grammars, Captures: v.Captures,
+		}
+		for name, n := range v.Metrics.Counters {
+			family, labels := splitMetricName(name)
+			switch family {
+			case "llstar_server_requests_total":
+				row.Requests += n
+			case "llstar_cluster_proxy_total":
+				if parseLabelSet(labels)["result"] == "ok" {
+					row.Proxied += n
+				}
+			}
+		}
+		hits := v.Metrics.Counters["llstar_cache_hits_total"]
+		misses := v.Metrics.Counters["llstar_cache_misses_total"]
+		if hits+misses > 0 {
+			row.HasCache = true
+			row.CacheHitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		fleetRequests += row.Requests
+		for name, h := range v.Metrics.Hists {
+			family, labels := splitMetricName(name)
+			if family != "llstar_server_latency_us" {
+				continue
+			}
+			m := merged[labels]
+			if m == nil {
+				m = &obs.HistSnapshot{}
+				merged[labels] = m
+			}
+			m.Merge(h)
+		}
+		for _, e := range v.Events {
+			events = append(events, fleetEventRow{Replica: v.Addr, E: e})
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if fleetRequests > 0 {
+			rows[i].ProxySharePct = 100 * float64(rows[i].Requests) / float64(fleetRequests)
+		}
+	}
+	ms := func(us float64) float64 { return us / 1000 }
+	for labels, h := range merged {
+		ls := parseLabelSet(labels)
+		lat = append(lat, fleetLatencyRow{
+			Endpoint: ls["endpoint"], Grammar: ls["grammar"], Count: h.Count,
+			P50: ms(h.Quantile(0.50)), P95: ms(h.Quantile(0.95)), P99: ms(h.Quantile(0.99)),
+			MaxMS: ms(float64(h.Max)),
+		})
+	}
+	sort.Slice(lat, func(i, j int) bool {
+		if lat[i].Endpoint != lat[j].Endpoint {
+			return lat[i].Endpoint < lat[j].Endpoint
+		}
+		return lat[i].Grammar < lat[j].Grammar
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].E.Time.After(events[j].E.Time) })
+	if len(events) > 40 {
+		events = events[:40]
+	}
+	return rows, lat, events
+}
+
+// splitMetricName mirrors obs's family/label split for rendered names.
+func splitMetricName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// fleetTmpl is the self-contained dashboard: topology and health, the
+// fleet-merged per-endpoint/per-grammar latency table (p50/p95/p99
+// estimated from histogram buckets), proxy share, cache hit ratios,
+// and the merged event timeline. No external assets — it must render
+// from a curl dump on a machine with no network.
+var fleetTmpl = template.Must(template.New("fleet").Funcs(template.FuncMap{
+	"f1": func(v float64) string { return fmt.Sprintf("%.1f", v) },
+	"f2": func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	"ts": func(t time.Time) string { return t.Format("15:04:05.000") },
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>llstar fleet — {{.R.Self}}</title>
+<style>
+body { font: 13px/1.45 -apple-system, system-ui, sans-serif; margin: 1.5em; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+code { background: #f0f0f5; padding: 0 3px; border-radius: 3px; }
+table { border-collapse: collapse; min-width: 60%; }
+th, td { text-align: left; padding: 3px 10px; border-bottom: 1px solid #e4e4ee; white-space: nowrap; }
+th { background: #f7f7fb; font-weight: 600; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.up { color: #0a7a33; font-weight: 600; } .down { color: #b00020; font-weight: 600; }
+.dim { color: #8a8aa0; } .self { background: #f4f9ff; }
+.kind { display: inline-block; padding: 0 5px; border-radius: 3px; background: #eef; }
+.kind-peer_down, .kind-load_error { background: #fde3e7; }
+.kind-peer_up, .kind-reload { background: #e2f5e8; }
+.kind-serve_stale { background: #fff3d6; }
+</style></head><body>
+<h1>llstar fleet <span class="dim">— asked via {{.R.Self}}, ring {{.R.RingSize}}, up {{.R.UpCount}}, quorum {{.R.Quorum}}</span></h1>
+
+<h2>Topology</h2>
+<table><tr><th>replica</th><th>state</th><th>ready</th><th>grammars</th><th>captures</th>
+<th>requests</th><th>share</th><th>proxied out</th><th>cache hit</th></tr>
+{{range .Rows}}<tr{{if .Self}} class="self"{{end}}>
+<td><code>{{.Addr}}</code>{{if .Self}} <span class="dim">(self)</span>{{end}}</td>
+<td>{{if .Err}}<span class="down">unreachable</span> <span class="dim">{{.Err}}</span>{{else if .Up}}<span class="up">up</span>{{else}}<span class="down">down</span>{{end}}</td>
+<td>{{if .Err}}<span class="dim">—</span>{{else if .Draining}}draining{{else if .Ready}}yes{{else}}no{{end}}</td>
+<td class="num">{{if .Err}}—{{else}}{{.Grammars}}{{end}}</td>
+<td class="num">{{if .Err}}—{{else}}{{.Captures}}{{end}}</td>
+<td class="num">{{if .Err}}—{{else}}{{.Requests}}{{end}}</td>
+<td class="num">{{if .Err}}—{{else}}{{f1 .ProxySharePct}}%{{end}}</td>
+<td class="num">{{if .Err}}—{{else}}{{.Proxied}}{{end}}</td>
+<td class="num">{{if .HasCache}}{{f1 .CacheHitPct}}%{{else}}<span class="dim">—</span>{{end}}</td>
+</tr>{{end}}
+</table>
+
+<h2>Latency <span class="dim">(fleet-merged, ms, quantiles estimated from histogram buckets)</span></h2>
+{{if .Lat}}<table><tr><th>endpoint</th><th>grammar</th><th>count</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>
+{{range .Lat}}<tr><td>{{.Endpoint}}</td><td>{{if .Grammar}}<code>{{.Grammar}}</code>{{else}}<span class="dim">—</span>{{end}}</td>
+<td class="num">{{.Count}}</td><td class="num">{{f2 .P50}}</td><td class="num">{{f2 .P95}}</td><td class="num">{{f2 .P99}}</td><td class="num">{{f2 .MaxMS}}</td>
+</tr>{{end}}</table>{{else}}<p class="dim">no latency observations yet</p>{{end}}
+
+{{if .R.Placement}}<h2>Placement</h2>
+<table><tr><th>grammar</th><th>owner</th></tr>
+{{range $g, $o := .R.Placement}}<tr><td><code>{{$g}}</code></td><td><code>{{$o}}</code></td></tr>{{end}}
+</table>{{end}}
+
+<h2>Events <span class="dim">(merged, newest first, 40 max)</span></h2>
+{{if .Events}}<table><tr><th>time</th><th>replica</th><th>kind</th><th>peer</th><th>grammar</th><th>ok</th><th>detail</th></tr>
+{{range .Events}}<tr><td>{{ts .E.Time}}</td><td><code>{{.Replica}}</code></td>
+<td><span class="kind kind-{{.E.Kind}}">{{.E.Kind}}</span></td>
+<td>{{if .E.Peer}}<code>{{.E.Peer}}</code>{{else}}<span class="dim">—</span>{{end}}</td>
+<td>{{if .E.Grammar}}<code>{{.E.Grammar}}</code>{{else}}<span class="dim">—</span>{{end}}</td>
+<td>{{if .E.OK}}<span class="up">ok</span>{{else}}<span class="down">fail</span>{{end}}</td>
+<td class="dim">{{.E.Detail}}</td>
+</tr>{{end}}</table>{{else}}<p class="dim">no events recorded</p>{{end}}
+
+<p class="dim">Formats: <code>/debug/fleet</code> JSON · <code>?format=prom</code> merged scrape ·
+traces: <code>/debug/flight/by-trace/{traceid}</code> · local log: <code>/debug/events</code></p>
+</body></html>
+`))
+
+// writeFleetHTML renders the dashboard for one merged view.
+func writeFleetHTML(w io.Writer, resp fleetResponse) error {
+	rows, lat, events := buildFleetDash(resp)
+	return fleetTmpl.Execute(w, struct {
+		R      fleetResponse
+		Rows   []fleetTopologyRow
+		Lat    []fleetLatencyRow
+		Events []fleetEventRow
+	}{resp, rows, lat, events})
+}

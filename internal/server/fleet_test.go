@@ -1,0 +1,600 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llstar/internal/obs"
+)
+
+// newDebugTS serves s.Handler() (Config.Debug mounts the introspection
+// routes on it) with cleanup tied to the test.
+func newDebugTS(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// grammarClock hands out strictly increasing mtime offsets so repeated
+// rewrites within one test always look newer to the registry.
+var grammarClock atomic.Int64
+
+// rewriteGrammar replaces name's source on disk with a future mtime,
+// making the registry's next Get a reload.
+func rewriteGrammar(t *testing.T, dir, name, src string) {
+	t.Helper()
+	path := filepath.Join(dir, name+".g")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bump := time.Duration(grammarClock.Add(1)) * time.Second
+	if err := os.Chtimes(path, time.Time{}, time.Now().Add(bump)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// obsFleet builds a fleet where every node gets its own JSON log
+// buffer and memTracer, so cross-replica correlation is assertable
+// per side of a proxy hop. FlightSlow: 1ns forces a capture for every
+// parse.
+func obsFleet(t *testing.T, size int) (nodes []*fleetNode, logs []*syncBuffer, trs []*memTracer) {
+	t.Helper()
+	logs = make([]*syncBuffer, size)
+	trs = make([]*memTracer, size)
+	nodes = newFleet(t, size, Config{Debug: true, FlightSlow: time.Nanosecond},
+		fleetGrammars, false, func(i int, c *Config) {
+			logs[i] = &syncBuffer{}
+			trs[i] = newMemTracer()
+			c.Logger = slog.New(slog.NewJSONHandler(logs[i], nil))
+			c.Tracer = trs[i]
+		})
+	return nodes, logs, trs
+}
+
+// nodeIndex finds n's position in nodes (to pair it with its log/tracer).
+func nodeIndex(t *testing.T, nodes []*fleetNode, n *fleetNode) int {
+	t.Helper()
+	for i := range nodes {
+		if nodes[i] == n {
+			return i
+		}
+	}
+	t.Fatal("node not in fleet")
+	return -1
+}
+
+// logLine scans a JSON log for the newest record with msg and returns
+// its decoded attrs.
+func logLine(t *testing.T, buf *syncBuffer, msg string) (map[string]any, bool) {
+	t.Helper()
+	var found map[string]any
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", sc.Text(), err)
+		}
+		if rec["msg"] == msg {
+			found = rec
+		}
+	}
+	return found, found != nil
+}
+
+// TestFleetTraceCorrelationAcrossProxy is the tentpole acceptance
+// path: a proxied parse must leave spans, JSON log lines, and a
+// flight capture on BOTH replicas it touched, all sharing the trace
+// id the client sent — and /debug/flight/by-trace/{id} asked on the
+// origin must return the owner-side capture.
+func TestFleetTraceCorrelationAcrossProxy(t *testing.T) {
+	nodes, logs, trs := obsFleet(t, 3)
+	owner, other := ownerOf(t, nodes, "expr")
+
+	const wantTID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	body := `{"grammar": "expr", "input": "x = 1 ;"}`
+	req, err := http.NewRequest(http.MethodPost, other.url()+"/v1/parse", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceparentHeader, "00-"+wantTID+"-00f067aa0ba902b7-01")
+	resp, err := other.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("proxied parse = %d", resp.StatusCode)
+	}
+
+	// The response carries the inbound trace id (new parent span id)
+	// and names the replica that actually parsed.
+	if got := traceIDFrom(resp.Header.Get(traceparentHeader)); got != wantTID {
+		t.Fatalf("response trace id = %q, want %q", got, wantTID)
+	}
+	if got := resp.Header.Get("X-Llstar-Served-By"); got != owner.addr {
+		t.Fatalf("served-by = %q, want owner %q", got, owner.addr)
+	}
+	rid := resp.Header.Get(requestIDHeader)
+
+	// Origin side: "proxy" log line and cluster.proxy span, tagged.
+	oi, wi := nodeIndex(t, nodes, other), nodeIndex(t, nodes, owner)
+	rec, ok := logLine(t, logs[oi], "proxy")
+	if !ok {
+		t.Fatalf("origin has no proxy log line:\n%s", logs[oi].String())
+	}
+	if rec["trace_id"] != wantTID || rec["request_id"] != rid || rec["owner"] != owner.addr {
+		t.Errorf("origin proxy line = %v", rec)
+	}
+	span, ok := trs[oi].find("cluster.proxy")
+	if !ok || !strings.Contains(span.Detail, wantTID) || !strings.Contains(span.Detail, owner.addr) {
+		t.Errorf("origin cluster.proxy span = %+v (found %v)", span, ok)
+	}
+
+	// Owner side: "request" access line, server.parse span, and a
+	// flight capture — same trace id, replica-tagged.
+	rec, ok = logLine(t, logs[wi], "request")
+	if !ok {
+		t.Fatalf("owner has no request log line:\n%s", logs[wi].String())
+	}
+	if rec["trace_id"] != wantTID || rec["request_id"] != rid {
+		t.Errorf("owner request line = %v", rec)
+	}
+	if _, ok := trs[wi].find("server.parse"); !ok {
+		t.Error("owner has no server.parse span")
+	}
+	cap, ok := owner.srv.FlightStore().Get(rid)
+	if !ok {
+		t.Fatal("owner has no flight capture for the proxied parse")
+	}
+	if cap.TraceID != wantTID || cap.Replica != owner.addr || cap.SpanID == "" {
+		t.Errorf("owner capture tags = trace %q replica %q span %q", cap.TraceID, cap.Replica, cap.SpanID)
+	}
+
+	// Fleet-wide lookup from the ORIGIN (which holds no capture
+	// itself) must surface the owner-side capture.
+	code, raw := getBody(t, other.url()+"/debug/flight/by-trace/"+wantTID)
+	if code != 200 {
+		t.Fatalf("by-trace = %d", code)
+	}
+	var bt byTraceResponse
+	if err := json.Unmarshal(raw, &bt); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count < 1 {
+		t.Fatalf("by-trace found no captures: %s", raw)
+	}
+	found := false
+	for _, c := range bt.Captures {
+		if c.Replica == owner.addr && c.TraceID == wantTID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("by-trace missing the owner-side capture: %+v", bt.Captures)
+	}
+}
+
+// TestFleetProxyRemintsMalformedTraceparent: garbage inbound trace
+// context is replaced once at the edge, and the re-minted id — not a
+// second fresh one — is what reaches the owner.
+func TestFleetProxyRemintsMalformedTraceparent(t *testing.T) {
+	nodes, _, _ := obsFleet(t, 3)
+	owner, other := ownerOf(t, nodes, "expr")
+
+	body := `{"grammar": "expr", "input": "x = 1 ;"}`
+	req, err := http.NewRequest(http.MethodPost, other.url()+"/v1/parse", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceparentHeader, "00-zzzz-not-a-traceparent-01")
+	resp, err := other.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("proxied parse = %d", resp.StatusCode)
+	}
+	tid := traceIDFrom(resp.Header.Get(traceparentHeader))
+	if tid == "" {
+		t.Fatalf("no valid traceparent minted: %q", resp.Header.Get(traceparentHeader))
+	}
+	rid := resp.Header.Get(requestIDHeader)
+	cap, ok := owner.srv.FlightStore().Get(rid)
+	if !ok {
+		t.Fatal("owner has no capture")
+	}
+	if cap.TraceID != tid {
+		t.Errorf("owner capture trace id %q != response trace id %q (re-minted twice?)", cap.TraceID, tid)
+	}
+}
+
+// TestFleet504ProxiedCaptureOnOwner: a proxied parse that blows the
+// owner's deadline answers 504 through the proxy, and the owner still
+// finalizes a trace-tagged capture once the abandoned parse finishes.
+func TestFleet504ProxiedCaptureOnOwner(t *testing.T) {
+	nodes := newFleet(t, 2, Config{
+		Debug:          true,
+		RequestTimeout: time.Millisecond,
+		MaxBodyBytes:   16 << 20,
+		FlightSlow:     -1, // the capture must come from the 504, not latency
+	}, fleetGrammars, false)
+	owner, other := ownerOf(t, nodes, "json")
+
+	resp, _ := postJSON(t, other.ts.Client(), other.url()+"/v1/parse",
+		parseRequest{Grammar: "json", Input: bigJSONInput(300_000)})
+	if resp.StatusCode != 504 {
+		t.Fatalf("proxied timeout = %d", resp.StatusCode)
+	}
+	rid := resp.Header.Get(requestIDHeader)
+	tid := traceIDFrom(resp.Header.Get(traceparentHeader))
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if c, ok := owner.srv.FlightStore().Get(rid); ok {
+			if c.Status != 504 || c.Trigger != "status" {
+				t.Errorf("owner capture = status %d trigger %q", c.Status, c.Trigger)
+			}
+			if c.TraceID != tid || c.Replica != owner.addr {
+				t.Errorf("owner capture tags = trace %q replica %q, want %q/%q",
+					c.TraceID, c.Replica, tid, owner.addr)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner never captured the 504-abandoned proxied parse")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetBatchPerItemCaptures: every /v1/batch item gets its own
+// capture under the request's trace id, each with a distinct span id.
+func TestFleetBatchPerItemCaptures(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true, FlightSlow: time.Nanosecond},
+		map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newDebugTS(t, s)
+
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/batch",
+		batchRequest{Grammar: "expr", Inputs: []string{"x = 1 ;", "y = 2 ;", "z = 3 ;"}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch = %d", resp.StatusCode)
+	}
+	tid := traceIDFrom(resp.Header.Get(traceparentHeader))
+
+	code, raw := getBody(t, ts.URL+"/debug/flight/by-trace/"+tid)
+	if code != 200 {
+		t.Fatalf("by-trace = %d", code)
+	}
+	var bt byTraceResponse
+	if err := json.Unmarshal(raw, &bt); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count != 3 {
+		t.Fatalf("captures for the batch = %d, want 3", bt.Count)
+	}
+	spans := map[string]bool{}
+	for _, c := range bt.Captures {
+		if c.Endpoint != "batch" || c.TraceID != tid {
+			t.Errorf("item capture = endpoint %q trace %q", c.Endpoint, c.TraceID)
+		}
+		if c.SpanID == "" {
+			t.Error("item capture has no span id")
+		}
+		spans[c.SpanID] = true
+	}
+	if len(spans) != 3 {
+		t.Errorf("span ids not distinct: %v", spans)
+	}
+}
+
+// TestFleetByTraceRejectsBadIDs: the id must be exactly 32 lowercase
+// hex digits — anything else is a client error, not a fan-out.
+func TestFleetByTraceRejectsBadIDs(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true}, map[string]string{"expr": exprGrammar})
+	ts := newDebugTS(t, s)
+	for _, id := range []string{"", "short", strings.Repeat("g", 32), strings.Repeat("A", 32),
+		strings.Repeat("0", 31), strings.Repeat("0", 33)} {
+		code, _ := getBody(t, ts.URL+"/debug/flight/by-trace/"+id)
+		if code != http.StatusBadRequest {
+			t.Errorf("by-trace %q = %d, want 400", id, code)
+		}
+	}
+}
+
+// TestFleetDebugFleetMergedView: asked on any replica, /debug/fleet
+// merges every replica into one JSON topology, one Prometheus scrape
+// with per-replica labels, and one HTML dashboard.
+func TestFleetDebugFleetMergedView(t *testing.T) {
+	nodes, _, _ := obsFleet(t, 3)
+	owner, other := ownerOf(t, nodes, "expr")
+
+	// Traffic through a non-owner: owner gets a parse, origin a proxy.
+	resp, _ := postJSON(t, other.ts.Client(), other.url()+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse = %d", resp.StatusCode)
+	}
+
+	code, raw := getBody(t, other.url()+"/debug/fleet")
+	if code != 200 {
+		t.Fatalf("/debug/fleet = %d", code)
+	}
+	var view fleetResponse
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != other.addr || view.RingSize != 3 || view.UpCount != 3 || !view.Quorum {
+		t.Fatalf("fleet header = %+v", view)
+	}
+	if len(view.Replicas) != 3 {
+		t.Fatalf("merged view has %d replicas, want 3", len(view.Replicas))
+	}
+	byAddr := map[string]fleetPeerView{}
+	for _, v := range view.Replicas {
+		if v.Err != "" {
+			t.Errorf("replica %s unreachable: %s", v.Addr, v.Err)
+		}
+		if !v.Ready || v.Grammars != len(fleetGrammars) {
+			t.Errorf("replica %s: ready=%v grammars=%d", v.Addr, v.Ready, v.Grammars)
+		}
+		byAddr[v.Addr] = v
+	}
+	if v := byAddr[other.addr]; !v.Self {
+		t.Error("asking replica not marked self")
+	}
+	// The owner's snapshot must show the parse it served, with the new
+	// per-endpoint latency histogram populated.
+	ownerHists := byAddr[owner.addr].Metrics.Hists
+	histFound := false
+	for name, h := range ownerHists {
+		if strings.HasPrefix(name, "llstar_server_latency_us{") &&
+			strings.Contains(name, `endpoint="parse"`) && h.Count > 0 {
+			histFound = true
+		}
+	}
+	if !histFound {
+		t.Errorf("owner snapshot lacks a populated parse latency histogram: %v", ownerHists)
+	}
+
+	// Prometheus: every replica labeled, plus the fleet-summed series.
+	code, raw = getBody(t, other.url()+"/debug/fleet?format=prom")
+	if code != 200 {
+		t.Fatalf("?format=prom = %d", code)
+	}
+	prom := string(raw)
+	for _, n := range nodes {
+		if !strings.Contains(prom, fmt.Sprintf(`replica="%s"`, n.addr)) {
+			t.Errorf("scrape missing replica %s", n.addr)
+		}
+	}
+	if !strings.Contains(prom, "llstar_server_latency_us_bucket") {
+		t.Error("scrape missing latency histogram buckets")
+	}
+
+	// Dashboard: topology rows for all three, latency table rendered.
+	code, raw = getBody(t, other.url()+"/debug/fleet?format=html")
+	if code != 200 {
+		t.Fatalf("?format=html = %d", code)
+	}
+	html := string(raw)
+	for _, n := range nodes {
+		if !strings.Contains(html, n.addr) {
+			t.Errorf("dashboard missing replica %s", n.addr)
+		}
+	}
+	for _, want := range []string{"Topology", "Latency", "Events", "p95"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q section", want)
+		}
+	}
+}
+
+// TestFleetDebugFleetDeadPeerDegrades is the kill-one-peer acceptance
+// property: with a replica gone, every /debug/fleet format still
+// answers 200 with partial results — the dead peer appears with an
+// error, never as a 5xx.
+func TestFleetDebugFleetDeadPeerDegrades(t *testing.T) {
+	nodes, _, _ := obsFleet(t, 3)
+	dead := nodes[2]
+	dead.ts.Close()
+	for _, n := range nodes[:2] {
+		n.cl.MarkSuspect(dead.addr)
+		n.cl.MarkSuspect(dead.addr)
+	}
+
+	code, raw := getBody(t, nodes[0].url()+"/debug/fleet")
+	if code != 200 {
+		t.Fatalf("/debug/fleet with dead peer = %d", code)
+	}
+	var view fleetResponse
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Replicas) != 3 {
+		t.Fatalf("merged view has %d replicas, want 3 (dead one as partial)", len(view.Replicas))
+	}
+	var sawDead bool
+	for _, v := range view.Replicas {
+		if v.Addr == dead.addr {
+			sawDead = true
+			if v.Err == "" {
+				t.Error("dead replica has no error annotation")
+			}
+			if v.Up {
+				t.Error("dead replica still marked up")
+			}
+		}
+	}
+	if !sawDead {
+		t.Error("dead replica dropped from the merged view entirely")
+	}
+
+	for _, format := range []string{"?format=prom", "?format=html"} {
+		code, raw = getBody(t, nodes[0].url()+"/debug/fleet"+format)
+		if code != 200 {
+			t.Fatalf("/debug/fleet%s with dead peer = %d", format, code)
+		}
+		if format == "?format=html" && !strings.Contains(string(raw), "unreachable") {
+			t.Error("dashboard does not flag the unreachable replica")
+		}
+	}
+
+	// The health flip landed in the survivors' event logs.
+	code, raw = getBody(t, nodes[0].url()+"/debug/events")
+	if code != 200 {
+		t.Fatalf("/debug/events = %d", code)
+	}
+	var ev eventsResponse
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		t.Fatal(err)
+	}
+	var sawDown, sawRebalance bool
+	for _, e := range ev.Events {
+		if e.Kind == obs.EventPeerDown && e.Peer == dead.addr {
+			sawDown = true
+		}
+		if e.Kind == obs.EventRebalance {
+			sawRebalance = true
+		}
+	}
+	if !sawDown || !sawRebalance {
+		t.Errorf("event log missing peer_down/rebalance (down=%v rebalance=%v): %+v",
+			sawDown, sawRebalance, ev.Events)
+	}
+}
+
+// TestFleetSingleNodeDebugFleet: every fleet endpoint must work on a
+// clusterless server — a one-replica fleet, not an error.
+func TestFleetSingleNodeDebugFleet(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true, FlightSlow: time.Nanosecond},
+		map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	ts := newDebugTS(t, s)
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/parse",
+		parseRequest{Grammar: "expr", Input: "x = 1 ;"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("parse = %d", resp.StatusCode)
+	}
+	tid := traceIDFrom(resp.Header.Get(traceparentHeader))
+
+	code, raw := getBody(t, ts.URL+"/debug/fleet")
+	if code != 200 {
+		t.Fatalf("/debug/fleet = %d", code)
+	}
+	var view fleetResponse
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.RingSize != 1 || len(view.Replicas) != 1 || !view.Replicas[0].Self {
+		t.Fatalf("single-node fleet = %+v", view)
+	}
+	for _, format := range []string{"?format=prom", "?format=html"} {
+		if code, _ := getBody(t, ts.URL+"/debug/fleet"+format); code != 200 {
+			t.Errorf("/debug/fleet%s = %d", format, code)
+		}
+	}
+	code, raw = getBody(t, ts.URL+"/debug/flight/by-trace/"+tid)
+	if code != 200 {
+		t.Fatalf("by-trace = %d", code)
+	}
+	var bt byTraceResponse
+	if err := json.Unmarshal(raw, &bt); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Count != 1 {
+		t.Errorf("single-node by-trace count = %d, want 1", bt.Count)
+	}
+}
+
+// TestFleetEventLogDisabled: EventLogSize < 0 turns the log off —
+// /debug/events answers 404 and nothing panics on the producer side.
+func TestFleetEventLogDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Config{Debug: true, EventLogSize: -1},
+		map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil { // reload event producer runs with a nil log
+		t.Fatal(err)
+	}
+	if s.EventLog() != nil {
+		t.Fatal("event log built despite EventLogSize < 0")
+	}
+	ts := newDebugTS(t, s)
+	if code, _ := getBody(t, ts.URL+"/debug/events"); code != http.StatusNotFound {
+		t.Errorf("/debug/events disabled = %d, want 404", code)
+	}
+}
+
+// TestFleetReloadEventsRecorded: grammar lifecycle (reload success and
+// serve-stale) lands in the event log with grammar attribution.
+func TestFleetReloadEventsRecorded(t *testing.T) {
+	s, dir := newTestServer(t, Config{Debug: true}, map[string]string{"expr": exprGrammar})
+	if err := s.Preload("expr"); err != nil {
+		t.Fatal(err)
+	}
+	// Change the grammar on disk and force a reload.
+	rewriteGrammar(t, dir, "expr", exprGrammar+"\n// touched\n")
+	if _, err := s.Registry().Get("expr"); err != nil {
+		t.Fatal(err)
+	}
+	var sawReload bool
+	for _, e := range s.EventLog().Events() {
+		if e.Kind == obs.EventReload && e.Grammar == "expr" && e.OK {
+			sawReload = true
+		}
+	}
+	if !sawReload {
+		t.Errorf("no reload event for expr: %+v", s.EventLog().Events())
+	}
+	// Break it: the failed reload serves stale and logs both events.
+	rewriteGrammar(t, dir, "expr", "grammar broken ;;;")
+	if _, err := s.Registry().Get("expr"); err != nil {
+		t.Fatalf("serve-stale should mask the broken reload: %v", err)
+	}
+	var sawStale bool
+	for _, e := range s.EventLog().Events() {
+		if e.Kind == obs.EventServeStale && e.Grammar == "expr" {
+			sawStale = true
+		}
+	}
+	if !sawStale {
+		t.Errorf("no serve_stale event after broken reload: %+v", s.EventLog().Events())
+	}
+}
+
+// TestFleetArtifactFetchEventRecorded: a cold replica warm-starting
+// from peers logs artifact_fetch events naming the source peer.
+func TestFleetArtifactFetchEventRecorded(t *testing.T) {
+	nodes := newFleet(t, 2, Config{Debug: true}, fleetGrammars, true)
+	cold := nodes[len(nodes)-1]
+	if err := cold.srv.Preload("all"); err != nil {
+		t.Fatal(err)
+	}
+	fetches := 0
+	for _, e := range cold.srv.EventLog().Events() {
+		if e.Kind == obs.EventArtifactFetch && e.OK && e.Peer != "" {
+			fetches++
+		}
+	}
+	if fetches != len(fleetGrammars) {
+		t.Errorf("artifact_fetch events = %d, want %d: %+v",
+			fetches, len(fleetGrammars), cold.srv.EventLog().Events())
+	}
+}

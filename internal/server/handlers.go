@@ -10,14 +10,16 @@ import (
 	"time"
 
 	"llstar"
+	"llstar/internal/obs"
 	"llstar/internal/obs/flight"
 )
 
 // flightRun carries one request's flight recording: the pooled event
 // ring plus the correlation identity a capture needs if the anomaly
 // trigger fires. It lives on the parse goroutine only (the ring is
-// single-writer), so /v1/batch — whose items fan out across workers —
-// does not record.
+// single-writer); /v1/batch gives each item its own flightRun — and
+// its own span id — so the items record independently on their
+// workers and a by-trace lookup can tell them apart.
 type flightRun struct {
 	rec      *flight.Recorder
 	endpoint string
@@ -26,8 +28,11 @@ type flightRun struct {
 	session  string
 	reqID    string
 	traceID  string
-	start    time.Time
-	stats    flight.Stats
+	// span is this run's own child span id within the trace (each
+	// batch item mints a distinct one).
+	span  string
+	start time.Time
+	stats flight.Stats
 	// pooled marks a recorder checked out of fpool: returned on finish.
 	// Session-owned recorders (which outlive the request) are not.
 	pooled bool
@@ -47,6 +52,7 @@ func (s *Server) newFlightRun(w http.ResponseWriter, endpoint, grammar string) *
 		grammar:  grammar,
 		reqID:    w.Header().Get(requestIDHeader),
 		traceID:  traceIDFrom(w.Header().Get(traceparentHeader)),
+		span:     randHex(16),
 		start:    time.Now(),
 		pooled:   true,
 	}
@@ -88,6 +94,8 @@ func (s *Server) finishFlight(ctx context.Context, fr *flightRun, resp parseResp
 	c := &flight.Capture{
 		RequestID: fr.reqID,
 		TraceID:   fr.traceID,
+		SpanID:    fr.span,
+		Replica:   s.replicaAddr(),
 		Endpoint:  fr.endpoint,
 		Grammar:   fr.grammar,
 		Rule:      fr.rule,
@@ -283,7 +291,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					}
 					continue
 				}
-				results[i] = s.doParse(entries[it.Grammar], it, nil)
+				// Each item gets its own flight run — own event ring,
+				// own child span id under the request's trace — so an
+				// anomalous item captures alone and a by-trace lookup
+				// distinguishes the items. Reading w's header map here
+				// is safe: the response is not written until wg.Wait.
+				fr := s.newFlightRun(w, "batch", it.Grammar)
+				var it0 time.Duration
+				if s.tr != nil {
+					it0 = s.tr.Now()
+				}
+				results[i] = s.doParse(entries[it.Grammar], it, fr)
+				if s.tr != nil {
+					span := ""
+					if fr != nil {
+						span = fr.span
+					}
+					rid, tid := "", ""
+					if sw, ok := w.(*statusWriter); ok {
+						rid, tid = sw.reqID, sw.traceID
+					}
+					s.tr.Emit(obs.Event{
+						Name: "server.batch.item", Cat: obs.PhaseServer, Ph: obs.PhSpan,
+						TS: it0, Dur: s.tr.Now() - it0, Decision: -1,
+						OK: results[i].OK, N: int64(i), Rule: it.Grammar,
+						Detail: rid + " " + tid + " " + span,
+					})
+				}
+				s.finishFlight(ctx, fr, results[i], "")
 			}
 		}()
 	}

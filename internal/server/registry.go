@@ -57,6 +57,11 @@ type Registry struct {
 	// wires Config.DisableCoverage here.
 	DisableCoverage bool
 
+	// Events, when set, receives fleet events for reload successes,
+	// load failures, and serve-stale fallbacks (the server wires its
+	// event log here). Nil-safe by obs.EventLog contract.
+	Events *obs.EventLog
+
 	// Fetch, when set (fleet mode), pulls a missing .llsc artifact from
 	// peer replicas by fingerprint. Set it before serving traffic; a
 	// source-grammar load whose artifact is absent locally then
@@ -159,6 +164,7 @@ func (r *Registry) Get(name string) (*Entry, error) {
 		delete(r.lastErr, name)
 	} else {
 		r.lastErr[name] = err.Error()
+		r.Events.Add(obs.FleetEvent{Kind: obs.EventLoadError, Grammar: name, Detail: err.Error()})
 		if old != nil {
 			// A grammar that served before now fails to load — someone
 			// broke the file (or we read it mid-write). Keep serving the
@@ -166,6 +172,8 @@ func (r *Registry) Get(name string) (*Entry, error) {
 			// surfaced through Listing.LastError and the counter, and
 			// the next Get retries the load.
 			r.countReloadError()
+			r.Events.Add(obs.FleetEvent{Kind: obs.EventServeStale, Grammar: name, OK: true,
+				Detail: "serving last good grammar: " + err.Error()})
 			e, err = old, nil
 		}
 	}
@@ -241,6 +249,8 @@ func (r *Registry) load(name string, old *Entry) (*Entry, error) {
 	result := "load"
 	if old != nil {
 		result = "reload"
+		r.Events.Add(obs.FleetEvent{Kind: obs.EventReload, Grammar: name, OK: true,
+			Detail: "fingerprint " + g.Fingerprint()})
 	}
 	r.count(result)
 	popts := []llstar.ParserOption{llstar.WithTree(), llstar.WithStats()}

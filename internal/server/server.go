@@ -21,9 +21,12 @@
 // Introspection (Config.Debug on the main handler, or DebugHandler()
 // on a private listener):
 //
-//	GET /debug/coverage   live per-grammar coverage/hotspot profiles (JSON or ?format=html)
-//	GET /debug/vars       expvar-style metrics JSON
-//	GET /debug/pprof/*    net/http/pprof
+//	GET /debug/coverage              live per-grammar coverage/hotspot profiles (JSON or ?format=html)
+//	GET /debug/vars                  expvar-style metrics JSON
+//	GET /debug/pprof/*               net/http/pprof
+//	GET /debug/fleet                 fleet-merged metrics/topology (JSON, ?format=prom, ?format=html dashboard)
+//	GET /debug/events                bounded fleet event log (health flips, reloads, artifact fetches)
+//	GET /debug/flight/by-trace/{id}  every flight capture for a trace id, fleet-wide
 //
 // Every request carries an X-Request-Id (client-supplied or generated):
 // echoed on the response, embedded in error JSON, attached to the
@@ -142,6 +145,15 @@ type Config struct {
 	// captured even if it finished fast and 200. 0 leaves it disarmed.
 	FlightBacktrackTokens int64
 
+	// EventLogSize bounds the fleet event log behind /debug/events
+	// (health flips, reloads, serve-stale fallbacks, artifact fetches).
+	// 0 picks obs.DefaultEventLogSize; < 0 disables the log entirely.
+	EventLogSize int
+	// FleetTimeout bounds each per-peer fan-out request the fleet debug
+	// endpoints (/debug/fleet, /debug/flight/by-trace) make; a peer that
+	// misses it degrades to a partial result, never an error (default 2s).
+	FleetTimeout time.Duration
+
 	// Logger receives the server's structured log records (one
 	// per-request access line plus panics, flight captures, and
 	// lifecycle events), each carrying request_id, trace_id, grammar,
@@ -197,6 +209,9 @@ func (c Config) withDefaults() Config {
 	if c.FlightCaptures <= 0 {
 		c.FlightCaptures = flight.DefaultCaptures
 	}
+	if c.FleetTimeout == 0 {
+		c.FleetTimeout = 2 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -238,6 +253,12 @@ type Server struct {
 	// sessions is the bounded table of live incremental parse sessions
 	// behind /v1/sessions.
 	sessions *sessionTable
+
+	// events is the bounded fleet event log behind /debug/events (nil
+	// when Config.EventLogSize < 0). The registry and — via EventLog()
+	// at cluster construction — the prober write into it; nothing on
+	// the parse hot path does.
+	events *obs.EventLog
 
 	// cl is the fleet view (AttachCluster); nil in single-node mode.
 	// In fleet mode the limiter switches from the fixed channel to the
@@ -294,6 +315,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.fpool.New = func() any { return flight.NewRecorder(cfg.FlightEvents) }
 	}
+	if cfg.EventLogSize >= 0 {
+		s.events = obs.NewEventLog(cfg.EventLogSize)
+		s.reg.Events = s.events
+	}
 	s.sessions = newSessionTable(cfg.MaxSessions, cfg.SessionIdle)
 	s.debug = s.debugMux()
 	s.handler = s.routes()
@@ -309,6 +334,11 @@ func (s *Server) Metrics() *obs.Metrics { return s.mx }
 // FlightStore returns the anomaly capture store behind /debug/flight,
 // or nil when Config.DisableFlight turned the recorder off.
 func (s *Server) FlightStore() *flight.Store { return s.flight }
+
+// EventLog returns the fleet event log behind /debug/events (nil when
+// Config.EventLogSize < 0). Pass it as cluster.Config.Events so probe
+// flips and artifact fetches land on the same timeline as reloads.
+func (s *Server) EventLog() *obs.EventLog { return s.events }
 
 // Handler returns the root handler (all endpoints plus middleware).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -482,6 +512,11 @@ func (s *Server) finish(endpoint string, rec *statusWriter, start time.Time, ts0
 	s.mx.Counter(obs.Label("llstar_server_requests_total",
 		"endpoint", endpoint, "code", strconv.Itoa(code))).Inc()
 	s.mx.Histogram("llstar_server_request_duration_us", durationBuckets...).Observe(dur.Microseconds())
+	// Per-endpoint/per-grammar latency distribution: the series the
+	// fleet dashboard merges into its p50/p95/p99 view. Grammar is ""
+	// for endpoints with no grammar (metrics, cluster, ...).
+	s.mx.Histogram(obs.Label("llstar_server_latency_us",
+		"endpoint", endpoint, "grammar", rec.grammar), durationBuckets...).Observe(dur.Microseconds())
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{
 			Name: "server." + endpoint, Cat: obs.PhaseServer, Ph: obs.PhSpan,
